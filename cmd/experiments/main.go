@@ -1,0 +1,149 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Section VII) on the synthetic substrates:
+//
+//	experiments -all                 # everything, default scale
+//	experiments -table 4             # one table (4, 5, 7, 8)
+//	experiments -figure 6            # one figure (5, 6, 7)
+//	experiments -scale test|small|full
+//
+// Absolute numbers differ from the paper (different hardware and synthetic
+// data); the comparisons the paper draws — who wins, by how much, where the
+// crossovers are — are what these runs reproduce. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"newslink"
+	"newslink/internal/eval"
+)
+
+func main() {
+	table := flag.Int("table", 0, "run one table: 4, 5, 7 or 8")
+	figure := flag.Int("figure", 0, "run one figure: 5, 6 or 7")
+	all := flag.Bool("all", false, "run the complete suite")
+	significance := flag.Bool("significance", false, "paired bootstrap: NewsLink vs competitors")
+	ablations := flag.Bool("ablations", false, "quantify the design-choice ablations")
+	coverage := flag.Bool("coverage", false, "corpus coverage statistics (Section VII-A2)")
+	trecDir := flag.String("trec", "", "export TREC qrels and run files to this directory")
+	tune := flag.Bool("tune", false, "β sweep on the validation split")
+	scaleName := flag.String("scale", "small", "dataset scale: test, small or full")
+	flag.Parse()
+
+	var scale eval.Scale
+	switch *scaleName {
+	case "test":
+		scale = eval.ScaleTest
+	case "small":
+		scale = eval.ScaleSmall
+	case "full":
+		scale = eval.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if !*all && *table == 0 && *figure == 0 && !*significance && !*ablations && !*coverage && !*tune && *trecDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	run := func(name string, fn func()) {
+		t0 := time.Now()
+		fn()
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+	if *all || *table == 4 {
+		run("table 4", func() {
+			for _, t := range eval.RunTable4(scale) {
+				fmt.Println(t.Render())
+			}
+		})
+	}
+	if *all || *table == 5 {
+		run("table 5", func() { fmt.Println(eval.RunTable5(scale).Render()) })
+	}
+	if *all || *figure == 5 {
+		run("figure 5", func() { fmt.Println(eval.RunFigure5(scale).Render()) })
+	}
+	if *all || *figure == 6 {
+		run("figure 6", func() { fmt.Println(eval.RunFigure6()) })
+	}
+	if *all || *table == 7 {
+		run("table 7", func() {
+			for _, t := range eval.RunTable7(scale) {
+				fmt.Println(t.Render())
+			}
+		})
+	}
+	if *all || *figure == 7 {
+		run("figure 7", func() { fmt.Println(eval.RunFigure7(scale).Render()) })
+	}
+	if *all || *table == 8 {
+		run("table 8", func() { fmt.Println(eval.RunTable8(scale).Render()) })
+	}
+	if *all || *coverage {
+		run("coverage", func() { fmt.Println(eval.RunCoverage(scale).Render()) })
+	}
+	if *all || *ablations {
+		run("ablations", func() { fmt.Println(eval.RunAblations(scale).Render()) })
+	}
+	if *all || *tune {
+		run("beta tuning", func() { fmt.Println(eval.RunBetaTuning(scale).Render()) })
+	}
+	if *all || *significance {
+		run("significance", func() { fmt.Println(eval.RunSignificance(scale, 2000)) })
+	}
+	if *trecDir != "" {
+		run("trec export", func() {
+			if err := exportTREC(*trecDir, scale); err != nil {
+				fmt.Fprintln(os.Stderr, "trec export:", err)
+				os.Exit(1)
+			}
+		})
+	}
+}
+
+// exportTREC writes qrels plus one run file per system for both datasets.
+func exportTREC(dir string, scale eval.Scale) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, spec := range []eval.DatasetSpec{eval.CNNSpec(scale), eval.KaggleSpec(scale)} {
+		d := eval.BuildDataset(spec)
+		queries := d.Queries(eval.Densest, d.Spec.Seed+41)
+		qf, err := os.Create(filepath.Join(dir, spec.Name+".qrels"))
+		if err != nil {
+			return err
+		}
+		if err := eval.WriteQrels(qf, queries); err != nil {
+			qf.Close()
+			return err
+		}
+		if err := qf.Close(); err != nil {
+			return err
+		}
+		systems := []eval.System{
+			eval.NewLucene(d),
+			eval.NewQEPRF(d),
+			eval.NewNewsLink(d, 0.2, newslink.LCAG),
+		}
+		for _, sys := range systems {
+			rf, err := os.Create(filepath.Join(dir, spec.Name+"."+sys.Name()+".run"))
+			if err != nil {
+				return err
+			}
+			if err := eval.WriteRun(rf, sys, queries, 20); err != nil {
+				rf.Close()
+				return err
+			}
+			if err := rf.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", rf.Name())
+		}
+	}
+	return nil
+}

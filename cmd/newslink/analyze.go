@@ -1,0 +1,105 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"newslink/internal/core"
+	"newslink/internal/corpus"
+	"newslink/internal/kg"
+	"newslink/internal/nlp"
+)
+
+// runAnalyze prints the NLP and NE view of a news text, mirroring the
+// paper's Figure 3 (news segments with recognized entities) and Figure 4
+// (the subgraph embedding of each group in the maximal co-occurrence set).
+func runAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	text := fs.String("text", "", "news text to analyze (or -file)")
+	file := fs.String("file", "", "file containing the news text")
+	kgPath := fs.String("kg", "", "knowledge graph TSV (default: built-in sample)")
+	maxDepth := fs.Float64("maxdepth", 6, "embedding depth bound")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *text == "" && *file == "" {
+		return fmt.Errorf("one of -text or -file is required")
+	}
+	if *text != "" && *file != "" {
+		return fmt.Errorf("-text and -file are mutually exclusive")
+	}
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		*text = string(data)
+	}
+	g, err := loadGraph(*kgPath)
+	if err != nil {
+		return err
+	}
+	pipe := nlp.NewPipeline(g.Index())
+	doc := pipe.Process(*text)
+
+	fmt.Println("== NLP component (Figure 3) ==")
+	for i, s := range doc.Sentences {
+		fmt.Printf("segment %d: %s\n", i+1, s.Text)
+		for _, m := range s.Mentions {
+			status := "linked"
+			if !m.Linked {
+				status = "NOT IN KG"
+			}
+			fmt.Printf("    entity %-28q %s\n", m.Text, status)
+		}
+		if len(s.Mentions) > 0 {
+			fmt.Printf("    entity density %.2f\n", s.EntityDensity())
+		}
+	}
+
+	groups := doc.EntityGroups()
+	maximal := nlp.MaximalSets(groups)
+	fmt.Printf("\n== Maximal entity co-occurrence set (Definition 1): %d of %d groups kept ==\n",
+		len(maximal), len(groups))
+	for i, grp := range maximal {
+		fmt.Printf("  L%d = {%s}\n", i+1, strings.Join(grp, ", "))
+	}
+
+	fmt.Println("\n== NE component (Figure 4): subgraph embeddings ==")
+	searcher := core.NewSearcher(g, core.Options{MaxDepth: *maxDepth})
+	for i, grp := range maximal {
+		sg := searcher.Find(grp)
+		if sg == nil {
+			fmt.Printf("  L%d: no common ancestor within depth %g\n", i+1, *maxDepth)
+			continue
+		}
+		fmt.Printf("  L%d: root %q, depth %g, %d nodes, %d arcs\n",
+			i+1, g.Label(sg.Root), sg.Depth(), len(sg.Nodes), len(sg.Arcs))
+		if induced := sg.InducedNodes(g); len(induced) > 0 {
+			var labels []string
+			for _, n := range induced {
+				labels = append(labels, g.Label(n))
+			}
+			fmt.Printf("      induced entities: %s\n", strings.Join(labels, ", "))
+		}
+		for j, a := range grp {
+			for _, b := range grp[j+1:] {
+				for _, p := range sg.PathsBetween(a, b, 1) {
+					fmt.Printf("      %s\n", p.Render(g))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// loadGraph reads a KG dump, or returns the built-in sample graph.
+func loadGraph(path string) (*kg.Graph, error) {
+	if path == "" {
+		g, _ := corpus.Sample()
+		return g, nil
+	}
+	return readGraphFile(path)
+}

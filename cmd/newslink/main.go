@@ -1,0 +1,249 @@
+// Command newslink is the NewsLink command-line interface. It can generate
+// a synthetic knowledge graph and news corpus, build a search engine over
+// them (or over the built-in sample corpus), and answer queries with
+// relationship-path explanations.
+//
+// Usage:
+//
+//	newslink gen -dir out [-seed 7] [-countries 20] [-docs 500] [-profile cnn]
+//	newslink search -query "text" [-k 5] [-beta 0.2] [-model lcag]
+//	                [-kg out/kg.tsv -corpus out/corpus.jsonl] [-explain]
+//	newslink analyze -text "..." | -file story.txt [-kg out/kg.tsv]
+//	newslink stats [-kg out/kg.tsv]
+//
+// Without -kg/-corpus the built-in sample corpus (the paper's Figure 1 and
+// Figure 6 stories) is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"newslink"
+	"newslink/internal/corpus"
+	"newslink/internal/kg"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "newslink:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: newslink <gen|search|analyze|stats> [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:])
+	case "search":
+		return runSearch(args[1:])
+	case "stats":
+		return runStats(args[1:])
+	case "analyze":
+		return runAnalyze(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen, search, analyze or stats)", args[0])
+	}
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	dir := fs.String("dir", "out", "output directory")
+	seed := fs.Int64("seed", 7, "generation seed")
+	countries := fs.Int("countries", 20, "synthetic world size")
+	docs := fs.Int("docs", 500, "number of news documents")
+	profile := fs.String("profile", "cnn", "corpus profile: cnn or kaggle")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := kg.DefaultConfig(*seed)
+	cfg.Countries = *countries
+	world := kg.Generate(cfg)
+	var p corpus.Profile
+	switch *profile {
+	case "cnn":
+		p = corpus.CNNLike()
+	case "kaggle":
+		p = corpus.KaggleLike()
+	default:
+		return fmt.Errorf("unknown profile %q", *profile)
+	}
+	arts := corpus.Generate(world, p, *docs, *seed)
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	kgPath := filepath.Join(*dir, "kg.tsv")
+	f, err := os.Create(kgPath)
+	if err != nil {
+		return err
+	}
+	if err := kg.Write(f, world.Graph); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	corpusPath := filepath.Join(*dir, "corpus.jsonl")
+	f, err = os.Create(corpusPath)
+	if err != nil {
+		return err
+	}
+	if err := corpus.WriteJSONL(f, arts); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d nodes, %d edges) and %s (%d docs)\n",
+		kgPath, world.Graph.NumNodes(), world.Graph.NumEdges(), corpusPath, len(arts))
+	return nil
+}
+
+// loadWorld reads the KG and corpus named by flags, or falls back to the
+// built-in sample.
+func loadWorld(kgPath, corpusPath string) (*kg.Graph, []corpus.Article, error) {
+	if kgPath == "" && corpusPath == "" {
+		g, arts := corpus.Sample()
+		return g, arts, nil
+	}
+	if kgPath == "" || corpusPath == "" {
+		return nil, nil, fmt.Errorf("-kg and -corpus must be given together")
+	}
+	g, err := readGraphFile(kgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	cf, err := os.Open(corpusPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cf.Close()
+	arts, err := corpus.ReadJSONL(cf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, arts, nil
+}
+
+func runSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ContinueOnError)
+	query := fs.String("query", "", "query text (required)")
+	k := fs.Int("k", 5, "number of results")
+	beta := fs.Float64("beta", 0.2, "Equation 3 fusion weight in [0,1]")
+	model := fs.String("model", "lcag", "embedding model: lcag or tree")
+	kgPath := fs.String("kg", "", "knowledge graph TSV (default: built-in sample)")
+	corpusPath := fs.String("corpus", "", "corpus JSONL (default: built-in sample)")
+	explain := fs.Bool("explain", true, "print relationship-path explanations")
+	dotPath := fs.String("dot", "", "write a Graphviz rendering of query vs top result to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *query == "" {
+		return fmt.Errorf("-query is required")
+	}
+	g, arts, err := loadWorld(*kgPath, *corpusPath)
+	if err != nil {
+		return err
+	}
+	cfg := newslink.DefaultConfig()
+	cfg.Beta = *beta
+	switch strings.ToLower(*model) {
+	case "lcag":
+		cfg.Model = newslink.LCAG
+	case "tree":
+		cfg.Model = newslink.TreeEmb
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	e := newslink.New(g, cfg)
+	for _, a := range arts {
+		if err := e.Add(newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+			return err
+		}
+	}
+	if err := e.Build(); err != nil {
+		return err
+	}
+	res, err := e.Search(*query, *k)
+	if err != nil {
+		return err
+	}
+	if len(res) == 0 {
+		fmt.Println("no results")
+		return nil
+	}
+	if *dotPath != "" {
+		dot, err := e.ExplainDOT(*query, res[0].ID, "newslink")
+		if err != nil {
+			return err
+		}
+		if dot == "" {
+			fmt.Fprintln(os.Stderr, "newslink: no embeddings to render")
+		} else if err := os.WriteFile(*dotPath, []byte(dot), 0o644); err != nil {
+			return err
+		} else {
+			fmt.Printf("wrote %s (render with: dot -Tsvg %s)\n", *dotPath, *dotPath)
+		}
+	}
+	for i, r := range res {
+		fmt.Printf("%2d. [%d] %s (score %.3f)\n", i+1, r.ID, r.Title, r.Score)
+		if r.Snippet != "" {
+			fmt.Printf("    %s\n", r.Snippet)
+		}
+		if !*explain {
+			continue
+		}
+		exp, err := e.Explain(*query, r.ID, 3)
+		if err != nil {
+			return err
+		}
+		if len(exp.SharedEntities) > 0 {
+			fmt.Printf("    overlap: %s\n", strings.Join(exp.SharedEntities, ", "))
+		}
+		for _, p := range exp.Paths {
+			fmt.Printf("    path: %s\n", p.Rendered)
+		}
+	}
+	return nil
+}
+
+// readGraphFile loads a graph dump; ".nt" files are parsed as RDF
+// N-Triples (Wikidata truthy dumps), everything else as the TSV format.
+func readGraphFile(path string) (*kg.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".nt") {
+		return kg.ParseNTriples(f, "en", false)
+	}
+	return kg.Read(f)
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	kgPath := fs.String("kg", "", "knowledge graph TSV (default: built-in sample)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g *kg.Graph
+	if *kgPath == "" {
+		g, _ = corpus.Sample()
+	} else {
+		var err error
+		if g, err = readGraphFile(*kgPath); err != nil {
+			return err
+		}
+	}
+	fmt.Print(kg.ComputeStats(g).String())
+	return nil
+}

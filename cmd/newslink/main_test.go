@@ -1,0 +1,108 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout around fn and returns what was printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var sb strings.Builder
+		if _, err := io.Copy(&sb, r); err != nil {
+			sb.WriteString("\n[pipe error: " + err.Error() + "]")
+		}
+		done <- sb.String()
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestCLIGenSearchStatsAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return run([]string{"gen", "-dir", dir, "-seed", "3", "-countries", "5", "-docs", "30"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("gen output: %q", out)
+	}
+	kgPath := filepath.Join(dir, "kg.tsv")
+	corpusPath := filepath.Join(dir, "corpus.jsonl")
+	if _, err := os.Stat(kgPath); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err = capture(t, func() error {
+		return run([]string{"search", "-query", "Taliban bombing in Lahore", "-k", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Bombing attack by Taliban") {
+		t.Fatalf("search output: %q", out)
+	}
+
+	out, err = capture(t, func() error {
+		return run([]string{"search", "-query", "clashes in the region", "-k", "2",
+			"-kg", kgPath, "-corpus", corpusPath, "-explain=false", "-model", "tree", "-beta", "0.5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("no search output on generated corpus")
+	}
+
+	out, err = capture(t, func() error { return run([]string{"stats", "-kg", kgPath}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "nodes=") {
+		t.Fatalf("stats output: %q", out)
+	}
+
+	out, err = capture(t, func() error {
+		return run([]string{"analyze", "-text", "Taliban attacked Upper Dir in Pakistan."})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "NLP component") || !strings.Contains(out, "root") {
+		t.Fatalf("analyze output: %q", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"search"}, // missing query
+		{"search", "-query", "x", "-kg", "only-one"}, // unpaired kg/corpus
+		{"search", "-query", "x", "-model", "wat"},
+		{"gen", "-profile", "wat"},
+		{"analyze"},
+		{"analyze", "-text", "x", "-file", "y"},
+		{"stats", "-kg", "/nonexistent/kg.tsv"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

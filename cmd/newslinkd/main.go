@@ -1,0 +1,113 @@
+// Command newslinkd serves NewsLink search over HTTP.
+//
+//	newslinkd [-addr :8080] [-kg kg.tsv -corpus corpus.jsonl]
+//	          [-beta 0.2] [-snapshot dir] [-workers 0]
+//
+// Without -kg/-corpus the built-in sample corpus is served. With -snapshot,
+// a previously saved engine snapshot is loaded (or written after indexing
+// if the directory does not exist yet), so restarts skip the corpus
+// embedding cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"newslink"
+	"newslink/internal/corpus"
+	"newslink/internal/kg"
+	"newslink/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	kgPath := flag.String("kg", "", "knowledge graph TSV (default: built-in sample)")
+	corpusPath := flag.String("corpus", "", "corpus JSONL (default: built-in sample)")
+	beta := flag.Float64("beta", 0.2, "Equation 3 fusion weight")
+	snapshot := flag.String("snapshot", "", "engine snapshot directory (load if present, save after indexing otherwise)")
+	onDisk := flag.Bool("ondisk", false, "serve snapshot postings from disk instead of loading them into memory")
+	workers := flag.Int("workers", 0, "indexing workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	engine, err := buildEngineMode(*kgPath, *corpusPath, *beta, *snapshot, *workers, *onDisk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %d documents on %s", engine.NumDocs(), *addr)
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      server.New(engine).Handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+func buildEngine(kgPath, corpusPath string, beta float64, snapshot string, workers int) (*newslink.Engine, error) {
+	return buildEngineMode(kgPath, corpusPath, beta, snapshot, workers, false)
+}
+
+func buildEngineMode(kgPath, corpusPath string, beta float64, snapshot string, workers int, onDisk bool) (*newslink.Engine, error) {
+	var g *kg.Graph
+	var arts []corpus.Article
+	if kgPath == "" && corpusPath == "" {
+		g, arts = corpus.Sample()
+	} else {
+		if kgPath == "" || corpusPath == "" {
+			return nil, fmt.Errorf("-kg and -corpus must be given together")
+		}
+		f, err := os.Open(kgPath)
+		if err != nil {
+			return nil, err
+		}
+		g, err = kg.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		cf, err := os.Open(corpusPath)
+		if err != nil {
+			return nil, err
+		}
+		arts, err = corpus.ReadJSONL(cf)
+		cf.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if snapshot != "" {
+		if _, err := os.Stat(snapshot); err == nil {
+			log.Printf("loading snapshot from %s (ondisk=%v)", snapshot, onDisk)
+			if onDisk {
+				return newslink.LoadOnDisk(snapshot, g)
+			}
+			return newslink.Load(snapshot, g)
+		}
+	}
+	cfg := newslink.DefaultConfig()
+	cfg.Beta = beta
+	engine := newslink.New(g, cfg)
+	docs := make([]newslink.Document, len(arts))
+	for i, a := range arts {
+		docs[i] = newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text}
+	}
+	t0 := time.Now()
+	if err := engine.AddAll(docs, workers); err != nil {
+		return nil, err
+	}
+	if err := engine.Build(); err != nil {
+		return nil, err
+	}
+	log.Printf("indexed %d documents in %v", len(docs), time.Since(t0).Round(time.Millisecond))
+	if snapshot != "" {
+		if err := engine.Save(snapshot); err != nil {
+			return nil, fmt.Errorf("saving snapshot: %w", err)
+		}
+		log.Printf("saved snapshot to %s", snapshot)
+	}
+	return engine, nil
+}

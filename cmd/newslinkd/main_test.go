@@ -1,0 +1,122 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"newslink/internal/corpus"
+	"newslink/internal/kg"
+	"newslink/internal/server"
+)
+
+func TestBuildEngineSample(t *testing.T) {
+	e, err := buildEngine("", "", 0.2, "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumDocs() == 0 {
+		t.Fatal("no documents")
+	}
+	ts := httptest.NewServer(server.New(e).Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("health status %d", resp.StatusCode)
+	}
+}
+
+func TestBuildEngineSnapshotRoundTrip(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "snap")
+	// First run: indexes and saves.
+	e1, err := buildEngine("", "", 0.2, snap, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(snap, "meta.json")); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	// Second run: loads the snapshot.
+	e2, err := buildEngine("", "", 0.2, snap, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.NumDocs() != e2.NumDocs() {
+		t.Fatalf("docs %d vs %d", e1.NumDocs(), e2.NumDocs())
+	}
+	q := "Taliban bombing in Lahore"
+	a, err := e1.Search(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e2.Search(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || a[0] != b[0] {
+		t.Fatalf("snapshot engine disagrees: %v vs %v", a, b)
+	}
+}
+
+func TestBuildEngineFileInputs(t *testing.T) {
+	dir := t.TempDir()
+	w := kg.Generate(kg.Config{Seed: 1, Countries: 3, ProvincesPerCountry: 2,
+		CitiesPerProvince: 2, PersonsPerCountry: 4, OrgsPerCountry: 5, EventsPerCountry: 5})
+	arts := corpus.Generate(w, corpus.CNNLike(), 20, 1)
+	kgPath := filepath.Join(dir, "kg.tsv")
+	f, err := os.Create(kgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kg.Write(f, w.Graph); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	corpusPath := filepath.Join(dir, "corpus.jsonl")
+	cf, err := os.Create(corpusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := corpus.WriteJSONL(cf, arts); err != nil {
+		t.Fatal(err)
+	}
+	cf.Close()
+	e, err := buildEngine(kgPath, corpusPath, 0.5, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumDocs() != 20 {
+		t.Fatalf("docs = %d", e.NumDocs())
+	}
+	// Unpaired flags fail.
+	if _, err := buildEngine(kgPath, "", 0.2, "", 0); err == nil {
+		t.Fatal("unpaired -kg must fail")
+	}
+	if _, err := buildEngine("/nonexistent", corpusPath, 0.2, "", 0); err == nil {
+		t.Fatal("missing kg must fail")
+	}
+}
+
+func TestBuildEngineOnDisk(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "snap")
+	if _, err := buildEngine("", "", 0.2, snap, 2); err != nil {
+		t.Fatal(err)
+	}
+	e, err := buildEngineMode("", "", 0.2, snap, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	res, err := e.Search("Taliban bombing in Lahore", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].ID != 1 {
+		t.Fatalf("on-disk search: %+v", res)
+	}
+}

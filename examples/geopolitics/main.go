@@ -1,0 +1,83 @@
+// Geopolitics reproduces the paper's running example (Example 1, Figure 1,
+// Tables I-II): the query is the Pakistan/Taliban conflict story T_q, the
+// expected result the Taliban bombing story T_r, and the output shows the
+// matched, unmatched and induced entities plus the relationship paths
+// between the two texts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"newslink"
+	"newslink/internal/corpus"
+	"newslink/internal/nlp"
+)
+
+func main() {
+	g, arts := corpus.Sample()
+	engine := newslink.New(g, newslink.DefaultConfig())
+	for _, a := range arts {
+		if err := engine.Add(newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := engine.Build(); err != nil {
+		log.Fatal(err)
+	}
+
+	// T_q: the paper's query story (Table I row 1).
+	query := "Military conflicts between Pakistan and Taliban intensified in Upper Dir and the Swat Valley."
+
+	// Table I: entity classification for the query.
+	pipe := nlp.NewPipeline(g.Index())
+	doc := pipe.Process(query)
+	var matched, unmatched []string
+	for _, s := range doc.Sentences {
+		for _, m := range s.Mentions {
+			if m.Linked {
+				matched = append(matched, m.Text)
+			} else {
+				unmatched = append(unmatched, m.Text)
+			}
+		}
+	}
+	fmt.Println("T_q:", query)
+	fmt.Println("entities recognized:", strings.Join(matched, ", "))
+	if len(unmatched) > 0 {
+		fmt.Println("unmatched entities:", strings.Join(unmatched, ", "))
+	}
+
+	results, err := engine.Search(query, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nresults:")
+	for i, r := range results {
+		fmt.Printf("  %d. [%d] %s (score %.3f)\n", i+1, r.ID, r.Title, r.Score)
+	}
+
+	// Table I last column + Table II: induced entities and paths for the
+	// top result.
+	top := results[0].ID
+	exp, err := engine.Explain(query, top, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inText := strings.ToLower(query + " " + arts[top].Text)
+	var induced []string
+	for _, eLabel := range exp.SharedEntities {
+		if !strings.Contains(inText, strings.ToLower(eLabel)) {
+			induced = append(induced, eLabel)
+		}
+	}
+	sort.Strings(induced)
+	fmt.Println("\ninduced entities (in embedding, not in either text):",
+		strings.Join(induced, ", "))
+	fmt.Println("relationship paths linking the two stories:")
+	for _, p := range exp.Paths {
+		fmt.Println("  ", p.Rendered)
+	}
+}

@@ -1,0 +1,107 @@
+// Newsroom is the scale scenario from the paper's introduction: a
+// journalist searches a large corpus with a partial query (one sentence of
+// a story) and needs robust results. The example generates a synthetic
+// world and a CNN-like corpus, runs the Partial Query Similarity Search
+// task against NewsLink(0.2) and plain BM25 (β=0, the Lucene baseline), in
+// both query modes of Section VII-B: the densest-entity sentence (an easy,
+// context-rich query) and a random sentence (context possibly missing —
+// where the paper reports NewsLink's robustness edge).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"newslink"
+	"newslink/internal/corpus"
+	"newslink/internal/kg"
+	"newslink/internal/nlp"
+)
+
+func main() {
+	const (
+		seed = 77
+		docs = 400
+	)
+	cfg := kg.DefaultConfig(seed)
+	cfg.Countries = 12
+	world := kg.Generate(cfg)
+	arts := corpus.Generate(world, corpus.CNNLike(), docs, seed)
+	split := corpus.MakeSplit(arts, seed)
+	fmt.Printf("world: %d KG nodes, corpus: %d docs (%d test)\n",
+		world.Graph.NumNodes(), len(arts), len(split.Test))
+
+	build := func(beta float64) *newslink.Engine {
+		c := newslink.DefaultConfig()
+		c.Beta = beta
+		e := newslink.New(world.Graph, c)
+		for _, a := range arts {
+			if err := e.Add(newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := e.Build(); err != nil {
+			log.Fatal(err)
+		}
+		return e
+	}
+	t0 := time.Now()
+	newsLink := build(0.2)
+	fmt.Printf("indexed NewsLink(0.2) in %v\n", time.Since(t0).Round(time.Millisecond))
+	bm25 := build(0)
+
+	pipe := nlp.NewPipeline(world.Graph.Index())
+	for _, mode := range []string{"densest-entity sentence", "random sentence"} {
+		rng := rand.New(rand.NewSource(seed))
+		type hitCounts struct{ at1, at5 int }
+		var nlHits, bmHits hitCounts
+		n := 0
+		for _, a := range split.Test {
+			doc := pipe.Process(a.Text)
+			if len(doc.Sentences) == 0 {
+				continue
+			}
+			idx := 0
+			if mode == "random sentence" {
+				idx = rng.Intn(len(doc.Sentences))
+			} else {
+				bestDen := -1.0
+				for i := range doc.Sentences {
+					if d := doc.Sentences[i].EntityDensity(); d > bestDen {
+						bestDen, idx = d, i
+					}
+				}
+			}
+			q := doc.Sentences[idx].Text
+			n++
+			count := func(e *newslink.Engine, h *hitCounts) {
+				res, err := e.Search(q, 5)
+				if err != nil {
+					log.Fatal(err)
+				}
+				for i, r := range res {
+					if r.ID == a.ID {
+						if i == 0 {
+							h.at1++
+						}
+						h.at5++
+						break
+					}
+				}
+			}
+			count(newsLink, &nlHits)
+			count(bm25, &bmHits)
+		}
+		fmt.Printf("\npartial-query recovery, %s (%d queries):\n", mode, n)
+		fmt.Printf("  %-15s HIT@1 %5.1f%%  HIT@5 %5.1f%%\n", "NewsLink(0.2)",
+			100*float64(nlHits.at1)/float64(n), 100*float64(nlHits.at5)/float64(n))
+		fmt.Printf("  %-15s HIT@1 %5.1f%%  HIT@5 %5.1f%%\n", "BM25 (β=0)",
+			100*float64(bmHits.at1)/float64(n), 100*float64(bmHits.at5)/float64(n))
+	}
+	fmt.Println("\nWith context-poor random-sentence queries the subgraph embeddings")
+	fmt.Println("enrich the query and NewsLink recovers more source stories than")
+	fmt.Println("keyword search — and every hit comes with relationship-path")
+	fmt.Println("evidence (see the geopolitics and election examples).")
+}

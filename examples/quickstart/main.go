@@ -1,0 +1,72 @@
+// Quickstart: build a tiny knowledge graph, index six documents, search,
+// and print relationship-path explanations — the smallest end-to-end use of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"newslink"
+	"newslink/internal/kg"
+)
+
+func main() {
+	// 1. A six-node knowledge graph: two cities in a province, a militant
+	// group active there, and a country.
+	b := kg.NewBuilder(8)
+	prov := b.AddNode("Northfold", kg.KindGPE, "a province")
+	cityA := b.AddNode("Harrowgate", kg.KindGPE, "a city in Northfold")
+	cityB := b.AddNode("Windmere", kg.KindGPE, "a city in Northfold")
+	group := b.AddNode("Iron Front", kg.KindOrg, "a militant group")
+	country := b.AddNode("Valdoria", kg.KindGPE, "a country")
+	b.AddEdgeByName(cityA, prov, "located in", 1)
+	b.AddEdgeByName(cityB, prov, "located in", 1)
+	b.AddEdgeByName(group, prov, "active in", 1)
+	b.AddEdgeByName(prov, country, "located in", 1)
+	g := b.Build()
+
+	// 2. Index a handful of documents.
+	docs := []newslink.Document{
+		{ID: 0, Title: "Clashes in Harrowgate",
+			Text: "Iron Front fighters clashed with police in Harrowgate overnight."},
+		{ID: 1, Title: "Explosion hits Windmere",
+			Text: "An explosion damaged a market in Windmere; no group claimed the blast."},
+		{ID: 2, Title: "Valdoria budget passes",
+			Text: "The parliament of Valdoria approved next year's budget."},
+		{ID: 3, Title: "Rain disrupts harvest",
+			Text: "Persistent rain disrupted the harvest across the lowlands."},
+		{ID: 4, Title: "Northfold curfew",
+			Text: "Authorities imposed a curfew across Northfold after the unrest."},
+		{ID: 5, Title: "Football final tonight",
+			Text: "The football final kicks off tonight in the capital."},
+	}
+	engine := newslink.New(g, newslink.DefaultConfig())
+	for _, d := range docs {
+		if err := engine.Add(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := engine.Build(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Search. The query mentions Iron Front and Windmere — document 1
+	// never mentions Iron Front, but both embed near Northfold in the KG.
+	query := "Iron Front blamed for unrest near Windmere"
+	results, err := engine.Search(query, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s\n\n", query)
+	for i, r := range results {
+		fmt.Printf("%d. [%d] %s (score %.3f)\n", i+1, r.ID, r.Title, r.Score)
+		exp, err := engine.Explain(query, r.ID, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range exp.Paths {
+			fmt.Printf("   why: %s\n", p.Rendered)
+		}
+	}
+}

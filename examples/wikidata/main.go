@@ -1,0 +1,85 @@
+// Wikidata demonstrates running NewsLink on a knowledge graph loaded from
+// RDF N-Triples — the format of real Wikidata truthy dumps. The example
+// embeds a small dump inline; point ParseNTriples at a decompressed
+// `latest-truthy.nt` slice to run against actual Wikidata.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"newslink"
+	"newslink/internal/kg"
+)
+
+// A miniature Wikidata-style dump: Q183 Germany, Q64 Berlin, Q1022 Stuttgart,
+// Q329 Bavaria region stand-ins, plus labels, descriptions and aliases.
+const dump = `
+<http://wd/Q183> <http://www.w3.org/2000/01/rdf-schema#label> "Germany"@en .
+<http://wd/Q183> <http://schema.org/description> "country in central Europe"@en .
+<http://wd/Q64> <http://www.w3.org/2000/01/rdf-schema#label> "Berlin"@en .
+<http://wd/Q64> <http://www.w3.org/2004/02/skos/core#altLabel> "German capital"@en .
+<http://wd/Q64> <http://wd/prop/P131> <http://wd/Q183> .
+<http://wd/Q1022> <http://www.w3.org/2000/01/rdf-schema#label> "Stuttgart"@en .
+<http://wd/Q1022> <http://wd/prop/P131> <http://wd/Q183> .
+<http://wd/Q329> <http://www.w3.org/2000/01/rdf-schema#label> "Bavaria"@en .
+<http://wd/Q329> <http://wd/prop/P131> <http://wd/Q183> .
+<http://wd/Q168> <http://www.w3.org/2000/01/rdf-schema#label> "Munich"@en .
+<http://wd/Q168> <http://wd/prop/P131> <http://wd/Q329> .
+<http://wd/QX1> <http://www.w3.org/2000/01/rdf-schema#label> "Oktoberfest"@en .
+<http://wd/QX1> <http://wd/prop/P276> <http://wd/Q168> .
+`
+
+func main() {
+	g, err := kg.ParseNTriples(strings.NewReader(dump), "en", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed N-Triples: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+
+	docs := []newslink.Document{
+		{ID: 0, Title: "Oktoberfest opens",
+			Text: "Crowds gathered in Munich as the Oktoberfest opened its gates."},
+		{ID: 1, Title: "Bavaria harvest festival",
+			Text: "Villages across Bavaria celebrated the harvest with parades."},
+		{ID: 2, Title: "Berlin transport strike",
+			Text: "A transport strike slowed the morning commute in Berlin."},
+		{ID: 3, Title: "Stuttgart auto show",
+			Text: "Manufacturers unveiled new models at the Stuttgart auto show."},
+	}
+	e := newslink.New(g, newslink.DefaultConfig())
+	for _, d := range docs {
+		if err := e.Add(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := e.Build(); err != nil {
+		log.Fatal(err)
+	}
+
+	// "German capital" is an alias of Berlin in the dump; Oktoberfest and
+	// Bavaria connect through Munich in the graph.
+	for _, q := range []string{
+		"strike in the German capital",
+		"Oktoberfest celebrations in Bavaria",
+	} {
+		fmt.Printf("\nquery: %s\n", q)
+		res, err := e.Search(q, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, r := range res {
+			fmt.Printf("  %d. [%d] %s (score %.3f)\n", i+1, r.ID, r.Title, r.Score)
+		}
+		if len(res) > 0 {
+			exp, err := e.Explain(q, res[0].ID, 2)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, p := range exp.Paths {
+				fmt.Printf("     why: %s\n", p.Rendered)
+			}
+		}
+	}
+}

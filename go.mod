@@ -1,0 +1,3 @@
+module newslink
+
+go 1.22

@@ -1,0 +1,152 @@
+// Package core implements the paper's primary contribution: the Lowest
+// Common Ancestor Graph (G*) subgraph embedding model (Section V) and the
+// search algorithm that finds it (Algorithms 1-3), plus the tree-based
+// baseline (TreeEmb, Section VII-F) and relationship-path extraction for
+// result explanation (Tables II and VI).
+package core
+
+import (
+	"math"
+	"sort"
+
+	"newslink/internal/kg"
+)
+
+// Model selects the subgraph embedding model.
+type Model uint8
+
+const (
+	// ModelLCAG is the paper's Lowest Common Ancestor Graph: the root
+	// minimizes the compactness order (Definition 4) and ALL shortest paths
+	// from every label to the root are preserved (coverage, Definition 3).
+	ModelLCAG Model = iota
+	// ModelTree is the TreeEmb baseline (Section VII-F): it approximates the
+	// Group Steiner Tree by choosing the root with the minimum total
+	// label-to-root distance and keeping a single shortest path per label.
+	ModelTree
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	if m == ModelTree {
+		return "TreeEmb"
+	}
+	return "LCAG"
+}
+
+// Options configures a subgraph embedding search.
+type Options struct {
+	Model Model
+	// MaxExpansions bounds the number of path enumerations (the paper's
+	// "while Not Timeout"); 0 means DefaultMaxExpansions.
+	MaxExpansions int
+	// MaxDepth bounds the label-to-root distance explored; 0 means no bound.
+	// Entity groups farther apart than this yield no embedding.
+	MaxDepth float64
+	// DepthOnly is an ablation switch: candidates are compared by depth
+	// d(G_r) alone instead of the full compactness order of Definition 4.
+	// Ties then break by node id, so the returned root may be any
+	// minimum-depth candidate.
+	DepthOnly bool
+	// NoEarlyStop is an ablation switch: the termination conditions C1 and
+	// C2 are ignored and the traversal runs until the frontier (bounded by
+	// MaxDepth/MaxExpansions) is exhausted. The result is compactness-equal
+	// to the early-stopping run; only the work differs (Section VII-G).
+	NoEarlyStop bool
+}
+
+// DefaultMaxExpansions is the default traversal budget per entity group.
+const DefaultMaxExpansions = 2_000_000
+
+// PathArc is a directed arc of a subgraph embedding, oriented along the
+// original traversal (from an entity node towards the root).
+type PathArc struct {
+	From, To kg.NodeID
+	Rel      kg.RelID
+	Reverse  bool // arc traverses the KG edge against its original direction
+}
+
+// Subgraph is a common ancestor graph G_r(L) (Definition 3): the union of
+// shortest paths from every entity label to the root r.
+type Subgraph struct {
+	Root   kg.NodeID
+	Labels []string  // the entity labels L the subgraph was built for
+	Dists  []float64 // D(l_i, Root), aligned with Labels
+	Nodes  []kg.NodeID
+	Arcs   []PathArc
+	// LabelArcs holds, per label (aligned with Labels), the arcs of all
+	// preserved shortest paths from that label's sources to the root. It is
+	// the basis for relationship-path extraction (Tables II and VI).
+	LabelArcs [][]PathArc
+	// Expansions is the number of path enumerations the search performed.
+	Expansions int
+}
+
+// Depth returns d(G_r) = max_i D(l_i, r) (Definition 3).
+func (s *Subgraph) Depth() float64 {
+	d := 0.0
+	for _, x := range s.Dists {
+		if x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+// DepthVector returns the distances sorted in descending order, the vector
+// the compactness order (Definition 4) compares.
+func (s *Subgraph) DepthVector() []float64 {
+	v := append([]float64(nil), s.Dists...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(v)))
+	return v
+}
+
+// HasNode reports whether id is part of the subgraph.
+func (s *Subgraph) HasNode(id kg.NodeID) bool {
+	for _, n := range s.Nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// CompareCompactness implements the compactness order of Definition 4 on
+// descending-sorted distance vectors: it returns -1 if a is more compact
+// than b (a < b), +1 if b is more compact, and 0 if they are equal. Vectors
+// of different lengths are compared element-wise over the shorter length
+// first; if equal, the shorter vector (fewer labels is impossible for the
+// same L, but defensively) compares less.
+func CompareCompactness(a, b []float64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// sumVec returns the total of a distance vector (TreeEmb's objective).
+func sumVec(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// inf is the distance of unreached nodes.
+var inf = math.Inf(1)

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"newslink/internal/kg"
+)
+
+// DOT renders subgraph embeddings as a Graphviz digraph, the visual the
+// paper builds its figures from: Figure 1 colors the query embedding and
+// the result embedding and highlights their overlap; Figure 4 shows the
+// per-segment embeddings of one document with shared nodes emphasized.
+//
+// Each embedding in embs gets a color (cycled); nodes present in more than
+// one embedding are filled orange like the paper's overlap rendering, and
+// each subgraph root is drawn as a box. The output is deterministic.
+func DOT(g *kg.Graph, title string, embs ...*DocEmbedding) string {
+	colors := []string{"blue", "darkgreen", "red", "purple", "brown", "teal"}
+	type nodeInfo struct {
+		count int // how many embeddings contain the node
+		first int // first embedding that contained it
+		root  bool
+	}
+	nodes := map[kg.NodeID]*nodeInfo{}
+	edges := map[PathArc]int{} // arc -> owning embedding (first seen)
+	for ei, emb := range embs {
+		if emb == nil {
+			continue
+		}
+		for _, sg := range emb.Subgraphs {
+			for _, n := range sg.Nodes {
+				if info, ok := nodes[n]; ok {
+					if info.first != ei {
+						info.count++
+						info.first = min(info.first, ei)
+					}
+				} else {
+					nodes[n] = &nodeInfo{count: 1, first: ei}
+				}
+			}
+			if info, ok := nodes[sg.Root]; ok {
+				info.root = true
+			}
+			for _, a := range sg.Arcs {
+				if _, ok := edges[a]; !ok {
+					edges[a] = ei
+				}
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", title)
+	sb.WriteString("  rankdir=BT;\n  node [fontname=\"Helvetica\"];\n")
+	ids := make([]kg.NodeID, 0, len(nodes))
+	for n := range nodes {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, n := range ids {
+		info := nodes[n]
+		attrs := []string{fmt.Sprintf("label=%q", g.Label(n))}
+		if info.root {
+			attrs = append(attrs, "shape=box")
+		}
+		if info.count > 1 {
+			// The overlap: shared context, orange as in Figure 4.
+			attrs = append(attrs, `style=filled`, `fillcolor=orange`)
+		} else {
+			attrs = append(attrs, "color="+colors[info.first%len(colors)])
+		}
+		fmt.Fprintf(&sb, "  n%d [%s];\n", n, strings.Join(attrs, ", "))
+	}
+	arcs := make([]PathArc, 0, len(edges))
+	for a := range edges {
+		arcs = append(arcs, a)
+	}
+	sortArcs(arcs)
+	for _, a := range arcs {
+		from, to := a.From, a.To
+		if a.Reverse {
+			// Draw the KG edge in its original direction.
+			from, to = to, from
+		}
+		fmt.Fprintf(&sb, "  n%d -> n%d [label=%q, color=%s, fontsize=10];\n",
+			from, to, g.RelName(a.Rel), colors[edges[a]%len(colors)])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// lineContaining returns the first output line containing sub.
+func lineContaining(out, sub string) string {
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, sub) {
+			return l
+		}
+	}
+	return ""
+}
+
+func TestDOTFigure1(t *testing.T) {
+	g := figure1Graph()
+	e := NewEmbedder(NewSearcher(g, Options{}))
+	q := e.EmbedGroups([][]string{{"upper dir", "swat valley", "pakistan", "taliban"}})
+	r := e.EmbedGroups([][]string{{"lahore", "peshawar", "pakistan", "taliban"}})
+	out := DOT(g, "figure1", q, r)
+	if !strings.HasPrefix(out, `digraph "figure1" {`) || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a digraph:\n%s", out)
+	}
+	for _, l := range []string{"Khyber", "Taliban", "Upper Dir", "Lahore"} {
+		if !strings.Contains(out, `label="`+l+`"`) {
+			t.Fatalf("missing node %s:\n%s", l, out)
+		}
+	}
+	// The shared root Khyber is boxed and the overlap is orange.
+	line := lineContaining(out, `label="Khyber"`)
+	if !strings.Contains(line, "shape=box") || !strings.Contains(line, "orange") {
+		t.Fatalf("Khyber rendering wrong: %s", line)
+	}
+	// Edges keep the original KG direction: at least one located-in edge
+	// points INTO Khyber.
+	khyber := g.Lookup("Khyber")[0]
+	target := fmt.Sprintf("-> n%d ", khyber)
+	found := false
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, `label="located in"`) && strings.Contains(l, target) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no located-in edge pointing at Khyber:\n%s", out)
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	g := figure1Graph()
+	e := NewEmbedder(NewSearcher(g, Options{}))
+	q := e.EmbedGroups([][]string{{"pakistan", "taliban"}})
+	a := DOT(g, "t", q)
+	b := DOT(g, "t", q)
+	if a != b {
+		t.Fatal("DOT output not deterministic")
+	}
+}
+
+func TestDOTNilAndEmpty(t *testing.T) {
+	g := figure1Graph()
+	out := DOT(g, "empty", nil)
+	if !strings.Contains(out, "digraph") {
+		t.Fatalf("nil embedding:\n%s", out)
+	}
+	out = DOT(g, "none")
+	if !strings.HasPrefix(out, `digraph "none"`) {
+		t.Fatalf("no embeddings:\n%s", out)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sort"
+
+	"newslink/internal/kg"
+)
+
+// DocEmbedding is the subgraph embedding of a whole news document: the
+// union of the G* of every entity group in its maximal entity co-occurrence
+// set (Section VI). Counts records, per node, the number of per-segment
+// subgraphs containing it — the term frequency of the Bag-Of-Node model.
+type DocEmbedding struct {
+	Subgraphs []*Subgraph
+	Counts    map[kg.NodeID]int
+}
+
+// Embedder turns entity groups into document embeddings.
+type Embedder struct {
+	S *Searcher
+}
+
+// NewEmbedder returns an Embedder using the given searcher.
+func NewEmbedder(s *Searcher) *Embedder { return &Embedder{S: s} }
+
+// EmbedGroups embeds one document given the entity groups of its maximal
+// entity co-occurrence set. Groups with no embeddable entities are skipped;
+// the result is nil when no group could be embedded (the paper filters such
+// documents out of the corpus, Section VII-A2).
+func (e *Embedder) EmbedGroups(groups [][]string) *DocEmbedding {
+	var d *DocEmbedding
+	for _, g := range groups {
+		sg := e.S.Find(g)
+		if sg == nil {
+			continue
+		}
+		if d == nil {
+			d = &DocEmbedding{Counts: make(map[kg.NodeID]int)}
+		}
+		d.Subgraphs = append(d.Subgraphs, sg)
+		for _, n := range sg.Nodes {
+			d.Counts[n]++
+		}
+	}
+	return d
+}
+
+// Nodes returns the distinct nodes of the document embedding in ascending
+// order.
+func (d *DocEmbedding) Nodes() []kg.NodeID {
+	out := make([]kg.NodeID, 0, len(d.Counts))
+	for n := range d.Counts {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Overlap returns the nodes present in both embeddings, the concrete
+// evidence of relatedness the paper visualizes (Figure 1: "the blue part in
+// the dotted box").
+func (d *DocEmbedding) Overlap(other *DocEmbedding) []kg.NodeID {
+	if d == nil || other == nil {
+		return nil
+	}
+	var out []kg.NodeID
+	for n := range d.Counts {
+		if other.Counts[n] > 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PathsBetween searches every per-segment subgraph for relationship paths
+// between two labels and returns up to limit of them, shortest first.
+func (d *DocEmbedding) PathsBetween(a, b string, limit int) []RelPath {
+	if d == nil {
+		return nil
+	}
+	var out []RelPath
+	for _, sg := range d.Subgraphs {
+		out = append(out, sg.PathsBetween(a, b, limit)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i].Hops) < len(out[j].Hops) })
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

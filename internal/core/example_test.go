@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"newslink/internal/core"
+	"newslink/internal/kg"
+)
+
+// Example reproduces the paper's Figure 1 in miniature: the G* of the
+// query's entity group roots at the induced entity Khyber and keeps both
+// shortest paths from Taliban.
+func Example() {
+	b := kg.NewBuilder(8)
+	khyber := b.AddNode("Khyber", kg.KindGPE, "")
+	waziristan := b.AddNode("Waziristan", kg.KindGPE, "")
+	taliban := b.AddNode("Taliban", kg.KindOrg, "")
+	kunar := b.AddNode("Kunar", kg.KindGPE, "")
+	upperDir := b.AddNode("Upper Dir", kg.KindGPE, "")
+	b.AddEdgeByName(taliban, kunar, "active in", 1)
+	b.AddEdgeByName(taliban, waziristan, "active in", 1)
+	b.AddEdgeByName(kunar, khyber, "located in", 1)
+	b.AddEdgeByName(waziristan, khyber, "located in", 1)
+	b.AddEdgeByName(upperDir, khyber, "located in", 1)
+	g := b.Build()
+
+	s := core.NewSearcher(g, core.Options{})
+	sg := s.Find([]string{"Taliban", "Upper Dir"})
+	fmt.Println("root:", g.Label(sg.Root))
+	fmt.Println("depth:", sg.Depth())
+	for _, p := range sg.PathsBetween("taliban", "upper dir", 2) {
+		fmt.Println(p.Render(g))
+	}
+	// Output:
+	// root: Khyber
+	// depth: 2
+	// Taliban -[active in]-> Waziristan -[located in]-> Khyber <-[located in]- Upper Dir
+	// Taliban -[active in]-> Kunar -[located in]-> Khyber <-[located in]- Upper Dir
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"newslink/internal/kg"
+)
+
+func TestFindKRankZeroEqualsFind(t *testing.T) {
+	w := kg.Generate(kg.DefaultConfig(9))
+	g := w.Graph
+	s := NewSearcher(g, Options{MaxDepth: 5})
+	for _, labels := range eventLabels(w, 10) {
+		single := s.Find(labels)
+		many := s.FindK(labels, 3)
+		if (single == nil) != (len(many) == 0) {
+			t.Fatalf("existence mismatch for %v", labels)
+		}
+		if single == nil {
+			continue
+		}
+		if many[0].Root != single.Root || !reflect.DeepEqual(many[0].Nodes, single.Nodes) {
+			t.Fatalf("rank 0 differs from Find for %v", labels)
+		}
+		// Ranks are ordered by compactness.
+		for i := 1; i < len(many); i++ {
+			if CompareCompactness(many[i-1].DepthVector(), many[i].DepthVector()) > 0 {
+				t.Fatalf("ranks out of order: %v then %v",
+					many[i-1].DepthVector(), many[i].DepthVector())
+			}
+		}
+	}
+}
+
+func TestFindKDistinctRoots(t *testing.T) {
+	g := figure1Graph()
+	many := NewSearcher(g, Options{NoEarlyStop: true, MaxDepth: 3}).
+		FindK([]string{"Upper Dir", "Swat Valley"}, 4)
+	if len(many) < 2 {
+		t.Fatalf("only %d candidates", len(many))
+	}
+	seen := map[kg.NodeID]bool{}
+	for _, sg := range many {
+		if seen[sg.Root] {
+			t.Fatalf("duplicate root %v", sg.Root)
+		}
+		seen[sg.Root] = true
+	}
+	if g.Label(many[0].Root) != "Khyber" {
+		t.Fatalf("best root = %s, want Khyber", g.Label(many[0].Root))
+	}
+}
+
+func TestFindKEdgeCases(t *testing.T) {
+	g := figure1Graph()
+	s := NewSearcher(g, Options{})
+	if got := s.FindK([]string{"Taliban"}, 0); got != nil {
+		t.Fatal("k=0 should be nil")
+	}
+	if got := s.FindK([]string{"Atlantis"}, 3); got != nil {
+		t.Fatal("unknown labels should be nil")
+	}
+	if got := s.FindK([]string{"Taliban"}, 100); len(got) == 0 {
+		t.Fatal("k > candidates should clamp, not fail")
+	}
+}

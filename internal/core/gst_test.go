@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"newslink/internal/kg"
+)
+
+func TestExactGSTFigure1(t *testing.T) {
+	g := figure1Graph()
+	// {Upper Dir, Swat Valley, Pakistan}: the optimal tree is the star at
+	// Khyber with three unit edges.
+	cost, ok := ExactGST(g, []string{"Upper Dir", "Swat Valley", "Pakistan"}, 0)
+	if !ok || cost != 3 {
+		t.Fatalf("GST = %v ok=%v, want 3", cost, ok)
+	}
+	// Adding Taliban (2 hops from Khyber) raises the optimum by 2.
+	cost, ok = ExactGST(g, []string{"Upper Dir", "Swat Valley", "Pakistan", "Taliban"}, 0)
+	if !ok || cost != 5 {
+		t.Fatalf("GST = %v ok=%v, want 5", cost, ok)
+	}
+	// A single label costs 0 (any of its nodes is a trivial tree).
+	cost, ok = ExactGST(g, []string{"Taliban"}, 0)
+	if !ok || cost != 0 {
+		t.Fatalf("single-label GST = %v ok=%v", cost, ok)
+	}
+}
+
+func TestExactGSTGroupSemantics(t *testing.T) {
+	// The group may be satisfied by ANY node carrying the label: with two
+	// "Lahore" nodes, the cheaper one must be chosen.
+	g := figure1Graph()
+	cost, ok := ExactGST(g, []string{"Lahore", "Upper Dir"}, 0)
+	if !ok || cost != 2 {
+		t.Fatalf("GST = %v ok=%v, want 2 (via the Khyber-adjacent Lahore)", cost, ok)
+	}
+}
+
+func TestExactGSTUnsolvable(t *testing.T) {
+	b := kg.NewBuilder(4)
+	a := b.AddNode("A", kg.KindGPE, "")
+	a2 := b.AddNode("A2", kg.KindGPE, "")
+	c := b.AddNode("C", kg.KindGPE, "")
+	c2 := b.AddNode("C2", kg.KindGPE, "")
+	b.AddEdgeByName(a, a2, "r", 1)
+	b.AddEdgeByName(c, c2, "r", 1)
+	g := b.Build()
+	if _, ok := ExactGST(g, []string{"A", "C"}, 0); ok {
+		t.Fatal("disconnected labels must be unsolvable")
+	}
+	if _, ok := ExactGST(g, []string{"Nope"}, 0); ok {
+		t.Fatal("unknown label must be unsolvable")
+	}
+	if _, ok := ExactGST(g, []string{"A"}, 2); ok {
+		t.Fatal("maxNodes bound must refuse")
+	}
+}
+
+// TestGSTBoundsApproximations validates the model hierarchy on synthetic
+// worlds: exact GST <= TreeEmb tree weight <= m * GST (the 1-star bound),
+// and the G* subgraph weight >= the tree weight (coverage costs edges).
+func TestGSTBoundsApproximations(t *testing.T) {
+	cfg := kg.Config{Seed: 17, Countries: 2, ProvincesPerCountry: 3,
+		CitiesPerProvince: 2, PersonsPerCountry: 6, OrgsPerCountry: 5,
+		EventsPerCountry: 6, AmbiguityRate: 0.05}
+	w := kg.Generate(cfg)
+	g := w.Graph
+	tree := NewSearcher(g, Options{Model: ModelTree})
+	gstar := NewSearcher(g, Options{})
+	checked := 0
+	for _, ev := range w.Events {
+		var labels []string
+		for _, p := range ev.Participants {
+			labels = append(labels, g.Label(p))
+		}
+		labels = append(labels, g.Label(ev.Location))
+		opt, ok := ExactGST(g, labels, 0)
+		ts := tree.Find(labels)
+		gs := gstar.Find(labels)
+		if !ok {
+			if ts != nil || gs != nil {
+				t.Fatalf("searchers found embeddings where GST says unsolvable: %v", labels)
+			}
+			continue
+		}
+		if ts == nil || gs == nil {
+			t.Fatalf("no embedding for solvable %v", labels)
+		}
+		checked++
+		m := float64(len(ts.Labels))
+		tw := TreeWeight(g, ts)
+		gw := TreeWeight(g, gs)
+		if tw < opt-1e-9 {
+			t.Fatalf("tree weight %v below GST optimum %v for %v", tw, opt, labels)
+		}
+		if tw > m*opt+1e-9 {
+			t.Fatalf("tree weight %v exceeds the m*OPT bound (m=%v opt=%v) for %v", tw, m, opt, labels)
+		}
+		// G* is also a connected subgraph touching every label, so its
+		// weight cannot beat the GST optimum (it usually exceeds the tree:
+		// coverage buys extra edges, but the roots may differ, so only the
+		// optimum is a sound lower bound).
+		if gw < opt-1e-9 {
+			t.Fatalf("G* weight %v below GST optimum %v for %v", gw, opt, labels)
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d solvable instances checked", checked)
+	}
+}
+
+func TestTreeWeightUnitEdges(t *testing.T) {
+	g := figure1Graph()
+	sg := find(t, g, Options{Model: ModelTree}, "Upper Dir", "Swat Valley", "Pakistan", "Taliban")
+	if got := TreeWeight(g, sg); got != float64(len(sg.Arcs)) {
+		t.Fatalf("unit-weight tree weight %v != arc count %d", got, len(sg.Arcs))
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"newslink/internal/kg"
+)
+
+// Hop is one rendered step of a relationship path. From and To are in path
+// order; Forward reports whether the underlying KG edge points From -> To
+// (so "From -[rel]-> To") or the other way ("From <-[rel]- To").
+type Hop struct {
+	From, To kg.NodeID
+	Rel      kg.RelID
+	Forward  bool
+}
+
+// RelPath is a relationship path between two entity labels through the
+// subgraph embedding's root, the intuitive evidence NewsLink presents for
+// result-to-query relatedness (Tables II and VI of the paper).
+type RelPath struct {
+	A, B string // the two entity labels the path connects
+	Hops []Hop
+}
+
+// Len returns the number of hops.
+func (p RelPath) Len() int { return len(p.Hops) }
+
+// Render formats the path like "Sanders -[candidate in]-> US election 2016
+// <-[candidate in]- Clinton" using labels from g.
+func (p RelPath) Render(g *kg.Graph) string {
+	if len(p.Hops) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString(g.Label(p.Hops[0].From))
+	for _, h := range p.Hops {
+		if h.Forward {
+			fmt.Fprintf(&sb, " -[%s]-> %s", g.RelName(h.Rel), g.Label(h.To))
+		} else {
+			fmt.Fprintf(&sb, " <-[%s]- %s", g.RelName(h.Rel), g.Label(h.To))
+		}
+	}
+	return sb.String()
+}
+
+// labelIndexOf returns the position of the folded label in sg.Labels, or -1.
+func (sg *Subgraph) labelIndexOf(label string) int {
+	key := kg.Fold(label)
+	for i, l := range sg.Labels {
+		if l == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// nodePath is a source-to-root path inside one label's shortest-path DAG.
+type nodePath struct {
+	nodes []kg.NodeID
+	arcs  []PathArc
+}
+
+// pathsToRoot enumerates up to limit source→root paths for label index li.
+func (sg *Subgraph) pathsToRoot(li, limit int) []nodePath {
+	if li < 0 || li >= len(sg.Labels) || limit <= 0 {
+		return nil
+	}
+	if sg.Dists[li] == 0 {
+		// The label's source is the root itself.
+		return []nodePath{{nodes: []kg.NodeID{sg.Root}}}
+	}
+	arcs := sg.LabelArcs[li]
+	out := make(map[kg.NodeID][]PathArc)    // forward adjacency: From -> arcs
+	hasIncoming := make(map[kg.NodeID]bool) // nodes that are some arc's To
+	for _, a := range arcs {
+		out[a.From] = append(out[a.From], a)
+		hasIncoming[a.To] = true
+	}
+	// Sources: nodes with outgoing arcs but no incoming ones (distance 0).
+	var sources []kg.NodeID
+	for from := range out {
+		if !hasIncoming[from] {
+			sources = append(sources, from)
+		}
+	}
+	sortNodeIDs(sources)
+	var paths []nodePath
+	var dfs func(v kg.NodeID, nodes []kg.NodeID, hops []PathArc)
+	dfs = func(v kg.NodeID, nodes []kg.NodeID, hops []PathArc) {
+		if len(paths) >= limit {
+			return
+		}
+		if v == sg.Root {
+			paths = append(paths, nodePath{
+				nodes: append([]kg.NodeID(nil), nodes...),
+				arcs:  append([]PathArc(nil), hops...),
+			})
+			return
+		}
+		for _, a := range out[v] {
+			dfs(a.To, append(nodes, a.To), append(hops, a))
+		}
+	}
+	for _, s := range sources {
+		dfs(s, []kg.NodeID{s}, nil)
+	}
+	return paths
+}
+
+// PathsBetween returns up to limit relationship paths linking entity labels
+// a and b through the embedding's root. Paths are the concatenation of an
+// a→root shortest path with a reversed b→root shortest path; a shared
+// prefix near the root is trimmed so paths never double back.
+func (sg *Subgraph) PathsBetween(a, b string, limit int) []RelPath {
+	ia, ib := sg.labelIndexOf(a), sg.labelIndexOf(b)
+	if ia < 0 || ib < 0 || limit <= 0 {
+		return nil
+	}
+	pa := sg.pathsToRoot(ia, limit)
+	pb := sg.pathsToRoot(ib, limit)
+	var out []RelPath
+	for _, x := range pa {
+		for _, y := range pb {
+			if len(out) >= limit {
+				return out
+			}
+			out = append(out, joinPaths(sg.Labels[ia], sg.Labels[ib], x, y))
+		}
+	}
+	return out
+}
+
+// joinPaths splices an a→root path with a reversed root→b path, trimming
+// the common suffix the two paths share before the root.
+func joinPaths(la, lb string, a, b nodePath) RelPath {
+	// Trim shared suffix: both paths end at the root; walk back while the
+	// trailing nodes coincide so the meeting point is the earliest common
+	// node, not necessarily the root.
+	na, nb := len(a.nodes), len(b.nodes)
+	common := 0
+	for common < na-1 && common < nb-1 && a.nodes[na-1-common-1] == b.nodes[nb-1-common-1] {
+		common++
+	}
+	meetA := na - 1 - common // index of meeting node in a.nodes
+	meetB := nb - 1 - common
+	p := RelPath{A: la, B: lb}
+	for i := 0; i < meetA; i++ {
+		arc := a.arcs[i]
+		p.Hops = append(p.Hops, Hop{From: arc.From, To: arc.To, Rel: arc.Rel, Forward: !arc.Reverse})
+	}
+	for i := meetB - 1; i >= 0; i-- {
+		arc := b.arcs[i]
+		// Traversed backwards: the hop runs arc.To -> arc.From.
+		p.Hops = append(p.Hops, Hop{From: arc.To, To: arc.From, Rel: arc.Rel, Forward: arc.Reverse})
+	}
+	return p
+}
+
+// InducedNodes returns the nodes of the subgraph whose labels are not among
+// the input entity labels: the extra context the KG contributed (the
+// "induced entities" column of Table I).
+func (sg *Subgraph) InducedNodes(g *kg.Graph) []kg.NodeID {
+	in := make(map[string]bool, len(sg.Labels))
+	for _, l := range sg.Labels {
+		in[l] = true
+	}
+	var out []kg.NodeID
+	for _, v := range sg.Nodes {
+		if !in[kg.Fold(g.Label(v))] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sortNodeIDs(ids []kg.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"newslink/internal/kg"
+)
+
+func TestPathsBetweenFigure1(t *testing.T) {
+	g := figure1Graph()
+	sg := find(t, g, Options{}, "Taliban", "Upper Dir", "Swat Valley", "Pakistan")
+	if sg == nil {
+		t.Fatal("no embedding")
+	}
+	paths := sg.PathsBetween("taliban", "upper dir", 10)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2 (via Kunar and via Waziristan)", len(paths))
+	}
+	var rendered []string
+	for _, p := range paths {
+		rendered = append(rendered, p.Render(g))
+	}
+	joined := strings.Join(rendered, "\n")
+	if !strings.Contains(joined, "Kunar") || !strings.Contains(joined, "Waziristan") {
+		t.Fatalf("paths miss an induced entity:\n%s", joined)
+	}
+	for _, r := range rendered {
+		if !strings.HasPrefix(r, "Taliban") || !strings.HasSuffix(r, "Upper Dir") {
+			t.Errorf("path endpoints wrong: %s", r)
+		}
+		if !strings.Contains(r, "-[active in]->") {
+			t.Errorf("forward direction lost: %s", r)
+		}
+		if !strings.Contains(r, "<-[located in]-") {
+			t.Errorf("reverse direction lost: %s", r)
+		}
+	}
+}
+
+func TestPathsBetweenLimit(t *testing.T) {
+	g := figure1Graph()
+	sg := find(t, g, Options{}, "Taliban", "Upper Dir")
+	if got := len(sg.PathsBetween("taliban", "upper dir", 1)); got != 1 {
+		t.Fatalf("limit ignored: %d paths", got)
+	}
+	if got := sg.PathsBetween("taliban", "nope", 5); got != nil {
+		t.Fatalf("unknown label should yield nil, got %v", got)
+	}
+	if got := sg.PathsBetween("taliban", "upper dir", 0); got != nil {
+		t.Fatalf("zero limit should yield nil, got %v", got)
+	}
+}
+
+func TestPathsBetweenSameSide(t *testing.T) {
+	// Two labels whose paths to the root share a prefix: the joined path
+	// must not double back through the root.
+	b := kg.NewBuilder(5)
+	a := b.AddNode("A", kg.KindGPE, "")
+	c := b.AddNode("C", kg.KindGPE, "")
+	d := b.AddNode("D", kg.KindGPE, "")
+	r := b.AddNode("R", kg.KindGPE, "")
+	e := b.AddNode("E", kg.KindGPE, "")
+	// A -> C -> R, D -> C -> R, E -> R.
+	b.AddEdgeByName(a, c, "in", 1)
+	b.AddEdgeByName(d, c, "in", 1)
+	b.AddEdgeByName(c, r, "in", 1)
+	b.AddEdgeByName(e, r, "in", 1)
+	g := b.Build()
+	sg := find(t, g, Options{}, "A", "D", "E")
+	if sg == nil {
+		t.Fatal("no embedding")
+	}
+	if g.Label(sg.Root) != "R" && g.Label(sg.Root) != "C" {
+		t.Fatalf("unexpected root %s", g.Label(sg.Root))
+	}
+	paths := sg.PathsBetween("a", "d", 5)
+	if len(paths) == 0 {
+		t.Fatal("no path between A and D")
+	}
+	p := paths[0]
+	// The path should meet at C (shared ancestor), i.e. 2 hops A->C<-D, not 4.
+	if len(p.Hops) != 2 {
+		t.Fatalf("path %s has %d hops, want 2 (meet at C)", p.Render(g), len(p.Hops))
+	}
+}
+
+func TestPathRenderEmpty(t *testing.T) {
+	var p RelPath
+	if got := p.Render(figure1Graph()); got != "" {
+		t.Fatalf("empty path rendered %q", got)
+	}
+}
+
+func TestPathsBetweenRootLabel(t *testing.T) {
+	g := figure1Graph()
+	// Pakistan and Khyber: Khyber IS the root of this embedding.
+	sg := find(t, g, Options{}, "Pakistan", "Khyber")
+	if sg == nil {
+		t.Fatal("no embedding")
+	}
+	paths := sg.PathsBetween("khyber", "pakistan", 5)
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(paths))
+	}
+	if got := len(paths[0].Hops); got != 1 {
+		t.Fatalf("hops = %d, want 1", got)
+	}
+	r := paths[0].Render(g)
+	if !strings.HasPrefix(r, "Khyber") || !strings.HasSuffix(r, "Pakistan") {
+		t.Fatalf("render = %s", r)
+	}
+}
+
+func TestDocEmbeddingPathsAndNodes(t *testing.T) {
+	g := figure1Graph()
+	e := NewEmbedder(NewSearcher(g, Options{}))
+	d := e.EmbedGroups([][]string{
+		{"pakistan", "taliban"},
+		{"upper dir", "swat valley", "pakistan", "taliban"},
+	})
+	if d == nil || len(d.Subgraphs) != 2 {
+		t.Fatalf("embedding = %+v", d)
+	}
+	nodes := d.Nodes()
+	if len(nodes) == 0 {
+		t.Fatal("no nodes")
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i] <= nodes[i-1] {
+			t.Fatal("Nodes() not sorted ascending")
+		}
+	}
+	// Counts: Khyber should appear in both subgraphs.
+	khyber := g.Lookup("Khyber")[0]
+	if d.Counts[khyber] != 2 {
+		t.Fatalf("Khyber count = %d, want 2", d.Counts[khyber])
+	}
+	paths := d.PathsBetween("taliban", "pakistan", 3)
+	if len(paths) == 0 {
+		t.Fatal("no relationship paths across the document embedding")
+	}
+	for i := 1; i < len(paths); i++ {
+		if len(paths[i].Hops) < len(paths[i-1].Hops) {
+			t.Fatal("paths not sorted by length")
+		}
+	}
+}
+
+func TestEmbedGroupsSkipsUnembeddable(t *testing.T) {
+	g := figure1Graph()
+	e := NewEmbedder(NewSearcher(g, Options{}))
+	d := e.EmbedGroups([][]string{{"atlantis"}, {"pakistan", "taliban"}})
+	if d == nil || len(d.Subgraphs) != 1 {
+		t.Fatalf("want exactly one subgraph, got %+v", d)
+	}
+	if e.EmbedGroups([][]string{{"atlantis"}}) != nil {
+		t.Fatal("fully unembeddable document should return nil")
+	}
+	if e.EmbedGroups(nil) != nil {
+		t.Fatal("no groups should return nil")
+	}
+}
+
+func TestOverlapNil(t *testing.T) {
+	g := figure1Graph()
+	e := NewEmbedder(NewSearcher(g, Options{}))
+	d := e.EmbedGroups([][]string{{"pakistan", "taliban"}})
+	if d.Overlap(nil) != nil {
+		t.Fatal("overlap with nil should be nil")
+	}
+	var nilEmb *DocEmbedding
+	if nilEmb.PathsBetween("a", "b", 3) != nil {
+		t.Fatal("nil embedding paths should be nil")
+	}
+}

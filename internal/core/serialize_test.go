@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"newslink/internal/kg"
+)
+
+func TestEmbeddingsRoundTrip(t *testing.T) {
+	g := figure1Graph()
+	e := NewEmbedder(NewSearcher(g, Options{}))
+	embs := []*DocEmbedding{
+		e.EmbedGroups([][]string{
+			{"upper dir", "swat valley", "pakistan", "taliban"},
+			{"pakistan", "taliban"},
+		}),
+		nil, // unembeddable document
+		e.EmbedGroups([][]string{{"taliban"}}),
+	}
+	var buf bytes.Buffer
+	if err := WriteEmbeddings(&buf, embs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEmbeddings(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(embs) {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[1] != nil {
+		t.Fatal("nil embedding not preserved")
+	}
+	for i := range embs {
+		if embs[i] == nil {
+			continue
+		}
+		a, b := embs[i], got[i]
+		if !reflect.DeepEqual(a.Counts, b.Counts) {
+			t.Fatalf("doc %d counts differ: %v vs %v", i, a.Counts, b.Counts)
+		}
+		if len(a.Subgraphs) != len(b.Subgraphs) {
+			t.Fatalf("doc %d subgraph counts differ", i)
+		}
+		for j := range a.Subgraphs {
+			sa, sb := a.Subgraphs[j], b.Subgraphs[j]
+			if sa.Root != sb.Root ||
+				!reflect.DeepEqual(sa.Labels, sb.Labels) ||
+				!reflect.DeepEqual(sa.Dists, sb.Dists) ||
+				!reflect.DeepEqual(sa.Nodes, sb.Nodes) ||
+				!eqArcs(sa.Arcs, sb.Arcs) {
+				t.Fatalf("doc %d subgraph %d differs:\n%+v\nvs\n%+v", i, j, sa, sb)
+			}
+			if len(sa.LabelArcs) != len(sb.LabelArcs) {
+				t.Fatalf("doc %d subgraph %d label arc sets differ", i, j)
+			}
+			for k := range sa.LabelArcs {
+				if !eqArcs(sa.LabelArcs[k], sb.LabelArcs[k]) {
+					t.Fatalf("doc %d subgraph %d label %d arcs differ", i, j, k)
+				}
+			}
+		}
+	}
+	// Behaviour after round trip: path extraction still works.
+	paths := got[0].PathsBetween("taliban", "upper dir", 5)
+	if len(paths) != 2 {
+		t.Fatalf("paths after round trip = %d, want 2", len(paths))
+	}
+}
+
+// eqArcs compares arc slices treating nil and empty as equal.
+func eqArcs(a, b []PathArc) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReadEmbeddingsRejectsCorruption(t *testing.T) {
+	g := figure1Graph()
+	e := NewEmbedder(NewSearcher(g, Options{}))
+	embs := []*DocEmbedding{e.EmbedGroups([][]string{{"pakistan", "taliban"}})}
+	var buf bytes.Buffer
+	if err := WriteEmbeddings(&buf, embs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadEmbeddings(bytes.NewReader(data[:len(data)/2]), g); err == nil {
+		t.Error("truncated: expected error")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := ReadEmbeddings(bytes.NewReader(bad), g); err == nil {
+		t.Error("bad magic: expected error")
+	}
+	// A graph too small for the stored node ids must be rejected.
+	tb := kg.NewBuilder(2)
+	a := tb.AddNode("X", kg.KindGPE, "")
+	b2 := tb.AddNode("Y", kg.KindGPE, "")
+	tb.AddEdgeByName(a, b2, "r", 1)
+	tiny := tb.Build()
+	if _, err := ReadEmbeddings(bytes.NewReader(data), tiny); err == nil {
+		t.Error("wrong graph: expected error")
+	}
+}

@@ -1,0 +1,45 @@
+// Package corpus provides the news-document substrate: a deterministic
+// template-based news generator driven by the synthetic knowledge graph's
+// event catalogue (the stand-in for the paper's CNN and Kaggle corpora, see
+// DESIGN.md §1), train/validation/test splitting, and the hand-written
+// sample corpus mirroring the paper's running example (Figure 1) and case
+// study (Figure 6).
+package corpus
+
+import "newslink/internal/kg"
+
+// Article is one news document.
+type Article struct {
+	ID    int
+	Title string
+	Text  string
+	Topic kg.Topic
+	// Event is the KG event node the article narrates (0 for hand-written
+	// sample articles that narrate no generated event).
+	Event kg.NodeID
+}
+
+// Split holds the 80/10/10 partition of Section VII-A3.
+type Split struct {
+	Train, Validation, Test []Article
+}
+
+// MakeSplit partitions articles deterministically: a seeded shuffle followed
+// by an 80/10/10 cut (training data trains DOC2VEC and LDA; evaluation runs
+// on the test slice).
+func MakeSplit(arts []Article, seed int64) Split {
+	shuffled := append([]Article(nil), arts...)
+	rng := newRand(seed)
+	for i := len(shuffled) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	n := len(shuffled)
+	nTrain := n * 8 / 10
+	nVal := n / 10
+	return Split{
+		Train:      shuffled[:nTrain],
+		Validation: shuffled[nTrain : nTrain+nVal],
+		Test:       shuffled[nTrain+nVal:],
+	}
+}

@@ -1,0 +1,196 @@
+package corpus
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"newslink/internal/kg"
+	"newslink/internal/nlp"
+)
+
+func world(t *testing.T) *kg.World {
+	t.Helper()
+	return kg.Generate(kg.DefaultConfig(3))
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w := world(t)
+	a := Generate(w, CNNLike(), 40, 9)
+	b := Generate(w, CNNLike(), 40, 9)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Generate not deterministic")
+	}
+	c := Generate(w, CNNLike(), 40, 10)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds gave identical corpora")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	w := world(t)
+	for _, p := range []Profile{CNNLike(), KaggleLike()} {
+		arts := Generate(w, p, 60, 5)
+		if len(arts) != 60 {
+			t.Fatalf("%s: %d articles", p.Name, len(arts))
+		}
+		topics := map[kg.Topic]int{}
+		briefs := 0
+		for i, a := range arts {
+			if a.ID != i {
+				t.Fatalf("%s: article %d has ID %d", p.Name, i, a.ID)
+			}
+			if a.Topic == "brief" {
+				// Wire briefs intentionally mention no KG entity.
+				briefs++
+				if a.Event != 0 {
+					t.Fatalf("%s: brief with event: %+v", p.Name, a)
+				}
+				continue
+			}
+			if a.Title == "" || a.Text == "" || a.Event == 0 {
+				t.Fatalf("%s: incomplete article %+v", p.Name, a)
+			}
+			topics[a.Topic]++
+			n := len(nlp.SplitSentences(a.Text))
+			if n < p.MinSentences {
+				t.Fatalf("%s: article %d has %d sentences, min %d", p.Name, i, n, p.MinSentences)
+			}
+		}
+		if p.NoEntityDocRate > 0 && briefs == 0 {
+			t.Fatalf("%s: no wire briefs generated", p.Name)
+		}
+		if len(topics) < 4 {
+			t.Fatalf("%s: poor topic mix %v", p.Name, topics)
+		}
+	}
+}
+
+func TestGeneratedEntitiesResolveInKG(t *testing.T) {
+	w := world(t)
+	arts := Generate(w, CNNLike(), 30, 7)
+	pipe := nlp.NewPipeline(w.Graph.Index())
+	linked, total := 0, 0
+	for _, a := range arts {
+		doc := pipe.Process(a.Text)
+		for _, s := range doc.Sentences {
+			for _, m := range s.Mentions {
+				total++
+				if m.Linked {
+					linked++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no entities recognized at all")
+	}
+	ratio := float64(linked) / float64(total)
+	// Table V reports ~96-97%; the generator injects a few percent noise.
+	if ratio < 0.85 || ratio > 0.999 {
+		t.Fatalf("entity matching ratio = %.3f, want within (0.85, 0.999)", ratio)
+	}
+}
+
+func TestGenerateRedundancy(t *testing.T) {
+	w := world(t)
+	p := CNNLike()
+	p.NoEntityDocRate = 0 // no briefs, so event alignment is exact
+	arts := Generate(w, p, 12, 1)
+	// Consecutive DocsPerEvent articles narrate the same event.
+	for i := 0; i+1 < p.DocsPerEvent; i++ {
+		if arts[i].Event != arts[i+1].Event {
+			t.Fatalf("articles %d and %d narrate different events", i, i+1)
+		}
+	}
+	if arts[0].Event == arts[p.DocsPerEvent].Event {
+		t.Fatal("event did not advance after DocsPerEvent articles")
+	}
+	if arts[0].Text == arts[1].Text {
+		t.Fatal("same-event articles are identical")
+	}
+}
+
+func TestMakeSplit(t *testing.T) {
+	var arts []Article
+	for i := 0; i < 100; i++ {
+		arts = append(arts, Article{ID: i})
+	}
+	s := MakeSplit(arts, 4)
+	if len(s.Train) != 80 || len(s.Validation) != 10 || len(s.Test) != 10 {
+		t.Fatalf("split sizes %d/%d/%d", len(s.Train), len(s.Validation), len(s.Test))
+	}
+	seen := map[int]int{}
+	for _, a := range s.Train {
+		seen[a.ID]++
+	}
+	for _, a := range s.Validation {
+		seen[a.ID]++
+	}
+	for _, a := range s.Test {
+		seen[a.ID]++
+	}
+	if len(seen) != 100 {
+		t.Fatalf("split lost documents: %d distinct", len(seen))
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("doc %d appears %d times", id, c)
+		}
+	}
+	s2 := MakeSplit(arts, 4)
+	if !reflect.DeepEqual(s.Test, s2.Test) {
+		t.Fatal("split not deterministic")
+	}
+}
+
+func TestSampleCorpus(t *testing.T) {
+	g, arts := Sample()
+	if g.NumNodes() < 15 || len(arts) < 8 {
+		t.Fatalf("sample too small: %d nodes, %d articles", g.NumNodes(), len(arts))
+	}
+	// The Figure 1 entities must resolve.
+	for _, l := range []string{"Khyber", "Taliban", "Upper Dir", "Swat Valley", "Pakistan",
+		"Clinton", "Trump", "Sanders", "FBI", "US presidential election 2016"} {
+		if len(g.Lookup(l)) == 0 {
+			t.Errorf("sample KG missing %s", l)
+		}
+	}
+	// The sample articles' entities resolve through the NLP pipeline.
+	pipe := nlp.NewPipeline(g.Index())
+	doc := pipe.Process(arts[0].Text)
+	groups := nlp.MaximalSets(doc.EntityGroups())
+	if len(groups) == 0 {
+		t.Fatal("no entity groups in the Figure 1 article")
+	}
+	joined := strings.Join(groups[0], " ")
+	if !strings.Contains(joined, "taliban") && !strings.Contains(joined, "pakistan") {
+		t.Fatalf("unexpected first group: %v", groups)
+	}
+}
+
+func TestFillTemplate(t *testing.T) {
+	rng := newRand(1)
+	got := fillTemplate("%E met %E for a %W %N. 100%% sure %Z",
+		func() string { return "X" }, []string{"w"}, rng)
+	if !strings.HasPrefix(got, "X met X for a w ") {
+		t.Fatalf("fillTemplate = %q", got)
+	}
+	if !strings.Contains(got, "100%%") && !strings.Contains(got, "100%") {
+		t.Fatalf("literal %% lost: %q", got)
+	}
+	if !strings.Contains(got, "%Z") {
+		t.Fatalf("unknown verb should pass through: %q", got)
+	}
+}
+
+func TestGenerateEmptyInputs(t *testing.T) {
+	w := world(t)
+	if got := Generate(w, CNNLike(), 0, 1); len(got) != 0 {
+		t.Fatal("n=0 should generate nothing")
+	}
+	empty := &kg.World{Graph: w.Graph}
+	if got := Generate(empty, CNNLike(), 5, 1); len(got) != 0 {
+		t.Fatal("no events should generate nothing")
+	}
+}

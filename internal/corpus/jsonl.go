@@ -1,0 +1,44 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL serializes articles as JSON lines, the interchange format of
+// cmd/newslink (one {"id","title","text","topic"} object per line).
+func WriteJSONL(w io.Writer, arts []Article) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range arts {
+		if err := enc.Encode(&arts[i]); err != nil {
+			return fmt.Errorf("corpus: encoding article %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSON-lines corpus written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Article, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var out []Article
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var a Article
+		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+			return nil, fmt.Errorf("corpus: line %d: %w", line, err)
+		}
+		out = append(out, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package corpus
+
+import "newslink/internal/kg"
+
+// Sample returns the hand-written knowledge graph and news corpus that
+// mirror the paper's running example (Figure 1 / Tables I-II: Pakistan and
+// Taliban stories around the Khyber region) and its case study (Figure 6 /
+// Table VI: the 2016 US presidential election). Examples and the case-study
+// experiment run on this corpus so their output can be compared with the
+// paper's figures directly.
+func Sample() (*kg.Graph, []Article) {
+	b := kg.NewBuilder(32)
+	// --- Figure 1 neighbourhood ---
+	khyber := b.AddNode("Khyber", kg.KindGPE, "a province of Pakistan bordering Afghanistan")
+	waziristan := b.AddNode("Waziristan", kg.KindGPE, "a mountainous region in Khyber")
+	taliban := b.AddNode("Taliban", kg.KindOrg, "a militant movement active near Khyber")
+	kunar := b.AddNode("Kunar", kg.KindGPE, "a province adjacent to Khyber")
+	lahore := b.AddNode("Lahore", kg.KindGPE, "a major city of Pakistan near Khyber routes")
+	peshawar := b.AddNode("Peshawar", kg.KindGPE, "the capital of Khyber")
+	pakistan := b.AddNode("Pakistan", kg.KindGPE, "a country in South Asia")
+	upperDir := b.AddNode("Upper Dir", kg.KindGPE, "a district of Khyber")
+	swat := b.AddNode("Swat Valley", kg.KindGPE, "a river valley in Khyber")
+	afghanistan := b.AddNode("Afghanistan", kg.KindGPE, "a country bordering Pakistan")
+	army := b.AddNode("Pakistani Army", kg.KindOrg, "the land forces of Pakistan")
+
+	b.AddEdgeByName(taliban, kunar, "active in", 1)
+	b.AddEdgeByName(taliban, waziristan, "active in", 1)
+	b.AddEdgeByName(kunar, khyber, "adjacent to", 1)
+	b.AddEdgeByName(waziristan, khyber, "located in", 1)
+	b.AddEdgeByName(upperDir, khyber, "located in", 1)
+	b.AddEdgeByName(swat, khyber, "located in", 1)
+	b.AddEdgeByName(peshawar, khyber, "capital of", 1)
+	b.AddEdgeByName(lahore, khyber, "connected to", 1)
+	b.AddEdgeByName(khyber, pakistan, "located in", 1)
+	b.AddEdgeByName(kunar, afghanistan, "located in", 1)
+	b.AddEdgeByName(afghanistan, pakistan, "shares border with", 1)
+	b.AddEdgeByName(army, pakistan, "armed forces of", 1)
+
+	// --- Figure 6 neighbourhood ---
+	election := b.AddNode("US presidential election 2016", kg.KindEvent, "the 58th US presidential election")
+	clinton := b.AddNode("Clinton", kg.KindPerson, "US politician and 2016 presidential candidate")
+	trump := b.AddNode("Trump", kg.KindPerson, "US businessman and 2016 presidential candidate")
+	sanders := b.AddNode("Sanders", kg.KindPerson, "US senator and 2016 presidential candidate")
+	fbi := b.AddNode("FBI", kg.KindOrg, "the US federal investigative agency")
+	emails := b.AddNode("Email controversy", kg.KindEvent, "the investigation of a private email server")
+	blm := b.AddNode("Black Lives Matter", kg.KindOrg, "a social justice movement")
+	usa := b.AddNode("United States", kg.KindGPE, "a country in North America")
+	democrats := b.AddNode("Democratic Party", kg.KindOrg, "a major US political party")
+
+	// Surface-form aliases: the NER links these exactly like canonical
+	// labels (Wikidata-style alias lists).
+	b.AddAlias(clinton, "Hillary Clinton")
+	b.AddAlias(trump, "Donald Trump")
+	b.AddAlias(sanders, "Bernie Sanders")
+	b.AddAlias(election, "US election")
+	b.AddAlias(blm, "BLM")
+	b.AddAlias(taliban, "Taliban movement")
+
+	b.AddEdgeByName(clinton, election, "candidate in", 1)
+	b.AddEdgeByName(trump, election, "candidate in", 1)
+	b.AddEdgeByName(sanders, election, "candidate in", 1)
+	b.AddEdgeByName(fbi, emails, "investigator of", 1)
+	b.AddEdgeByName(clinton, emails, "subject of", 1)
+	b.AddEdgeByName(fbi, clinton, "investigated", 1)
+	b.AddEdgeByName(sanders, blm, "embraced", 1)
+	b.AddEdgeByName(blm, election, "influenced", 1)
+	b.AddEdgeByName(election, usa, "held in", 1)
+	b.AddEdgeByName(clinton, democrats, "member of", 1)
+	b.AddEdgeByName(sanders, democrats, "caucuses with", 1)
+	b.AddEdgeByName(fbi, usa, "agency of", 1)
+
+	g := b.Build()
+
+	arts := []Article{
+		{ID: 0, Topic: kg.TopicMilitary, Title: "Military conflicts between Pakistan and Taliban",
+			Text: "Military conflicts intensified between Pakistan and Taliban fighters this week.\n" +
+				"Taliban militants clashed with security forces in Upper Dir and the Swat Valley.\n" +
+				"Residents of Upper Dir reported heavy shelling as the Taliban withdrew northward.\n" +
+				"Officials in Pakistan said reinforcements from the Pakistani Army were deployed to Swat Valley.\n" +
+				"The fighting has displaced thousands of families across the region.\n"},
+		{ID: 1, Topic: kg.TopicMilitary, Title: "Bombing attack by Taliban in Pakistan",
+			Text: "A bombing attack struck Lahore on Friday, and Taliban spokesmen claimed responsibility.\n" +
+				"Hours later a second blast hit a market in Peshawar, police in Pakistan confirmed.\n" +
+				"Taliban statements warned of further attacks against cities across Pakistan.\n" +
+				"Authorities in Lahore tightened security around government buildings.\n"},
+		{ID: 2, Topic: kg.TopicMilitary, Title: "Border clashes near Afghanistan",
+			Text: "Skirmishes broke out along the border with Afghanistan, officials said.\n" +
+				"The Pakistani Army shelled positions in Kunar after rockets landed near checkpoints.\n" +
+				"Commanders in Afghanistan denied that Taliban units had crossed the frontier.\n"},
+		{ID: 3, Topic: kg.TopicPolitics, Title: "Sanders comments on Clinton email inquiry",
+			Text: "Sanders said voters were tired of hearing about Clinton and the emails.\n" +
+				"The FBI continued interviewing aides about the private server, officials confirmed.\n" +
+				"Clinton dismissed the controversy as a distraction from the campaign.\n"},
+		{ID: 4, Topic: kg.TopicPolitics, Title: "Trump rallies as Sanders embraces movement",
+			Text: "Trump held a rally while Sanders embraced the Black Lives Matter movement on stage.\n" +
+				"Sanders announced presidential ambitions to cheering supporters.\n" +
+				"Aides to Trump said the campaign welcomed the contrast.\n"},
+		{ID: 5, Topic: kg.TopicPolitics, Title: "Democratic Party debates strategy",
+			Text: "The Democratic Party gathered to debate strategy for the autumn.\n" +
+				"Clinton and Sanders supporters argued over the platform late into the night.\n" +
+				"Party officials in the United States urged unity ahead of the vote.\n"},
+		{ID: 6, Topic: kg.TopicSports, Title: "Cricket final thrills Lahore",
+			Text: "A dramatic cricket final thrilled spectators in Lahore on Sunday.\n" +
+				"The winning captain praised the crowd and the groundskeepers.\n" +
+				"Celebrations continued across the city into the early hours.\n"},
+		{ID: 7, Topic: kg.TopicBusiness, Title: "Markets rally on earnings",
+			Text: "Stock markets rallied after quarterly earnings beat expectations.\n" +
+				"Analysts said investors had priced in a weaker season.\n" +
+				"Trading volumes reached their highest level this year.\n"},
+	}
+	return g, arts
+}

@@ -1,0 +1,70 @@
+package corpus
+
+import "newslink/internal/kg"
+
+// Topical filler vocabulary: each generated sentence draws a few of these so
+// that documents carry bag-of-words signal beyond entity names, as real news
+// text does. Words are grouped by topic so BOW models can separate themes.
+var topicWords = map[kg.Topic][]string{
+	kg.TopicMilitary: {
+		"militants", "attacked", "convoy", "bombing", "blast", "offensive",
+		"soldiers", "insurgents", "clashes", "wounded", "airstrike", "troops",
+		"checkpoint", "ceasefire", "ambush", "shelling", "casualties", "raid",
+	},
+	kg.TopicPolitics: {
+		"election", "ballot", "campaign", "candidate", "coalition", "votes",
+		"parliament", "polls", "debate", "manifesto", "turnout", "runoff",
+		"opposition", "incumbent", "landslide", "referendum", "cabinet",
+	},
+	kg.TopicSports: {
+		"tournament", "final", "stadium", "championship", "goal", "trophy",
+		"fixture", "squad", "coach", "supporters", "penalty", "semifinal",
+		"undefeated", "comeback", "scoreline", "kickoff", "title",
+	},
+	kg.TopicEntertainment: {
+		"premiere", "ceremony", "nomination", "audience", "director",
+		"festival", "spotlight", "soundtrack", "ovation", "critics",
+		"blockbuster", "gala", "screenplay", "ensemble", "applause",
+	},
+	kg.TopicBusiness: {
+		"regulators", "merger", "shares", "earnings", "investigation",
+		"compliance", "investors", "quarterly", "acquisition", "filings",
+		"antitrust", "penalty", "disclosure", "shareholders", "audit",
+	},
+}
+
+// neutralWords pad sentences of any topic.
+var neutralWords = []string{
+	"officials", "reported", "yesterday", "sources", "confirmed", "region",
+	"residents", "statement", "witnesses", "authorities", "spokesman",
+	"announced", "meanwhile", "reportedly", "response", "situation",
+}
+
+// templates are sentence skeletons; %E slots are filled with entity labels,
+// %W with topical words, %N with neutral words. Entity density is kept
+// close to real news prose (roughly one entity per 6-9 words), so BOW
+// matching faces the same generic-word confusability the paper's corpora
+// exhibit.
+var templates = []string{
+	"%E %W near %E in %E as %N %N the %W through the %W and the %N %N.",
+	"%N in %E %N that %E %W the %W after the %W, and the %N %N no further %W.",
+	"The %W in %E %N %E and %E, %N said, while %N %N the %W for another %W.",
+	"%E %N a %W against %E in %E, %N %N, amid a %W that %N %N for weeks.",
+	"%N %N the %W as %E and %E %N in %E despite the %N %W and the %W.",
+	"According to %N, %E %W during the %W in %E, though %N %N the %W was a %W.",
+	"%E's %W %N the %N across %E, where the %W and the %W %N the %N.",
+	"A %W %N %E as %N %N the %W in %E, and %N %N a wider %W in the %N.",
+	"The %W and the %W %N %N across the region as %E %N the %W.",
+	"%N %N that the %W would %N the %W, a %N %N for %E this season.",
+}
+
+// fillerSentences carry no entities at all; they dilute entity density so
+// the largest-entity-density query selection (Section VII-B) is meaningful.
+var fillerSentences = []string{
+	"Dozens were affected and the situation remained tense through the night.",
+	"Observers said the development had been expected for several weeks.",
+	"The announcement drew mixed reactions from commentators and analysts.",
+	"Further details are expected to emerge in the coming days.",
+	"Local media carried extensive coverage throughout the afternoon.",
+	"It was the third such development this year, according to records.",
+}

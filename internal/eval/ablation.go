@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"newslink/internal/core"
+	"newslink/internal/nlp"
+)
+
+// RunAblations quantifies the design decisions of DESIGN.md §4 on one
+// dataset, as numbers rather than benchmark timings:
+//
+//  1. coverage width — extra nodes G* keeps beyond the single-path tree;
+//  2. compactness-order tie-breaking — how often the full order changes
+//     the root compared with plain depth minimization;
+//  3. early termination — traversal work saved by C1∧C2;
+//  4. maximal co-occurrence sets — NE invocations avoided by Definition 1.
+func RunAblations(scale Scale) *Table {
+	d := BuildDataset(CNNSpec(scale))
+	g := d.World.Graph
+	t := NewTable("Ablations ("+d.Spec.Name+"): contribution of each design choice",
+		"ablation", "measurement")
+
+	// Gather the per-document groups once.
+	var raw, maximal [][][]string
+	for _, a := range d.Articles {
+		doc := d.Pipeline.Process(a.Text)
+		groups := doc.EntityGroups()
+		raw = append(raw, groups)
+		maximal = append(maximal, nlp.MaximalSets(groups))
+	}
+
+	// 1. Coverage width: G* nodes vs tree nodes on identical groups.
+	gstar := core.NewSearcher(g, core.Options{MaxDepth: 6})
+	tree := core.NewSearcher(g, core.Options{Model: core.ModelTree, MaxDepth: 6})
+	gNodes, tNodes, embedded := 0, 0, 0
+	for _, groups := range maximal {
+		for _, grp := range groups {
+			a := gstar.Find(grp)
+			b := tree.Find(grp)
+			if a == nil || b == nil {
+				continue
+			}
+			embedded++
+			gNodes += len(a.Nodes)
+			tNodes += len(b.Nodes)
+		}
+	}
+	t.AddRow("all-shortest-paths coverage",
+		fmt.Sprintf("G* keeps %.2f nodes/segment vs tree %.2f (+%.0f%% width, %d segments)",
+			avg(gNodes, embedded), avg(tNodes, embedded),
+			100*(avg(gNodes, embedded)/avg(tNodes, embedded)-1), embedded))
+
+	// 2. Compactness order vs plain depth: differing roots.
+	depthOnly := core.NewSearcher(g, core.Options{MaxDepth: 6, DepthOnly: true})
+	diff, total := 0, 0
+	for _, groups := range maximal {
+		for _, grp := range groups {
+			a := gstar.Find(grp)
+			b := depthOnly.Find(grp)
+			if a == nil || b == nil {
+				continue
+			}
+			total++
+			if a.Root != b.Root {
+				diff++
+			}
+		}
+	}
+	t.AddRow("compactness order tie-breaking",
+		fmt.Sprintf("full order changes the root for %d/%d segments (%.1f%%)",
+			diff, total, 100*float64(diff)/float64(max1(total))))
+
+	// 3. Early termination: expansions with and without C1/C2.
+	exhaustive := core.NewSearcher(g, core.Options{MaxDepth: 6, NoEarlyStop: true})
+	fastExp, slowExp := 0, 0
+	t0 := time.Now()
+	for _, groups := range maximal {
+		for _, grp := range groups {
+			if sg := gstar.Find(grp); sg != nil {
+				fastExp += sg.Expansions
+			}
+		}
+	}
+	fastTime := time.Since(t0)
+	t0 = time.Now()
+	for _, groups := range maximal {
+		for _, grp := range groups {
+			if sg := exhaustive.Find(grp); sg != nil {
+				slowExp += sg.Expansions
+			}
+		}
+	}
+	slowTime := time.Since(t0)
+	t.AddRow("early termination (C1 and C2)",
+		fmt.Sprintf("%d vs %d path enumerations (%.1fx), %v vs %v",
+			fastExp, slowExp, float64(slowExp)/float64(max1(fastExp)), fastTime.Round(time.Millisecond), slowTime.Round(time.Millisecond)))
+
+	// 4. Maximal co-occurrence sets: NE invocations avoided.
+	rawGroups, keptGroups := 0, 0
+	for i := range raw {
+		rawGroups += len(raw[i])
+		keptGroups += len(maximal[i])
+	}
+	t.AddRow("maximal entity co-occurrence set",
+		fmt.Sprintf("%d of %d entity groups embedded (%.1f%% NE calls saved)",
+			keptGroups, rawGroups, 100*(1-float64(keptGroups)/float64(max1(rawGroups)))))
+	return t
+}
+
+func avg(sum, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,182 @@
+// Package eval implements the paper's evaluation suite (Section VII): the
+// Partial Query Similarity Search task, the SIM@k / HIT@k metrics, the
+// FastText-style similarity judge, the simulated user study, and one runner
+// per table/figure of the paper.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"newslink/internal/corpus"
+	"newslink/internal/kg"
+	"newslink/internal/nlp"
+)
+
+// Scale selects how large the synthetic datasets are. The paper runs on
+// ~90k documents and a 30M-node KG; the scales below keep the same task
+// structure at laptop size (see DESIGN.md §1 on the hardware substitution).
+type Scale int
+
+// Scales.
+const (
+	// ScaleTest is for unit tests (seconds).
+	ScaleTest Scale = iota
+	// ScaleSmall is for quick experiment runs (tens of seconds).
+	ScaleSmall
+	// ScaleFull is the default for cmd/experiments (minutes).
+	ScaleFull
+)
+
+// DatasetSpec describes how to synthesize one evaluation dataset.
+type DatasetSpec struct {
+	Name    string
+	KG      kg.Config
+	Profile corpus.Profile
+	NumDocs int
+	Seed    int64
+}
+
+// CNNSpec mirrors the paper's CNN corpus at the given scale.
+func CNNSpec(s Scale) DatasetSpec {
+	spec := DatasetSpec{Name: "CNN", Profile: corpus.CNNLike(), Seed: 1001}
+	spec.KG, spec.NumDocs = scaleKG(s, 11)
+	return spec
+}
+
+// KaggleSpec mirrors the paper's Kaggle all-the-news corpus.
+func KaggleSpec(s Scale) DatasetSpec {
+	spec := DatasetSpec{Name: "Kaggle", Profile: corpus.KaggleLike(), Seed: 2002}
+	spec.KG, spec.NumDocs = scaleKG(s, 22)
+	return spec
+}
+
+func scaleKG(s Scale, seed int64) (kg.Config, int) {
+	cfg := kg.DefaultConfig(seed)
+	switch s {
+	case ScaleTest:
+		cfg.Countries = 6
+		return cfg, 120
+	case ScaleSmall:
+		cfg.Countries = 15
+		return cfg, 600
+	default:
+		cfg.Countries = 40
+		return cfg, 2400
+	}
+}
+
+// Dataset is a fully assembled evaluation dataset.
+type Dataset struct {
+	Spec     DatasetSpec
+	World    *kg.World
+	Articles []corpus.Article // position == Article.ID
+	Split    corpus.Split
+	Pipeline *nlp.Pipeline
+}
+
+// BuildDataset synthesizes the world and corpus for a spec.
+func BuildDataset(spec DatasetSpec) *Dataset {
+	w := kg.Generate(spec.KG)
+	arts := corpus.Generate(w, spec.Profile, spec.NumDocs, spec.Seed)
+	assertArticlesAligned(arts)
+	return &Dataset{
+		Spec:     spec,
+		World:    w,
+		Articles: arts,
+		Split:    corpus.MakeSplit(arts, spec.Seed+7),
+		Pipeline: nlp.NewPipeline(w.Graph.Index()),
+	}
+}
+
+// TrainTexts returns the analyzed term lists of the training split, the
+// corpus DOC2VEC and LDA are trained on (Section VII-A3).
+func (d *Dataset) TrainTexts() [][]string {
+	out := make([][]string, len(d.Split.Train))
+	for i, a := range d.Split.Train {
+		out[i] = nlp.Terms(a.Text)
+	}
+	return out
+}
+
+// AllTexts returns analyzed terms for every document, aligned with Articles.
+func (d *Dataset) AllTexts() [][]string {
+	out := make([][]string, len(d.Articles))
+	for i, a := range d.Articles {
+		out[i] = nlp.Terms(a.Text)
+	}
+	return out
+}
+
+// QueryMode selects how the query sentence is drawn from a test document
+// (Section VII-B).
+type QueryMode int
+
+// Query modes.
+const (
+	// Densest picks the sentence with the largest entity density.
+	Densest QueryMode = iota
+	// Random picks a uniformly random sentence.
+	Random
+)
+
+// String returns the mode name used in table headers.
+func (m QueryMode) String() string {
+	if m == Random {
+		return "random"
+	}
+	return "densest"
+}
+
+// Query is one Partial Query Similarity Search test case: the query sentence
+// q drawn from test document Q (TargetID).
+type Query struct {
+	Text     string
+	TargetID int
+}
+
+// Queries derives the test queries of the given mode. Documents whose
+// sentences contain no recognizable content are skipped.
+func (d *Dataset) Queries(mode QueryMode, seed int64) []Query {
+	return d.queriesFrom(d.Split.Test, mode, seed)
+}
+
+// ValidationQueries derives queries from the validation split, the data the
+// paper reserves for tuning (Section VII-A3); β selection runs on these so
+// the test split stays untouched.
+func (d *Dataset) ValidationQueries(mode QueryMode, seed int64) []Query {
+	return d.queriesFrom(d.Split.Validation, mode, seed)
+}
+
+func (d *Dataset) queriesFrom(arts []corpus.Article, mode QueryMode, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Query
+	for _, a := range arts {
+		doc := d.Pipeline.Process(a.Text)
+		if len(doc.Sentences) == 0 {
+			continue
+		}
+		idx := 0
+		switch mode {
+		case Densest:
+			best := -1.0
+			for i := range doc.Sentences {
+				if den := doc.Sentences[i].EntityDensity(); den > best {
+					best = den
+					idx = i
+				}
+			}
+		case Random:
+			idx = rng.Intn(len(doc.Sentences))
+		}
+		out = append(out, Query{Text: doc.Sentences[idx].Text, TargetID: a.ID})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TargetID < out[j].TargetID })
+	return out
+}
+
+// String identifies the dataset.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("%s{docs=%d kg=%d nodes}", d.Spec.Name, len(d.Articles), d.World.Graph.NumNodes())
+}

@@ -1,0 +1,442 @@
+package eval
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"newslink"
+)
+
+// testDataset is shared across tests; building it is the expensive part.
+var testDS *Dataset
+
+func dataset(t *testing.T) *Dataset {
+	t.Helper()
+	if testDS == nil {
+		testDS = BuildDataset(CNNSpec(ScaleTest))
+	}
+	return testDS
+}
+
+func TestBuildDataset(t *testing.T) {
+	d := dataset(t)
+	if len(d.Articles) != 120 {
+		t.Fatalf("articles = %d", len(d.Articles))
+	}
+	if len(d.Split.Train) != 96 || len(d.Split.Test) != 12 {
+		t.Fatalf("split = %d/%d/%d", len(d.Split.Train), len(d.Split.Validation), len(d.Split.Test))
+	}
+	if s := d.String(); !strings.Contains(s, "CNN") {
+		t.Fatalf("String = %s", s)
+	}
+}
+
+func TestQueriesModes(t *testing.T) {
+	d := dataset(t)
+	dens := d.Queries(Densest, 1)
+	rnd := d.Queries(Random, 1)
+	if len(dens) == 0 || len(dens) != len(rnd) {
+		t.Fatalf("query counts: %d vs %d", len(dens), len(rnd))
+	}
+	for _, q := range dens {
+		if q.Text == "" {
+			t.Fatal("empty query")
+		}
+	}
+	// Determinism.
+	if d.Queries(Random, 1)[0] != rnd[0] {
+		t.Fatal("random queries not deterministic under the same seed")
+	}
+	// Densest queries carry at least as much entity density on average.
+	dAvg, rAvg := avgDensity(d, dens), avgDensity(d, rnd)
+	if dAvg < rAvg {
+		t.Fatalf("densest queries less dense than random: %v < %v", dAvg, rAvg)
+	}
+	if Densest.String() != "densest" || Random.String() != "random" {
+		t.Fatal("mode names")
+	}
+}
+
+func avgDensity(d *Dataset, qs []Query) float64 {
+	s := 0.0
+	for _, q := range qs {
+		doc := d.Pipeline.Process(q.Text)
+		for i := range doc.Sentences {
+			s += doc.Sentences[i].EntityDensity()
+		}
+	}
+	return s / float64(len(qs))
+}
+
+func TestJudge(t *testing.T) {
+	d := dataset(t)
+	j := NewJudge(d)
+	if got := j.Sim(0, 0); got < 0.999 {
+		t.Fatalf("self similarity = %v", got)
+	}
+	// A document is closer to itself than the average to another topic.
+	if j.Sim(0, 0) <= j.Sim(0, len(d.Articles)-1) {
+		t.Fatal("judge degenerate")
+	}
+	if got := j.SimText(d.Articles[3].Text, 3); got < 0.9 {
+		t.Fatalf("SimText self = %v", got)
+	}
+}
+
+func TestEvaluatePerfectAndWorstSystems(t *testing.T) {
+	d := dataset(t)
+	j := NewJudge(d)
+	queries := d.Queries(Densest, 1)[:6]
+	perfect := sysFunc{"perfect", func(q string, k int) []int {
+		for _, query := range queries {
+			if query.Text == q {
+				out := []int{query.TargetID}
+				for i := 0; len(out) < k; i++ {
+					if i != query.TargetID {
+						out = append(out, i)
+					}
+				}
+				return out
+			}
+		}
+		return nil
+	}}
+	m := Evaluate(perfect, queries, j)
+	if m.HIT[1] != 1 || m.HIT[5] != 1 {
+		t.Fatalf("perfect HIT = %v", m.HIT)
+	}
+	if m.SIM[5] <= 0 || m.SIM[5] > 1.0000001 {
+		t.Fatalf("perfect SIM@5 = %v", m.SIM[5])
+	}
+	empty := sysFunc{"empty", func(string, int) []int { return nil }}
+	m = Evaluate(empty, queries, j)
+	if m.HIT[1] != 0 || m.SIM[5] != 0 {
+		t.Fatalf("empty system metrics: %+v", m)
+	}
+	if got := Evaluate(empty, nil, j); got.N != 0 {
+		t.Fatal("no queries should yield N=0")
+	}
+}
+
+type sysFunc struct {
+	name string
+	fn   func(string, int) []int
+}
+
+func (s sysFunc) Name() string                 { return s.name }
+func (s sysFunc) Search(q string, k int) []int { return s.fn(q, k) }
+
+func TestAllSystemsReturnResults(t *testing.T) {
+	d := dataset(t)
+	queries := d.Queries(Densest, 1)[:3]
+	systems := []System{
+		NewLucene(d),
+		NewDoc2Vec(d),
+		NewSBERT(d),
+		NewLDA(d, 8),
+		NewQEPRF(d),
+		NewNewsLink(d, 0.2, newslink.LCAG),
+		NewNewsLink(d, 1.0, newslink.TreeEmb),
+	}
+	for _, sys := range systems {
+		if sys.Name() == "" {
+			t.Fatal("unnamed system")
+		}
+		for _, q := range queries {
+			res := sys.Search(q.Text, 5)
+			if len(res) == 0 {
+				t.Fatalf("%s returned nothing for %q", sys.Name(), q.Text)
+			}
+			seen := map[int]bool{}
+			for _, r := range res {
+				if r < 0 || r >= len(d.Articles) {
+					t.Fatalf("%s returned out-of-range doc %d", sys.Name(), r)
+				}
+				if seen[r] {
+					t.Fatalf("%s returned duplicate doc %d", sys.Name(), r)
+				}
+				seen[r] = true
+			}
+		}
+	}
+}
+
+// TestTable4Shape checks the robust orderings of Table IV at test scale
+// (pairwise gaps between the strong systems are within noise on 24 queries,
+// so only the orderings the paper reports with wide margins are asserted).
+func TestTable4Shape(t *testing.T) {
+	d := dataset(t)
+	j := NewJudge(d)
+	// Both query modes, for 2x the sample size.
+	queries := append(d.Queries(Densest, 1), d.Queries(Random, 2)...)
+	nl := Evaluate(NewNewsLink(d, 0.2, newslink.LCAG), queries, j)
+	lda := Evaluate(NewLDA(d, 12), queries, j)
+	doc2vec := Evaluate(NewDoc2Vec(d), queries, j)
+	sbert := Evaluate(NewSBERT(d), queries, j)
+	// LDA is the weakest system on every metric (clear in the paper too).
+	if nl.HIT[1] <= lda.HIT[1]+0.2 || nl.SIM[5] <= lda.SIM[5] {
+		t.Fatalf("NewsLink %.3f/%.3f should dominate LDA %.3f/%.3f",
+			nl.HIT[1], nl.SIM[5], lda.HIT[1], lda.SIM[5])
+	}
+	// BOW-anchored systems recover the query document more often than the
+	// pure embedding competitors.
+	if nl.HIT[1] < doc2vec.HIT[1] {
+		t.Fatalf("NewsLink HIT@1 %.3f below DOC2VEC %.3f", nl.HIT[1], doc2vec.HIT[1])
+	}
+	if nl.HIT[5] < sbert.HIT[5] {
+		t.Fatalf("NewsLink HIT@5 %.3f below SBERT %.3f", nl.HIT[5], sbert.HIT[5])
+	}
+	if nl.HIT[1] < 0.3 {
+		t.Fatalf("NewsLink HIT@1 too weak: %.3f", nl.HIT[1])
+	}
+	if nl.SIM[5] < sbert.SIM[5]-0.05 {
+		t.Fatalf("NewsLink SIM@5 %.3f far below SBERT %.3f", nl.SIM[5], sbert.SIM[5])
+	}
+}
+
+func TestMatchingRatio(t *testing.T) {
+	d := dataset(t)
+	r := MatchingRatio(d)
+	if r < 0.8 || r > 1 {
+		t.Fatalf("matching ratio = %v, want high but below 1", r)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("T", "a", "bb")
+	tb.AddRow("x", "y")
+	tb.AddRow("longer")
+	out := tb.Render()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "longer") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if f3(0.966) != ".966" {
+		t.Fatalf("f3 = %q", f3(0.966))
+	}
+	if pair(0.9, 0.8) != ".900/.800" {
+		t.Fatalf("pair = %q", pair(0.9, 0.8))
+	}
+}
+
+func TestRunTable5(t *testing.T) {
+	out := RunTable5(ScaleTest).Render()
+	if !strings.Contains(out, "CNN") || !strings.Contains(out, "Kaggle") || !strings.Contains(out, "%") {
+		t.Fatalf("table 5:\n%s", out)
+	}
+}
+
+func TestRunFigure5(t *testing.T) {
+	r := RunFigure5(ScaleTest)
+	if r.Participants != 20 {
+		t.Fatalf("participants = %d", r.Participants)
+	}
+	if r.Pairs == 0 {
+		t.Fatal("no study pairs found")
+	}
+	total := r.Counts[Helpful] + r.Counts[Neutral] + r.Counts[NotHelpful]
+	if total != r.Pairs*r.Participants {
+		t.Fatalf("verdicts %d != pairs*participants %d", total, r.Pairs*r.Participants)
+	}
+	// The paper: "more than half participants think the subgraph embeddings
+	// are helpful".
+	if float64(r.Counts[Helpful])/float64(total) <= 0.5 {
+		t.Fatalf("helpful fraction %.2f <= 0.5; distribution %v",
+			float64(r.Counts[Helpful])/float64(total), r.Counts)
+	}
+	if !strings.Contains(r.Render(), "helpful") {
+		t.Fatal("render missing labels")
+	}
+	// The dissent feedback mirrors the paper's three failure modes; with
+	// non-helpful verdicts present, at least one reason must be recorded.
+	if r.Counts[Neutral]+r.Counts[NotHelpful] > 0 {
+		sum := 0
+		for _, c := range r.Reasons {
+			sum += c
+		}
+		if sum != r.Counts[Neutral]+r.Counts[NotHelpful] {
+			t.Fatalf("reasons %v do not cover dissent %d",
+				r.Reasons, r.Counts[Neutral]+r.Counts[NotHelpful])
+		}
+		if !strings.Contains(r.Render(), "failure modes") {
+			t.Fatal("render missing dissent feedback")
+		}
+	}
+}
+
+func TestRunFigure6(t *testing.T) {
+	out := RunFigure6()
+	if !strings.Contains(out, "Case study A") || !strings.Contains(out, "Case study B") {
+		t.Fatalf("case study:\n%s", out)
+	}
+	if !strings.Contains(out, "Khyber") {
+		t.Fatalf("case A must surface the induced entity Khyber:\n%s", out)
+	}
+	if !strings.Contains(out, "US presidential election 2016") {
+		t.Fatalf("case B must surface the election node:\n%s", out)
+	}
+	if !strings.Contains(out, "-[") {
+		t.Fatalf("no rendered relationship paths:\n%s", out)
+	}
+}
+
+func TestRunFigure7AndTable8(t *testing.T) {
+	f7 := RunFigure7(ScaleTest)
+	if f7.Docs == 0 || f7.Segments <= 0 {
+		t.Fatalf("figure 7 = %+v", f7)
+	}
+	if f7.NEGStar <= 0 || f7.NETree <= 0 || f7.NLP <= 0 {
+		t.Fatalf("timings missing: %+v", f7)
+	}
+	if !strings.Contains(f7.Render(), "NE (G*)") {
+		t.Fatal("render")
+	}
+	t8 := RunTable8(ScaleTest)
+	if t8.Queries == 0 || t8.NE <= 0 || t8.NS <= 0 || t8.NLP <= 0 {
+		t.Fatalf("table 8 = %+v", t8)
+	}
+	if !strings.Contains(t8.Render(), "Table VIII") {
+		t.Fatal("render")
+	}
+}
+
+func TestRunCoverage(t *testing.T) {
+	out := RunCoverage(ScaleTest).Render()
+	if !strings.Contains(out, "CNN") || !strings.Contains(out, "%") {
+		t.Fatalf("coverage:\n%s", out)
+	}
+}
+
+func TestCoverageHigh(t *testing.T) {
+	c := Coverage(dataset(t))
+	if c.Total == 0 || c.Fraction() < 0.85 {
+		t.Fatalf("coverage = %+v", c)
+	}
+	if c.EmbeddedSegments == 0 || c.Segments < c.EmbeddedSegments {
+		t.Fatalf("segment counts: %+v", c)
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	out := RunAblations(ScaleTest).Render()
+	for _, want := range []string{"coverage", "compactness", "early termination", "maximal"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTRECExport(t *testing.T) {
+	d := dataset(t)
+	queries := d.Queries(Densest, 1)[:4]
+	var qrels, run bytes.Buffer
+	if err := WriteQrels(&qrels, queries); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(qrels.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("qrels lines = %d", len(lines))
+	}
+	for i, l := range lines {
+		var qid, docno string
+		var zero, rel int
+		if _, err := fmt.Sscanf(l, "%s %d %s %d", &qid, &zero, &docno, &rel); err != nil {
+			t.Fatalf("qrels line %d: %v", i, err)
+		}
+		if qid != fmt.Sprintf("q%d", i) || rel != 1 {
+			t.Fatalf("qrels line %d: %s", i, l)
+		}
+	}
+	sys := NewLucene(d)
+	if err := WriteRun(&run, sys, queries, 5); err != nil {
+		t.Fatal(err)
+	}
+	runLines := strings.Split(strings.TrimSpace(run.String()), "\n")
+	if len(runLines) == 0 {
+		t.Fatal("empty run")
+	}
+	var qid, q0, docno, tag string
+	var rank int
+	var score float64
+	if _, err := fmt.Sscanf(runLines[0], "%s %s %s %d %g %s",
+		&qid, &q0, &docno, &rank, &score, &tag); err != nil {
+		t.Fatalf("run line: %v (%s)", err, runLines[0])
+	}
+	if q0 != "Q0" || rank != 1 || tag != "Lucene" {
+		t.Fatalf("run line: %s", runLines[0])
+	}
+	// Ranks are increasing per query and scores decreasing.
+	prevRank, prevScore, prevQ := 0, 1e18, ""
+	for _, l := range runLines {
+		fmt.Sscanf(l, "%s %s %s %d %g %s", &qid, &q0, &docno, &rank, &score, &tag)
+		if qid != prevQ {
+			prevQ, prevRank, prevScore = qid, 0, 1e18
+		}
+		if rank != prevRank+1 || score >= prevScore {
+			t.Fatalf("rank/score ordering broken: %s", l)
+		}
+		prevRank, prevScore = rank, score
+	}
+}
+
+func TestValidationQueriesDisjointFromTest(t *testing.T) {
+	d := dataset(t)
+	val := d.ValidationQueries(Densest, 1)
+	test := d.Queries(Densest, 1)
+	if len(val) == 0 {
+		t.Fatal("no validation queries")
+	}
+	testIDs := map[int]bool{}
+	for _, q := range test {
+		testIDs[q.TargetID] = true
+	}
+	for _, q := range val {
+		if testIDs[q.TargetID] {
+			t.Fatalf("validation query targets test doc %d", q.TargetID)
+		}
+	}
+}
+
+func TestRunBetaTuning(t *testing.T) {
+	out := RunBetaTuning(ScaleTest).Render()
+	if !strings.Contains(out, "selected β=") || !strings.Contains(out, "<-") {
+		t.Fatalf("tuning table:\n%s", out)
+	}
+	// β=0 and β=1 rows must be present.
+	if !strings.Contains(out, "0.0") || !strings.Contains(out, "1.0") {
+		t.Fatalf("sweep incomplete:\n%s", out)
+	}
+}
+
+func TestRunTable4Smoke(t *testing.T) {
+	tables := RunTable4(ScaleTest)
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tb := range tables {
+		out := tb.Render()
+		for _, sys := range []string{"DOC2VEC", "SBERT", "LDA", "QEPRF", "Lucene", "NewsLink(0.2)"} {
+			if !strings.Contains(out, sys) {
+				t.Fatalf("missing %s:\n%s", sys, out)
+			}
+		}
+		// Every data row carries densest/random pairs.
+		if !strings.Contains(out, "/") {
+			t.Fatalf("no paired cells:\n%s", out)
+		}
+	}
+}
+
+func TestRunTable7Smoke(t *testing.T) {
+	tables := RunTable7(ScaleTest)
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	out := tables[0].Render()
+	for _, row := range []string{"Lucene(β=0)", "NewsLink(0.2)", "NewsLink(1.0)", "TreeEmb(0.2)", "TreeEmb(1.0)"} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("missing %s:\n%s", row, out)
+		}
+	}
+}

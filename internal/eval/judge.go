@@ -1,0 +1,40 @@
+package eval
+
+import (
+	"newslink/internal/nlp"
+	"newslink/internal/textembed"
+)
+
+// Judge scores result similarity the way the paper does (Section VII-B):
+// the complete test document Q and each result R are embedded with a
+// FastText-style encoder and compared by cosine similarity. The judge is a
+// fixed external referee shared by all competitors.
+type Judge struct {
+	ft   *textembed.FastText
+	vecs []textembed.Vector // per corpus document, aligned with Articles
+}
+
+// NewJudge trains the judge's encoder on the whole corpus and precomputes
+// one vector per document.
+func NewJudge(d *Dataset) *Judge {
+	texts := d.AllTexts()
+	wv := textembed.TrainWordVectors(texts, textembed.WordVectorConfig{
+		Dim: 300, Window: 5, Seed: d.Spec.Seed + 99, NNZ: 8,
+	})
+	j := &Judge{ft: textembed.NewFastText(wv)}
+	j.vecs = make([]textembed.Vector, len(texts))
+	for i, t := range texts {
+		j.vecs[i] = j.ft.Embed(t)
+	}
+	return j
+}
+
+// Sim returns the judged cosine similarity between two corpus documents.
+func (j *Judge) Sim(docA, docB int) float64 {
+	return textembed.Cosine(j.vecs[docA], j.vecs[docB])
+}
+
+// SimText judges similarity between arbitrary text and a corpus document.
+func (j *Judge) SimText(text string, doc int) float64 {
+	return textembed.Cosine(j.ft.Embed(nlp.Terms(text)), j.vecs[doc])
+}

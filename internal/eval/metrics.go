@@ -1,0 +1,82 @@
+package eval
+
+// Metrics holds the evaluation results of one system on one query set.
+type Metrics struct {
+	SIM map[int]float64 // SIM@k averaged over test cases (Equation 4)
+	HIT map[int]float64 // HIT@k: fraction of queries recovering Q in top k
+	N   int             // number of test cases
+}
+
+// SimKs and HitKs are the cutoffs reported in Table IV.
+var (
+	SimKs = []int{5, 10, 20}
+	HitKs = []int{1, 5}
+)
+
+// System is a search competitor: it retrieves corpus document IDs for a
+// query text. All systems index the full corpus (the evaluation searches
+// "the entire news corpus", Section VII-B).
+type System interface {
+	Name() string
+	Search(query string, k int) []int
+}
+
+// Evaluate runs the Partial Query Similarity Search task: every query is a
+// sentence of a held-out test document; SIM@k judges the similarity of the
+// top-k results against the full test document, HIT@k checks whether the
+// test document itself is recovered.
+func Evaluate(sys System, queries []Query, judge *Judge) Metrics {
+	m := Metrics{SIM: map[int]float64{}, HIT: map[int]float64{}}
+	if len(queries) == 0 {
+		return m
+	}
+	maxK := 0
+	for _, k := range SimKs {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	for _, k := range HitKs {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	for _, q := range queries {
+		res := sys.Search(q.Text, maxK)
+		for _, k := range SimKs {
+			n := k
+			if n > len(res) {
+				n = len(res)
+			}
+			s := 0.0
+			for _, r := range res[:n] {
+				s += judge.Sim(q.TargetID, r)
+			}
+			if k > 0 {
+				// Missing results score zero, as an empty result list should
+				// not be rewarded.
+				m.SIM[k] += s / float64(k)
+			}
+		}
+		for _, k := range HitKs {
+			n := k
+			if n > len(res) {
+				n = len(res)
+			}
+			for _, r := range res[:n] {
+				if r == q.TargetID {
+					m.HIT[k]++
+					break
+				}
+			}
+		}
+	}
+	m.N = len(queries)
+	for _, k := range SimKs {
+		m.SIM[k] /= float64(m.N)
+	}
+	for _, k := range HitKs {
+		m.HIT[k] /= float64(m.N)
+	}
+	return m
+}

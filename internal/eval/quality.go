@@ -1,0 +1,96 @@
+package eval
+
+import "newslink"
+
+// evalBothModes evaluates a system on the densest-entity and random query
+// sets (the paper reports every metric as densest/random).
+func evalBothModes(sys System, d *Dataset, judge *Judge) (dens, rnd Metrics) {
+	dens = Evaluate(sys, d.Queries(Densest, d.Spec.Seed+41), judge)
+	rnd = Evaluate(sys, d.Queries(Random, d.Spec.Seed+43), judge)
+	return dens, rnd
+}
+
+// addQualityRow renders one system's metrics in Table IV/VII format:
+// SIM@5, SIM@10, SIM@20, HIT@1, HIT@5 as densest/random pairs.
+func addQualityRow(t *Table, name string, dens, rnd Metrics) {
+	t.AddRow(name,
+		pair(dens.SIM[5], rnd.SIM[5]),
+		pair(dens.SIM[10], rnd.SIM[10]),
+		pair(dens.SIM[20], rnd.SIM[20]),
+		pair(dens.HIT[1], rnd.HIT[1]),
+		pair(dens.HIT[5], rnd.HIT[5]),
+	)
+}
+
+func qualityHeaders() []string {
+	return []string{"system", "SIM@5", "SIM@10", "SIM@20", "HIT@1", "HIT@5"}
+}
+
+// ldaTopics scales the topic count with the corpus (the paper uses 500 on
+// 90k documents).
+func ldaTopics(s Scale) int {
+	switch s {
+	case ScaleTest:
+		return 12
+	case ScaleSmall:
+		return 25
+	default:
+		return 50
+	}
+}
+
+// RunTable4 reproduces Table IV: search effectiveness of DOC2VEC, SBERT,
+// LDA, QEPRF, Lucene and NewsLink(0.2) on both datasets, with
+// densest/random query variants. One table per dataset is returned.
+func RunTable4(scale Scale) []*Table {
+	var out []*Table
+	for _, spec := range []DatasetSpec{CNNSpec(scale), KaggleSpec(scale)} {
+		d := BuildDataset(spec)
+		judge := NewJudge(d)
+		t := NewTable("Table IV ("+d.Spec.Name+"): effectiveness of search results (densest/random)",
+			qualityHeaders()...)
+		systems := []System{
+			NewDoc2Vec(d),
+			NewSBERT(d),
+			NewLDA(d, ldaTopics(scale)),
+			NewQEPRF(d),
+			NewLucene(d),
+			NewNewsLink(d, 0.2, newslink.LCAG),
+		}
+		for _, sys := range systems {
+			dens, rnd := evalBothModes(sys, d, judge)
+			addQualityRow(t, sys.Name(), dens, rnd)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// RunTable7 reproduces Table VII: NewsLink(β) versus the tree-based
+// embedding model TreeEmb(β) for β in {0.2, 0.5, 0.8, 1.0}; β = 0 reduces
+// to the Lucene baseline and is included as the reference row.
+func RunTable7(scale Scale) []*Table {
+	betas := []float64{0.2, 0.5, 0.8, 1.0}
+	var out []*Table
+	for _, spec := range []DatasetSpec{CNNSpec(scale), KaggleSpec(scale)} {
+		d := BuildDataset(spec)
+		judge := NewJudge(d)
+		t := NewTable("Table VII ("+d.Spec.Name+"): G* vs TreeEmb across β (densest/random)",
+			qualityHeaders()...)
+		lucene := NewLucene(d)
+		dens, rnd := evalBothModes(lucene, d, judge)
+		addQualityRow(t, "Lucene(β=0)", dens, rnd)
+		for _, beta := range betas {
+			sys := NewNewsLink(d, beta, newslink.LCAG)
+			dens, rnd := evalBothModes(sys, d, judge)
+			addQualityRow(t, sys.Name(), dens, rnd)
+		}
+		for _, beta := range betas {
+			sys := NewNewsLink(d, beta, newslink.TreeEmb)
+			dens, rnd := evalBothModes(sys, d, judge)
+			addQualityRow(t, sys.Name(), dens, rnd)
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPairedBootstrapClearDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 200
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = 0.8 + 0.05*rng.NormFloat64()
+		b[i] = 0.5 + 0.05*rng.NormFloat64()
+	}
+	r := PairedBootstrap(a, b, 2000, 1)
+	if !r.Significant(0.05) {
+		t.Fatalf("obvious difference not significant: %s", r)
+	}
+	if r.Delta < 0.2 || r.Delta > 0.4 {
+		t.Fatalf("delta = %v", r.Delta)
+	}
+	if !strings.Contains(r.String(), "*") {
+		t.Fatalf("significant result not starred: %s", r)
+	}
+}
+
+func TestPairedBootstrapNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 50
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		v := rng.Float64()
+		a[i] = v + 0.2*rng.NormFloat64()
+		b[i] = v + 0.2*rng.NormFloat64()
+	}
+	r := PairedBootstrap(a, b, 2000, 2)
+	if r.Significant(0.01) {
+		t.Fatalf("pure noise flagged significant: %s", r)
+	}
+}
+
+func TestPairedBootstrapEdgeCases(t *testing.T) {
+	r := PairedBootstrap(nil, nil, 100, 1)
+	if r.PValue != 1 {
+		t.Fatalf("empty samples p = %v", r.PValue)
+	}
+	same := []float64{1, 2, 3}
+	r = PairedBootstrap(same, same, 100, 1)
+	if r.Delta != 0 || r.PValue != 1 {
+		t.Fatalf("identical samples: %+v", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	PairedBootstrap([]float64{1}, []float64{1, 2}, 10, 1)
+}
+
+func TestPairedBootstrapDeterministic(t *testing.T) {
+	a := []float64{0.9, 0.8, 0.7, 0.95, 0.85}
+	b := []float64{0.6, 0.7, 0.65, 0.7, 0.6}
+	r1 := PairedBootstrap(a, b, 500, 9)
+	r2 := PairedBootstrap(a, b, 500, 9)
+	if r1 != r2 {
+		t.Fatal("bootstrap not deterministic under fixed seed")
+	}
+}
+
+func TestQueryScoresMatchEvaluate(t *testing.T) {
+	d := dataset(t)
+	j := NewJudge(d)
+	queries := d.Queries(Densest, 1)
+	sys := NewLucene(d)
+	sim, hit := QueryScores(sys, queries, j, 5, 1)
+	if len(sim) != len(queries) || len(hit) != len(queries) {
+		t.Fatal("sample lengths wrong")
+	}
+	m := Evaluate(sys, queries, j)
+	if got := mean(sim); !close(got, m.SIM[5]) {
+		t.Fatalf("mean SIM@5 %v != Evaluate %v", got, m.SIM[5])
+	}
+	if got := mean(hit); !close(got, m.HIT[1]) {
+		t.Fatalf("mean HIT@1 %v != Evaluate %v", got, m.HIT[1])
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestRunSignificance(t *testing.T) {
+	out := RunSignificance(ScaleTest, 200)
+	if !strings.Contains(out, "vs Lucene") || !strings.Contains(out, "SIM@5") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "vs LDA") {
+		t.Fatalf("missing competitor:\n%s", out)
+	}
+}

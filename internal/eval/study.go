@@ -1,0 +1,317 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"newslink"
+	"newslink/internal/corpus"
+	"newslink/internal/kg"
+)
+
+// The user study of Figure 5 asked 20 human participants whether the
+// subgraph embeddings of ten query/result pairs (retrieved with β=1) helped
+// them understand the stories and their relatedness. Humans are not
+// available offline, so the study runs against a population of simulated
+// annotators whose preference axes encode exactly the three failure modes
+// the paper's participants reported (Section VII-D): (1) the connection was
+// already known to them, (2) the extra information already appears in the
+// text, (3) too much information overwhelms. See DESIGN.md §1.
+
+// Verdict is one annotator's answer.
+type Verdict int
+
+// Verdicts.
+const (
+	NotHelpful Verdict = iota
+	Neutral
+	Helpful
+)
+
+// String returns the verdict label used in Figure 5.
+func (v Verdict) String() string {
+	switch v {
+	case Helpful:
+		return "helpful"
+	case Neutral:
+		return "neutral"
+	default:
+		return "not helpful"
+	}
+}
+
+// annotator is one simulated participant.
+type annotator struct {
+	noveltyWeight     float64 // reward for induced (not-in-text) entities
+	redundancyPenalty float64 // penalty for overlap already visible in text
+	overloadThreshold int     // tolerated number of shown paths+entities
+	priorKnowledge    float64 // probability the connection is already known
+	rng               *rand.Rand
+}
+
+// pairFeatures summarizes what one query/result pair shows a participant.
+type pairFeatures struct {
+	induced    int // shared embedding entities absent from both texts
+	inText     int // shared embedding entities already present in a text
+	novelPaths int // multi-hop paths, or paths through a not-in-text node
+	trivial    int // single-hop paths between entities both in the text
+	totalShown int // entities + paths displayed
+}
+
+// Dissent reasons mirror the participant feedback of Section VII-D.
+const (
+	reasonKnown      = "connection already known"
+	reasonRedundant  = "information already in the text"
+	reasonOverloaded = "too much information"
+)
+
+// judge returns the annotator's verdict for a pair plus the dominant reason
+// when the verdict is not Helpful. Novel information is (a) induced
+// entities absent from the text and (b) relationship paths whose relations
+// are unlikely to be verbalized in the text (multi-hop, or passing through
+// an unseen node); a one-hop path between two entities the text already
+// connects is redundant (failure mode 2 of Section VII-D).
+func (a *annotator) judge(f pairFeatures) (Verdict, string) {
+	if a.rng.Float64() < a.priorKnowledge {
+		// Failure mode 1: the participant already knew the connection.
+		if a.rng.Float64() < 0.5 {
+			return Neutral, reasonKnown
+		}
+		return NotHelpful, reasonKnown
+	}
+	novelty := float64(minI(f.novelPaths, 3))/3 + float64(minI(f.induced, 3))/6
+	redundancy := 0.0
+	if f.novelPaths+f.trivial > 0 {
+		redundancy = float64(f.trivial) / float64(f.novelPaths+f.trivial)
+	}
+	score := a.noveltyWeight*novelty - a.redundancyPenalty*redundancy
+	overloaded := f.totalShown > a.overloadThreshold
+	if overloaded {
+		// Failure mode 3: information overload.
+		score -= 1.0
+	}
+	switch {
+	case score > 0.25:
+		return Helpful, ""
+	case score > -0.05:
+		if overloaded {
+			return Neutral, reasonOverloaded
+		}
+		return Neutral, reasonRedundant
+	default:
+		if overloaded {
+			return NotHelpful, reasonOverloaded
+		}
+		return NotHelpful, reasonRedundant
+	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Figure5Result aggregates the study.
+type Figure5Result struct {
+	Pairs        int
+	Participants int
+	Counts       map[Verdict]int
+	// Reasons counts the dominant dissent reason of every non-helpful
+	// verdict, mirroring the participant feedback of Section VII-D.
+	Reasons map[string]int
+}
+
+// Render formats the result as the Figure 5 distribution.
+func (r Figure5Result) Render() string {
+	total := 0
+	for _, c := range r.Counts {
+		total += c
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5: user study (%d participants x %d pairs, β=1)\n",
+		r.Participants, r.Pairs)
+	for _, v := range []Verdict{Helpful, Neutral, NotHelpful} {
+		c := r.Counts[v]
+		fmt.Fprintf(&sb, "  %-12s %3d (%3.0f%%) %s\n", v, c,
+			100*float64(c)/float64(total), bar(float64(c), float64(total), 40))
+	}
+	if len(r.Reasons) > 0 {
+		sb.WriteString("dissent feedback (Section VII-D failure modes):\n")
+		for _, reason := range []string{reasonKnown, reasonRedundant, reasonOverloaded} {
+			if c := r.Reasons[reason]; c > 0 {
+				fmt.Fprintf(&sb, "  %-34s %3d\n", reason, c)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// RunFigure5 reproduces the user study: ten query/result pairs are drawn
+// from a mixed-topic dataset with subgraph-only retrieval (β=1), their
+// explanation features are computed from the actual system output, and 20
+// simulated annotators judge each pair. Like the paper's study, this is a
+// fixed instrument — ten specific pairs shown to every participant — so the
+// pair corpus is pinned to the small scale regardless of the experiment
+// scale (the scale parameter is accepted for interface uniformity).
+func RunFigure5(scale Scale) Figure5Result {
+	_ = scale
+	d := BuildDataset(CNNSpec(ScaleSmall))
+	sys := NewNewsLink(d, 1.0, newslink.LCAG)
+	queries := d.Queries(Densest, d.Spec.Seed+41)
+	// Pick ten pairs spanning topics, as the paper did.
+	pairs := pickStudyPairs(d, sys, queries, 10)
+	rng := rand.New(rand.NewSource(555))
+	participants := make([]annotator, 20)
+	for i := range participants {
+		participants[i] = annotator{
+			noveltyWeight:     0.85 + 0.6*rng.Float64(),
+			redundancyPenalty: 0.2 + 0.4*rng.Float64(),
+			overloadThreshold: 7 + rng.Intn(11),
+			priorKnowledge:    0.05 + 0.2*rng.Float64(),
+			rng:               rand.New(rand.NewSource(rng.Int63())),
+		}
+	}
+	res := Figure5Result{Pairs: len(pairs), Participants: len(participants),
+		Counts: map[Verdict]int{}, Reasons: map[string]int{}}
+	for _, f := range pairs {
+		for i := range participants {
+			v, reason := participants[i].judge(f)
+			res.Counts[v]++
+			if reason != "" {
+				res.Reasons[reason]++
+			}
+		}
+	}
+	return res
+}
+
+// pickStudyPairs selects up to n query/top-result pairs across topics and
+// extracts their explanation features from the engine.
+func pickStudyPairs(d *Dataset, sys *NewsLinkSystem, queries []Query, n int) []pairFeatures {
+	byTopic := map[kg.Topic][]Query{}
+	maxBucket := 0
+	for _, q := range queries {
+		t := d.Articles[q.TargetID].Topic
+		byTopic[t] = append(byTopic[t], q)
+		if len(byTopic[t]) > maxBucket {
+			maxBucket = len(byTopic[t])
+		}
+	}
+	// Round-robin across the event topics so the ten pairs span themes, as
+	// the paper's did. Queries from topics outside the catalogue (e.g. wire
+	// briefs) are skipped — they have no embeddings to study.
+	var ordered []Query
+	for i := 0; i < maxBucket; i++ {
+		for _, t := range kg.AllTopics {
+			if i < len(byTopic[t]) {
+				ordered = append(ordered, byTopic[t][i])
+			}
+		}
+	}
+	var out []pairFeatures
+	for _, q := range ordered {
+		if len(out) >= n {
+			break
+		}
+		res := sys.Search(q.Text, 2)
+		// The top result distinct from the query document.
+		target := -1
+		for _, r := range res {
+			if r != q.TargetID {
+				target = r
+				break
+			}
+		}
+		if target < 0 {
+			continue
+		}
+		exp, err := sys.Engine().Explain(q.Text, target, 6)
+		if err != nil || len(exp.SharedEntities) == 0 {
+			continue
+		}
+		texts := strings.ToLower(q.Text + " " + d.Articles[target].Text)
+		inText := func(label string) bool {
+			return strings.Contains(texts, strings.ToLower(label))
+		}
+		var f pairFeatures
+		for _, e := range exp.SharedEntities {
+			if inText(e) {
+				f.inText++
+			} else {
+				f.induced++
+			}
+		}
+		for _, p := range exp.Paths {
+			novel := len(p.Nodes) > 2
+			for _, n := range p.Nodes {
+				if !inText(n) {
+					novel = true
+				}
+			}
+			if novel {
+				f.novelPaths++
+			} else {
+				f.trivial++
+			}
+		}
+		f.totalShown = len(exp.SharedEntities) + len(exp.Paths)
+		out = append(out, f)
+	}
+	return out
+}
+
+// RunFigure6 reproduces the case study (Figure 6 and Tables I/II/VI): it
+// runs β=1 retrieval on the hand-written sample corpus and renders the
+// subgraph embeddings, their overlap, and the relationship paths that
+// explain the result.
+func RunFigure6() string {
+	g, arts := corpus.Sample()
+	cfg := newslink.DefaultConfig()
+	cfg.Beta = 1
+	e := newslink.New(g, cfg)
+	for _, a := range arts {
+		if err := e.Add(newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+			panic(err)
+		}
+	}
+	if err := e.Build(); err != nil {
+		panic(err)
+	}
+	var sb strings.Builder
+	cases := []struct {
+		title string
+		query string
+	}{
+		{"Case study A (Figure 1 / Tables I-II)",
+			"Military conflicts between Pakistan and Taliban reached Upper Dir and the Swat Valley."},
+		{"Case study B (Figure 6 / Table VI)",
+			"Sanders said voters were tired of hearing about Clinton and the FBI emails."},
+	}
+	for _, c := range cases {
+		fmt.Fprintf(&sb, "%s\nQ: %s\n", c.title, c.query)
+		res, err := e.Search(c.query, 2)
+		if err != nil || len(res) == 0 {
+			sb.WriteString("  (no result)\n\n")
+			continue
+		}
+		r := res[0]
+		fmt.Fprintf(&sb, "R: [%d] %s (score %.3f)\n", r.ID, r.Title, r.Score)
+		exp, err := e.Explain(c.query, r.ID, 6)
+		if err != nil {
+			panic(err)
+		}
+		shared := append([]string(nil), exp.SharedEntities...)
+		sort.Strings(shared)
+		fmt.Fprintf(&sb, "Overlap of subgraph embeddings: %s\n", strings.Join(shared, ", "))
+		sb.WriteString("Relationship paths (evidence):\n")
+		for _, p := range exp.Paths {
+			fmt.Fprintf(&sb, "  %s\n", p.Rendered)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

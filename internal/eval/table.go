@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple text table for experiment reports; it renders with
+// aligned columns so the output reads like the paper's tables.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i := 0; i < len(widths) && i < len(r); i++ {
+			if len(r[i]) > widths[i] {
+				widths[i] = len(r[i])
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", w, c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// f3 formats a metric the way the paper prints them (".966").
+func f3(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	return strings.TrimPrefix(s, "0")
+}
+
+// pair renders the paper's "densest/random" cell format.
+func pair(a, b float64) string { return f3(a) + "/" + f3(b) }
+
+// bar renders a proportional ASCII bar of v relative to max, width cells.
+func bar(v, max float64, width int) string {
+	if max <= 0 || v < 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n > width {
+		n = width
+	}
+	if n == 0 && v > 0 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}

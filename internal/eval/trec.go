@@ -1,0 +1,46 @@
+package eval
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// TREC interchange: the Partial Query Similarity Search task exports to the
+// standard qrels / run formats so results can be scored with external
+// tooling (trec_eval) or compared against other systems outside this
+// repository.
+
+// WriteQrels writes binary relevance judgments: for each query the source
+// test document is relevant (the HIT@k ground truth).
+//
+//	<qid> 0 <docno> <rel>
+func WriteQrels(w io.Writer, queries []Query) error {
+	bw := bufio.NewWriter(w)
+	for i, q := range queries {
+		if _, err := fmt.Fprintf(bw, "q%d 0 d%d 1\n", i, q.TargetID); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteRun writes a system's rankings in TREC run format:
+//
+//	<qid> Q0 <docno> <rank> <score> <tag>
+//
+// Scores are synthesized from ranks (TREC evaluators only use the order).
+func WriteRun(w io.Writer, sys System, queries []Query, k int) error {
+	bw := bufio.NewWriter(w)
+	tag := sys.Name()
+	for i, q := range queries {
+		for rank, doc := range sys.Search(q.Text, k) {
+			score := float64(k - rank)
+			if _, err := fmt.Fprintf(bw, "q%d Q0 d%d %d %g %s\n",
+				i, doc, rank+1, score, tag); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,110 @@
+package index
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// DiskIndex serves queries directly from a serialized index file: the
+// directory (terms, postings offsets) and document lengths are held in
+// memory, postings blocks are read and decoded on demand with ReadAt. This
+// is the production path for corpora whose postings exceed RAM, and it
+// makes engine snapshots searchable without a load phase. Safe for
+// concurrent use.
+type DiskIndex struct {
+	f        *os.File
+	base     int64 // file offset where postings blocks start
+	docLens  []float32
+	totalLen float64
+	dir      map[string]termEntry
+}
+
+// OpenDiskIndex opens path (a file written by Index.WriteTo) for on-demand
+// reads. Close it when done.
+func OpenDiskIndex(path string) (*DiskIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(f)
+	hdr, err := readHeader(br)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// The header reader consumed exactly up to the postings area; its file
+	// position is the current offset minus what is still buffered.
+	pos, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	base := pos - int64(br.Buffered())
+	d := &DiskIndex{
+		f:       f,
+		base:    base,
+		docLens: hdr.docLens,
+		dir:     make(map[string]termEntry, len(hdr.terms)),
+	}
+	for _, l := range hdr.docLens {
+		d.totalLen += float64(l)
+	}
+	for _, te := range hdr.terms {
+		d.dir[te.term] = te
+	}
+	return d, nil
+}
+
+// Close releases the underlying file.
+func (d *DiskIndex) Close() error { return d.f.Close() }
+
+// NumDocs implements Source.
+func (d *DiskIndex) NumDocs() int { return len(d.docLens) }
+
+// NumTerms returns the vocabulary size.
+func (d *DiskIndex) NumTerms() int { return len(d.dir) }
+
+// DocLen implements Source.
+func (d *DiskIndex) DocLen(doc DocID) float64 { return float64(d.docLens[doc]) }
+
+// AvgDocLen implements Source.
+func (d *DiskIndex) AvgDocLen() float64 {
+	if len(d.docLens) == 0 {
+		return 0
+	}
+	return d.totalLen / float64(len(d.docLens))
+}
+
+// DF implements Source.
+func (d *DiskIndex) DF(term string) int { return d.dir[term].count }
+
+// Postings implements Source: the term's block is read with ReadAt and
+// decoded. Absent terms return nil; IO or corruption surfaces as nil too
+// (the search layer treats it as an absent term), with the error available
+// via PostingsErr for callers that need to distinguish.
+func (d *DiskIndex) Postings(term string) []Posting {
+	pl, _ := d.PostingsErr(term)
+	return pl
+}
+
+// PostingsErr is Postings with the error reported.
+func (d *DiskIndex) PostingsErr(term string) ([]Posting, error) {
+	te, ok := d.dir[term]
+	if !ok {
+		return nil, nil
+	}
+	block := make([]byte, te.blockLen)
+	if _, err := d.f.ReadAt(block, d.base+te.offset); err != nil {
+		return nil, fmt.Errorf("index: reading postings of %q: %w", term, err)
+	}
+	pl, err := decodePostings(block, te.count, uint32(len(d.docLens)))
+	if err != nil {
+		return nil, fmt.Errorf("index: term %q: %w", term, err)
+	}
+	return pl, nil
+}
+
+var _ Source = (*DiskIndex)(nil)
+var _ Source = (*Index)(nil)

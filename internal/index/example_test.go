@@ -1,0 +1,61 @@
+package index_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"newslink/internal/index"
+)
+
+// Example shows the index lifecycle: build in memory, serialize, reopen
+// disk-backed, and extend with a segment — all behind the same Source
+// interface the query processor consumes.
+func Example() {
+	b := index.NewBuilder()
+	b.Add(strings.Fields("taliban attack lahore"))
+	b.Add(strings.Fields("cricket final lahore"))
+	idx := b.Build()
+
+	dir, err := os.MkdirTemp("", "idx")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "text.idx")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		fmt.Println(err)
+		return
+	}
+	f.Close()
+
+	disk, err := index.OpenDiskIndex(path)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer disk.Close()
+
+	late := index.NewBuilder()
+	late.Add(strings.Fields("election results lahore"))
+	combined := index.NewMulti(disk, late.Build())
+
+	fmt.Println("docs:", combined.NumDocs())
+	fmt.Println("df(lahore):", combined.DF("lahore"))
+	for _, p := range combined.Postings("lahore") {
+		fmt.Printf("doc %d tf %g\n", p.Doc, p.TF)
+	}
+	// Output:
+	// docs: 3
+	// df(lahore): 3
+	// doc 0 tf 1
+	// doc 1 tf 1
+	// doc 2 tf 1
+}

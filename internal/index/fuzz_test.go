@@ -1,0 +1,33 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadIndex: arbitrary bytes must either parse into a consistent index
+// or fail cleanly.
+func FuzzReadIndex(f *testing.F) {
+	idx := buildSmall()
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(indexMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadIndex(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed indexes must be internally consistent.
+		if got.NumDocs() < 0 || got.AvgDocLen() < 0 {
+			t.Fatal("negative sizes")
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("WriteTo after successful read: %v", err)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package index implements the inverted-index substrate of the NS component
+// (Section VI). The same index structure serves both the Bag-Of-Words model
+// over text terms and the Bag-Of-Node model over knowledge-graph node ids
+// ("scoring compatibility": BON replaces words with nodes, everything else —
+// postings, TF-IDF/BM25 weighting, top-k — is shared).
+package index
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Source is the read interface the query processor consumes; the in-memory
+// Index and the DiskIndex both satisfy it, so searches run unchanged over
+// either.
+type Source interface {
+	NumDocs() int
+	DocLen(d DocID) float64
+	AvgDocLen() float64
+	// Postings returns the postings list for a term, sorted by DocID, or
+	// nil if the term is absent. Callers must not modify the slice.
+	Postings(term string) []Posting
+	// DF returns the document frequency of a term.
+	DF(term string) int
+	// ForEachTerm enumerates the vocabulary in sorted order until fn
+	// returns false.
+	ForEachTerm(fn func(term string) bool)
+}
+
+// DocID identifies a document in the index, dense from 0.
+type DocID uint32
+
+// TermID identifies an interned term.
+type TermID uint32
+
+// Posting is one document entry in a term's postings list.
+type Posting struct {
+	Doc DocID
+	TF  float32
+}
+
+// Index is an immutable inverted index. Build one with a Builder.
+type Index struct {
+	terms    map[string]TermID
+	postings [][]Posting
+	docLen   []float32
+	totalLen float64
+}
+
+// Builder accumulates documents and produces an Index. Documents receive
+// consecutive DocIDs in insertion order. The zero value is ready to use.
+type Builder struct {
+	terms    map[string]TermID
+	postings [][]Posting
+	docLen   []float32
+	totalLen float64
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{terms: make(map[string]TermID)}
+}
+
+// Add indexes a document given its (already analyzed) terms and returns the
+// assigned DocID. Duplicate terms raise the term frequency.
+func (b *Builder) Add(terms []string) DocID {
+	counts := make(map[string]float32, len(terms))
+	for _, t := range terms {
+		counts[t]++
+	}
+	return b.AddWeighted(counts)
+}
+
+// AddWeighted indexes a document from explicit term weights (the BON model
+// supplies node-frequency weights directly).
+func (b *Builder) AddWeighted(counts map[string]float32) DocID {
+	if b.terms == nil {
+		b.terms = make(map[string]TermID)
+	}
+	doc := DocID(len(b.docLen))
+	var total float32
+	// Deterministic postings regardless of map order: postings lists are
+	// per-term and appended in doc order, which is already deterministic;
+	// the map iteration order here only affects append order across
+	// *different* terms, which is immaterial.
+	for t, c := range counts {
+		id, ok := b.terms[t]
+		if !ok {
+			id = TermID(len(b.postings))
+			b.terms[t] = id
+			b.postings = append(b.postings, nil)
+		}
+		b.postings[id] = append(b.postings[id], Posting{Doc: doc, TF: c})
+		total += c
+	}
+	b.docLen = append(b.docLen, total)
+	b.totalLen += float64(total)
+	return doc
+}
+
+// Build finalizes the index. The Builder must not be used afterwards.
+func (b *Builder) Build() *Index {
+	for _, pl := range b.postings {
+		sort.Slice(pl, func(i, j int) bool { return pl[i].Doc < pl[j].Doc })
+	}
+	idx := &Index{
+		terms:    b.terms,
+		postings: b.postings,
+		docLen:   b.docLen,
+		totalLen: b.totalLen,
+	}
+	b.terms, b.postings, b.docLen = nil, nil, nil
+	return idx
+}
+
+// NumDocs returns the number of indexed documents.
+func (idx *Index) NumDocs() int { return len(idx.docLen) }
+
+// NumTerms returns the vocabulary size.
+func (idx *Index) NumTerms() int { return len(idx.postings) }
+
+// DocLen returns the total term weight of a document.
+func (idx *Index) DocLen(d DocID) float64 { return float64(idx.docLen[d]) }
+
+// AvgDocLen returns the mean document length.
+func (idx *Index) AvgDocLen() float64 {
+	if len(idx.docLen) == 0 {
+		return 0
+	}
+	return idx.totalLen / float64(len(idx.docLen))
+}
+
+// Postings returns the postings list for a term (nil if absent). The slice
+// is shared with the index and must not be modified.
+func (idx *Index) Postings(term string) []Posting {
+	id, ok := idx.terms[term]
+	if !ok {
+		return nil
+	}
+	return idx.postings[id]
+}
+
+// DF returns the document frequency of a term.
+func (idx *Index) DF(term string) int { return len(idx.Postings(term)) }
+
+// String summarizes the index.
+func (idx *Index) String() string {
+	return fmt.Sprintf("index{docs=%d terms=%d avgLen=%.1f}",
+		idx.NumDocs(), idx.NumTerms(), idx.AvgDocLen())
+}

@@ -1,0 +1,104 @@
+package index
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSmall() *Index {
+	b := NewBuilder()
+	docs := []string{
+		"taliban attack lahore bomb",
+		"taliban pakistan swat valley",
+		"election clinton trump debate",
+		"lahore lahore lahore cricket",
+	}
+	for _, d := range docs {
+		b.Add(strings.Fields(d))
+	}
+	return b.Build()
+}
+
+func TestIndexBasics(t *testing.T) {
+	idx := buildSmall()
+	if idx.NumDocs() != 4 {
+		t.Fatalf("NumDocs = %d", idx.NumDocs())
+	}
+	if idx.DF("taliban") != 2 {
+		t.Fatalf("DF(taliban) = %d, want 2", idx.DF("taliban"))
+	}
+	if idx.DF("nope") != 0 {
+		t.Fatalf("DF(nope) = %d", idx.DF("nope"))
+	}
+	pl := idx.Postings("lahore")
+	if len(pl) != 2 {
+		t.Fatalf("postings(lahore) = %v", pl)
+	}
+	if pl[0].Doc != 0 || pl[0].TF != 1 || pl[1].Doc != 3 || pl[1].TF != 3 {
+		t.Fatalf("postings(lahore) = %v", pl)
+	}
+	if idx.DocLen(0) != 4 || idx.DocLen(3) != 4 {
+		t.Fatalf("doc lengths: %v %v", idx.DocLen(0), idx.DocLen(3))
+	}
+	if idx.AvgDocLen() != 4 {
+		t.Fatalf("AvgDocLen = %v", idx.AvgDocLen())
+	}
+	if s := idx.String(); !strings.Contains(s, "docs=4") {
+		t.Fatalf("String = %s", s)
+	}
+}
+
+func TestAddWeighted(t *testing.T) {
+	b := NewBuilder()
+	d := b.AddWeighted(map[string]float32{"n1": 2, "n2": 1})
+	if d != 0 {
+		t.Fatalf("first doc id = %d", d)
+	}
+	b.AddWeighted(map[string]float32{"n2": 5})
+	idx := b.Build()
+	if idx.DF("n2") != 2 || idx.DF("n1") != 1 {
+		t.Fatalf("DFs: %d %d", idx.DF("n2"), idx.DF("n1"))
+	}
+	if idx.DocLen(0) != 3 || idx.DocLen(1) != 5 {
+		t.Fatalf("lens: %v %v", idx.DocLen(0), idx.DocLen(1))
+	}
+}
+
+func TestPostingsSortedByDoc(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 50; i++ {
+		b.Add([]string{"common"})
+	}
+	idx := b.Build()
+	pl := idx.Postings("common")
+	if len(pl) != 50 {
+		t.Fatalf("len = %d", len(pl))
+	}
+	for i := 1; i < len(pl); i++ {
+		if pl[i].Doc <= pl[i-1].Doc {
+			t.Fatal("postings not sorted by DocID")
+		}
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	idx := NewBuilder().Build()
+	if idx.NumDocs() != 0 || idx.NumTerms() != 0 || idx.AvgDocLen() != 0 {
+		t.Fatal("empty index not empty")
+	}
+	if idx.Postings("x") != nil {
+		t.Fatal("postings in empty index")
+	}
+}
+
+func TestZeroValueBuilder(t *testing.T) {
+	var b Builder
+	b.Add([]string{"a", "b", "a"})
+	idx := b.Build()
+	if idx.NumDocs() != 1 || idx.DF("a") != 1 {
+		t.Fatal("zero-value Builder broken")
+	}
+	if got := idx.Postings("a")[0].TF; got != 2 {
+		t.Fatalf("TF(a) = %v", got)
+	}
+}

@@ -1,0 +1,165 @@
+package index
+
+import (
+	"sort"
+)
+
+// Multi is a Source over several index segments, the Lucene-style shape of
+// incremental indexing: a built (possibly disk-backed) base plus freshly
+// built segments. Document IDs are remapped by concatenation — segment i's
+// documents follow all documents of segments 0..i-1.
+type Multi struct {
+	parts    []Source
+	bases    []DocID // bases[i] = first DocID of parts[i]
+	numDocs  int
+	totalLen float64
+}
+
+// NewMulti combines segments in order. Nested Multis are flattened so long
+// segment chains stay one level deep.
+func NewMulti(parts ...Source) *Multi {
+	m := &Multi{}
+	var add func(s Source)
+	add = func(s Source) {
+		if inner, ok := s.(*Multi); ok {
+			for _, p := range inner.parts {
+				add(p)
+			}
+			return
+		}
+		m.bases = append(m.bases, DocID(m.numDocs))
+		m.parts = append(m.parts, s)
+		m.numDocs += s.NumDocs()
+		m.totalLen += s.AvgDocLen() * float64(s.NumDocs())
+	}
+	for _, p := range parts {
+		add(p)
+	}
+	return m
+}
+
+// NumDocs implements Source.
+func (m *Multi) NumDocs() int { return m.numDocs }
+
+// NumSegments returns the number of flattened segments.
+func (m *Multi) NumSegments() int { return len(m.parts) }
+
+// DocLen implements Source.
+func (m *Multi) DocLen(d DocID) float64 {
+	i := m.segmentOf(d)
+	return m.parts[i].DocLen(d - m.bases[i])
+}
+
+// segmentOf locates the segment containing d.
+func (m *Multi) segmentOf(d DocID) int {
+	return sort.Search(len(m.bases), func(i int) bool { return m.bases[i] > d }) - 1
+}
+
+// AvgDocLen implements Source.
+func (m *Multi) AvgDocLen() float64 {
+	if m.numDocs == 0 {
+		return 0
+	}
+	return m.totalLen / float64(m.numDocs)
+}
+
+// DF implements Source.
+func (m *Multi) DF(term string) int {
+	df := 0
+	for _, p := range m.parts {
+		df += p.DF(term)
+	}
+	return df
+}
+
+// Postings implements Source: per-segment lists are concatenated with their
+// DocID bases applied. Segments own disjoint ascending DocID ranges, so the
+// concatenation is already sorted.
+func (m *Multi) Postings(term string) []Posting {
+	var out []Posting
+	for i, p := range m.parts {
+		pl := p.Postings(term)
+		if len(pl) == 0 {
+			continue
+		}
+		base := m.bases[i]
+		if out == nil {
+			out = make([]Posting, 0, len(pl))
+		}
+		for _, e := range pl {
+			out = append(out, Posting{Doc: e.Doc + base, TF: e.TF})
+		}
+	}
+	return out
+}
+
+// ForEachTerm implements term enumeration over the union of segments, in
+// sorted order, visiting each term once.
+func (m *Multi) ForEachTerm(fn func(term string) bool) {
+	seen := map[string]bool{}
+	var terms []string
+	for _, p := range m.parts {
+		p.ForEachTerm(func(t string) bool {
+			if !seen[t] {
+				seen[t] = true
+				terms = append(terms, t)
+			}
+			return true
+		})
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Flatten merges all segments into a single in-memory Index (the compaction
+// step of segmented indexing). Document IDs are preserved.
+func (m *Multi) Flatten() *Index {
+	idx := &Index{
+		terms:    make(map[string]TermID),
+		docLen:   make([]float32, 0, m.numDocs),
+		totalLen: m.totalLen,
+	}
+	for d := 0; d < m.numDocs; d++ {
+		idx.docLen = append(idx.docLen, float32(m.DocLen(DocID(d))))
+	}
+	m.ForEachTerm(func(t string) bool {
+		idx.terms[t] = TermID(len(idx.postings))
+		idx.postings = append(idx.postings, m.Postings(t))
+		return true
+	})
+	return idx
+}
+
+// ForEachTerm enumerates the in-memory index's terms in sorted order.
+func (idx *Index) ForEachTerm(fn func(term string) bool) {
+	terms := make([]string, 0, len(idx.terms))
+	for t := range idx.terms {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// ForEachTerm enumerates the disk index's terms in sorted order.
+func (d *DiskIndex) ForEachTerm(fn func(term string) bool) {
+	terms := make([]string, 0, len(d.dir))
+	for t := range d.dir {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+var _ Source = (*Multi)(nil)

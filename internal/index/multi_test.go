@@ -1,0 +1,134 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func seg(docs ...string) *Index {
+	b := NewBuilder()
+	for _, d := range docs {
+		b.Add(strings.Fields(d))
+	}
+	return b.Build()
+}
+
+func TestMultiBasics(t *testing.T) {
+	a := seg("x y", "y z")
+	c := seg("z z z", "w")
+	m := NewMulti(a, c)
+	if m.NumDocs() != 4 || m.NumSegments() != 2 {
+		t.Fatalf("docs=%d segments=%d", m.NumDocs(), m.NumSegments())
+	}
+	if m.DF("z") != 2 || m.DF("x") != 1 || m.DF("nope") != 0 {
+		t.Fatalf("DF: z=%d x=%d", m.DF("z"), m.DF("x"))
+	}
+	// DocIDs remap: segment c's doc 0 becomes global doc 2.
+	pl := m.Postings("z")
+	want := []Posting{{Doc: 1, TF: 1}, {Doc: 2, TF: 3}}
+	if !reflect.DeepEqual(pl, want) {
+		t.Fatalf("postings(z) = %v, want %v", pl, want)
+	}
+	if m.DocLen(2) != 3 || m.DocLen(3) != 1 || m.DocLen(0) != 2 {
+		t.Fatalf("doc lens: %v %v %v", m.DocLen(0), m.DocLen(2), m.DocLen(3))
+	}
+	if got := m.AvgDocLen(); got != (2+2+3+1)/4.0 {
+		t.Fatalf("avg = %v", got)
+	}
+}
+
+func TestMultiFlattensNesting(t *testing.T) {
+	a, b, c := seg("x"), seg("y"), seg("z")
+	m := NewMulti(NewMulti(a, b), c)
+	if m.NumSegments() != 3 {
+		t.Fatalf("segments = %d, want 3 (nested Multi flattened)", m.NumSegments())
+	}
+}
+
+// TestMultiEquivalentToMonolithic: a Multi over segments must behave exactly
+// like one index built from the concatenated corpus.
+func TestMultiEquivalentToMonolithic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	vocab := []string{"a", "b", "c", "d", "e"}
+	var all [][]string
+	var segments []Source
+	mono := NewBuilder()
+	for s := 0; s < 4; s++ {
+		sb := NewBuilder()
+		for d := 0; d < 5+rng.Intn(10); d++ {
+			var terms []string
+			for i := 0; i <= rng.Intn(6); i++ {
+				terms = append(terms, vocab[rng.Intn(len(vocab))])
+			}
+			all = append(all, terms)
+			sb.Add(terms)
+			mono.Add(terms)
+		}
+		segments = append(segments, sb.Build())
+	}
+	m := NewMulti(segments...)
+	ref := mono.Build()
+	if m.NumDocs() != ref.NumDocs() {
+		t.Fatalf("doc counts differ")
+	}
+	if m.AvgDocLen() != ref.AvgDocLen() {
+		t.Fatalf("avg len %v vs %v", m.AvgDocLen(), ref.AvgDocLen())
+	}
+	for _, term := range vocab {
+		if !reflect.DeepEqual(m.Postings(term), ref.Postings(term)) {
+			t.Fatalf("postings(%s): %v vs %v", term, m.Postings(term), ref.Postings(term))
+		}
+	}
+	for d := 0; d < ref.NumDocs(); d++ {
+		if m.DocLen(DocID(d)) != ref.DocLen(DocID(d)) {
+			t.Fatalf("DocLen(%d) differs", d)
+		}
+	}
+	// Flatten equals the monolithic index term by term.
+	flat := m.Flatten()
+	var terms []string
+	ref.ForEachTerm(func(term string) bool { terms = append(terms, term); return true })
+	var flatTerms []string
+	flat.ForEachTerm(func(term string) bool { flatTerms = append(flatTerms, term); return true })
+	if !reflect.DeepEqual(terms, flatTerms) {
+		t.Fatalf("term sets differ: %v vs %v", terms, flatTerms)
+	}
+	for _, term := range terms {
+		if !reflect.DeepEqual(flat.Postings(term), ref.Postings(term)) {
+			t.Fatalf("flattened postings(%s) differ", term)
+		}
+	}
+}
+
+func TestMultiForEachTermEarlyStop(t *testing.T) {
+	m := NewMulti(seg("b a"), seg("c"))
+	var got []string
+	m.ForEachTerm(func(term string) bool {
+		got = append(got, term)
+		return len(got) < 2
+	})
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("early stop: %v", got)
+	}
+}
+
+func TestMultiWithDiskSegment(t *testing.T) {
+	a := seg("x y", "y z")
+	disk, err := OpenDiskIndex(writeTemp(t, seg("z w")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	m := NewMulti(a, disk)
+	pl := m.Postings("z")
+	want := []Posting{{Doc: 1, TF: 1}, {Doc: 2, TF: 1}}
+	if !reflect.DeepEqual(pl, want) {
+		t.Fatalf("postings(z) = %v", pl)
+	}
+	flat := m.Flatten()
+	if flat.NumDocs() != 3 || flat.DF("z") != 2 {
+		t.Fatalf("flatten over disk segment: docs=%d df=%d", flat.NumDocs(), flat.DF("z"))
+	}
+}

@@ -1,0 +1,287 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Binary index format v2 (little endian):
+//
+//	magic   "NLIDX2\n"
+//	uint32  numDocs
+//	float32 docLen per doc
+//	uint32  numTerms
+//	directory, one entry per term (sorted lexicographically):
+//	  uvarint len(term), term bytes
+//	  uvarint postings count
+//	  uvarint postings block length in bytes
+//	postings blocks, concatenated in directory order:
+//	  per posting: uvarint docID delta (first = docID; gaps thereafter),
+//	               tf: uvarint (v<<1|1) when tf is a small integer,
+//	                   uvarint (float32bits<<1) otherwise
+//
+// Doc-gap + varint compression shrinks postings ~3-4x versus fixed-width
+// encoding, and the directory gives DiskIndex O(1) random access to any
+// term's block without loading the postings into memory.
+
+const indexMagic = "NLIDX2\n"
+
+// WriteTo serializes the index. The output is byte-stable for a given
+// index.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	le := func(data any) error { return binary.Write(cw, binary.LittleEndian, data) }
+	if _, err := io.WriteString(cw, indexMagic); err != nil {
+		return cw.n, err
+	}
+	if err := le(uint32(len(idx.docLen))); err != nil {
+		return cw.n, err
+	}
+	if err := le(idx.docLen); err != nil {
+		return cw.n, err
+	}
+	terms := make([]string, 0, len(idx.terms))
+	for t := range idx.terms {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	if err := le(uint32(len(terms))); err != nil {
+		return cw.n, err
+	}
+	// Encode every postings block up front so the directory can carry block
+	// lengths.
+	blocks := make([][]byte, len(terms))
+	for i, t := range terms {
+		blocks[i] = encodePostings(idx.postings[idx.terms[t]])
+	}
+	var varintBuf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(varintBuf[:], v)
+		_, err := cw.Write(varintBuf[:n])
+		return err
+	}
+	for i, t := range terms {
+		if err := writeUvarint(uint64(len(t))); err != nil {
+			return cw.n, err
+		}
+		if _, err := io.WriteString(cw, t); err != nil {
+			return cw.n, err
+		}
+		if err := writeUvarint(uint64(len(idx.postings[idx.terms[t]]))); err != nil {
+			return cw.n, err
+		}
+		if err := writeUvarint(uint64(len(blocks[i]))); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, b := range blocks {
+		if _, err := cw.Write(b); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// encodePostings delta-varint encodes one postings list.
+func encodePostings(pl []Posting) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	out := make([]byte, 0, len(pl)*3)
+	prev := uint32(0)
+	for i, p := range pl {
+		delta := uint32(p.Doc)
+		if i > 0 {
+			delta = uint32(p.Doc) - prev
+		}
+		prev = uint32(p.Doc)
+		n := binary.PutUvarint(buf[:], uint64(delta))
+		out = append(out, buf[:n]...)
+		n = binary.PutUvarint(buf[:], encodeTF(p.TF))
+		out = append(out, buf[:n]...)
+	}
+	return out
+}
+
+// encodeTF packs a term frequency: small integral frequencies (the common
+// case by far) go as (v<<1)|1; anything else carries raw float32 bits.
+func encodeTF(tf float32) uint64 {
+	if tf >= 0 && tf < 1<<30 && tf == float32(uint32(tf)) {
+		return uint64(uint32(tf))<<1 | 1
+	}
+	return uint64(math.Float32bits(tf)) << 1
+}
+
+func decodeTF(v uint64) float32 {
+	if v&1 == 1 {
+		return float32(v >> 1)
+	}
+	return math.Float32frombits(uint32(v >> 1))
+}
+
+// decodePostings reverses encodePostings; count postings are expected.
+func decodePostings(data []byte, count int, numDocs uint32) ([]Posting, error) {
+	out := make([]Posting, 0, count)
+	pos := 0
+	prev := uint32(0)
+	for i := 0; i < count; i++ {
+		delta, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("index: truncated posting %d", i)
+		}
+		pos += n
+		doc := uint32(delta)
+		if i > 0 {
+			doc = prev + uint32(delta)
+			if uint32(delta) == 0 {
+				return nil, fmt.Errorf("index: postings not strictly increasing")
+			}
+		}
+		if doc >= numDocs {
+			return nil, fmt.Errorf("index: posting doc %d out of range", doc)
+		}
+		prev = doc
+		tfRaw, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("index: truncated tf %d", i)
+		}
+		pos += n
+		out = append(out, Posting{Doc: DocID(doc), TF: decodeTF(tfRaw)})
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("index: %d trailing bytes in postings block", len(data)-pos)
+	}
+	return out, nil
+}
+
+// ReadIndex parses an index written by WriteTo into memory.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	hdr, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{
+		terms:  make(map[string]TermID, len(hdr.terms)),
+		docLen: hdr.docLens,
+	}
+	for _, l := range hdr.docLens {
+		idx.totalLen += float64(l)
+	}
+	idx.postings = make([][]Posting, len(hdr.terms))
+	for i, te := range hdr.terms {
+		block := make([]byte, te.blockLen)
+		if _, err := io.ReadFull(br, block); err != nil {
+			return nil, fmt.Errorf("index: postings of %q: %w", te.term, err)
+		}
+		pl, err := decodePostings(block, te.count, uint32(len(hdr.docLens)))
+		if err != nil {
+			return nil, fmt.Errorf("index: term %q: %w", te.term, err)
+		}
+		idx.terms[te.term] = TermID(i)
+		idx.postings[i] = pl
+	}
+	return idx, nil
+}
+
+// header is the parsed directory shared by ReadIndex and DiskIndex.
+type header struct {
+	docLens []float32
+	terms   []termEntry
+}
+
+type termEntry struct {
+	term     string
+	count    int
+	blockLen int64
+	offset   int64 // set by the caller while accumulating
+}
+
+func readHeader(br *bufio.Reader) (*header, error) {
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("index: reading magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("index: bad magic %q", magic)
+	}
+	var nDocs uint32
+	if err := binary.Read(br, binary.LittleEndian, &nDocs); err != nil {
+		return nil, fmt.Errorf("index: doc count: %w", err)
+	}
+	if nDocs > 1<<28 {
+		return nil, fmt.Errorf("index: implausible doc count %d", nDocs)
+	}
+	h := &header{docLens: make([]float32, nDocs)}
+	if err := binary.Read(br, binary.LittleEndian, h.docLens); err != nil {
+		return nil, fmt.Errorf("index: doc lengths: %w", err)
+	}
+	for _, l := range h.docLens {
+		if l < 0 || math.IsNaN(float64(l)) {
+			return nil, fmt.Errorf("index: invalid doc length %v", l)
+		}
+	}
+	var nTerms uint32
+	if err := binary.Read(br, binary.LittleEndian, &nTerms); err != nil {
+		return nil, fmt.Errorf("index: term count: %w", err)
+	}
+	if nTerms > 1<<28 {
+		return nil, fmt.Errorf("index: implausible term count %d", nTerms)
+	}
+	offset := int64(0)
+	prev := ""
+	for i := uint32(0); i < nTerms; i++ {
+		tl, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %d length: %w", i, err)
+		}
+		if tl > 1<<20 {
+			return nil, fmt.Errorf("index: term length %d too large", tl)
+		}
+		buf := make([]byte, tl)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		term := string(buf)
+		if i > 0 && term <= prev {
+			return nil, fmt.Errorf("index: directory not sorted at %q", term)
+		}
+		prev = term
+		count, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if count > uint64(nDocs) {
+			return nil, fmt.Errorf("index: term %q has %d postings for %d docs", term, count, nDocs)
+		}
+		blockLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if blockLen > 1<<32 {
+			return nil, fmt.Errorf("index: block length %d too large", blockLen)
+		}
+		h.terms = append(h.terms, termEntry{
+			term:     term,
+			count:    int(count),
+			blockLen: int64(blockLen),
+			offset:   offset,
+		})
+		offset += int64(blockLen)
+	}
+	return h, nil
+}
+
+// countingWriter tracks bytes written for the io.WriterTo contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

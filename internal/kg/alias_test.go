@@ -1,0 +1,97 @@
+package kg
+
+import (
+	"bytes"
+	"testing"
+)
+
+func buildAliased(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(3)
+	election := b.AddNode("US presidential election 2016", KindEvent, "an election")
+	clinton := b.AddNode("Clinton", KindPerson, "a politician")
+	other := b.AddNode("Clinton Township", KindGPE, "a place")
+	b.AddEdgeByName(clinton, election, "candidate in", 1)
+	b.AddEdgeByName(other, election, "near", 1)
+	b.AddAlias(election, "US election")
+	b.AddAlias(election, "2016 election")
+	b.AddAlias(clinton, "Hillary Clinton")
+	b.AddAlias(other, "Hillary Clinton") // deliberately ambiguous alias
+	return b.Build()
+}
+
+func TestAliasLookup(t *testing.T) {
+	g := buildAliased(t)
+	if got := g.Lookup("US election"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Lookup(US election) = %v", got)
+	}
+	if got := g.Lookup("2016 ELECTION"); len(got) != 1 {
+		t.Fatalf("alias lookup not folded: %v", got)
+	}
+	if got := g.Lookup("hillary clinton"); len(got) != 2 {
+		t.Fatalf("ambiguous alias = %v, want 2 nodes", got)
+	}
+	// Canonical labels keep working.
+	if got := g.Lookup("Clinton"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Lookup(Clinton) = %v", got)
+	}
+}
+
+func TestAliasDedup(t *testing.T) {
+	b := NewBuilder(1)
+	n := b.AddNode("X", KindGPE, "")
+	b.AddAlias(n, "Ex")
+	b.AddAlias(n, "ex") // same after folding
+	b.AddAlias(n, "")   // ignored
+	g := b.Build()
+	if got := g.Lookup("ex"); len(got) != 1 {
+		t.Fatalf("duplicate alias entries: %v", got)
+	}
+}
+
+func TestAliasPanicsOnBadNode(t *testing.T) {
+	b := NewBuilder(1)
+	b.AddNode("X", KindGPE, "")
+	mustPanic(t, "alias out of range", func() { b.AddAlias(99, "Y") })
+}
+
+func TestAliasTSVRoundTrip(t *testing.T) {
+	g := buildAliased(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g2.Lookup("US election"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("alias lost in round trip: %v", got)
+	}
+	if got := g2.Lookup("hillary clinton"); len(got) != 2 {
+		t.Fatalf("ambiguous alias lost: %v", got)
+	}
+	var b1, b2 bytes.Buffer
+	if err := Write(&b1, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b2, g2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("aliased TSV not byte-stable")
+	}
+}
+
+func TestAliasTSVErrors(t *testing.T) {
+	cases := []string{
+		"N\t0\tgpe\tA\td\nA\t0\n",    // wrong field count
+		"N\t0\tgpe\tA\td\nA\tx\tY\n", // bad node id
+		"N\t0\tgpe\tA\td\nA\t5\tY\n", // out of range
+	}
+	for i, c := range cases {
+		if _, err := Read(bytes.NewBufferString(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

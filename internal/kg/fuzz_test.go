@@ -1,0 +1,53 @@
+package kg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the TSV parser: arbitrary input must either parse into
+// a consistent graph or fail cleanly, never panic.
+func FuzzRead(f *testing.F) {
+	f.Add("N\t0\tgpe\tA\td\nE\t0\tr\t0\t1\n")
+	f.Add("N\t0\tgpe\tA\td\nA\t0\talias\n")
+	f.Add("#comment\n\nN\t0\tperson\tB\t\n")
+	f.Add("E\t0\tr\t1\t1\n")
+	f.Add("N\tx\ty\tz\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := Read(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// A successfully parsed graph round-trips.
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("Write after successful Read: %v", err)
+		}
+		if _, err := Read(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-Read of own output: %v", err)
+		}
+	})
+}
+
+// FuzzParseNTriples: the lenient N-Triples parser must accept anything
+// without panicking and produce in-range graphs.
+func FuzzParseNTriples(f *testing.F) {
+	f.Add(`<http://a> <http://p> <http://b> .`)
+	f.Add(`<http://a> <http://x#label> "text"@en .`)
+	f.Add(`garbage`)
+	f.Add(`<http://a> <http://p> "unterminated`)
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := ParseNTriples(strings.NewReader(s), "en", false)
+		if err != nil {
+			return
+		}
+		for i := 0; i < g.NumNodes(); i++ {
+			for _, a := range g.Neighbors(NodeID(i)) {
+				if int(a.To) >= g.NumNodes() {
+					t.Fatalf("arc target %d out of range", a.To)
+				}
+			}
+		}
+	})
+}

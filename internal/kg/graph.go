@@ -1,0 +1,261 @@
+// Package kg implements the knowledge-graph substrate used by NewsLink.
+//
+// The paper embeds news documents into Wikidata; here the graph is an
+// in-memory, labeled, weighted property graph. Following Section V-A of the
+// paper the graph is treated as bidirected: for every relationship edge a
+// reversed arc is materialized so that shortest-path distances are symmetric.
+// Arcs remember whether they are the original or the reversed direction so
+// relationship paths can be rendered faithfully (e.g. "Lahore -located in->
+// Pakistan" rather than the reverse).
+package kg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies an entity node. IDs are dense, starting at 0, so they
+// index directly into the graph's internal slices.
+type NodeID uint32
+
+// RelID identifies a relationship type in the graph's relation vocabulary.
+type RelID uint16
+
+// Kind is the coarse entity type attached to a node. It mirrors the entity
+// types the paper's NLP component keeps after NER (Section IV): everything
+// except numbers and quantities.
+type Kind uint8
+
+// Entity kinds considered during entity recognition (Section IV).
+const (
+	KindUnknown Kind = iota
+	KindPerson
+	KindNORP // nationality, religious or political group
+	KindFacility
+	KindOrg
+	KindGPE // geo-political entity
+	KindLocation
+	KindProduct
+	KindEvent
+	KindWorkOfArt
+	KindLaw
+	KindLanguage
+)
+
+var kindNames = [...]string{
+	"unknown", "person", "norp", "facility", "org", "gpe",
+	"location", "product", "event", "work_of_art", "law", "language",
+}
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindFromString parses the name produced by Kind.String. It returns
+// KindUnknown for unrecognized names.
+func KindFromString(s string) Kind {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i)
+		}
+	}
+	return KindUnknown
+}
+
+// Node is an entity node of the knowledge graph.
+type Node struct {
+	Label string // surface label used for exact-match entity linking
+	Kind  Kind
+	Desc  string // short description, used by the QEPRF baseline
+}
+
+// Arc is one direction of a (bidirected) relationship edge.
+type Arc struct {
+	To      NodeID
+	Rel     RelID
+	Weight  float64
+	Reverse bool // true if this arc is the materialized reverse direction
+}
+
+// Graph is an immutable, bidirected, labeled, weighted knowledge graph.
+// Build one with a Builder. The zero value is an empty graph.
+// Adjacency is stored in CSR form — one flat arc slice plus per-node
+// offsets — so a multi-million-node graph costs two allocations instead of
+// one slice header per node and scans with perfect locality.
+type Graph struct {
+	nodes   []Node
+	rels    []string
+	arcOff  []uint64 // len NumNodes+1; arcs of v are arcs[arcOff[v]:arcOff[v+1]]
+	arcs    []Arc
+	index   *LabelIndex
+	aliases map[string][]NodeID // folded alias -> nodes, kept for serialization
+	edges   int                 // number of original (pre-reversal) edges
+}
+
+// NumNodes returns the number of entity nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of original relationship edges (each is stored
+// as two arcs internally).
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Node returns the node with the given ID. It panics if id is out of range.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Label returns the label of the node with the given ID.
+func (g *Graph) Label(id NodeID) string { return g.nodes[id].Label }
+
+// RelName returns the name of a relationship type.
+func (g *Graph) RelName(r RelID) string { return g.rels[r] }
+
+// NumRels returns the size of the relation vocabulary.
+func (g *Graph) NumRels() int { return len(g.rels) }
+
+// Neighbors returns the arcs leaving id (both original and reversed
+// directions, so traversal is bidirected). The returned slice is shared with
+// the graph and must not be modified.
+func (g *Graph) Neighbors(id NodeID) []Arc {
+	return g.arcs[g.arcOff[id]:g.arcOff[id+1]]
+}
+
+// Index returns the label index for exact-match entity linking.
+func (g *Graph) Index() *LabelIndex { return g.index }
+
+// Lookup returns S(l): the set of nodes whose label exactly matches l after
+// case folding (Section V-A, Example 3).
+func (g *Graph) Lookup(label string) []NodeID { return g.index.Lookup(label) }
+
+// Degree returns the bidirected degree of id.
+func (g *Graph) Degree(id NodeID) int {
+	return int(g.arcOff[id+1] - g.arcOff[id])
+}
+
+// Aliases calls fn for every (folded alias, nodes) pair in deterministic
+// order is NOT guaranteed; callers needing determinism should sort.
+func (g *Graph) Aliases(fn func(alias string, nodes []NodeID) bool) {
+	for a, ns := range g.aliases {
+		if !fn(a, ns) {
+			return
+		}
+	}
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// The zero value is ready to use.
+type Builder struct {
+	nodes   []Node
+	rels    []string
+	relByID map[string]RelID
+	arcs    [][]Arc
+	aliases map[string][]NodeID
+	edges   int
+}
+
+// NewBuilder returns a Builder with capacity hints for n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{
+		nodes:   make([]Node, 0, n),
+		arcs:    make([][]Arc, 0, n),
+		relByID: make(map[string]RelID),
+	}
+}
+
+// AddNode appends a node and returns its ID.
+func (b *Builder) AddNode(label string, kind Kind, desc string) NodeID {
+	if b.relByID == nil {
+		b.relByID = make(map[string]RelID)
+	}
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{Label: label, Kind: kind, Desc: desc})
+	b.arcs = append(b.arcs, nil)
+	return id
+}
+
+// AddAlias registers an additional surface form for a node; entity linking
+// resolves the alias to the node exactly like its canonical label (real KGs
+// such as Wikidata carry many aliases per entity). Adding the same alias
+// for several nodes makes it ambiguous, like any shared label.
+func (b *Builder) AddAlias(node NodeID, alias string) {
+	if int(node) >= len(b.nodes) {
+		panic("kg: alias node out of range")
+	}
+	if b.aliases == nil {
+		b.aliases = make(map[string][]NodeID)
+	}
+	key := Fold(alias)
+	if key == "" {
+		return
+	}
+	b.aliases[key] = append(b.aliases[key], node)
+}
+
+// Rel interns a relation name and returns its ID.
+func (b *Builder) Rel(name string) RelID {
+	if b.relByID == nil {
+		b.relByID = make(map[string]RelID)
+	}
+	if id, ok := b.relByID[name]; ok {
+		return id
+	}
+	id := RelID(len(b.rels))
+	b.rels = append(b.rels, name)
+	b.relByID[name] = id
+	return id
+}
+
+// AddEdge adds a weighted relationship edge from→to and its reversed arc.
+// Weights must be positive. It panics on out-of-range node IDs.
+func (b *Builder) AddEdge(from, to NodeID, rel RelID, weight float64) {
+	if weight <= 0 {
+		panic(fmt.Sprintf("kg: non-positive edge weight %v", weight))
+	}
+	if int(from) >= len(b.nodes) || int(to) >= len(b.nodes) {
+		panic("kg: edge endpoint out of range")
+	}
+	b.arcs[from] = append(b.arcs[from], Arc{To: to, Rel: rel, Weight: weight})
+	b.arcs[to] = append(b.arcs[to], Arc{To: from, Rel: rel, Weight: weight, Reverse: true})
+	b.edges++
+}
+
+// AddEdgeByName is AddEdge with a relation name instead of a RelID.
+func (b *Builder) AddEdgeByName(from, to NodeID, rel string, weight float64) {
+	b.AddEdge(from, to, b.Rel(rel), weight)
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.nodes) }
+
+// Build finalizes the graph: adjacency lists are sorted for determinism and
+// packed into CSR form, and the label index is constructed. The Builder
+// must not be used afterwards.
+func (b *Builder) Build() *Graph {
+	total := 0
+	for _, arcs := range b.arcs {
+		sort.Slice(arcs, func(i, j int) bool {
+			if arcs[i].To != arcs[j].To {
+				return arcs[i].To < arcs[j].To
+			}
+			return arcs[i].Rel < arcs[j].Rel
+		})
+		total += len(arcs)
+	}
+	g := &Graph{
+		nodes:   b.nodes,
+		rels:    b.rels,
+		arcOff:  make([]uint64, len(b.nodes)+1),
+		arcs:    make([]Arc, 0, total),
+		aliases: b.aliases,
+		edges:   b.edges,
+	}
+	for i, arcs := range b.arcs {
+		g.arcs = append(g.arcs, arcs...)
+		g.arcOff[i+1] = uint64(len(g.arcs))
+	}
+	g.index = NewLabelIndex(g.nodes, b.aliases)
+	b.nodes, b.arcs, b.rels, b.aliases = nil, nil, nil, nil
+	return g
+}

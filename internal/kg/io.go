@@ -1,0 +1,133 @@
+package kg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The TSV interchange format is a line-oriented dump similar in spirit to
+// the Wikidata truthy dumps the paper consumes:
+//
+//	N <tab> id <tab> kind <tab> label <tab> desc
+//	E <tab> from <tab> rel-name <tab> to <tab> weight
+//	A <tab> node <tab> alias
+//
+// Node lines must precede the edge and alias lines that reference them.
+// Lines starting with '#' and blank lines are ignored.
+
+// Write serializes the graph in TSV form.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(NodeID(i))
+		if _, err := fmt.Fprintf(bw, "N\t%d\t%s\t%s\t%s\n",
+			i, n.Kind, sanitize(n.Label), sanitize(n.Desc)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		for _, a := range g.Neighbors(NodeID(i)) {
+			if a.Reverse {
+				continue // only original edges are serialized
+			}
+			if _, err := fmt.Fprintf(bw, "E\t%d\t%s\t%d\t%g\n",
+				i, g.RelName(a.Rel), a.To, a.Weight); err != nil {
+				return err
+			}
+		}
+	}
+	// Aliases, sorted for byte-stable output.
+	var aliasNames []string
+	g.Aliases(func(alias string, _ []NodeID) bool {
+		aliasNames = append(aliasNames, alias)
+		return true
+	})
+	sort.Strings(aliasNames)
+	for _, alias := range aliasNames {
+		nodes := append([]NodeID(nil), g.aliases[alias]...)
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, n := range nodes {
+			if _, err := fmt.Fprintf(bw, "A\t%d\t%s\n", n, sanitize(alias)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func sanitize(s string) string {
+	s = strings.ReplaceAll(s, "\t", " ")
+	return strings.ReplaceAll(s, "\n", " ")
+}
+
+// Read parses a TSV graph dump produced by Write.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	b := NewBuilder(0)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, "\t")
+		switch f[0] {
+		case "N":
+			if len(f) != 5 {
+				return nil, fmt.Errorf("kg: line %d: node line needs 5 fields, got %d", lineno, len(f))
+			}
+			id, err := strconv.Atoi(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("kg: line %d: bad node id: %v", lineno, err)
+			}
+			if id != b.NumNodes() {
+				return nil, fmt.Errorf("kg: line %d: node ids must be dense and ordered; want %d got %d", lineno, b.NumNodes(), id)
+			}
+			b.AddNode(f[3], KindFromString(f[2]), f[4])
+		case "A":
+			if len(f) != 3 {
+				return nil, fmt.Errorf("kg: line %d: alias line needs 3 fields, got %d", lineno, len(f))
+			}
+			node, err := strconv.Atoi(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("kg: line %d: bad alias node: %v", lineno, err)
+			}
+			if node < 0 || node >= b.NumNodes() {
+				return nil, fmt.Errorf("kg: line %d: alias node out of range", lineno)
+			}
+			b.AddAlias(NodeID(node), f[2])
+		case "E":
+			if len(f) != 5 {
+				return nil, fmt.Errorf("kg: line %d: edge line needs 5 fields, got %d", lineno, len(f))
+			}
+			from, err := strconv.Atoi(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("kg: line %d: bad edge source: %v", lineno, err)
+			}
+			to, err := strconv.Atoi(f[3])
+			if err != nil {
+				return nil, fmt.Errorf("kg: line %d: bad edge target: %v", lineno, err)
+			}
+			w, err := strconv.ParseFloat(f[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("kg: line %d: bad edge weight: %v", lineno, err)
+			}
+			if from < 0 || from >= b.NumNodes() || to < 0 || to >= b.NumNodes() {
+				return nil, fmt.Errorf("kg: line %d: edge endpoint out of range", lineno)
+			}
+			b.AddEdgeByName(NodeID(from), NodeID(to), f[2], w)
+		default:
+			return nil, fmt.Errorf("kg: line %d: unknown record type %q", lineno, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}

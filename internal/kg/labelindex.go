@@ -1,0 +1,79 @@
+package kg
+
+import "strings"
+
+// LabelIndex maps entity labels to node sets for exact-match entity linking
+// (Section V-A: "an entity l ... is mapped to a set of nodes S(l) from K
+// whose labels contain l through exact string matching"). Matching is
+// performed on the case-folded label; the paper's experiments report a >96%
+// match ratio per news segment with this scheme (Table V).
+type LabelIndex struct {
+	exact map[string][]NodeID
+}
+
+// Fold normalizes a label for index lookup: lowercase with collapsed
+// interior whitespace.
+func Fold(label string) string {
+	return strings.Join(strings.Fields(strings.ToLower(label)), " ")
+}
+
+// NewLabelIndex builds an index over the given nodes. Node IDs are the
+// positions in the slice. aliases maps additional surface forms to nodes
+// (real KGs like Wikidata attach many aliases per entity); alias entries
+// are merged with the canonical labels, deduplicated per key.
+func NewLabelIndex(nodes []Node, aliases map[string][]NodeID) *LabelIndex {
+	idx := &LabelIndex{exact: make(map[string][]NodeID, len(nodes)+len(aliases))}
+	for i, n := range nodes {
+		key := Fold(n.Label)
+		if key == "" {
+			continue
+		}
+		idx.exact[key] = append(idx.exact[key], NodeID(i))
+	}
+	for alias, ids := range aliases {
+		key := Fold(alias)
+		if key == "" {
+			continue
+		}
+		for _, id := range ids {
+			if !containsID(idx.exact[key], id) {
+				idx.exact[key] = append(idx.exact[key], id)
+			}
+		}
+	}
+	return idx
+}
+
+func containsID(ids []NodeID, id NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns S(l): all nodes whose folded label equals the folded query.
+// The returned slice is shared and must not be modified. A nil result means
+// the label is not in the knowledge graph.
+func (idx *LabelIndex) Lookup(label string) []NodeID {
+	return idx.exact[Fold(label)]
+}
+
+// Contains reports whether the label resolves to at least one node.
+func (idx *LabelIndex) Contains(label string) bool {
+	return len(idx.exact[Fold(label)]) > 0
+}
+
+// Size returns the number of distinct folded labels in the index.
+func (idx *LabelIndex) Size() int { return len(idx.exact) }
+
+// Labels calls fn for every folded label in the index until fn returns
+// false. Iteration order is unspecified.
+func (idx *LabelIndex) Labels(fn func(label string, nodes []NodeID) bool) {
+	for l, ns := range idx.exact {
+		if !fn(l, ns) {
+			return
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package lda implements Latent Dirichlet Allocation with collapsed Gibbs
+// sampling, the LDA competitor of Table IV (the paper trains PLDA with 500
+// topics; this is the same model family with the same inference algorithm,
+// minus PLDA's parallel pipeline — see DESIGN.md §1).
+package lda
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config parameterizes training.
+type Config struct {
+	K          int     // number of topics
+	Alpha      float64 // document-topic Dirichlet prior
+	Beta       float64 // topic-word Dirichlet prior
+	Iterations int     // Gibbs sweeps over the corpus
+	Seed       int64
+}
+
+// DefaultConfig returns a configuration suitable for the down-scaled
+// corpora of the experiment suite.
+func DefaultConfig(k int, seed int64) Config {
+	if k <= 0 {
+		k = 50
+	}
+	return Config{K: k, Alpha: 50.0 / float64(k), Beta: 0.01, Iterations: 60, Seed: seed}
+}
+
+// Model is a trained LDA model.
+type Model struct {
+	cfg   Config
+	vocab map[string]int
+	// counts: nwt[w*K+t] topic assignments of word w, nt[t] totals.
+	nwt []int
+	nt  []int
+	// docTopics holds the trained per-document topic mixtures.
+	docTopics [][]float64
+}
+
+// Train fits the model on tokenized documents.
+func Train(docs [][]string, cfg Config) (*Model, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("lda: K must be positive, got %d", cfg.K)
+	}
+	if cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("lda: Iterations must be positive, got %d", cfg.Iterations)
+	}
+	m := &Model{cfg: cfg, vocab: make(map[string]int)}
+	// Intern words.
+	ids := make([][]int, len(docs))
+	for i, d := range docs {
+		ids[i] = make([]int, len(d))
+		for j, w := range d {
+			id, ok := m.vocab[w]
+			if !ok {
+				id = len(m.vocab)
+				m.vocab[w] = id
+			}
+			ids[i][j] = id
+		}
+	}
+	V, K := len(m.vocab), cfg.K
+	m.nwt = make([]int, V*K)
+	m.nt = make([]int, K)
+	ndt := make([][]int, len(docs)) // per-doc topic counts
+	z := make([][]int, len(docs))   // token topic assignments
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i, d := range ids {
+		ndt[i] = make([]int, K)
+		z[i] = make([]int, len(d))
+		for j, w := range d {
+			t := rng.Intn(K)
+			z[i][j] = t
+			ndt[i][t]++
+			m.nwt[w*K+t]++
+			m.nt[t]++
+		}
+	}
+	probs := make([]float64, K)
+	for it := 0; it < cfg.Iterations; it++ {
+		for i, d := range ids {
+			for j, w := range d {
+				t := z[i][j]
+				ndt[i][t]--
+				m.nwt[w*K+t]--
+				m.nt[t]--
+				total := 0.0
+				for k := 0; k < K; k++ {
+					p := (float64(ndt[i][k]) + cfg.Alpha) *
+						(float64(m.nwt[w*K+k]) + cfg.Beta) /
+						(float64(m.nt[k]) + cfg.Beta*float64(V))
+					total += p
+					probs[k] = total
+				}
+				u := rng.Float64() * total
+				nt := 0
+				for nt < K-1 && probs[nt] < u {
+					nt++
+				}
+				z[i][j] = nt
+				ndt[i][nt]++
+				m.nwt[w*K+nt]++
+				m.nt[nt]++
+			}
+		}
+	}
+	m.docTopics = make([][]float64, len(docs))
+	for i := range docs {
+		m.docTopics[i] = m.mixture(ndt[i], len(ids[i]))
+	}
+	return m, nil
+}
+
+// mixture converts topic counts into a smoothed distribution.
+func (m *Model) mixture(counts []int, n int) []float64 {
+	K := m.cfg.K
+	out := make([]float64, K)
+	denom := float64(n) + float64(K)*m.cfg.Alpha
+	for k := 0; k < K; k++ {
+		out[k] = (float64(counts[k]) + m.cfg.Alpha) / denom
+	}
+	return out
+}
+
+// K returns the number of topics.
+func (m *Model) K() int { return m.cfg.K }
+
+// VocabSize returns the training vocabulary size.
+func (m *Model) VocabSize() int { return len(m.vocab) }
+
+// DocTopics returns the trained topic mixture of training document i.
+func (m *Model) DocTopics(i int) []float64 { return m.docTopics[i] }
+
+// Infer estimates the topic mixture of an unseen document by Gibbs sampling
+// with the trained topic-word counts held fixed. Words outside the training
+// vocabulary are ignored.
+func (m *Model) Infer(terms []string, iterations int, seed int64) []float64 {
+	K, V := m.cfg.K, len(m.vocab)
+	var ids []int
+	for _, w := range terms {
+		if id, ok := m.vocab[w]; ok {
+			ids = append(ids, id)
+		}
+	}
+	counts := make([]int, K)
+	if len(ids) == 0 {
+		return m.mixture(counts, 0)
+	}
+	if iterations <= 0 {
+		iterations = 20
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := make([]int, len(ids))
+	for j := range ids {
+		z[j] = rng.Intn(K)
+		counts[z[j]]++
+	}
+	probs := make([]float64, K)
+	for it := 0; it < iterations; it++ {
+		for j, w := range ids {
+			t := z[j]
+			counts[t]--
+			total := 0.0
+			for k := 0; k < K; k++ {
+				p := (float64(counts[k]) + m.cfg.Alpha) *
+					(float64(m.nwt[w*K+k]) + m.cfg.Beta) /
+					(float64(m.nt[k]) + m.cfg.Beta*float64(V))
+				total += p
+				probs[k] = total
+			}
+			u := rng.Float64() * total
+			nt := 0
+			for nt < K-1 && probs[nt] < u {
+				nt++
+			}
+			z[j] = nt
+			counts[nt]++
+		}
+	}
+	return m.mixture(counts, len(ids))
+}
+
+// CosineTopics returns the cosine similarity of two topic mixtures.
+func CosineTopics(a, b []float64) float64 {
+	var dot, na, nb float64
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}

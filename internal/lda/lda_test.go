@@ -1,0 +1,144 @@
+package lda
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func corpus() [][]string {
+	lines := []string{
+		"taliban attack bomb army conflict war soldier",
+		"taliban bomb blast army strike militant war",
+		"army soldier war conflict strike militant taliban",
+		"bomb blast militant soldier strike conflict",
+		"election vote ballot candidate campaign poll party",
+		"election candidate debate vote poll victory party",
+		"vote ballot campaign election winner poll debate",
+		"candidate party campaign victory ballot election",
+		"cricket match stadium team batsman score innings",
+		"team match score cricket innings trophy batsman",
+		"stadium trophy team batsman cricket match score",
+		"innings score match team cricket trophy stadium",
+	}
+	var out [][]string
+	for _, l := range lines {
+		out = append(out, strings.Fields(l))
+	}
+	return out
+}
+
+func trainToy(t *testing.T) *Model {
+	t.Helper()
+	m, err := Train(corpus(), Config{K: 3, Alpha: 0.5, Beta: 0.01, Iterations: 150, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, Config{K: 0, Iterations: 5}); err == nil {
+		t.Fatal("K=0 must error")
+	}
+	if _, err := Train(nil, Config{K: 2, Iterations: 0}); err == nil {
+		t.Fatal("Iterations=0 must error")
+	}
+}
+
+func TestMixturesAreDistributions(t *testing.T) {
+	m := trainToy(t)
+	for i := 0; i < len(corpus()); i++ {
+		sum := 0.0
+		for _, p := range m.DocTopics(i) {
+			if p < 0 {
+				t.Fatalf("doc %d negative probability", i)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("doc %d mixture sums to %v", i, sum)
+		}
+	}
+}
+
+func TestTopicsSeparateThemes(t *testing.T) {
+	m := trainToy(t)
+	// Docs 0-3 military, 4-7 politics, 8-11 sports. Same-theme documents
+	// must be more topically similar than cross-theme ones on average.
+	avg := func(pairs [][2]int) float64 {
+		s := 0.0
+		for _, p := range pairs {
+			s += CosineTopics(m.DocTopics(p[0]), m.DocTopics(p[1]))
+		}
+		return s / float64(len(pairs))
+	}
+	same := avg([][2]int{{0, 1}, {1, 2}, {4, 5}, {5, 6}, {8, 9}, {9, 10}})
+	cross := avg([][2]int{{0, 4}, {1, 8}, {5, 9}, {2, 6}, {3, 11}})
+	if same <= cross {
+		t.Fatalf("topics do not separate themes: same=%v cross=%v", same, cross)
+	}
+}
+
+func TestInfer(t *testing.T) {
+	m := trainToy(t)
+	military := m.Infer(strings.Fields("taliban bomb war strike"), 50, 7)
+	sum := 0.0
+	for _, p := range military {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("inferred mixture sums to %v", sum)
+	}
+	simMil := CosineTopics(military, m.DocTopics(0))
+	simSport := CosineTopics(military, m.DocTopics(9))
+	if simMil <= simSport {
+		t.Fatalf("inference misassigns topic: mil=%v sport=%v", simMil, simSport)
+	}
+	// OOV-only inference returns the uniform prior mixture.
+	oov := m.Infer([]string{"zzz", "qqq"}, 10, 1)
+	for i := 1; i < len(oov); i++ {
+		if oov[i] != oov[0] {
+			t.Fatal("OOV mixture should be uniform")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := trainToy(t)
+	b := trainToy(t)
+	for i := 0; i < len(corpus()); i++ {
+		if !reflect.DeepEqual(a.DocTopics(i), b.DocTopics(i)) {
+			t.Fatal("training not deterministic")
+		}
+	}
+	if !reflect.DeepEqual(a.Infer([]string{"taliban"}, 10, 3), b.Infer([]string{"taliban"}, 10, 3)) {
+		t.Fatal("inference not deterministic")
+	}
+}
+
+func TestCosineTopics(t *testing.T) {
+	if got := CosineTopics([]float64{1, 0}, []float64{1, 0}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self cosine = %v", got)
+	}
+	if got := CosineTopics([]float64{1, 0}, []float64{0, 1}); got != 0 {
+		t.Fatalf("orthogonal = %v", got)
+	}
+	if got := CosineTopics(nil, []float64{1}); got != 0 {
+		t.Fatalf("nil = %v", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m := trainToy(t)
+	if m.K() != 3 {
+		t.Fatalf("K = %d", m.K())
+	}
+	if m.VocabSize() == 0 {
+		t.Fatal("vocab empty")
+	}
+	if got := DefaultConfig(0, 1).K; got != 50 {
+		t.Fatalf("default K = %d", got)
+	}
+}

@@ -1,0 +1,64 @@
+package lda
+
+import "math"
+
+// HeldOutPerplexity evaluates the model on unseen documents: for each
+// document the topic mixture is inferred, then the per-token log likelihood
+// is computed under p(w|d) = Σ_k θ_dk φ_kw. Lower is better. This is the
+// standard model-selection criterion for the validation split the paper
+// reserves for "tuning DOC2VEC and LDA models" (Section VII-A3).
+//
+// Out-of-vocabulary tokens are skipped (they carry no information about
+// topic quality); a corpus with no in-vocabulary tokens returns +Inf.
+func (m *Model) HeldOutPerplexity(docs [][]string, inferIters int, seed int64) float64 {
+	K, V := m.cfg.K, len(m.vocab)
+	logSum, tokens := 0.0, 0
+	for di, doc := range docs {
+		theta := m.Infer(doc, inferIters, seed+int64(di))
+		for _, w := range doc {
+			id, ok := m.vocab[w]
+			if !ok {
+				continue
+			}
+			p := 0.0
+			for k := 0; k < K; k++ {
+				phi := (float64(m.nwt[id*K+k]) + m.cfg.Beta) /
+					(float64(m.nt[k]) + m.cfg.Beta*float64(V))
+				p += theta[k] * phi
+			}
+			if p > 0 {
+				logSum += math.Log(p)
+				tokens++
+			}
+		}
+	}
+	if tokens == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(-logSum / float64(tokens))
+}
+
+// SelectTopics trains one model per candidate topic count and returns the
+// count minimizing held-out perplexity on the validation documents, with
+// the perplexities observed (aligned with candidates).
+func SelectTopics(train, validation [][]string, candidates []int, base Config) (best int, perplexities []float64, err error) {
+	bestPerp := math.Inf(1)
+	for _, k := range candidates {
+		cfg := base
+		cfg.K = k
+		if cfg.Alpha <= 0 {
+			cfg.Alpha = 50.0 / float64(k)
+		}
+		m, trainErr := Train(train, cfg)
+		if trainErr != nil {
+			return 0, nil, trainErr
+		}
+		p := m.HeldOutPerplexity(validation, 30, cfg.Seed+1)
+		perplexities = append(perplexities, p)
+		if p < bestPerp {
+			bestPerp = p
+			best = k
+		}
+	}
+	return best, perplexities, nil
+}

@@ -1,0 +1,66 @@
+package lda
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeldOutPerplexity(t *testing.T) {
+	m := trainToy(t)
+	// In-domain held-out text should be far less perplexing than shuffled
+	// cross-topic text.
+	inDomain := [][]string{
+		strings.Fields("taliban bomb army war soldier"),
+		strings.Fields("election vote ballot candidate poll"),
+	}
+	crossTopic := [][]string{
+		strings.Fields("taliban ballot stadium soldier trophy vote"),
+		strings.Fields("cricket war campaign blast innings poll"),
+	}
+	pIn := m.HeldOutPerplexity(inDomain, 50, 1)
+	pCross := m.HeldOutPerplexity(crossTopic, 50, 1)
+	if math.IsInf(pIn, 1) || pIn <= 1 {
+		t.Fatalf("in-domain perplexity = %v", pIn)
+	}
+	if pIn >= pCross {
+		t.Fatalf("in-domain %v should beat cross-topic %v", pIn, pCross)
+	}
+	// All-OOV documents are infinitely perplexing.
+	if p := m.HeldOutPerplexity([][]string{{"zzz"}}, 10, 1); !math.IsInf(p, 1) {
+		t.Fatalf("OOV perplexity = %v", p)
+	}
+}
+
+func TestSelectTopics(t *testing.T) {
+	docs := corpus()
+	train, val := docs[:9], docs[9:]
+	base := Config{Alpha: 0, Beta: 0.01, Iterations: 100, Seed: 5}
+	best, perps, err := SelectTopics(train, val, []int{1, 3, 30}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perps) != 3 {
+		t.Fatalf("perplexities = %v", perps)
+	}
+	// The corpus has three themes; 30 topics overfits tiny data and 1 topic
+	// underfits — either way, a valid candidate must be selected.
+	found := false
+	for _, k := range []int{1, 3, 30} {
+		if best == k {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("best = %d not among candidates", best)
+	}
+	for _, p := range perps {
+		if p <= 0 {
+			t.Fatalf("invalid perplexity %v", p)
+		}
+	}
+	// Propagates training errors.
+	if _, _, err := SelectTopics(train, val, []int{0}, base); err == nil {
+		t.Fatal("K=0 must propagate the error")
+	}
+}

@@ -1,0 +1,83 @@
+package nlp
+
+import "sort"
+
+// EntityGroups returns one entity-label set per news segment (sentence),
+// skipping segments with no linked entities. Each group is sorted for
+// determinism.
+func (d *Document) EntityGroups() [][]string {
+	var out [][]string
+	for i := range d.Sentences {
+		labels := d.Sentences[i].Labels()
+		if len(labels) == 0 {
+			continue
+		}
+		sort.Strings(labels)
+		out = append(out, labels)
+	}
+	return out
+}
+
+// MaximalSets implements Definition 1 (maximal entity co-occurrence set):
+// given all identified entity sets U, keep only those that are not proper
+// subsets of any other set; among equal sets keep one. Input groups must be
+// sorted; output preserves the relative order of the survivors.
+func MaximalSets(groups [][]string) [][]string {
+	if len(groups) <= 1 {
+		return groups
+	}
+	keep := make([]bool, len(groups))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := range groups {
+		for j := range groups {
+			if i == j {
+				continue
+			}
+			// L_i is dropped if it is a proper subset of some L_j, or a
+			// duplicate of an earlier L_j (ties keep the first occurrence).
+			if len(groups[i]) < len(groups[j]) && subset(groups[i], groups[j]) ||
+				i > j && equal(groups[i], groups[j]) {
+				keep[i] = false
+				break
+			}
+		}
+	}
+	out := groups[:0:0]
+	for i, g := range groups {
+		if keep[i] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// subset reports whether sorted slice a ⊆ sorted slice b.
+func subset(a, b []string) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

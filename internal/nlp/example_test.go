@@ -1,0 +1,31 @@
+package nlp_test
+
+import (
+	"fmt"
+
+	"newslink/internal/nlp"
+)
+
+type gaz map[string]bool
+
+func (g gaz) Contains(label string) bool { return g[nlp.Fold(label)] }
+
+// Example runs the NLP component on a two-sentence story: NER against a
+// gazetteer, then the maximal entity co-occurrence set of Definition 1.
+func Example() {
+	pipe := nlp.NewPipeline(gaz{
+		"pakistan": true, "taliban": true, "upper dir": true, "swat valley": true,
+	})
+	doc := pipe.Process(
+		"Taliban militants attacked Upper Dir and the Swat Valley in Pakistan. " +
+			"The Taliban later withdrew from Upper Dir.")
+	for i, s := range doc.Sentences {
+		fmt.Printf("segment %d: %v\n", i+1, s.Labels())
+	}
+	groups := nlp.MaximalSets(doc.EntityGroups())
+	fmt.Println("maximal sets:", groups)
+	// Output:
+	// segment 1: [taliban upper dir swat valley pakistan]
+	// segment 2: [taliban upper dir]
+	// maximal sets: [[pakistan swat valley taliban upper dir]]
+}

@@ -1,0 +1,49 @@
+package nlp
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzProcess drives the whole NLP pipeline with arbitrary input: it must
+// never panic, never loop, and always produce tokens whose offsets map back
+// into the input.
+func FuzzProcess(f *testing.F) {
+	seeds := []string{
+		"",
+		"Taliban militants attacked Upper Dir and the Swat Valley in Pakistan.",
+		"Mr. Smith went to Washington. He returned on Jan. 5.",
+		"a.b.c...d!!?!",
+		"ALLCAPS TEXT WITH 123 NUMBERS",
+		"unicode: 日本語 naïve café — em—dash",
+		"\x00\xff\xfe broken bytes",
+		"Tabs\tand\nnewlines\r\nand  spaces",
+		"trailing- -leading 'quoted' \"double\"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	gaz := mapGaz{"pakistan": true, "upper dir": true}
+	pipe := NewPipeline(gaz)
+	f.Fuzz(func(t *testing.T, s string) {
+		doc := pipe.Process(s)
+		for _, sent := range doc.Sentences {
+			if sent.Text == "" {
+				t.Fatal("empty sentence emitted")
+			}
+			for _, tok := range Tokenize(sent.Text) {
+				if tok.Start < 0 || tok.End > len(sent.Text) || tok.Start >= tok.End {
+					t.Fatalf("bad offsets %d..%d in %q", tok.Start, tok.End, sent.Text)
+				}
+			}
+			for _, m := range sent.Mentions {
+				if m.Text == "" || m.Label == "" {
+					t.Fatalf("empty mention in %q", sent.Text)
+				}
+				if !utf8.ValidString(m.Label) && utf8.ValidString(s) {
+					t.Fatalf("invalid mention label %q from valid input", m.Label)
+				}
+			}
+		}
+	})
+}

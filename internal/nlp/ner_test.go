@@ -1,0 +1,206 @@
+package nlp
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// mapGaz is a simple map-backed gazetteer for tests.
+type mapGaz map[string]bool
+
+func (m mapGaz) Contains(label string) bool { return m[Fold(label)] }
+
+func paperGaz() mapGaz {
+	return mapGaz{
+		"pakistan": true, "taliban": true, "afghan": true, "afghanistan": true,
+		"upper dir": true, "swat valley": true, "lahore": true, "peshawar": true,
+		"khyber": true, "kunar": true, "waziristan": true,
+	}
+}
+
+func TestRecognizeMultiWord(t *testing.T) {
+	p := NewPipeline(paperGaz())
+	doc := p.Process("Taliban militants attacked Upper Dir and the Swat Valley in Pakistan.")
+	if len(doc.Sentences) != 1 {
+		t.Fatalf("sentences = %d", len(doc.Sentences))
+	}
+	got := doc.Sentences[0].Labels()
+	want := []string{"taliban", "upper dir", "swat valley", "pakistan"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Labels = %v, want %v", got, want)
+	}
+	for _, m := range doc.Sentences[0].Mentions {
+		if !m.Linked {
+			t.Errorf("mention %q should be linked", m.Text)
+		}
+	}
+}
+
+func TestRecognizeUnmatched(t *testing.T) {
+	p := NewPipeline(paperGaz())
+	doc := p.Process("The Taliban met Hakimullah Mehsud near Peshawar.")
+	var linked, unlinked []string
+	for _, m := range doc.Sentences[0].Mentions {
+		if m.Linked {
+			linked = append(linked, m.Label)
+		} else {
+			unlinked = append(unlinked, m.Label)
+		}
+	}
+	sort.Strings(linked)
+	if !reflect.DeepEqual(linked, []string{"peshawar", "taliban"}) {
+		t.Errorf("linked = %v", linked)
+	}
+	if !reflect.DeepEqual(unlinked, []string{"hakimullah mehsud"}) {
+		t.Errorf("unlinked = %v, want the out-of-KG person", unlinked)
+	}
+}
+
+func TestRecognizeLongestMatchWins(t *testing.T) {
+	gaz := mapGaz{"upper dir": true, "upper": true, "dir": true}
+	p := NewPipeline(gaz)
+	doc := p.Process("Fighting reached Upper Dir today.")
+	got := doc.Sentences[0].Labels()
+	if !reflect.DeepEqual(got, []string{"upper dir"}) {
+		t.Errorf("Labels = %v, want the longest match only", got)
+	}
+}
+
+func TestRecognizeSkipsSentenceInitialNoise(t *testing.T) {
+	p := NewPipeline(mapGaz{})
+	doc := p.Process("However the army advanced.")
+	if n := len(doc.Sentences[0].Mentions); n != 0 {
+		t.Errorf("got %d mentions from sentence-initial capital, want 0", n)
+	}
+}
+
+func TestRecognizePunctuationBreaksSpan(t *testing.T) {
+	gaz := mapGaz{"lahore": true, "peshawar": true, "lahore peshawar": true}
+	p := NewPipeline(gaz)
+	doc := p.Process("Blasts hit Lahore, Peshawar yesterday.")
+	got := doc.Sentences[0].Labels()
+	want := []string{"lahore", "peshawar"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Labels = %v, want %v (comma must break the span)", got, want)
+	}
+}
+
+func TestEntityDensity(t *testing.T) {
+	p := NewPipeline(paperGaz())
+	doc := p.Process("Taliban attacked Lahore. The long peaceful afternoon passed without any incident at all.")
+	d0 := doc.Sentences[0].EntityDensity()
+	d1 := doc.Sentences[1].EntityDensity()
+	if d0 <= d1 {
+		t.Errorf("density ordering wrong: %v <= %v", d0, d1)
+	}
+	if d0 != 2.0/3.0 {
+		t.Errorf("density = %v, want 2/3", d0)
+	}
+}
+
+func TestEntityGroupsAndMaximalSets(t *testing.T) {
+	// Example 2 from the paper: L4 ⊂ L2 must be ruled out.
+	groups := [][]string{
+		{"afghan", "pakistan", "taliban"},                   // L1
+		{"afghanistan", "taliban", "upper dir"},             // L2
+		{"pakistan", "swat valley", "taliban", "upper dir"}, // L3
+		{"taliban", "upper dir"},                            // L4 ⊂ L2
+	}
+	got := MaximalSets(groups)
+	if len(got) != 3 {
+		t.Fatalf("MaximalSets kept %d sets, want 3: %v", len(got), got)
+	}
+	for _, g := range got {
+		if equal(g, groups[3]) {
+			t.Fatal("L4 should have been ruled out")
+		}
+	}
+}
+
+func TestMaximalSetsDuplicates(t *testing.T) {
+	groups := [][]string{{"a", "b"}, {"a", "b"}, {"a"}}
+	got := MaximalSets(groups)
+	if len(got) != 1 || !equal(got[0], []string{"a", "b"}) {
+		t.Fatalf("MaximalSets = %v, want just one {a,b}", got)
+	}
+}
+
+func TestMaximalSetsEmptyAndSingle(t *testing.T) {
+	if got := MaximalSets(nil); len(got) != 0 {
+		t.Errorf("nil input: %v", got)
+	}
+	one := [][]string{{"x"}}
+	if got := MaximalSets(one); !reflect.DeepEqual(got, one) {
+		t.Errorf("single input: %v", got)
+	}
+}
+
+// Property: every input set is a subset of some surviving set, and no
+// survivor is a proper subset of another survivor.
+func TestMaximalSetsProperty(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		var groups [][]string
+		for _, bs := range raw {
+			set := map[string]bool{}
+			for _, b := range bs {
+				set[string(rune('a'+int(b)%6))] = true
+			}
+			if len(set) == 0 {
+				continue
+			}
+			var g []string
+			for s := range set {
+				g = append(g, s)
+			}
+			sort.Strings(g)
+			groups = append(groups, g)
+		}
+		out := MaximalSets(groups)
+		for _, g := range groups {
+			covered := false
+			for _, m := range out {
+				if subset(g, m) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		for i := range out {
+			for j := range out {
+				if i != j && len(out[i]) < len(out[j]) && subset(out[i], out[j]) {
+					return false
+				}
+				if i < j && equal(out[i], out[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want bool
+	}{
+		{[]string{"a"}, []string{"a", "b"}, true},
+		{[]string{"a", "c"}, []string{"a", "b"}, false},
+		{nil, []string{"a"}, true},
+		{[]string{"a"}, nil, false},
+		{[]string{"a", "b"}, []string{"a", "b"}, true},
+	}
+	for _, c := range cases {
+		if got := subset(c.a, c.b); got != c.want {
+			t.Errorf("subset(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

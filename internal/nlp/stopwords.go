@@ -1,0 +1,88 @@
+package nlp
+
+import "strings"
+
+// stopwords is a compact English stopword list used for BOW term extraction
+// and for rejecting single-stopword entity candidates during NER.
+var stopwords = map[string]bool{}
+
+func init() {
+	for _, w := range strings.Fields(`
+a about above after again against all am an and any are as at be because
+been before being below between both but by can did do does doing down
+during each few for from further had has have having he her here hers
+herself him himself his how i if in into is it its itself just me more
+most my myself no nor not now of off on once only or other our ours
+ourselves out over own same she should so some such than that the their
+theirs them themselves then there these they this those through to too
+under until up very was we were what when where which while who whom why
+will with you your yours yourself yourselves said says say according
+would could also may might must shall new news reported report told
+`) {
+		stopwords[w] = true
+	}
+}
+
+// IsStopword reports whether the lowercase word is a stopword.
+func IsStopword(w string) bool { return stopwords[strings.ToLower(w)] }
+
+// Terms extracts normalized BOW terms from text: lowercased word tokens,
+// stopwords removed, light suffix stemming applied. This is the analyzer
+// used for the text inverted index (the paper's NS component uses Lucene's
+// default analyzer; this plays the same role).
+func Terms(text string) []string {
+	toks := Tokenize(text)
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if !t.Word {
+			continue
+		}
+		w := strings.ToLower(t.Text)
+		if stopwords[w] || len(w) < 2 {
+			continue
+		}
+		out = append(out, Stem(w))
+	}
+	return out
+}
+
+// Stem applies a light suffix-stripping stemmer (a small subset of Porter's
+// rules: plural -s/-es/-ies, -ed, -ing, -ly). It never shortens a word below
+// three characters.
+func Stem(w string) string {
+	n := len(w)
+	switch {
+	case n > 4 && strings.HasSuffix(w, "ies"):
+		return w[:n-3] + "y"
+	case n > 4 && strings.HasSuffix(w, "sses"):
+		return w[:n-2]
+	case n > 3 && strings.HasSuffix(w, "es") && !strings.HasSuffix(w, "ses"):
+		return w[:n-1] // "bombes"→"bombe" is fine for matching purposes
+	case n > 3 && strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && !strings.HasSuffix(w, "us"):
+		return w[:n-1]
+	case n > 5 && strings.HasSuffix(w, "ing"):
+		return undouble(w[:n-3])
+	case n > 4 && strings.HasSuffix(w, "ed"):
+		return undouble(w[:n-2])
+	case n > 4 && strings.HasSuffix(w, "ly"):
+		return w[:n-2]
+	}
+	return w
+}
+
+// undouble collapses a doubled final consonant ("stopp" → "stop").
+func undouble(w string) string {
+	n := len(w)
+	if n >= 2 && w[n-1] == w[n-2] && !isVowel(w[n-1]) && w[n-1] != 'l' && w[n-1] != 's' {
+		return w[:n-1]
+	}
+	return w
+}
+
+func isVowel(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}

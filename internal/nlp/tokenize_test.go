@@ -1,0 +1,147 @@
+package nlp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func wordsOf(toks []Token) []string {
+	var out []string
+	for _, t := range toks {
+		if t.Word {
+			out = append(out, t.Text)
+		}
+	}
+	return out
+}
+
+func TestTokenizeWords(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Pakistan and Taliban.", []string{"Pakistan", "and", "Taliban"}},
+		{"the Swat Valley, near Upper Dir", []string{"the", "Swat", "Valley", "near", "Upper", "Dir"}},
+		{"a co-op isn't odd", []string{"a", "co-op", "isn't", "odd"}},
+		{"trailing- dash", []string{"trailing", "dash"}},
+		{"2016 election", []string{"2016", "election"}},
+		{"", nil},
+		{"   ", nil},
+	}
+	for _, c := range cases {
+		if got := wordsOf(Tokenize(c.in)); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) words = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	text := "Hello, Swat Valley!"
+	for _, tok := range Tokenize(text) {
+		if text[tok.Start:tok.End] != tok.Text {
+			t.Errorf("token %q offsets [%d,%d) give %q", tok.Text, tok.Start, tok.End, text[tok.Start:tok.End])
+		}
+	}
+}
+
+func TestTokenizeCapFlag(t *testing.T) {
+	toks := Tokenize("Taliban attacked lahore")
+	if !toks[0].Cap || toks[1].Cap || toks[2].Cap {
+		t.Errorf("cap flags wrong: %+v", toks)
+	}
+}
+
+func TestTokenizeNeverStalls(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		// Offsets must be monotonically non-decreasing and in range.
+		prev := 0
+		for _, tok := range toks {
+			if tok.Start < prev || tok.End > len(s) || tok.End < tok.Start {
+				return false
+			}
+			prev = tok.Start
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	text := "Taliban militants attacked Upper Dir. Pakistani forces responded in Swat Valley! Did Mr. Khan visit the U.S. embassy? He did."
+	got := SplitSentences(text)
+	want := []string{
+		"Taliban militants attacked Upper Dir.",
+		"Pakistani forces responded in Swat Valley!",
+		"Did Mr. Khan visit the U.S. embassy?",
+		"He did.",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SplitSentences =\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestSplitSentencesParagraphs(t *testing.T) {
+	got := SplitSentences("First paragraph without period\n\nSecond one.")
+	if len(got) != 2 {
+		t.Fatalf("got %q, want 2 sentences", got)
+	}
+}
+
+func TestSplitSentencesAbbrev(t *testing.T) {
+	got := SplitSentences("Gen. Bajwa met Dr. Khan. They talked.")
+	if len(got) != 2 {
+		t.Fatalf("abbreviations split wrongly: %q", got)
+	}
+}
+
+func TestSplitSentencesCoversAllText(t *testing.T) {
+	f := func(s string) bool {
+		joined := strings.Join(SplitSentences(s), " ")
+		// Every word token of the input must survive sentence splitting.
+		return len(wordsOf(Tokenize(joined))) == len(wordsOf(Tokenize(s)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"attacks", "attack"},
+		{"armies", "army"},
+		{"bombing", "bomb"},
+		{"stopped", "stop"},
+		{"quickly", "quick"},
+		{"glasses", "glass"},
+		{"news", "new"},
+		{"is", "is"},
+		{"us", "us"},
+	}
+	for _, c := range cases {
+		if got := Stem(c.in); got != c.want {
+			t.Errorf("Stem(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTerms(t *testing.T) {
+	got := Terms("The Taliban attacked the city of Lahore, killing dozens.")
+	want := []string{"taliban", "attack", "city", "lahore", "kill", "dozen"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("The") || !IsStopword("of") {
+		t.Error("expected stopwords")
+	}
+	if IsStopword("Taliban") {
+		t.Error("Taliban is not a stopword")
+	}
+}

@@ -1,0 +1,79 @@
+package search
+
+import (
+	"sort"
+
+	"newslink/internal/index"
+)
+
+// Fuse implements Equation 3 of the paper:
+//
+//	F(Tq, Tc) = (1-beta) * F_BOW(Tq, Tc) + beta * F_BON(G*q, G*c)
+//
+// bow and bon are the rankings produced over the text index and the node
+// index. Because BM25 scores are unbounded and their ranges differ between
+// the two indexes, each ranking is max-normalized before fusion (CombSUM
+// with max normalization); with beta=0 or beta=1 Fuse degenerates to the
+// single normalized ranking, so the "β=0 reduces to Lucene" property of
+// Table VII holds by construction. Both input rankings should be retrieved
+// with depth >= k (a fusion candidate pool); the fused top k are returned.
+func Fuse(bow, bon []Hit, beta float64, k int) []Hit {
+	switch {
+	case beta <= 0:
+		return clip(normalize(bow), k)
+	case beta >= 1:
+		return clip(normalize(bon), k)
+	}
+	acc := make(map[index.DocID]float64, len(bow)+len(bon))
+	for _, h := range normalize(bow) {
+		acc[h.Doc] += (1 - beta) * h.Score
+	}
+	for _, h := range normalize(bon) {
+		acc[h.Doc] += beta * h.Score
+	}
+	out := make([]Hit, 0, len(acc))
+	for d, s := range acc {
+		out = append(out, Hit{Doc: d, Score: s})
+	}
+	sortHits(out)
+	return clip(out, k)
+}
+
+// normalize divides scores by the maximum score of the ranking, mapping
+// them into (0, 1]. Empty or all-zero rankings pass through unchanged.
+func normalize(hits []Hit) []Hit {
+	if len(hits) == 0 {
+		return hits
+	}
+	maxScore := 0.0
+	for _, h := range hits {
+		if h.Score > maxScore {
+			maxScore = h.Score
+		}
+	}
+	if maxScore == 0 {
+		return hits
+	}
+	out := make([]Hit, len(hits))
+	for i, h := range hits {
+		out[i] = Hit{Doc: h.Doc, Score: h.Score / maxScore}
+	}
+	return out
+}
+
+// sortHits orders by descending score, ties by ascending DocID.
+func sortHits(hits []Hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc < hits[j].Doc
+	})
+}
+
+func clip(hits []Hit, k int) []Hit {
+	if k >= 0 && len(hits) > k {
+		return hits[:k]
+	}
+	return hits
+}

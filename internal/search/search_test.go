@@ -1,0 +1,295 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"newslink/internal/index"
+)
+
+func buildIdx(docs ...string) *index.Index {
+	b := index.NewBuilder()
+	for _, d := range docs {
+		b.Add(strings.Fields(d))
+	}
+	return b.Build()
+}
+
+func TestBM25Ranking(t *testing.T) {
+	idx := buildIdx(
+		"taliban attack lahore",
+		"taliban taliban taliban pakistan",
+		"weather sunny warm",
+		"taliban lahore pakistan swat",
+	)
+	s := NewBM25(idx)
+	hits := TopK(idx, s, NewQuery([]string{"taliban", "lahore"}), 3)
+	if len(hits) != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+	// Doc 0 and 3 match both terms and must outrank doc 1 (one term).
+	if hits[0].Doc != 0 && hits[0].Doc != 3 {
+		t.Fatalf("top hit = %v", hits[0])
+	}
+	if hits[2].Doc != 1 {
+		t.Fatalf("third hit = %v, want doc 1", hits[2])
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatal("hits not sorted")
+		}
+	}
+	// The non-matching document never appears.
+	for _, h := range hits {
+		if h.Doc == 2 {
+			t.Fatal("doc 2 should not match")
+		}
+	}
+}
+
+func TestBM25Properties(t *testing.T) {
+	idx := buildIdx("a b c", "a a b", "c c c c")
+	s := NewBM25(idx)
+	if w := s.Weight(0, 1, 3); w != 0 {
+		t.Fatalf("zero tf weight = %v", w)
+	}
+	if w := s.Weight(2, 1, 3); w <= s.Weight(1, 1, 3) {
+		t.Fatal("BM25 not increasing in tf")
+	}
+	if s.Weight(1, 1, 3) <= s.Weight(1, 3, 3) {
+		t.Fatal("BM25 idf not decreasing in df")
+	}
+	if s.Weight(1, 1, 10) >= s.Weight(1, 1, 2) {
+		t.Fatal("BM25 not penalizing long docs")
+	}
+	// MaxWeight is a true upper bound.
+	for tf := 1.0; tf <= 4; tf++ {
+		for dl := 1.0; dl <= 8; dl++ {
+			if s.Weight(tf, 2, dl) > s.MaxWeight(4, 2)+1e-12 {
+				t.Fatalf("MaxWeight violated at tf=%v dl=%v", tf, dl)
+			}
+		}
+	}
+}
+
+func TestTFIDFProperties(t *testing.T) {
+	idx := buildIdx("a b", "a c", "d d")
+	s := NewTFIDF(idx)
+	if s.Weight(1, 0, 2) != 0 {
+		t.Fatal("df=0 should score 0")
+	}
+	if s.Weight(2, 1, 4) <= s.Weight(1, 1, 4) {
+		t.Fatal("TFIDF not increasing in tf")
+	}
+	if s.Weight(1, 1, 2) <= s.Weight(1, 2, 2) {
+		t.Fatal("TFIDF idf not decreasing in df")
+	}
+	if s.Weight(1, 1, 1) > s.MaxWeight(1, 1)+1e-12 {
+		t.Fatal("MaxWeight not an upper bound")
+	}
+}
+
+// TestMaxScoreAgreesWithExact: the pruned evaluation must return exactly the
+// same ranking as exhaustive accumulation on random corpora.
+func TestMaxScoreAgreesWithExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for trial := 0; trial < 30; trial++ {
+		b := index.NewBuilder()
+		nDocs := 5 + rng.Intn(60)
+		for d := 0; d < nDocs; d++ {
+			n := 1 + rng.Intn(10)
+			var terms []string
+			for i := 0; i < n; i++ {
+				terms = append(terms, vocab[rng.Intn(len(vocab))])
+			}
+			b.Add(terms)
+		}
+		idx := b.Build()
+		s := NewBM25(idx)
+		nq := 1 + rng.Intn(4)
+		var qterms []string
+		for i := 0; i < nq; i++ {
+			qterms = append(qterms, vocab[rng.Intn(len(vocab))])
+		}
+		k := 1 + rng.Intn(10)
+		exact := TopK(idx, s, NewQuery(qterms), k)
+		pruned := TopKMaxScore(idx, s, NewQuery(qterms), k)
+		if len(exact) != len(pruned) {
+			t.Fatalf("trial %d: lengths %d vs %d", trial, len(exact), len(pruned))
+		}
+		for i := range exact {
+			if exact[i].Doc != pruned[i].Doc || math.Abs(exact[i].Score-pruned[i].Score) > 1e-9 {
+				t.Fatalf("trial %d rank %d: exact %v pruned %v (query %v k=%d)",
+					trial, i, exact[i], pruned[i], qterms, k)
+			}
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	idx := buildIdx("a b", "b c")
+	s := NewBM25(idx)
+	if TopK(idx, s, NewQuery(nil), 5) != nil {
+		t.Fatal("empty query should return nil")
+	}
+	if TopK(idx, s, NewQuery([]string{"a"}), 0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if got := TopK(idx, s, NewQuery([]string{"zzz"}), 5); len(got) != 0 {
+		t.Fatalf("unknown term hits = %v", got)
+	}
+	if got := TopK(idx, s, NewQuery([]string{"a"}), 100); len(got) != 1 {
+		t.Fatalf("k > matches: %v", got)
+	}
+	if got := TopKMaxScore(idx, s, NewQuery([]string{"zzz"}), 5); got != nil {
+		t.Fatalf("maxscore unknown term: %v", got)
+	}
+}
+
+func TestFuseEquation3(t *testing.T) {
+	bow := []Hit{{Doc: 0, Score: 10}, {Doc: 1, Score: 5}}
+	bon := []Hit{{Doc: 1, Score: 2}, {Doc: 2, Score: 1}}
+	got := Fuse(bow, bon, 0.5, 10)
+	// normalized: bow {0:1, 1:0.5}, bon {1:1, 2:0.5}
+	want := []Hit{{Doc: 1, Score: 0.75}, {Doc: 0, Score: 0.5}, {Doc: 2, Score: 0.25}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Fuse = %v, want %v", got, want)
+	}
+}
+
+func TestFuseBetaExtremes(t *testing.T) {
+	bow := []Hit{{Doc: 0, Score: 10}, {Doc: 1, Score: 5}}
+	bon := []Hit{{Doc: 2, Score: 4}}
+	got0 := Fuse(bow, bon, 0, 10)
+	if len(got0) != 2 || got0[0].Doc != 0 || got0[0].Score != 1 {
+		t.Fatalf("beta=0: %v", got0)
+	}
+	got1 := Fuse(bow, bon, 1, 10)
+	if len(got1) != 1 || got1[0].Doc != 2 {
+		t.Fatalf("beta=1: %v", got1)
+	}
+}
+
+// Property: for any beta in (0,1), the ranking order of Fuse equals the
+// order of (1-beta)*nbow + beta*nbon computed by hand.
+func TestFuseProperty(t *testing.T) {
+	f := func(scores [6]uint8, betaRaw uint8) bool {
+		beta := float64(betaRaw%99+1) / 100
+		bow := []Hit{{0, float64(scores[0])}, {1, float64(scores[1])}, {2, float64(scores[2])}}
+		bon := []Hit{{0, float64(scores[3])}, {1, float64(scores[4])}, {2, float64(scores[5])}}
+		sortHits(bow)
+		sortHits(bon)
+		got := Fuse(bow, bon, beta, 3)
+		maxBow := math.Max(math.Max(bow[0].Score, bow[1].Score), bow[2].Score)
+		maxBon := math.Max(math.Max(bon[0].Score, bon[1].Score), bon[2].Score)
+		expect := map[index.DocID]float64{}
+		for _, h := range bow {
+			s := h.Score
+			if maxBow > 0 {
+				s /= maxBow
+			}
+			expect[h.Doc] += (1 - beta) * s
+		}
+		for _, h := range bon {
+			s := h.Score
+			if maxBon > 0 {
+				s /= maxBon
+			}
+			expect[h.Doc] += beta * s
+		}
+		for _, h := range got {
+			if math.Abs(expect[h.Doc]-h.Score) > 1e-9 {
+				return false
+			}
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Score > got[i-1].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuseClip(t *testing.T) {
+	bow := []Hit{{0, 3}, {1, 2}, {2, 1}}
+	if got := Fuse(bow, nil, 0.5, 2); len(got) != 2 {
+		t.Fatalf("clip failed: %v", got)
+	}
+}
+
+// TestTopKMatchesNaiveReference checks the whole retrieval stack against a
+// from-first-principles reference scorer on randomized corpora.
+func TestTopKMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	vocab := []string{"a", "b", "c", "d", "e", "f"}
+	for trial := 0; trial < 25; trial++ {
+		docs := make([][]string, 3+rng.Intn(40))
+		for d := range docs {
+			for i := 0; i <= rng.Intn(8); i++ {
+				docs[d] = append(docs[d], vocab[rng.Intn(len(vocab))])
+			}
+		}
+		b := index.NewBuilder()
+		for _, d := range docs {
+			b.Add(d)
+		}
+		idx := b.Build()
+		s := NewBM25(idx)
+		var qterms []string
+		for i := 0; i <= rng.Intn(3); i++ {
+			qterms = append(qterms, vocab[rng.Intn(len(vocab))])
+		}
+		q := NewQuery(qterms)
+		// Naive reference: score every document directly from its terms.
+		type ds struct {
+			doc   index.DocID
+			score float64
+		}
+		var ref []ds
+		for d := range docs {
+			tf := map[string]float64{}
+			for _, term := range docs[d] {
+				tf[term]++
+			}
+			score := 0.0
+			for term, qw := range q {
+				if tf[term] > 0 {
+					score += qw * s.Weight(tf[term], idx.DF(term), float64(len(docs[d])))
+				}
+			}
+			if score > 0 {
+				ref = append(ref, ds{index.DocID(d), score})
+			}
+		}
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].score != ref[j].score {
+				return ref[i].score > ref[j].score
+			}
+			return ref[i].doc < ref[j].doc
+		})
+		k := 1 + rng.Intn(10)
+		got := TopK(idx, s, q, k)
+		want := ref
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d hits, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Doc != want[i].doc || math.Abs(got[i].Score-want[i].score) > 1e-9 {
+				t.Fatalf("trial %d rank %d: %v vs reference %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package search
+
+import (
+	"container/heap"
+
+	"newslink/internal/index"
+)
+
+// The paper retrieves the top-k documents under Equation 3 with "existing
+// top-k ranking algorithms [49]" — Fagin's Threshold Algorithm (TA). TA
+// consumes the BOW and BON rankings by sorted access in parallel, resolves
+// each newly seen document's missing score by random access, and stops as
+// soon as the k-th best fused score reaches the threshold
+//
+//	τ = wa·sa + wb·sb
+//
+// where sa, sb are the scores at the current sorted-access positions: no
+// unseen document can beat τ.
+
+// RankedList is one ranking consumed by the threshold algorithm.
+type RankedList interface {
+	// Next returns the next hit by descending score; ok=false at the end.
+	Next() (h Hit, ok bool)
+	// Score random-accesses the document's score in this ranking (0 if the
+	// document does not appear).
+	Score(doc index.DocID) float64
+}
+
+// SliceList adapts a complete, descending-sorted ranking to RankedList.
+type SliceList struct {
+	hits []Hit
+	pos  int
+	byID map[index.DocID]float64
+}
+
+// NewSliceList wraps hits (must be sorted by descending score; treated as
+// the complete ranking, so absent documents score 0).
+func NewSliceList(hits []Hit) *SliceList {
+	m := make(map[index.DocID]float64, len(hits))
+	for _, h := range hits {
+		m[h.Doc] = h.Score
+	}
+	return &SliceList{hits: hits, byID: m}
+}
+
+// Next implements RankedList.
+func (l *SliceList) Next() (Hit, bool) {
+	if l.pos >= len(l.hits) {
+		return Hit{}, false
+	}
+	h := l.hits[l.pos]
+	l.pos++
+	return h, true
+}
+
+// Score implements RankedList.
+func (l *SliceList) Score(doc index.DocID) float64 { return l.byID[doc] }
+
+// ThresholdTopK runs TA over two rankings with weights wa and wb and
+// returns the exact top k of wa·a + wb·b together with the number of sorted
+// accesses performed (the early-termination statistic).
+func ThresholdTopK(a, b RankedList, wa, wb float64, k int) ([]Hit, int) {
+	if k <= 0 {
+		return nil, 0
+	}
+	seen := make(map[index.DocID]bool)
+	var top hitHeap
+	accesses := 0
+	// Current sorted-access frontier scores; start above any real score so
+	// the threshold is initially unbeatable.
+	frontA, frontB := 0.0, 0.0
+	doneA, doneB := false, false
+	consider := func(doc index.DocID) {
+		if seen[doc] {
+			return
+		}
+		seen[doc] = true
+		s := wa*a.Score(doc) + wb*b.Score(doc)
+		pushTop(&top, Hit{Doc: doc, Score: s}, k)
+	}
+	for !doneA || !doneB {
+		if !doneA {
+			h, ok := a.Next()
+			if !ok {
+				doneA, frontA = true, 0
+			} else {
+				accesses++
+				frontA = h.Score
+				consider(h.Doc)
+			}
+		}
+		if !doneB {
+			h, ok := b.Next()
+			if !ok {
+				doneB, frontB = true, 0
+			} else {
+				accesses++
+				frontB = h.Score
+				consider(h.Doc)
+			}
+		}
+		// Stop when the k-th best seen score can no longer be beaten by any
+		// unseen document (whose fused score is at most the threshold).
+		// Strictly greater keeps tie-breaking exact: an unseen document
+		// scoring exactly the threshold could still win a DocID tie.
+		if len(top) == k {
+			threshold := wa*frontA + wb*frontB
+			if top[0].Score > threshold {
+				break
+			}
+		}
+	}
+	out := make([]Hit, len(top))
+	for i := len(top) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&top).(Hit)
+	}
+	return out, accesses
+}
+
+// FuseTA is Equation 3 via the threshold algorithm: it normalizes both
+// rankings (as Fuse does), then runs TA with weights (1-beta, beta). The
+// result matches Fuse on the same inputs up to equal-score tie order; ties
+// are broken identically (ascending DocID).
+func FuseTA(bow, bon []Hit, beta float64, k int) ([]Hit, int) {
+	switch {
+	case beta <= 0:
+		return clip(normalize(bow), k), 0
+	case beta >= 1:
+		return clip(normalize(bon), k), 0
+	}
+	return ThresholdTopK(
+		NewSliceList(normalize(bow)),
+		NewSliceList(normalize(bon)),
+		1-beta, beta, k)
+}

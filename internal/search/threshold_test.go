@@ -1,0 +1,101 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"newslink/internal/index"
+)
+
+func randRanking(rng *rand.Rand, nDocs, n int) []Hit {
+	perm := rng.Perm(nDocs)[:n]
+	hits := make([]Hit, n)
+	for i, d := range perm {
+		hits[i] = Hit{Doc: index.DocID(d), Score: rng.Float64() * 10}
+	}
+	sortHits(hits)
+	return hits
+}
+
+// TestFuseTAMatchesFuse: the threshold algorithm must return exactly the
+// ranking Fuse computes by exhaustive accumulation.
+func TestFuseTAMatchesFuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		nDocs := 5 + rng.Intn(50)
+		bow := randRanking(rng, nDocs, 1+rng.Intn(nDocs))
+		bon := randRanking(rng, nDocs, 1+rng.Intn(nDocs))
+		beta := rng.Float64()
+		k := 1 + rng.Intn(nDocs)
+		want := Fuse(bow, bon, beta, k)
+		got, _ := FuseTA(bow, bon, beta, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: lengths %d vs %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Doc != want[i].Doc || math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+				t.Fatalf("trial %d rank %d: TA %v, Fuse %v (beta=%.3f k=%d)",
+					trial, i, got[i], want[i], beta, k)
+			}
+		}
+	}
+}
+
+// TestThresholdEarlyTermination: when one document dominates both lists,
+// TA must stop after a handful of sorted accesses.
+func TestThresholdEarlyTermination(t *testing.T) {
+	var bow, bon []Hit
+	bow = append(bow, Hit{Doc: 0, Score: 1.0})
+	bon = append(bon, Hit{Doc: 0, Score: 1.0})
+	for i := 1; i < 1000; i++ {
+		bow = append(bow, Hit{Doc: index.DocID(i), Score: 0.1 / float64(i)})
+		bon = append(bon, Hit{Doc: index.DocID(i), Score: 0.1 / float64(i)})
+	}
+	got, accesses := FuseTA(bow, bon, 0.5, 1)
+	if len(got) != 1 || got[0].Doc != 0 {
+		t.Fatalf("TA top = %v", got)
+	}
+	if accesses >= 100 {
+		t.Fatalf("no early termination: %d sorted accesses for 2000 entries", accesses)
+	}
+}
+
+func TestThresholdEdgeCases(t *testing.T) {
+	bow := []Hit{{Doc: 0, Score: 2}, {Doc: 1, Score: 1}}
+	if got, _ := FuseTA(bow, nil, 0.5, 2); len(got) != 2 {
+		t.Fatalf("empty bon: %v", got)
+	}
+	if got, _ := FuseTA(nil, nil, 0.5, 3); len(got) != 0 {
+		t.Fatalf("both empty: %v", got)
+	}
+	if got, _ := FuseTA(bow, nil, 0.5, 0); got != nil {
+		t.Fatalf("k=0: %v", got)
+	}
+	// Beta extremes bypass TA.
+	if got, _ := FuseTA(bow, nil, 0, 1); len(got) != 1 || got[0].Doc != 0 {
+		t.Fatalf("beta=0: %v", got)
+	}
+	bon := []Hit{{Doc: 7, Score: 3}}
+	if got, _ := FuseTA(bow, bon, 1, 1); len(got) != 1 || got[0].Doc != 7 {
+		t.Fatalf("beta=1: %v", got)
+	}
+}
+
+func TestSliceList(t *testing.T) {
+	l := NewSliceList([]Hit{{Doc: 3, Score: 5}, {Doc: 1, Score: 2}})
+	if s := l.Score(3); s != 5 {
+		t.Fatalf("Score(3) = %v", s)
+	}
+	if s := l.Score(99); s != 0 {
+		t.Fatalf("Score(absent) = %v", s)
+	}
+	h, ok := l.Next()
+	if !ok || h.Doc != 3 {
+		t.Fatalf("Next = %v %v", h, ok)
+	}
+	l.Next()
+	if _, ok := l.Next(); ok {
+		t.Fatal("Next past end should report !ok")
+	}
+}

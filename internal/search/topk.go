@@ -1,0 +1,189 @@
+package search
+
+import (
+	"container/heap"
+	"sort"
+
+	"newslink/internal/index"
+)
+
+// Hit is one retrieved document with its score.
+type Hit struct {
+	Doc   index.DocID
+	Score float64
+}
+
+// Query is a weighted bag of terms. Weights default to the term frequency
+// in the query text.
+type Query map[string]float64
+
+// NewQuery builds a Query from analyzed terms.
+func NewQuery(terms []string) Query {
+	q := make(Query, len(terms))
+	for _, t := range terms {
+		q[t]++
+	}
+	return q
+}
+
+// TopK evaluates the query with exact term-at-a-time accumulation and
+// returns the k best documents ordered by descending score (ties by
+// ascending DocID for determinism).
+func TopK(idx index.Source, s Scorer, q Query, k int) []Hit {
+	if k <= 0 || len(q) == 0 {
+		return nil
+	}
+	acc := make(map[index.DocID]float64)
+	for term, qw := range q {
+		df := idx.DF(term)
+		if df == 0 {
+			continue
+		}
+		for _, p := range idx.Postings(term) {
+			acc[p.Doc] += qw * s.Weight(float64(p.TF), df, idx.DocLen(p.Doc))
+		}
+	}
+	return selectTop(acc, k)
+}
+
+// TopKMaxScore evaluates the query with max-score pruning: terms are
+// processed in decreasing score-bound order and accumulation stops scanning
+// new candidate documents once the remaining bounds cannot lift a document
+// into the top k (Turtle & Flood max-score; the threshold-algorithm family
+// the paper cites for its top-k ranking [49]). Results equal TopK exactly.
+func TopKMaxScore(idx index.Source, s Scorer, q Query, k int) []Hit {
+	if k <= 0 || len(q) == 0 {
+		return nil
+	}
+	type termInfo struct {
+		term  string
+		qw    float64
+		df    int
+		bound float64
+		posts []index.Posting
+	}
+	terms := make([]termInfo, 0, len(q))
+	for term, qw := range q {
+		posts := idx.Postings(term)
+		if len(posts) == 0 {
+			continue
+		}
+		maxTF := 0.0
+		for _, p := range posts {
+			if float64(p.TF) > maxTF {
+				maxTF = float64(p.TF)
+			}
+		}
+		terms = append(terms, termInfo{term, qw, len(posts), qw * s.MaxWeight(maxTF, len(posts)), posts})
+	}
+	if len(terms) == 0 {
+		return nil
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].bound != terms[j].bound {
+			return terms[i].bound > terms[j].bound
+		}
+		return terms[i].term < terms[j].term
+	})
+	// suffixBound[i] = sum of bounds of terms[i:].
+	suffixBound := make([]float64, len(terms)+1)
+	for i := len(terms) - 1; i >= 0; i-- {
+		suffixBound[i] = suffixBound[i+1] + terms[i].bound
+	}
+	acc := make(map[index.DocID]float64)
+	var th threshold // k-th best score so far
+	th.init(k)
+	for i, t := range terms {
+		// >= keeps tie-breaking exact: a new doc bounded at exactly the
+		// current threshold could still win a tie on DocID.
+		newDocsAllowed := suffixBound[i] >= th.min()
+		for _, p := range t.posts {
+			if _, seen := acc[p.Doc]; !seen && !newDocsAllowed {
+				// This document can only score within terms[i:], bounded by
+				// suffixBound[i] <= current k-th score: skip it.
+				continue
+			}
+			acc[p.Doc] += t.qw * s.Weight(float64(p.TF), t.df, idx.DocLen(p.Doc))
+		}
+		// Refresh the running threshold from the accumulator.
+		th.refresh(acc, k)
+	}
+	return selectTop(acc, k)
+}
+
+// threshold tracks the k-th best accumulated score.
+type threshold struct {
+	k int
+	v float64
+	n int
+}
+
+func (t *threshold) init(k int) { t.k = k; t.v = 0; t.n = 0 }
+func (t *threshold) min() float64 {
+	if t.n < t.k {
+		return 0
+	}
+	return t.v
+}
+
+func (t *threshold) refresh(acc map[index.DocID]float64, k int) {
+	if len(acc) < k {
+		t.n = len(acc)
+		t.v = 0
+		return
+	}
+	h := make(hitHeap, 0, k)
+	for d, s := range acc {
+		pushTop(&h, Hit{d, s}, k)
+	}
+	t.n = len(acc)
+	if len(h) == k {
+		t.v = h[0].Score
+	}
+}
+
+// selectTop extracts the k best hits from an accumulator.
+func selectTop(acc map[index.DocID]float64, k int) []Hit {
+	h := make(hitHeap, 0, k)
+	for d, s := range acc {
+		pushTop(&h, Hit{d, s}, k)
+	}
+	out := make([]Hit, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Hit)
+	}
+	return out
+}
+
+// hitHeap is a min-heap by (score, then descending DocID) so the weakest
+// hit is on top and ties prefer smaller DocIDs in the final ranking.
+type hitHeap []Hit
+
+func (h hitHeap) Len() int { return len(h) }
+func (h hitHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Doc > h[j].Doc
+}
+func (h hitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *hitHeap) Push(x any)   { *h = append(*h, x.(Hit)) }
+func (h *hitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func pushTop(h *hitHeap, hit Hit, k int) {
+	if len(*h) < k {
+		heap.Push(h, hit)
+		return
+	}
+	worst := (*h)[0]
+	if hit.Score > worst.Score || hit.Score == worst.Score && hit.Doc < worst.Doc {
+		(*h)[0] = hit
+		heap.Fix(h, 0)
+	}
+}

@@ -1,0 +1,190 @@
+// Package server exposes a NewsLink engine over HTTP with a small JSON API
+// (the paper's NE component "runs as a backend server"; this serves the
+// whole search pipeline):
+//
+//	GET /search?q=<text>&k=<n>            ranked results (Equation 3)
+//	GET /explain?q=<text>&id=<doc>&paths=<n>   overlap + relationship paths
+//	GET /dot?q=<text>&id=<doc>            Graphviz rendering of the pair
+//	GET /healthz                          liveness
+//	GET /stats                            engine and graph statistics
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"newslink"
+	"newslink/internal/kg"
+)
+
+// Server wraps a built engine. All handlers are read-only and safe for
+// concurrent use.
+type Server struct {
+	engine *newslink.Engine
+}
+
+// New returns a Server over a built engine.
+func New(e *newslink.Engine) *Server { return &Server{engine: e} }
+
+// Handler returns the HTTP handler with all routes registered.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("GET /dot", s.handleDOT)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// SearchResponse is the /search reply.
+type SearchResponse struct {
+	Query   string            `json:"query"`
+	K       int               `json:"k"`
+	Results []newslink.Result `json:"results"`
+}
+
+// ExplainResponse is the /explain reply.
+type ExplainResponse struct {
+	Query       string               `json:"query"`
+	DocID       int                  `json:"doc_id"`
+	Explanation newslink.Explanation `json:"explanation"`
+}
+
+// StatsResponse is the /stats reply.
+type StatsResponse struct {
+	Docs     int `json:"docs"`
+	KGNodes  int `json:"kg_nodes"`
+	KGEdges  int `json:"kg_edges"`
+	KGLabels int `json:"kg_labels"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late to change the status; nothing more we can do.
+		return
+	}
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q must be an integer, got %q", name, raw)
+	}
+	return v, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		badRequest(w, "missing query parameter q")
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	if k <= 0 || k > 1000 {
+		badRequest(w, "k must be in [1,1000], got %d", k)
+		return
+	}
+	results, err := s.engine.Search(q, k)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	if results == nil {
+		results = []newslink.Result{}
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{Query: q, K: k, Results: results})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		badRequest(w, "missing query parameter q")
+		return
+	}
+	id, err := intParam(r, "id", -1)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	if id < 0 {
+		badRequest(w, "missing or negative parameter id")
+		return
+	}
+	paths, err := intParam(r, "paths", 5)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	exp, err := s.engine.Explain(q, id, paths)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{Query: q, DocID: id, Explanation: exp})
+}
+
+// handleDOT returns a Graphviz rendering of the query and document
+// embeddings (Content-Type text/vnd.graphviz), the Figure 1 visual.
+func (s *Server) handleDOT(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		badRequest(w, "missing query parameter q")
+		return
+	}
+	id, err := intParam(r, "id", -1)
+	if err != nil || id < 0 {
+		badRequest(w, "missing or invalid parameter id")
+		return
+	}
+	dot, err := s.engine.ExplainDOT(q, id, "newslink")
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	if dot == "" {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no subgraph embeddings for this pair"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write([]byte(dot)); err != nil {
+		return
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	g := s.engine.Graph()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Docs:     s.engine.NumDocs(),
+		KGNodes:  g.NumNodes(),
+		KGEdges:  g.NumEdges(),
+		KGLabels: labelCount(g),
+	})
+}
+
+func labelCount(g *kg.Graph) int { return g.Index().Size() }

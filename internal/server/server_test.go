@@ -1,0 +1,181 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"newslink"
+	"newslink/internal/corpus"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g, arts := corpus.Sample()
+	e := newslink.New(g, newslink.DefaultConfig())
+	for _, a := range arts {
+		if err := e.Add(newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(e).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, want int, out any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", path, err)
+		}
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var got SearchResponse
+	get(t, ts, "/search?q=Taliban+bombing+in+Lahore&k=3", http.StatusOK, &got)
+	if len(got.Results) == 0 {
+		t.Fatal("no results")
+	}
+	if got.Results[0].ID != 1 {
+		t.Fatalf("top result = %+v, want the bombing story", got.Results[0])
+	}
+	if got.K != 3 || got.Query == "" {
+		t.Fatalf("echo fields wrong: %+v", got)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ts := testServer(t)
+	var e struct{ Error string }
+	get(t, ts, "/search", http.StatusBadRequest, &e)
+	if !strings.Contains(e.Error, "q") {
+		t.Fatalf("error = %q", e.Error)
+	}
+	get(t, ts, "/search?q=x&k=abc", http.StatusBadRequest, &e)
+	get(t, ts, "/search?q=x&k=0", http.StatusBadRequest, &e)
+	get(t, ts, "/search?q=x&k=99999", http.StatusBadRequest, &e)
+	// A query matching nothing returns an empty array, not null.
+	resp, err := http.Get(ts.URL + "/search?q=zzzzqqqq&k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw["results"]) == "null" {
+		t.Fatal("results must be [] not null")
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var got ExplainResponse
+	get(t, ts, "/explain?q=Fighting+between+Taliban+and+Pakistan+in+Upper+Dir&id=1&paths=4",
+		http.StatusOK, &got)
+	if len(got.Explanation.SharedEntities) == 0 {
+		t.Fatal("no shared entities")
+	}
+	if len(got.Explanation.Paths) == 0 {
+		t.Fatal("no paths")
+	}
+	for _, p := range got.Explanation.Paths {
+		if p.Rendered == "" || len(p.Nodes) != len(p.Relations)+1 {
+			t.Fatalf("bad path %+v", p)
+		}
+	}
+	var e struct{ Error string }
+	get(t, ts, "/explain?q=x", http.StatusBadRequest, &e)
+	get(t, ts, "/explain?id=1", http.StatusBadRequest, &e)
+	get(t, ts, "/explain?q=x&id=9999", http.StatusNotFound, &e)
+}
+
+func TestHealthAndStats(t *testing.T) {
+	ts := testServer(t)
+	var h map[string]string
+	get(t, ts, "/healthz", http.StatusOK, &h)
+	if h["status"] != "ok" {
+		t.Fatalf("health = %v", h)
+	}
+	var s StatsResponse
+	get(t, ts, "/stats", http.StatusOK, &s)
+	if s.Docs == 0 || s.KGNodes == 0 || s.KGEdges == 0 || s.KGLabels == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	ts := testServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := "Taliban+attack"
+			if i%2 == 1 {
+				q = "Clinton+and+Sanders+election"
+			}
+			resp, err := http.Get(ts.URL + "/search?q=" + q + "&k=5")
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestDOTEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/dot?q=Taliban+fighting+in+Upper+Dir+Pakistan&id=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/vnd.graphviz" {
+		t.Fatalf("content type %q", ct)
+	}
+	body := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(body)
+	if !strings.Contains(string(body[:n]), "digraph") {
+		t.Fatalf("body: %s", body[:n])
+	}
+	var e struct{ Error string }
+	get(t, ts, "/dot?q=x", http.StatusBadRequest, &e)
+	get(t, ts, "/dot?q=Taliban&id=9999", http.StatusNotFound, &e)
+	// Entity-free document has no embedding to draw.
+	get(t, ts, "/dot?q=Taliban+Pakistan&id=7", http.StatusNotFound, &e)
+}

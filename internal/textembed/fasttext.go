@@ -1,0 +1,42 @@
+package textembed
+
+// FastText is the stand-in for the FastText embeddings the paper uses as
+// the *evaluation judge* (Section VII-B: query document and results are
+// embedded with FastText and compared by cosine). It combines corpus-trained
+// distributional word vectors with subword character n-grams, mirroring
+// FastText's word+subword design: judged similarity reflects both topical
+// co-occurrence and surface-form overlap.
+type FastText struct {
+	WV   *WordVectors
+	Dim  int
+	seed uint64
+}
+
+// NewFastText wraps trained word vectors into a subword-aware encoder. The
+// output dimensionality equals the word vectors'.
+func NewFastText(wv *WordVectors) *FastText {
+	return &FastText{WV: wv, Dim: wv.Dim, seed: 0xfa57e7}
+}
+
+// Embed pools terms into a unit vector: for each term, the trained word
+// vector (idf-weighted) plus hashed 3..4-gram subword vectors at reduced
+// weight, as in FastText's sum of word and subword representations.
+func (f *FastText) Embed(terms []string) Vector {
+	out := make(Vector, f.Dim)
+	for _, t := range terms {
+		w := float32(f.WV.IDF(t))
+		if v := f.WV.Vector(t); v != nil {
+			AddScaled(out, v, w)
+		}
+		marked := "^" + t + "$"
+		for n := 3; n <= 4; n++ {
+			if len(marked) < n {
+				continue
+			}
+			for i := 0; i+n <= len(marked); i++ {
+				indexVector(out, marked[i:i+n], f.seed, 2, 0.3*w)
+			}
+		}
+	}
+	return Normalize(out)
+}

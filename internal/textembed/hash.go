@@ -1,0 +1,42 @@
+package textembed
+
+// fnv1a computes the 64-bit FNV-1a hash of s mixed with a seed, used to
+// derive deterministic pseudo-random index vectors for words and n-grams.
+func fnv1a(s string, seed uint64) uint64 {
+	h := uint64(14695981039346656037) ^ seed
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 advances a splitmix64 state, yielding a well-mixed stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// indexVector writes the sparse ternary random index vector of key into
+// dst scaled by weight: nnz positions receive ±weight. This is classic
+// Random Indexing (the count-based equivalent of learned embeddings):
+// accumulating the index vectors of co-occurring words approximates a
+// random projection of the co-occurrence matrix.
+func indexVector(dst Vector, key string, seed uint64, nnz int, weight float32) {
+	h := fnv1a(key, seed)
+	dim := uint64(len(dst))
+	if dim == 0 {
+		return
+	}
+	for i := 0; i < nnz; i++ {
+		h = splitmix64(h)
+		pos := h % dim
+		if h&(1<<63) != 0 {
+			dst[pos] -= weight
+		} else {
+			dst[pos] += weight
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package textembed
+
+import "sort"
+
+// Neighbor is one nearest-neighbor search result.
+type Neighbor struct {
+	Idx   int
+	Score float64 // cosine similarity
+}
+
+// TopKCosine scans the corpus vectors and returns the k most cosine-similar
+// to q, ordered by descending similarity (ties by ascending index). This is
+// the retrieval mode of the embedding competitors (DOC2VEC, SBERT, LDA):
+// exhaustive scoring in the embedding space.
+func TopKCosine(corpus []Vector, q Vector, k int) []Neighbor {
+	if k <= 0 || len(corpus) == 0 {
+		return nil
+	}
+	if k > len(corpus) {
+		k = len(corpus)
+	}
+	out := make([]Neighbor, 0, k+1)
+	for i, v := range corpus {
+		s := Cosine(q, v)
+		if len(out) == k && s <= out[k-1].Score {
+			continue
+		}
+		pos := sort.Search(len(out), func(j int) bool {
+			if out[j].Score != s {
+				return out[j].Score < s
+			}
+			return out[j].Idx > i
+		})
+		out = append(out, Neighbor{})
+		copy(out[pos+1:], out[pos:])
+		out[pos] = Neighbor{Idx: i, Score: s}
+		if len(out) > k {
+			out = out[:k]
+		}
+	}
+	return out
+}

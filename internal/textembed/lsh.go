@@ -1,0 +1,150 @@
+package textembed
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// LSH is a random-hyperplane locality-sensitive hash index for cosine
+// similarity (Charikar's SimHash). The embedding competitors (DOC2VEC,
+// SBERT) rank by exhaustive cosine scan, which is linear in the corpus;
+// the index trades a little recall for sublinear candidate generation —
+// the standard production path for dense retrieval at the paper's corpus
+// sizes (90k documents).
+type LSH struct {
+	dim    int
+	bits   int
+	tables int
+	probes int
+	planes [][]Vector // planes[t][b] is the b-th hyperplane of table t
+	bucket []map[uint64][]int32
+	vecs   []Vector
+}
+
+// LSHConfig parameterizes the index.
+type LSHConfig struct {
+	Dim    int
+	Bits   int // signature bits per table (bucket granularity)
+	Tables int // independent tables (recall)
+	// Probes is the multiprobe Hamming radius: 0 checks only the exact
+	// bucket, 1 additionally flips each signature bit once, 2 also flips
+	// pairs. Larger radii raise recall and cost.
+	Probes int
+	Seed   int64
+}
+
+// DefaultLSHConfig suits corpora in the 10^4..10^5 range.
+func DefaultLSHConfig(dim int, seed int64) LSHConfig {
+	return LSHConfig{Dim: dim, Bits: 14, Tables: 12, Probes: 1, Seed: seed}
+}
+
+// NewLSH builds an empty index.
+func NewLSH(cfg LSHConfig) *LSH {
+	if cfg.Bits <= 0 || cfg.Bits > 63 || cfg.Tables <= 0 || cfg.Dim <= 0 {
+		panic("textembed: invalid LSH config")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	l := &LSH{dim: cfg.Dim, bits: cfg.Bits, tables: cfg.Tables, probes: cfg.Probes}
+	l.planes = make([][]Vector, cfg.Tables)
+	l.bucket = make([]map[uint64][]int32, cfg.Tables)
+	for t := range l.planes {
+		l.planes[t] = make([]Vector, cfg.Bits)
+		for b := range l.planes[t] {
+			p := make(Vector, cfg.Dim)
+			for i := range p {
+				p[i] = float32(rng.NormFloat64())
+			}
+			l.planes[t][b] = p
+		}
+		l.bucket[t] = make(map[uint64][]int32)
+	}
+	return l
+}
+
+// signature hashes v in table t.
+func (l *LSH) signature(t int, v Vector) uint64 {
+	var sig uint64
+	for b, plane := range l.planes[t] {
+		if Dot(plane, v) >= 0 {
+			sig |= 1 << uint(b)
+		}
+	}
+	return sig
+}
+
+// Add indexes a vector and returns its id (insertion order).
+func (l *LSH) Add(v Vector) int {
+	id := int32(len(l.vecs))
+	l.vecs = append(l.vecs, v)
+	for t := 0; t < l.tables; t++ {
+		sig := l.signature(t, v)
+		l.bucket[t][sig] = append(l.bucket[t][sig], id)
+	}
+	return int(id)
+}
+
+// Len returns the number of indexed vectors.
+func (l *LSH) Len() int { return len(l.vecs) }
+
+// TopK returns approximately the k most cosine-similar indexed vectors.
+// Candidates come from the query's bucket in every table plus multiprobe
+// neighbors (signatures at Hamming distance 1); they are then ranked by
+// exact cosine. With clustered data recall is high; in the worst case the
+// result may miss true neighbors — callers needing exactness use
+// TopKCosine.
+func (l *LSH) TopK(q Vector, k int) []Neighbor {
+	if k <= 0 || len(l.vecs) == 0 {
+		return nil
+	}
+	seen := make(map[int32]bool)
+	var candidates []int32
+	collect := func(t int, sig uint64) {
+		for _, id := range l.bucket[t][sig] {
+			if !seen[id] {
+				seen[id] = true
+				candidates = append(candidates, id)
+			}
+		}
+	}
+	for t := 0; t < l.tables; t++ {
+		sig := l.signature(t, q)
+		collect(t, sig)
+		// Multiprobe: near-boundary neighbors land in adjacent buckets far
+		// more often than in random ones.
+		if l.probes >= 1 {
+			for b := 0; b < l.bits; b++ {
+				collect(t, sig^(1<<uint(b)))
+				if l.probes >= 2 {
+					for c := b + 1; c < l.bits; c++ {
+						collect(t, sig^(1<<uint(b))^(1<<uint(c)))
+					}
+				}
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	type scored struct {
+		id int32
+		s  float64
+	}
+	all := make([]scored, len(candidates))
+	for i, id := range candidates {
+		all[i] = scored{id, Cosine(q, l.vecs[id])}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].id < all[j].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]Neighbor, k)
+	for i := 0; i < k; i++ {
+		out[i] = Neighbor{Idx: int(all[i].id), Score: all[i].s}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package textembed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// clusteredVectors generates nClusters centers with nPer noisy members.
+// The per-dimension noise is scaled so that same-cluster members sit at
+// cosine ~0.9, the regime of same-topic document embeddings (nearest
+// neighbors in looser spaces are a brute-force problem, not an LSH one).
+func clusteredVectors(dim, nClusters, nPer int, seed int64) ([]Vector, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	noise := 0.5 / float32(math.Sqrt(float64(dim)))
+	centers := make([]Vector, nClusters)
+	for c := range centers {
+		v := make(Vector, dim)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		centers[c] = Normalize(v)
+	}
+	var vecs []Vector
+	var labels []int
+	for c, center := range centers {
+		for j := 0; j < nPer; j++ {
+			v := make(Vector, dim)
+			for i := range v {
+				v[i] = center[i] + noise*float32(rng.NormFloat64())
+			}
+			vecs = append(vecs, Normalize(v))
+			labels = append(labels, c)
+		}
+	}
+	return vecs, labels
+}
+
+func TestLSHRecallOnClusters(t *testing.T) {
+	vecs, _ := clusteredVectors(64, 10, 50, 3)
+	l := NewLSH(DefaultLSHConfig(64, 7))
+	for _, v := range vecs {
+		l.Add(v)
+	}
+	if l.Len() != len(vecs) {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	// Recall@10 against brute force, averaged over queries.
+	hits, want := 0, 0
+	for qi := 0; qi < len(vecs); qi += 25 {
+		exact := TopKCosine(vecs, vecs[qi], 10)
+		approx := l.TopK(vecs[qi], 10)
+		got := map[int]bool{}
+		for _, n := range approx {
+			got[n.Idx] = true
+		}
+		for _, n := range exact {
+			want++
+			if got[n.Idx] {
+				hits++
+			}
+		}
+	}
+	recall := float64(hits) / float64(want)
+	if recall < 0.8 {
+		t.Fatalf("recall@10 = %.2f, want >= 0.8", recall)
+	}
+}
+
+func TestLSHSelfRetrieval(t *testing.T) {
+	vecs, _ := clusteredVectors(32, 5, 20, 9)
+	l := NewLSH(DefaultLSHConfig(32, 1))
+	for _, v := range vecs {
+		l.Add(v)
+	}
+	for qi := 0; qi < len(vecs); qi += 7 {
+		got := l.TopK(vecs[qi], 1)
+		if len(got) == 0 || got[0].Idx != qi {
+			t.Fatalf("query %d: self not retrieved: %v", qi, got)
+		}
+	}
+}
+
+func TestLSHDeterministic(t *testing.T) {
+	vecs, _ := clusteredVectors(32, 3, 10, 2)
+	build := func() []Neighbor {
+		l := NewLSH(DefaultLSHConfig(32, 5))
+		for _, v := range vecs {
+			l.Add(v)
+		}
+		return l.TopK(vecs[3], 5)
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic result size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic ranking")
+		}
+	}
+}
+
+func TestLSHEdgeCases(t *testing.T) {
+	l := NewLSH(DefaultLSHConfig(8, 1))
+	if got := l.TopK(make(Vector, 8), 3); got != nil {
+		t.Fatal("empty index should return nil")
+	}
+	l.Add(Normalize(Vector{1, 0, 0, 0, 0, 0, 0, 0}))
+	if got := l.TopK(Vector{1, 0, 0, 0, 0, 0, 0, 0}, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if got := l.TopK(Vector{1, 0, 0, 0, 0, 0, 0, 0}, 10); len(got) != 1 {
+		t.Fatalf("k clamp failed: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config must panic")
+		}
+	}()
+	NewLSH(LSHConfig{Dim: 0, Bits: 8, Tables: 1})
+}

@@ -1,0 +1,147 @@
+package textembed
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Binary word-vector model format (little endian):
+//
+//	magic "NLWV1\n"
+//	uint32 dim, uint64 seed, uint32 nnz, uint32 docs
+//	uint32 vocab size
+//	per word (sorted): string, uint32 df, float32[dim] vector
+//
+// Training DOC2VEC-style vectors is the slow part of standing up the dense
+// baselines; persisted models make reloads instant.
+
+const wvMagic = "NLWV1\n"
+
+// WriteTo serializes the trained model; output is byte-stable.
+func (wv *WordVectors) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(err error, size int) error {
+		if err != nil {
+			return err
+		}
+		n += int64(size)
+		return nil
+	}
+	if _, err := bw.WriteString(wvMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(wvMagic))
+	le := func(data any) error { return binary.Write(bw, binary.LittleEndian, data) }
+	if err := le(uint32(wv.Dim)); err != nil {
+		return n, err
+	}
+	if err := le(wv.seed); err != nil {
+		return n, err
+	}
+	if err := le(uint32(wv.nnz)); err != nil {
+		return n, err
+	}
+	if err := le(uint32(wv.docs)); err != nil {
+		return n, err
+	}
+	words := make([]string, 0, len(wv.vecs))
+	for w := range wv.vecs {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	if err := le(uint32(len(words))); err != nil {
+		return n, err
+	}
+	n += 4 + 8 + 4 + 4 + 4
+	for _, word := range words {
+		if err := le(uint32(len(word))); err != nil {
+			return n, err
+		}
+		if _, err := bw.WriteString(word); err != nil {
+			return n, err
+		}
+		if err := le(uint32(wv.df[word])); err != nil {
+			return n, err
+		}
+		if err := le([]float32(wv.vecs[word])); err != nil {
+			return n, err
+		}
+		if err := count(nil, 4+len(word)+4+4*wv.Dim); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadWordVectors parses a model written by WriteTo.
+func ReadWordVectors(r io.Reader) (*WordVectors, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(wvMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("textembed: reading magic: %w", err)
+	}
+	if string(magic) != wvMagic {
+		return nil, fmt.Errorf("textembed: bad magic %q", magic)
+	}
+	le := func(data any) error { return binary.Read(br, binary.LittleEndian, data) }
+	var dim, nnz, docs, vocab uint32
+	var seed uint64
+	if err := le(&dim); err != nil {
+		return nil, err
+	}
+	if err := le(&seed); err != nil {
+		return nil, err
+	}
+	if err := le(&nnz); err != nil {
+		return nil, err
+	}
+	if err := le(&docs); err != nil {
+		return nil, err
+	}
+	if err := le(&vocab); err != nil {
+		return nil, err
+	}
+	if dim == 0 || dim > 1<<16 || vocab > 1<<26 {
+		return nil, fmt.Errorf("textembed: implausible header dim=%d vocab=%d", dim, vocab)
+	}
+	wv := &WordVectors{
+		Dim:  int(dim),
+		vecs: make(map[string]Vector, vocab),
+		df:   make(map[string]int, vocab),
+		docs: int(docs),
+		seed: seed,
+		nnz:  int(nnz),
+	}
+	for i := uint32(0); i < vocab; i++ {
+		var wl uint32
+		if err := le(&wl); err != nil {
+			return nil, fmt.Errorf("textembed: word %d: %w", i, err)
+		}
+		if wl > 1<<16 {
+			return nil, fmt.Errorf("textembed: word length %d too large", wl)
+		}
+		buf := make([]byte, wl)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		word := string(buf)
+		var df uint32
+		if err := le(&df); err != nil {
+			return nil, err
+		}
+		vec := make(Vector, dim)
+		if err := le([]float32(vec)); err != nil {
+			return nil, err
+		}
+		if _, dup := wv.vecs[word]; dup {
+			return nil, fmt.Errorf("textembed: duplicate word %q", word)
+		}
+		wv.vecs[word] = vec
+		wv.df[word] = int(df)
+	}
+	return wv, nil
+}

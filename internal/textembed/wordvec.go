@@ -1,0 +1,112 @@
+package textembed
+
+import "math"
+
+// WordVectors holds distributional word embeddings trained on a corpus by
+// random indexing: each word's vector is the weighted sum of the random
+// index vectors of its context words, a streaming random projection of the
+// word co-occurrence matrix (the count-based equivalent of skip-gram; see
+// Levy et al. and DESIGN.md §1 on the DOC2VEC substitution).
+type WordVectors struct {
+	Dim  int
+	vecs map[string]Vector
+	df   map[string]int // document frequency, for idf-weighted pooling
+	docs int
+	seed uint64
+	nnz  int
+}
+
+// WordVectorConfig parameterizes training.
+type WordVectorConfig struct {
+	Dim    int   // embedding dimensionality (the paper's DOC2VEC uses 500)
+	Window int   // co-occurrence window radius
+	Seed   int64 // determinism seed
+	NNZ    int   // non-zeros per random index vector
+}
+
+// DefaultWordVectorConfig mirrors the paper's DOC2VEC setup (500 dims).
+func DefaultWordVectorConfig(seed int64) WordVectorConfig {
+	return WordVectorConfig{Dim: 500, Window: 5, Seed: seed, NNZ: 8}
+}
+
+// TrainWordVectors builds word vectors from tokenized documents. Distance
+// within the window is discounted harmonically as in word2vec.
+func TrainWordVectors(docs [][]string, cfg WordVectorConfig) *WordVectors {
+	if cfg.Dim <= 0 {
+		cfg = DefaultWordVectorConfig(cfg.Seed)
+	}
+	wv := &WordVectors{
+		Dim:  cfg.Dim,
+		vecs: make(map[string]Vector),
+		df:   make(map[string]int),
+		docs: len(docs),
+		seed: uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 1,
+		nnz:  cfg.NNZ,
+	}
+	for _, doc := range docs {
+		seen := make(map[string]bool, len(doc))
+		for i, w := range doc {
+			if !seen[w] {
+				seen[w] = true
+				wv.df[w]++
+			}
+			vec, ok := wv.vecs[w]
+			if !ok {
+				vec = make(Vector, cfg.Dim)
+				wv.vecs[w] = vec
+			}
+			lo := i - cfg.Window
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + cfg.Window
+			if hi >= len(doc) {
+				hi = len(doc) - 1
+			}
+			for j := lo; j <= hi; j++ {
+				if j == i {
+					continue
+				}
+				d := j - i
+				if d < 0 {
+					d = -d
+				}
+				indexVector(vec, doc[j], wv.seed, wv.nnz, 1/float32(d))
+			}
+		}
+	}
+	for _, v := range wv.vecs {
+		Normalize(v)
+	}
+	return wv
+}
+
+// Vector returns the trained vector for word (nil if unseen).
+func (wv *WordVectors) Vector(word string) Vector { return wv.vecs[word] }
+
+// IDF returns the inverse document frequency of a word; unseen words get
+// the maximum idf.
+func (wv *WordVectors) IDF(word string) float64 {
+	df := wv.df[word]
+	return math.Log(float64(wv.docs+1) / float64(df+1))
+}
+
+// VocabSize returns the number of trained words.
+func (wv *WordVectors) VocabSize() int { return len(wv.vecs) }
+
+// EmbedDoc pools a document's terms into a single normalized vector using
+// idf weighting; this is the DOC2VEC-equivalent document embedding. Unseen
+// terms contribute their random index vector so inference degrades
+// gracefully on out-of-vocabulary queries.
+func (wv *WordVectors) EmbedDoc(terms []string) Vector {
+	out := make(Vector, wv.Dim)
+	for _, t := range terms {
+		w := float32(wv.IDF(t))
+		if v := wv.vecs[t]; v != nil {
+			AddScaled(out, v, w)
+		} else {
+			indexVector(out, t, wv.seed, wv.nnz, w)
+		}
+	}
+	return Normalize(out)
+}

@@ -1,0 +1,444 @@
+// Package newslink is the public API of the NewsLink news-search framework
+// (Yang, Li, Tung: "NewsLink: Empowering Intuitive News Search with
+// Knowledge Graphs", ICDE 2021).
+//
+// NewsLink embeds a text query and every news document into subgraph
+// embeddings of a knowledge graph and ranks documents by a combination of
+// textual (Bag-Of-Words) and graph (Bag-Of-Node) similarity:
+//
+//	F(Tq, Tc) = (1-β)·F_BOW + β·F_BON        (Equation 3 of the paper)
+//
+// The overlap of two embeddings induces relationship paths that explain WHY
+// a result is related to the query.
+//
+// Basic usage:
+//
+//	g, articles := corpus-of-your-choice
+//	e := newslink.New(g, newslink.DefaultConfig())
+//	for _, a := range articles {
+//	    e.Add(newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text})
+//	}
+//	e.Build()
+//	results, _ := e.Search("Military conflicts between Pakistan and Taliban", 5)
+//	exp, _ := e.Explain(query, results[0].ID, 3)
+package newslink
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"newslink/internal/core"
+	"newslink/internal/index"
+	"newslink/internal/kg"
+	"newslink/internal/nlp"
+	"newslink/internal/search"
+)
+
+// EmbeddingModel selects the subgraph embedding model of the NE component.
+type EmbeddingModel = core.Model
+
+// Embedding models.
+const (
+	// LCAG is the paper's Lowest Common Ancestor Graph model.
+	LCAG = core.ModelLCAG
+	// TreeEmb is the tree-based Group-Steiner approximation baseline.
+	TreeEmb = core.ModelTree
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Beta is the Equation 3 fusion weight: 0 = pure text (Lucene-style
+	// BM25), 1 = pure subgraph embeddings. The paper's best setting is 0.2.
+	Beta float64
+	// Model is the subgraph embedding model (LCAG by default).
+	Model EmbeddingModel
+	// MaxDepth bounds label-to-root distances in the KG (0 = unbounded).
+	MaxDepth float64
+	// MaxExpansions bounds the per-segment traversal budget (0 = default).
+	MaxExpansions int
+	// PoolDepth is the per-index candidate pool for fusion (>= k; default 100).
+	PoolDepth int
+}
+
+// DefaultConfig returns the paper's recommended configuration:
+// NewsLink(0.2) with the LCAG model.
+func DefaultConfig() Config {
+	return Config{Beta: 0.2, Model: LCAG, MaxDepth: 6, PoolDepth: 100}
+}
+
+// Document is one news document to index.
+type Document struct {
+	ID    int
+	Title string
+	Text  string
+}
+
+// Result is one search hit.
+type Result struct {
+	ID    int // the Document.ID supplied at Add time
+	Title string
+	Score float64 // fused Equation 3 score, max-normalized into (0,1]
+	// Snippet is the document sentence that best matches the query (empty
+	// when the document shares no query terms).
+	Snippet string
+}
+
+// Path is one relationship path presented as evidence: Nodes holds the
+// entity labels along the path and Relations the relation name of each hop
+// (len(Relations) == len(Nodes)-1). Rendered is a human-readable form like
+// "Sanders -[candidate in]-> US presidential election 2016 <-[candidate
+// in]- Clinton".
+type Path struct {
+	Nodes     []string
+	Relations []string
+	Rendered  string
+}
+
+// Explanation is the intuitive evidence for one query/result pair.
+type Explanation struct {
+	// SharedEntities are labels of KG nodes present in both the query's and
+	// the result's subgraph embeddings (the overlap of Figure 1), including
+	// induced entities that appear in neither text.
+	SharedEntities []string
+	// Paths are relationship paths linking query entities to result
+	// entities through the overlap (Tables II and VI).
+	Paths []Path
+}
+
+// Engine indexes a corpus and serves NewsLink searches. It is not safe for
+// concurrent mutation; Search and Explain are safe to call concurrently
+// once Build has returned.
+type Engine struct {
+	cfg      Config
+	g        *kg.Graph
+	pipe     *nlp.Pipeline
+	searcher *core.Searcher
+	embedder *core.Embedder
+
+	docs       []Document
+	embeddings []*core.DocEmbedding // aligned with docs; nil if unembeddable
+
+	textB, nodeB *index.Builder
+	textIdx      index.Source
+	nodeIdx      index.Source
+	built        bool
+	pending      int // documents in the open (un-searchable) segment
+	queries      *queryCache
+}
+
+// New returns an Engine over the knowledge graph g.
+func New(g *kg.Graph, cfg Config) *Engine {
+	if cfg.PoolDepth <= 0 {
+		cfg.PoolDepth = 100
+	}
+	s := core.NewSearcher(g, core.Options{
+		Model:         cfg.Model,
+		MaxDepth:      cfg.MaxDepth,
+		MaxExpansions: cfg.MaxExpansions,
+	})
+	return &Engine{
+		cfg:      cfg,
+		g:        g,
+		pipe:     nlp.NewPipeline(g.Index()),
+		searcher: s,
+		embedder: core.NewEmbedder(s),
+		textB:    index.NewBuilder(),
+		nodeB:    index.NewBuilder(),
+		queries:  newQueryCache(64),
+	}
+}
+
+// Graph returns the underlying knowledge graph.
+func (e *Engine) Graph() *kg.Graph { return e.g }
+
+// NumDocs returns the number of added documents.
+func (e *Engine) NumDocs() int { return len(e.docs) }
+
+// Add processes and indexes one document: NLP (Section IV), subgraph
+// embedding (Section V) and both inverted indexes (Section VI). Documents
+// whose entity groups yield no subgraph embedding are still text-indexed
+// (their BON vector is empty).
+//
+// Add also works after Build: late documents accumulate in an open segment
+// that is sealed and attached (Lucene-style multi-segment reading) by the
+// next Search. Add must not run concurrently with other engine calls.
+func (e *Engine) Add(doc Document) error {
+	e.ensureSegment()
+	emb, terms := e.analyze(doc.Text)
+	e.docs = append(e.docs, doc)
+	e.embeddings = append(e.embeddings, emb)
+	e.textB.Add(terms)
+	e.nodeB.AddWeighted(nodeWeights(emb))
+	if e.built {
+		e.pending++
+	}
+	return nil
+}
+
+// ensureSegment opens a fresh segment for post-Build additions.
+func (e *Engine) ensureSegment() {
+	if e.textB == nil {
+		e.textB = index.NewBuilder()
+		e.nodeB = index.NewBuilder()
+	}
+}
+
+// maybeRefresh seals the open segment so its documents become searchable.
+func (e *Engine) maybeRefresh() {
+	if !e.built || e.pending == 0 {
+		return
+	}
+	e.textIdx = index.NewMulti(e.textIdx, e.textB.Build())
+	e.nodeIdx = index.NewMulti(e.nodeIdx, e.nodeB.Build())
+	e.textB, e.nodeB = nil, nil
+	e.pending = 0
+}
+
+// analyzeQuery is analyze with LRU memoization; Search, Explain and
+// ExplainDOT on the same query text share one NLP + NE pass.
+func (e *Engine) analyzeQuery(text string) (*core.DocEmbedding, []string) {
+	if emb, terms, ok := e.queries.get(text); ok {
+		return emb, terms
+	}
+	emb, terms := e.analyze(text)
+	e.queries.put(text, emb, terms)
+	return emb, terms
+}
+
+// analyze runs the NLP and NE components on a text.
+func (e *Engine) analyze(text string) (*core.DocEmbedding, []string) {
+	doc := e.pipe.Process(text)
+	var terms []string
+	for _, s := range doc.Sentences {
+		terms = append(terms, s.Terms...)
+	}
+	groups := nlp.MaximalSets(doc.EntityGroups())
+	return e.embedder.EmbedGroups(groups), terms
+}
+
+// nodeWeights converts a document embedding into BON term weights.
+func nodeWeights(emb *core.DocEmbedding) map[string]float32 {
+	if emb == nil {
+		return map[string]float32{}
+	}
+	out := make(map[string]float32, len(emb.Counts))
+	for n, c := range emb.Counts {
+		out[nodeTerm(n)] = float32(c)
+	}
+	return out
+}
+
+// nodeTerm names a KG node in the BON index vocabulary.
+func nodeTerm(n kg.NodeID) string { return strconv.FormatUint(uint64(n), 36) }
+
+// Build finalizes the inverted indexes. It must be called once, after all
+// Add calls and before Search.
+func (e *Engine) Build() error {
+	if e.built {
+		return errors.New("newslink: Build called twice")
+	}
+	if len(e.docs) == 0 {
+		return errors.New("newslink: no documents added")
+	}
+	e.textIdx = e.textB.Build()
+	e.nodeIdx = e.nodeB.Build()
+	e.textB, e.nodeB = nil, nil
+	e.built = true
+	return nil
+}
+
+// Search returns the top k documents for the query text, ranked by
+// Equation 3.
+func (e *Engine) Search(query string, k int) ([]Result, error) {
+	if !e.built {
+		return nil, errors.New("newslink: Search before Build")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("newslink: invalid k %d", k)
+	}
+	e.maybeRefresh()
+	qEmb, qTerms := e.analyzeQuery(query)
+	pool := e.cfg.PoolDepth
+	if pool < k {
+		pool = k
+	}
+	var bow, bon []search.Hit
+	if e.cfg.Beta < 1 {
+		bow = search.TopKMaxScore(e.textIdx, search.NewBM25(e.textIdx), search.NewQuery(qTerms), pool)
+	}
+	if e.cfg.Beta > 0 && qEmb != nil {
+		q := make(search.Query, len(qEmb.Counts))
+		for n, c := range qEmb.Counts {
+			q[nodeTerm(n)] = float64(c)
+		}
+		// BON scoring uses BM25 with b=0 and a small k1: a subgraph
+		// embedding's size is structural, not verbosity (no length
+		// penalty), and node frequencies saturate quickly so BON behaves
+		// as an idf-weighted node-set match. This keeps Equation 3's text
+		// ranking authoritative within clusters of same-event stories.
+		bonScorer := search.NewBM25(e.nodeIdx)
+		bonScorer.B = 0
+		bonScorer.K1 = 0.4
+		bon = search.TopKMaxScore(e.nodeIdx, bonScorer, q, pool)
+	}
+	fused := search.Fuse(bow, bon, e.cfg.Beta, k)
+	out := make([]Result, len(fused))
+	for i, h := range fused {
+		doc := e.docs[h.Doc]
+		out[i] = Result{
+			ID:      doc.ID,
+			Title:   doc.Title,
+			Score:   h.Score,
+			Snippet: snippet(doc.Text, qTerms),
+		}
+	}
+	return out, nil
+}
+
+// snippet picks the document sentence with the highest query-term overlap,
+// the usual keyword-in-context preview search UIs show.
+func snippet(text string, qTerms []string) string {
+	if len(qTerms) == 0 {
+		return ""
+	}
+	want := make(map[string]bool, len(qTerms))
+	for _, t := range qTerms {
+		want[t] = true
+	}
+	best, bestScore := "", 0
+	for _, sent := range nlp.SplitSentences(text) {
+		score := 0
+		for _, t := range nlp.Terms(sent) {
+			if want[t] {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = sent, score
+		}
+	}
+	return best
+}
+
+// Explain computes the intuitive evidence for why document docID is related
+// to the query: the overlap of their subgraph embeddings and up to maxPaths
+// relationship paths through it.
+func (e *Engine) Explain(query string, docID int, maxPaths int) (Explanation, error) {
+	if !e.built {
+		return Explanation{}, errors.New("newslink: Explain before Build")
+	}
+	pos := -1
+	for i := range e.docs {
+		if e.docs[i].ID == docID {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return Explanation{}, fmt.Errorf("newslink: unknown document %d", docID)
+	}
+	qEmb, _ := e.analyzeQuery(query)
+	dEmb := e.embeddings[pos]
+	if qEmb == nil || dEmb == nil {
+		return Explanation{}, nil
+	}
+	var exp Explanation
+	for _, n := range qEmb.Overlap(dEmb) {
+		exp.SharedEntities = append(exp.SharedEntities, e.g.Label(n))
+	}
+	// Relationship paths: link every query label to every result label
+	// until maxPaths are collected, shortest pairs first.
+	qLabels := embeddingLabels(qEmb)
+	dLabels := embeddingLabels(dEmb)
+	seen := map[string]bool{}
+	seenPair := map[[2]string]bool{}
+	for _, ql := range qLabels {
+		for _, dl := range dLabels {
+			if len(exp.Paths) >= maxPaths {
+				return exp, nil
+			}
+			if ql == dl {
+				continue
+			}
+			// A label can occur in both embeddings; visit each unordered
+			// pair once so mirror-image paths are not reported twice.
+			pairKey := [2]string{ql, dl}
+			if dl < ql {
+				pairKey = [2]string{dl, ql}
+			}
+			if seenPair[pairKey] {
+				continue
+			}
+			seenPair[pairKey] = true
+			for _, p := range core.CrossPaths(e.g, qEmb, dEmb, ql, dl, 1) {
+				r := p.Render(e.g)
+				if r != "" && !seen[r] {
+					seen[r] = true
+					exp.Paths = append(exp.Paths, e.makePath(p, r))
+				}
+				if len(exp.Paths) >= maxPaths {
+					return exp, nil
+				}
+			}
+		}
+	}
+	return exp, nil
+}
+
+// makePath converts an internal relationship path into the public form.
+func (e *Engine) makePath(p core.RelPath, rendered string) Path {
+	out := Path{Rendered: rendered}
+	if len(p.Hops) == 0 {
+		return out
+	}
+	out.Nodes = append(out.Nodes, e.g.Label(p.Hops[0].From))
+	for _, h := range p.Hops {
+		out.Nodes = append(out.Nodes, e.g.Label(h.To))
+		out.Relations = append(out.Relations, e.g.RelName(h.Rel))
+	}
+	return out
+}
+
+// ExplainDOT renders the query's and the document's subgraph embeddings as
+// a Graphviz digraph in the style of the paper's Figure 1: one color per
+// embedding, overlap nodes filled orange, subgraph roots boxed. Render with
+// `dot -Tsvg`. An empty string is returned when either side has no
+// embedding.
+func (e *Engine) ExplainDOT(query string, docID int, title string) (string, error) {
+	if !e.built {
+		return "", errors.New("newslink: ExplainDOT before Build")
+	}
+	pos := -1
+	for i := range e.docs {
+		if e.docs[i].ID == docID {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return "", fmt.Errorf("newslink: unknown document %d", docID)
+	}
+	qEmb, _ := e.analyzeQuery(query)
+	dEmb := e.embeddings[pos]
+	if qEmb == nil || dEmb == nil {
+		return "", nil
+	}
+	return core.DOT(e.g, title, qEmb, dEmb), nil
+}
+
+// embeddingLabels returns the distinct entity labels a document embedding
+// was built from, in deterministic order.
+func embeddingLabels(emb *core.DocEmbedding) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, sg := range emb.Subgraphs {
+		for _, l := range sg.Labels {
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,368 @@
+package newslink
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"newslink/internal/corpus"
+)
+
+func sampleEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	g, arts := corpus.Sample()
+	e := New(g, cfg)
+	for _, a := range arts {
+		if err := e.Add(Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEndToEndSearch(t *testing.T) {
+	e := sampleEngine(t, DefaultConfig())
+	// The paper's Example 1: querying with the Pakistan/Taliban conflict
+	// story should surface the Taliban bombing story.
+	res, err := e.Search("Military conflicts between Pakistan and Taliban in Upper Dir and Swat Valley.", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	top2 := []int{res[0].ID}
+	if len(res) > 1 {
+		top2 = append(top2, res[1].ID)
+	}
+	found := false
+	for _, id := range top2 {
+		if id == 0 || id == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("military stories not in top 2: %+v", res)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestPureEmbeddingSearchBridgesVocabularyMismatch(t *testing.T) {
+	// β=1: only subgraph embeddings, as in the paper's case study. The
+	// query shares almost no keywords with doc 1 (no "bombing", no
+	// "Lahore") but their embeddings overlap in Khyber.
+	e := sampleEngine(t, Config{Beta: 1, Model: LCAG, MaxDepth: 6})
+	res, err := e.Search("Clashes between Taliban and Pakistan forces in Upper Dir and Swat Valley.", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := map[int]bool{}
+	for _, r := range res {
+		ranked[r.ID] = true
+	}
+	if !ranked[1] {
+		t.Fatalf("β=1 failed to retrieve the related bombing story: %+v", res)
+	}
+	// The sports and business stories have disjoint embeddings.
+	if ranked[7] {
+		t.Fatalf("business story leaked into embedding-only results: %+v", res)
+	}
+}
+
+func TestExplainProducesPaths(t *testing.T) {
+	e := sampleEngine(t, DefaultConfig())
+	query := "Fighting between Taliban and Pakistan reached Upper Dir and the Swat Valley."
+	exp, err := e.Explain(query, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.SharedEntities) == 0 {
+		t.Fatal("no shared entities in the overlap")
+	}
+	joined := strings.Join(exp.SharedEntities, " ")
+	if !strings.Contains(joined, "Khyber") {
+		t.Fatalf("induced entity Khyber missing from overlap: %v", exp.SharedEntities)
+	}
+	if len(exp.Paths) == 0 {
+		t.Fatal("no relationship paths")
+	}
+	for _, p := range exp.Paths {
+		if !strings.Contains(p.Rendered, "-[") {
+			t.Fatalf("path without relation rendering: %s", p.Rendered)
+		}
+		if len(p.Nodes) != len(p.Relations)+1 {
+			t.Fatalf("path structure inconsistent: %+v", p)
+		}
+	}
+}
+
+func TestCaseStudyElection(t *testing.T) {
+	// Figure 6: β=1 retrieval connects the Sanders/Clinton/FBI story with
+	// the Trump/Sanders story through the US presidential election node.
+	e := sampleEngine(t, Config{Beta: 1, Model: LCAG, MaxDepth: 6})
+	query := "Sanders said voters were tired of hearing about Clinton and the FBI emails."
+	res, err := e.Search(query, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[int]bool{}
+	for _, r := range res {
+		ids[r.ID] = true
+	}
+	if !ids[4] && !ids[5] {
+		t.Fatalf("election stories not retrieved: %+v", res)
+	}
+	exp, err := e.Explain(query, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rendered []string
+	for _, p := range exp.Paths {
+		rendered = append(rendered, p.Rendered)
+	}
+	all := strings.Join(rendered, "\n")
+	if !strings.Contains(all, "US presidential election 2016") {
+		t.Fatalf("paths do not pass through the election node:\n%s", all)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	g, arts := corpus.Sample()
+	e := New(g, DefaultConfig())
+	if _, err := e.Search("x", 1); err == nil {
+		t.Fatal("Search before Build must fail")
+	}
+	if _, err := e.Explain("x", 0, 1); err == nil {
+		t.Fatal("Explain before Build must fail")
+	}
+	if err := e.Build(); err == nil {
+		t.Fatal("Build with no documents must fail")
+	}
+	for _, a := range arts[:2] {
+		if err := e.Add(Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Build(); err == nil {
+		t.Fatal("double Build must fail")
+	}
+	if _, err := e.Search("x", 0); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	if _, err := e.Explain("x", 999, 1); err == nil {
+		t.Fatal("unknown doc must fail")
+	}
+}
+
+func TestQueriesWithoutEntitiesStillWork(t *testing.T) {
+	e := sampleEngine(t, DefaultConfig())
+	res, err := e.Search("quarterly earnings beat expectations", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].ID != 7 {
+		t.Fatalf("text-only query failed: %+v", res)
+	}
+	// β=1 with an entity-free query returns nothing rather than erroring.
+	e1 := sampleEngine(t, Config{Beta: 1})
+	res, err = e1.Search("quarterly earnings beat expectations", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("β=1 entity-free query returned %+v", res)
+	}
+}
+
+func TestBetaZeroEqualsTextOnly(t *testing.T) {
+	// β=0 must produce exactly the BM25 text ranking (Table VII's "β=0
+	// reduces to Lucene").
+	e0 := sampleEngine(t, Config{Beta: 0})
+	eHalf := sampleEngine(t, Config{Beta: 0.5, MaxDepth: 6})
+	q := "Taliban bombing in Lahore and Peshawar"
+	r0, err := e0.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := eHalf.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r0) == 0 || len(rh) == 0 {
+		t.Fatal("no results")
+	}
+	if r0[0].ID != 1 {
+		t.Fatalf("BM25 top hit = %+v, want the bombing story", r0[0])
+	}
+}
+
+func TestSnippets(t *testing.T) {
+	e := sampleEngine(t, DefaultConfig())
+	res, err := e.Search("bombing attack in Lahore", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	top := res[0]
+	if top.Snippet == "" {
+		t.Fatal("no snippet on top result")
+	}
+	if !strings.Contains(strings.ToLower(top.Snippet), "lahore") &&
+		!strings.Contains(strings.ToLower(top.Snippet), "bombing") {
+		t.Fatalf("snippet not query-relevant: %q", top.Snippet)
+	}
+	// The snippet is a real sentence of the document, not fabricated text.
+	found := false
+	g, arts := corpus.Sample()
+	_ = g
+	for _, a := range arts {
+		if a.ID == top.ID && strings.Contains(a.Text, top.Snippet) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("snippet %q not found in source document", top.Snippet)
+	}
+}
+
+func TestExplainDOT(t *testing.T) {
+	e := sampleEngine(t, DefaultConfig())
+	query := "Fighting between Taliban and Pakistan in Upper Dir"
+	dot, err := e.ExplainDOT(query, 1, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(dot, `digraph "test"`) {
+		t.Fatalf("dot = %q", dot[:40])
+	}
+	if !strings.Contains(dot, "Khyber") || !strings.Contains(dot, "orange") {
+		t.Fatal("overlap rendering missing")
+	}
+	// Entity-free document: empty rendering, no error.
+	dot, err = e.ExplainDOT(query, 7, "test")
+	if err != nil || dot != "" {
+		t.Fatalf("entity-free doc: %q err=%v", dot, err)
+	}
+	if _, err := e.ExplainDOT(query, 999, "t"); err == nil {
+		t.Fatal("unknown doc must fail")
+	}
+	unbuilt := New(e.Graph(), DefaultConfig())
+	if _, err := unbuilt.ExplainDOT("x", 0, "t"); err == nil {
+		t.Fatal("ExplainDOT before Build must fail")
+	}
+}
+
+func TestQueryCache(t *testing.T) {
+	c := newQueryCache(2)
+	c.put("a", nil, []string{"a"})
+	c.put("b", nil, []string{"b"})
+	if _, terms, ok := c.get("a"); !ok || terms[0] != "a" {
+		t.Fatal("miss on cached entry")
+	}
+	c.put("c", nil, []string{"c"}) // evicts b (a was just touched)
+	if _, _, ok := c.get("b"); ok {
+		t.Fatal("LRU eviction failed")
+	}
+	if _, _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	c.put("a", nil, []string{"a2"})
+	if _, terms, _ := c.get("a"); terms[0] != "a2" {
+		t.Fatal("update in place failed")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+func TestQueryCacheSharedAcrossSearchAndExplain(t *testing.T) {
+	e := sampleEngine(t, DefaultConfig())
+	q := "Taliban fighting near Upper Dir in Pakistan"
+	if _, err := e.Search(q, 3); err != nil {
+		t.Fatal(err)
+	}
+	if e.queries.len() != 1 {
+		t.Fatalf("cache len = %d after Search", e.queries.len())
+	}
+	if _, err := e.Explain(q, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ExplainDOT(q, 0, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if e.queries.len() != 1 {
+		t.Fatalf("cache len = %d, query re-analyzed", e.queries.len())
+	}
+}
+
+// TestIncrementalAddMatchesBatchBuild: documents added after Build become
+// searchable on the next query, and the segmented engine ranks exactly like
+// one built from the full corpus in a single pass.
+func TestIncrementalAddMatchesBatchBuild(t *testing.T) {
+	g, arts := corpus.Sample()
+	batch := sampleEngine(t, DefaultConfig())
+
+	inc := New(g, DefaultConfig())
+	for _, a := range arts[:3] {
+		if err := inc.Add(Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inc.Build(); err != nil {
+		t.Fatal(err)
+	}
+	// Interleave searches with incremental adds across several segments.
+	if _, err := inc.Search("Taliban", 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arts[3:6] {
+		if err := inc.Add(Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := inc.Search("Clinton", 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arts[6:] {
+		if err := inc.Add(Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range []string{
+		"Taliban bombing in Lahore and Peshawar",
+		"Sanders said voters were tired of hearing about Clinton and the FBI emails.",
+		"quarterly earnings beat expectations",
+	} {
+		a, err := batch.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := inc.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("segmented engine disagrees for %q:\n%v\nvs\n%v", q, a, b)
+		}
+	}
+	// Explanations for late documents work too.
+	exp, err := inc.Explain("Taliban fighting in Upper Dir Pakistan", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.SharedEntities) == 0 {
+		t.Fatal("no explanation for late-added document")
+	}
+}

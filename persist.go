@@ -1,0 +1,212 @@
+package newslink
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"newslink/internal/core"
+	"newslink/internal/index"
+	"newslink/internal/kg"
+)
+
+// Snapshot layout: a directory with
+//
+//	meta.json   engine config, document metadata, graph fingerprint
+//	text.idx    BOW inverted index (binary)
+//	node.idx    BON inverted index (binary)
+//	emb.bin     per-document subgraph embeddings (binary)
+//
+// A snapshot is only valid together with the knowledge graph it was built
+// on; Load verifies a structural fingerprint and rejects mismatches.
+
+const snapshotVersion = 1
+
+type snapshotMeta struct {
+	Version int        `json:"version"`
+	Config  Config     `json:"config"`
+	Graph   graphPrint `json:"graph"`
+	Docs    []Document `json:"docs"`
+}
+
+type graphPrint struct {
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	Rels  int `json:"rels"`
+}
+
+func fingerprint(g *kg.Graph) graphPrint {
+	return graphPrint{Nodes: g.NumNodes(), Edges: g.NumEdges(), Rels: g.NumRels()}
+}
+
+// asMemoryIndex obtains a serializable in-memory index from any Source:
+// in-memory indexes pass through; segmented and disk-backed sources are
+// compacted via Flatten.
+func asMemoryIndex(src index.Source) (*index.Index, error) {
+	switch s := src.(type) {
+	case *index.Index:
+		return s, nil
+	case *index.Multi:
+		return s.Flatten(), nil
+	case *index.DiskIndex:
+		return index.NewMulti(s).Flatten(), nil
+	default:
+		return nil, fmt.Errorf("newslink: cannot serialize index source %T", src)
+	}
+}
+
+// Save writes a snapshot of the built engine to dir (created if needed).
+// Adding documents to the corpus requires rebuilding; snapshots make the
+// expensive part — embedding the corpus (Figure 7) — a one-time cost.
+func (e *Engine) Save(dir string) error {
+	if !e.built {
+		return errors.New("newslink: Save before Build")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	meta := snapshotMeta{
+		Version: snapshotVersion,
+		Config:  e.cfg,
+		Graph:   fingerprint(e.g),
+		Docs:    e.docs,
+	}
+	metaBytes, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), metaBytes, 0o644); err != nil {
+		return err
+	}
+	writeFile := func(name string, fn func(*os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("newslink: writing %s: %w", name, err)
+		}
+		return f.Close()
+	}
+	e.maybeRefresh()
+	textMem, err := asMemoryIndex(e.textIdx)
+	if err != nil {
+		return err
+	}
+	nodeMem, err := asMemoryIndex(e.nodeIdx)
+	if err != nil {
+		return err
+	}
+	if err := writeFile("text.idx", func(f *os.File) error {
+		_, err := textMem.WriteTo(f)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := writeFile("node.idx", func(f *os.File) error {
+		_, err := nodeMem.WriteTo(f)
+		return err
+	}); err != nil {
+		return err
+	}
+	return writeFile("emb.bin", func(f *os.File) error {
+		return core.WriteEmbeddings(f, e.embeddings)
+	})
+}
+
+// Load restores an engine snapshot written by Save, reading both inverted
+// indexes fully into memory. g must be the same knowledge graph the
+// snapshot was built on (verified by fingerprint).
+func Load(dir string, g *kg.Graph) (*Engine, error) {
+	return load(dir, g, false)
+}
+
+// LoadOnDisk restores a snapshot but serves the inverted indexes directly
+// from the snapshot files (postings are read on demand), so startup cost
+// and resident memory stay flat as the corpus grows. The engine holds the
+// files open until Close; it cannot be re-saved.
+func LoadOnDisk(dir string, g *kg.Graph) (*Engine, error) {
+	return load(dir, g, true)
+}
+
+// Close releases the snapshot files of an engine opened with LoadOnDisk
+// (a no-op for in-memory engines).
+func (e *Engine) Close() error {
+	for _, src := range []index.Source{e.textIdx, e.nodeIdx} {
+		if c, ok := src.(*index.DiskIndex); ok {
+			if err := c.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func load(dir string, g *kg.Graph, onDisk bool) (*Engine, error) {
+	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil, err
+	}
+	var meta snapshotMeta
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return nil, fmt.Errorf("newslink: parsing meta.json: %w", err)
+	}
+	if meta.Version != snapshotVersion {
+		return nil, fmt.Errorf("newslink: snapshot version %d, want %d", meta.Version, snapshotVersion)
+	}
+	if got := fingerprint(g); got != meta.Graph {
+		return nil, fmt.Errorf("newslink: knowledge graph mismatch: snapshot %+v, graph %+v", meta.Graph, got)
+	}
+	e := New(g, meta.Config)
+	e.docs = meta.Docs
+	readFile := func(name string, fn func(*os.File) error) error {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return fmt.Errorf("newslink: reading %s: %w", name, err)
+		}
+		return nil
+	}
+	if onDisk {
+		if e.textIdx, err = index.OpenDiskIndex(filepath.Join(dir, "text.idx")); err != nil {
+			return nil, err
+		}
+		if e.nodeIdx, err = index.OpenDiskIndex(filepath.Join(dir, "node.idx")); err != nil {
+			e.Close()
+			return nil, err
+		}
+	} else {
+		if err := readFile("text.idx", func(f *os.File) error {
+			e.textIdx, err = index.ReadIndex(f)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if err := readFile("node.idx", func(f *os.File) error {
+			e.nodeIdx, err = index.ReadIndex(f)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := readFile("emb.bin", func(f *os.File) error {
+		e.embeddings, err = core.ReadEmbeddings(f, g)
+		return err
+	}); err != nil {
+		e.Close()
+		return nil, err
+	}
+	if e.textIdx.NumDocs() != len(e.docs) || len(e.embeddings) != len(e.docs) {
+		return nil, fmt.Errorf("newslink: snapshot inconsistent: %d docs, %d indexed, %d embeddings",
+			len(e.docs), e.textIdx.NumDocs(), len(e.embeddings))
+	}
+	e.textB, e.nodeB = nil, nil
+	e.built = true
+	return e, nil
+}

@@ -1,0 +1,206 @@
+package newslink
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"newslink/internal/corpus"
+	"newslink/internal/kg"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g, arts := corpus.Sample()
+	e := sampleEngine(t, DefaultConfig())
+	dir := t.TempDir()
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumDocs() != len(arts) {
+		t.Fatalf("NumDocs = %d", loaded.NumDocs())
+	}
+	queries := []string{
+		"Military conflicts between Pakistan and Taliban in Upper Dir",
+		"Sanders said voters were tired of hearing about Clinton and the FBI emails.",
+		"quarterly earnings beat expectations",
+	}
+	for _, q := range queries {
+		a, err := e.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("loaded engine disagrees for %q:\n%v\nvs\n%v", q, a, b)
+		}
+	}
+	// Explanations (which read the persisted embeddings) survive the trip.
+	expA, err := e.Explain(queries[0], 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expB, err := loaded.Explain(queries[0], 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(expA, expB) {
+		t.Fatalf("explanations differ:\n%+v\nvs\n%+v", expA, expB)
+	}
+	// A loaded engine accepts further documents (late segment).
+	if err := loaded.Add(Document{ID: 999, Title: "late", Text: "A late bulletin about Lahore."}); err != nil {
+		t.Fatal(err)
+	}
+	late, err := loaded.Search("late bulletin", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(late) == 0 || late[0].ID != 999 {
+		t.Fatalf("late doc not searchable: %+v", late)
+	}
+}
+
+func TestSaveBeforeBuildFails(t *testing.T) {
+	g, _ := corpus.Sample()
+	e := New(g, DefaultConfig())
+	if err := e.Save(t.TempDir()); err == nil {
+		t.Fatal("Save before Build must fail")
+	}
+}
+
+func TestLoadRejectsWrongGraph(t *testing.T) {
+	e := sampleEngine(t, DefaultConfig())
+	dir := t.TempDir()
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	other := kg.Generate(kg.DefaultConfig(1)).Graph
+	if _, err := Load(dir, other); err == nil {
+		t.Fatal("Load with a different graph must fail")
+	}
+}
+
+func TestLoadRejectsCorruptSnapshot(t *testing.T) {
+	g, _ := corpus.Sample()
+	e := sampleEngine(t, DefaultConfig())
+	dir := t.TempDir()
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Missing file.
+	if err := os.Remove(filepath.Join(dir, "node.idx")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, g); err == nil {
+		t.Fatal("missing index must fail")
+	}
+	// Corrupt meta.
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, g); err == nil {
+		t.Fatal("corrupt meta must fail")
+	}
+	// Nonexistent directory.
+	if _, err := Load(filepath.Join(dir, "nope"), g); err == nil {
+		t.Fatal("missing snapshot must fail")
+	}
+}
+
+func TestLoadRejectsVersionSkew(t *testing.T) {
+	g, _ := corpus.Sample()
+	e := sampleEngine(t, DefaultConfig())
+	dir := t.TempDir()
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []byte(`{"version": 99` + string(meta[len(`{"version": 1`):]))
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, g); err == nil {
+		t.Fatal("future version must fail")
+	}
+}
+
+func TestLoadOnDisk(t *testing.T) {
+	g, _ := corpus.Sample()
+	e := sampleEngine(t, DefaultConfig())
+	dir := t.TempDir()
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := LoadOnDisk(dir, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	queries := []string{
+		"Taliban bombing in Lahore and Peshawar",
+		"Sanders said voters were tired of hearing about Clinton and the FBI emails.",
+	}
+	for _, q := range queries {
+		a, err := e.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := disk.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("disk engine disagrees for %q:\n%v\nvs\n%v", q, a, b)
+		}
+	}
+	// Explanations work too (embeddings are in memory either way).
+	expA, err := e.Explain(queries[0], 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expB, err := disk.Explain(queries[0], 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(expA, expB) {
+		t.Fatal("explanations differ on disk engine")
+	}
+	// Disk engines re-save by compacting their segments.
+	dir2 := t.TempDir()
+	if err := disk.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := Load(dir2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := reloaded.Search(queries[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := e.Search(queries[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatal("re-saved disk engine disagrees")
+	}
+	// Close is idempotent enough for the double-call pattern.
+	if err := disk.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// In-memory engines Close as a no-op.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

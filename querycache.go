@@ -1,0 +1,68 @@
+package newslink
+
+import (
+	"container/list"
+	"sync"
+
+	"newslink/internal/core"
+)
+
+// queryCache memoizes query analysis (NLP + subgraph embedding). A search
+// UI calls Search and then Explain/ExplainDOT for several results of the
+// same query; without the cache each call would re-run the NE component,
+// which dominates query latency (Table VIII). Small LRU, safe for
+// concurrent use.
+type queryCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recent; values are *cacheEntry
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key   string
+	emb   *core.DocEmbedding
+	terms []string
+}
+
+func newQueryCache(max int) *queryCache {
+	return &queryCache{max: max, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached analysis and whether it was present.
+func (c *queryCache) get(key string) (*core.DocEmbedding, []string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, nil, false
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.emb, e.terms, true
+}
+
+// put stores an analysis, evicting the least recently used entry if full.
+func (c *queryCache) put(key string, emb *core.DocEmbedding, terms []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.emb, e.terms = emb, terms
+		return
+	}
+	if c.order.Len() >= c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, emb: emb, terms: terms})
+}
+
+// len returns the number of cached queries.
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
