@@ -1,12 +1,16 @@
 // Command newslinkd serves NewsLink search over HTTP.
 //
 //	newslinkd [-addr :8080] [-kg kg.tsv -corpus corpus.jsonl]
-//	          [-beta 0.2] [-snapshot dir] [-workers 0]
+//	          [-beta 0.2] [-snapshot dir] [-workers 0] [-querytimeout 20s]
 //
 // Without -kg/-corpus the built-in sample corpus is served. With -snapshot,
 // a previously saved engine snapshot is loaded (or written after indexing
 // if the directory does not exist yet), so restarts skip the corpus
 // embedding cost.
+//
+// The API is served under /v1/ (unversioned paths remain as aliases).
+// -querytimeout bounds each query server-side; an exceeded deadline is
+// reported as 504 in the JSON error envelope, a client disconnect as 499.
 package main
 
 import (
@@ -31,16 +35,17 @@ func main() {
 	snapshot := flag.String("snapshot", "", "engine snapshot directory (load if present, save after indexing otherwise)")
 	onDisk := flag.Bool("ondisk", false, "serve snapshot postings from disk instead of loading them into memory")
 	workers := flag.Int("workers", 0, "indexing workers (0 = GOMAXPROCS)")
+	queryTimeout := flag.Duration("querytimeout", 20*time.Second, "per-request search deadline (0 = unbounded); expired requests return 504")
 	flag.Parse()
 
 	engine, err := buildEngineMode(*kgPath, *corpusPath, *beta, *snapshot, *workers, *onDisk)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving %d documents on %s", engine.NumDocs(), *addr)
+	log.Printf("serving %d documents on %s (API under /v1/)", engine.NumDocs(), *addr)
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      server.New(engine).Handler(),
+		Handler:      server.New(engine, server.WithQueryTimeout(*queryTimeout)).Handler(),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}

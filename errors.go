@@ -1,0 +1,24 @@
+package newslink
+
+import "errors"
+
+// Sentinel errors returned by the Engine API. Callers should match them
+// with errors.Is; the returned errors may wrap these with per-call detail
+// (the offending k, document ID, ...).
+var (
+	// ErrNotBuilt is returned by read operations (Search, Explain,
+	// ExplainDOT, Save) invoked before Build.
+	ErrNotBuilt = errors.New("newslink: engine not built")
+	// ErrAlreadyBuilt is returned by a second Build call.
+	ErrAlreadyBuilt = errors.New("newslink: engine already built")
+	// ErrNoDocuments is returned by Build when nothing was added.
+	ErrNoDocuments = errors.New("newslink: no documents added")
+	// ErrUnknownDoc is returned when a document ID was never added.
+	ErrUnknownDoc = errors.New("newslink: unknown document")
+	// ErrInvalidK is returned for non-positive result counts.
+	ErrInvalidK = errors.New("newslink: invalid k")
+	// ErrInvalidBeta is returned for per-request β outside [0, 1].
+	ErrInvalidBeta = errors.New("newslink: invalid beta")
+	// ErrDuplicateID is returned by Add for a document ID already indexed.
+	ErrDuplicateID = errors.New("newslink: duplicate document id")
+)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"newslink/internal/kg"
@@ -13,8 +14,17 @@ import (
 // bidirected, as the underlying KG is), from the nodes labeled la to the
 // nodes labeled lb, and enumerates up to limit shortest paths.
 func CrossPaths(g *kg.Graph, a, b *DocEmbedding, la, lb string, limit int) []RelPath {
+	paths, _ := CrossPathsContext(context.Background(), g, a, b, la, lb, limit)
+	return paths
+}
+
+// CrossPathsContext is CrossPaths with cooperative cancellation: the BFS
+// polls the context once per frontier level (embedding arc sets are small,
+// so levels are the natural granularity) and a done context aborts with
+// ctx.Err().
+func CrossPathsContext(ctx context.Context, g *kg.Graph, a, b *DocEmbedding, la, lb string, limit int) ([]RelPath, error) {
 	if a == nil || b == nil || limit <= 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	type half struct {
 		to      kg.NodeID
@@ -64,7 +74,7 @@ func CrossPaths(g *kg.Graph, a, b *DocEmbedding, la, lb string, limit int) []Rel
 	}
 	sources, targets = dedupeIDs(sources), dedupeIDs(targets)
 	if len(sources) == 0 || len(targets) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	targetSet := make(map[kg.NodeID]bool, len(targets))
 	for _, t := range targets {
@@ -80,6 +90,9 @@ func CrossPaths(g *kg.Graph, a, b *DocEmbedding, la, lb string, limit int) []Rel
 	}
 	bestTarget := -1
 	for d := 0; len(frontier) > 0; d++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if bestTarget >= 0 && d >= bestTarget {
 			break
 		}
@@ -102,7 +115,7 @@ func CrossPaths(g *kg.Graph, a, b *DocEmbedding, la, lb string, limit int) []Rel
 		frontier = next
 	}
 	if bestTarget < 0 {
-		return nil
+		return nil, nil
 	}
 	// Enumerate paths backwards from the nearest targets.
 	srcSet := map[kg.NodeID]bool{}
@@ -136,7 +149,7 @@ func CrossPaths(g *kg.Graph, a, b *DocEmbedding, la, lb string, limit int) []Rel
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return len(out[i].Hops) < len(out[j].Hops) })
-	return out
+	return out, ctx.Err()
 }
 
 func dedupeIDs(ids []kg.NodeID) []kg.NodeID {

@@ -2,10 +2,16 @@ package search
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"newslink/internal/index"
 )
+
+// cancelCheckEvery is how many postings are scanned between cooperative
+// ctx.Err() polls; small enough for prompt cancellation, large enough that
+// the atomic load in Err is invisible in profiles.
+const cancelCheckEvery = 4096
 
 // Hit is one retrieved document with its score.
 type Hit struct {
@@ -46,22 +52,20 @@ func TopK(idx index.Source, s Scorer, q Query, k int) []Hit {
 	return selectTop(acc, k)
 }
 
-// TopKMaxScore evaluates the query with max-score pruning: terms are
-// processed in decreasing score-bound order and accumulation stops scanning
-// new candidate documents once the remaining bounds cannot lift a document
-// into the top k (Turtle & Flood max-score; the threshold-algorithm family
-// the paper cites for its top-k ranking [49]). Results equal TopK exactly.
-func TopKMaxScore(idx index.Source, s Scorer, q Query, k int) []Hit {
-	if k <= 0 || len(q) == 0 {
-		return nil
-	}
-	type termInfo struct {
-		term  string
-		qw    float64
-		df    int
-		bound float64
-		posts []index.Posting
-	}
+// termInfo is one query term prepared for max-score evaluation: its
+// postings, document frequency and score upper bound.
+type termInfo struct {
+	term  string
+	qw    float64
+	df    int
+	bound float64
+	posts []index.Posting
+}
+
+// prepareTerms fetches postings and score bounds for every query term and
+// orders them by decreasing bound (ties by term for determinism). Returns
+// nil when no term matches.
+func prepareTerms(idx index.Source, s Scorer, q Query) []termInfo {
 	terms := make([]termInfo, 0, len(q))
 	for term, qw := range q {
 		posts := idx.Postings(term)
@@ -85,19 +89,59 @@ func TopKMaxScore(idx index.Source, s Scorer, q Query, k int) []Hit {
 		}
 		return terms[i].term < terms[j].term
 	})
-	// suffixBound[i] = sum of bounds of terms[i:].
-	suffixBound := make([]float64, len(terms)+1)
+	return terms
+}
+
+// suffixBounds returns cumulative bound sums: out[i] = sum of bounds of
+// terms[i:].
+func suffixBounds(terms []termInfo) []float64 {
+	out := make([]float64, len(terms)+1)
 	for i := len(terms) - 1; i >= 0; i-- {
-		suffixBound[i] = suffixBound[i+1] + terms[i].bound
+		out[i] = out[i+1] + terms[i].bound
 	}
+	return out
+}
+
+// TopKMaxScore evaluates the query with max-score pruning: terms are
+// processed in decreasing score-bound order and accumulation stops scanning
+// new candidate documents once the remaining bounds cannot lift a document
+// into the top k (Turtle & Flood max-score; the threshold-algorithm family
+// the paper cites for its top-k ranking [49]). Results equal TopK exactly.
+func TopKMaxScore(idx index.Source, s Scorer, q Query, k int) []Hit {
+	hits, _ := TopKMaxScoreContext(context.Background(), idx, s, q, k)
+	return hits
+}
+
+// TopKMaxScoreContext is TopKMaxScore with cooperative cancellation:
+// between terms and every cancelCheckEvery postings the context is polled,
+// and a done context aborts the traversal with ctx.Err().
+func TopKMaxScoreContext(ctx context.Context, idx index.Source, s Scorer, q Query, k int) ([]Hit, error) {
+	if k <= 0 || len(q) == 0 {
+		return nil, ctx.Err()
+	}
+	terms := prepareTerms(idx, s, q)
+	if terms == nil {
+		return nil, ctx.Err()
+	}
+	suffixBound := suffixBounds(terms)
 	acc := make(map[index.DocID]float64)
 	var th threshold // k-th best score so far
 	th.init(k)
+	sinceCheck := 0
 	for i, t := range terms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// >= keeps tie-breaking exact: a new doc bounded at exactly the
 		// current threshold could still win a tie on DocID.
 		newDocsAllowed := suffixBound[i] >= th.min()
 		for _, p := range t.posts {
+			if sinceCheck++; sinceCheck >= cancelCheckEvery {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if _, seen := acc[p.Doc]; !seen && !newDocsAllowed {
 				// This document can only score within terms[i:], bounded by
 				// suffixBound[i] <= current k-th score: skip it.
@@ -108,7 +152,7 @@ func TopKMaxScore(idx index.Source, s Scorer, q Query, k int) []Hit {
 		// Refresh the running threshold from the accumulator.
 		th.refresh(acc, k)
 	}
-	return selectTop(acc, k)
+	return selectTop(acc, k), nil
 }
 
 // threshold tracks the k-th best accumulated score.

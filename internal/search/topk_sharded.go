@@ -1,0 +1,111 @@
+package search
+
+import (
+	"container/heap"
+	"context"
+	"sort"
+	"sync"
+
+	"newslink/internal/index"
+)
+
+// TopKMaxScoreSharded evaluates the query like TopKMaxScore but shards the
+// postings traversal across up to `shards` workers. The document space is
+// split into contiguous DocID ranges; every worker runs the max-score loop
+// over its range with a private accumulator and heap, and the per-shard
+// top-k candidates are merged into the global top k. Because a document's
+// score is accumulated by exactly one shard — in the same term order as the
+// sequential path — and pruning only ever skips documents that cannot enter
+// their shard's (hence the global) top k, the result is identical to
+// TopKMaxScore, floating point and tie-breaking included (property-tested).
+//
+// Postings are fetched once, sequentially, before fan-out, so index.Source
+// implementations are only required to be safe for concurrent DocLen calls
+// (all in-tree sources are fully immutable after construction).
+func TopKMaxScoreSharded(ctx context.Context, idx index.Source, s Scorer, q Query, k, shards int) ([]Hit, error) {
+	numDocs := idx.NumDocs()
+	if shards > numDocs {
+		shards = numDocs
+	}
+	if shards <= 1 {
+		return TopKMaxScoreContext(ctx, idx, s, q, k)
+	}
+	if k <= 0 || len(q) == 0 {
+		return nil, ctx.Err()
+	}
+	terms := prepareTerms(idx, s, q)
+	if terms == nil {
+		return nil, ctx.Err()
+	}
+	suffixBound := suffixBounds(terms)
+
+	perShard := make([][]Hit, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		lo := index.DocID(w * numDocs / shards)
+		hi := index.DocID((w + 1) * numDocs / shards)
+		wg.Add(1)
+		go func(w int, lo, hi index.DocID) {
+			defer wg.Done()
+			perShard[w], errs[w] = shardTopK(ctx, idx, s, terms, suffixBound, k, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Merge: shards own disjoint documents, so the global top k is the k
+	// best of the union of per-shard top k's, under the same comparator.
+	h := make(hitHeap, 0, k)
+	for _, hits := range perShard {
+		for _, hit := range hits {
+			pushTop(&h, hit, k)
+		}
+	}
+	out := make([]Hit, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Hit)
+	}
+	return out, nil
+}
+
+// shardTopK runs the max-score accumulation restricted to documents in
+// [lo, hi), returning the shard-local top k.
+func shardTopK(ctx context.Context, idx index.Source, s Scorer, terms []termInfo, suffixBound []float64, k int, lo, hi index.DocID) ([]Hit, error) {
+	acc := make(map[index.DocID]float64)
+	var th threshold
+	th.init(k)
+	sinceCheck := 0
+	for i, t := range terms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		newDocsAllowed := suffixBound[i] >= th.min()
+		posts := postingsRange(t.posts, lo, hi)
+		for _, p := range posts {
+			if sinceCheck++; sinceCheck >= cancelCheckEvery {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			if _, seen := acc[p.Doc]; !seen && !newDocsAllowed {
+				continue
+			}
+			acc[p.Doc] += t.qw * s.Weight(float64(p.TF), t.df, idx.DocLen(p.Doc))
+		}
+		th.refresh(acc, k)
+	}
+	return selectTop(acc, k), nil
+}
+
+// postingsRange returns the sub-slice of a DocID-sorted postings list whose
+// documents fall in [lo, hi).
+func postingsRange(posts []index.Posting, lo, hi index.DocID) []index.Posting {
+	start := sort.Search(len(posts), func(i int) bool { return posts[i].Doc >= lo })
+	end := start + sort.Search(len(posts)-start, func(i int) bool { return posts[start+i].Doc >= hi })
+	return posts[start:end]
+}

@@ -1,0 +1,122 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"newslink/internal/index"
+)
+
+// randomIndex builds a deterministic synthetic corpus: docs draw a
+// zipf-flavoured number of terms from a bounded vocabulary so postings
+// lists have realistic skew (a few huge, many tiny).
+func randomIndex(nDocs, vocab int, seed int64) *index.Index {
+	rng := rand.New(rand.NewSource(seed))
+	b := index.NewBuilder()
+	for d := 0; d < nDocs; d++ {
+		n := 5 + rng.Intn(60)
+		terms := make([]string, n)
+		for i := range terms {
+			// Square the draw to skew toward low term ids (frequent terms).
+			t := rng.Intn(vocab)
+			t = t * rng.Intn(vocab) / vocab
+			terms[i] = fmt.Sprintf("t%d", t)
+		}
+		b.Add(terms)
+	}
+	return b.Build()
+}
+
+func randomQuery(rng *rand.Rand, vocab, nTerms int) Query {
+	q := make(Query, nTerms)
+	for i := 0; i < nTerms; i++ {
+		q[fmt.Sprintf("t%d", rng.Intn(vocab))] = 1 + float64(rng.Intn(3))
+	}
+	return q
+}
+
+// TestShardedTopKMatchesSequential: the sharded traversal must return
+// rankings identical to the sequential max-score path — same documents,
+// same scores (bit for bit), same tie-breaking — for every shard count.
+func TestShardedTopKMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		nDocs, vocab int
+	}{
+		{37, 40},
+		{500, 120},
+		{3000, 400},
+	} {
+		idx := randomIndex(tc.nDocs, tc.vocab, int64(tc.nDocs))
+		scorer := NewBM25(idx)
+		rng := rand.New(rand.NewSource(7))
+		for qi := 0; qi < 8; qi++ {
+			q := randomQuery(rng, tc.vocab, 2+qi%7)
+			for _, k := range []int{1, 5, 20, 100} {
+				want := TopKMaxScore(idx, scorer, q, k)
+				for _, shards := range []int{1, 2, 3, 4, 7, 16, tc.nDocs + 5} {
+					got, err := TopKMaxScoreSharded(context.Background(), idx, scorer, q, k, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("docs=%d q=%d k=%d shards=%d:\nsharded   %v\nsequential %v",
+							tc.nDocs, qi, k, shards, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedTopKAgainstExactTopK cross-checks against the exhaustive
+// accumulator, which uses no pruning at all. TopK accumulates terms in map
+// iteration order, so scores agree only up to float addition reordering;
+// retrieve everything and compare per-document within tolerance.
+func TestShardedTopKAgainstExactTopK(t *testing.T) {
+	idx := randomIndex(800, 150, 3)
+	scorer := NewBM25(idx)
+	rng := rand.New(rand.NewSource(11))
+	for qi := 0; qi < 6; qi++ {
+		q := randomQuery(rng, 150, 3+qi)
+		want := TopK(idx, scorer, q, idx.NumDocs())
+		got, err := TopKMaxScoreSharded(context.Background(), idx, scorer, q, idx.NumDocs(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("q=%d: %d hits, exact has %d", qi, len(got), len(want))
+		}
+		wantScore := make(map[index.DocID]float64, len(want))
+		for _, h := range want {
+			wantScore[h.Doc] = h.Score
+		}
+		for _, h := range got {
+			exact, ok := wantScore[h.Doc]
+			if !ok {
+				t.Fatalf("q=%d: doc %d missing from exact result", qi, h.Doc)
+			}
+			if diff := h.Score - exact; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("q=%d doc %d: score %v, exact %v", qi, h.Doc, h.Score, exact)
+			}
+		}
+	}
+}
+
+// TestTopKCancellation: sequential and sharded traversals abort with
+// ctx.Err() on an already-cancelled context.
+func TestTopKCancellation(t *testing.T) {
+	idx := randomIndex(200, 60, 5)
+	scorer := NewBM25(idx)
+	q := Query{"t1": 1, "t2": 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TopKMaxScoreContext(ctx, idx, scorer, q, 10); err != context.Canceled {
+		t.Fatalf("sequential: err = %v", err)
+	}
+	if _, err := TopKMaxScoreSharded(ctx, idx, scorer, q, 10, 4); err != context.Canceled {
+		t.Fatalf("sharded: err = %v", err)
+	}
+}

@@ -1,42 +1,84 @@
 // Package server exposes a NewsLink engine over HTTP with a small JSON API
 // (the paper's NE component "runs as a backend server"; this serves the
-// whole search pipeline):
+// whole search pipeline). Routes are versioned under /v1/; the unversioned
+// spellings are kept as aliases for old clients:
 //
-//	GET /search?q=<text>&k=<n>            ranked results (Equation 3)
-//	GET /explain?q=<text>&id=<doc>&paths=<n>   overlap + relationship paths
-//	GET /dot?q=<text>&id=<doc>            Graphviz rendering of the pair
-//	GET /healthz                          liveness
-//	GET /stats                            engine and graph statistics
+//	GET /v1/search?q=<text>&k=<n>[&beta=<b>][&pool=<d>]  ranked results (Equation 3)
+//	GET /v1/explain?q=<text>&id=<doc>&paths=<n>          overlap + relationship paths
+//	GET /v1/dot?q=<text>&id=<doc>                        Graphviz rendering of the pair
+//	GET /v1/healthz                                      liveness
+//	GET /v1/stats                                        engine and graph statistics
+//
+// Errors use a uniform JSON envelope {"error": {"code", "message"}}. A
+// request whose context is cancelled by the client maps to 499, one that
+// exceeds the server's query deadline to 504.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"newslink"
 	"newslink/internal/kg"
 )
 
+// StatusClientClosedRequest is the non-standard (nginx-originated) status
+// for requests abandoned by the client before a response was produced.
+const StatusClientClosedRequest = 499
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithQueryTimeout bounds every search/explain/dot request: past d the
+// request context is cancelled, traversal stops cooperatively, and the
+// client receives 504 with code "deadline_exceeded". Zero disables the
+// bound.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(s *Server) { s.queryTimeout = d }
+}
+
 // Server wraps a built engine. All handlers are read-only and safe for
-// concurrent use.
+// concurrent use; the engine's own locking makes them safe against
+// concurrent Add/Refresh as well.
 type Server struct {
-	engine *newslink.Engine
+	engine       *newslink.Engine
+	queryTimeout time.Duration
 }
 
 // New returns a Server over a built engine.
-func New(e *newslink.Engine) *Server { return &Server{engine: e} }
+func New(e *newslink.Engine, opts ...Option) *Server {
+	s := &Server{engine: e}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
 
-// Handler returns the HTTP handler with all routes registered.
+// Handler returns the HTTP handler with all routes registered, each under
+// /v1/ and as a legacy unversioned alias.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /search", s.handleSearch)
-	mux.HandleFunc("GET /explain", s.handleExplain)
-	mux.HandleFunc("GET /dot", s.handleDOT)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	for _, prefix := range []string{"/v1", ""} {
+		mux.HandleFunc("GET "+prefix+"/search", s.handleSearch)
+		mux.HandleFunc("GET "+prefix+"/explain", s.handleExplain)
+		mux.HandleFunc("GET "+prefix+"/dot", s.handleDOT)
+		mux.HandleFunc("GET "+prefix+"/healthz", s.handleHealth)
+		mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
+	}
 	return mux
+}
+
+// queryContext derives the per-request context handlers pass to the engine.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.queryTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.queryTimeout)
+	}
+	return r.Context(), func() {}
 }
 
 // SearchResponse is the /search reply.
@@ -61,8 +103,15 @@ type StatsResponse struct {
 	KGLabels int `json:"kg_labels"`
 }
 
-type apiError struct {
-	Error string `json:"error"`
+// ErrorBody is the inner object of the error envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the uniform error envelope of every non-2xx reply.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -74,8 +123,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
 func badRequest(w http.ResponseWriter, format string, args ...any) {
-	writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf(format, args...)})
+	writeError(w, http.StatusBadRequest, "bad_request", format, args...)
+}
+
+// writeEngineError maps an engine error onto a status and stable error
+// code: sentinel errors map to client-side statuses, context termination to
+// 499/504, anything else to 500.
+func writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		writeError(w, StatusClientClosedRequest, "client_closed_request", "request cancelled")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", "query deadline exceeded")
+	case errors.Is(err, newslink.ErrUnknownDoc):
+		writeError(w, http.StatusNotFound, "unknown_document", "%v", err)
+	case errors.Is(err, newslink.ErrInvalidK), errors.Is(err, newslink.ErrInvalidBeta):
+		badRequest(w, "%v", err)
+	case errors.Is(err, newslink.ErrNotBuilt):
+		writeError(w, http.StatusServiceUnavailable, "not_built", "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+	}
 }
 
 func intParam(r *http.Request, name string, def int) (int, error) {
@@ -105,9 +178,25 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "k must be in [1,1000], got %d", k)
 		return
 	}
-	results, err := s.engine.Search(q, k)
+	pool, err := intParam(r, "pool", 0)
+	if err != nil || pool < 0 {
+		badRequest(w, "parameter \"pool\" must be a non-negative integer")
+		return
+	}
+	req := newslink.Query{Text: q, K: k, PoolDepth: pool}
+	if raw := r.URL.Query().Get("beta"); raw != "" {
+		beta, err := strconv.ParseFloat(raw, 64)
+		if err != nil || beta < 0 || beta > 1 {
+			badRequest(w, "parameter \"beta\" must be a number in [0,1], got %q", raw)
+			return
+		}
+		req.Beta = newslink.BetaOverride(beta)
+	}
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	results, err := s.engine.SearchContext(ctx, req)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		writeEngineError(w, err)
 		return
 	}
 	if results == nil {
@@ -136,9 +225,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	exp, err := s.engine.Explain(q, id, paths)
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	exp, err := s.engine.ExplainContext(ctx, q, id, paths)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		writeEngineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ExplainResponse{Query: q, DocID: id, Explanation: exp})
@@ -157,13 +248,15 @@ func (s *Server) handleDOT(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "missing or invalid parameter id")
 		return
 	}
-	dot, err := s.engine.ExplainDOT(q, id, "newslink")
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	dot, err := s.engine.ExplainDOTContext(ctx, q, id, "newslink")
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		writeEngineError(w, err)
 		return
 	}
 	if dot == "" {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no subgraph embeddings for this pair"})
+		writeError(w, http.StatusNotFound, "no_embeddings", "no subgraph embeddings for this pair")
 		return
 	}
 	w.Header().Set("Content-Type", "text/vnd.graphviz")

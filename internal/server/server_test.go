@@ -1,18 +1,20 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"newslink"
 	"newslink/internal/corpus"
 )
 
-func testServer(t *testing.T) *httptest.Server {
+func testEngine(t *testing.T) *newslink.Engine {
 	t.Helper()
 	g, arts := corpus.Sample()
 	e := newslink.New(g, newslink.DefaultConfig())
@@ -24,7 +26,12 @@ func testServer(t *testing.T) *httptest.Server {
 	if err := e.Build(); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(e).Handler())
+	return e
+}
+
+func testServer(t *testing.T, opts ...Option) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(testEngine(t), opts...).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -49,33 +56,72 @@ func get(t *testing.T, ts *httptest.Server, path string, want int, out any) {
 	}
 }
 
+// getErr asserts the uniform error envelope and returns its code/message.
+func getErr(t *testing.T, ts *httptest.Server, path string, want int) ErrorBody {
+	t.Helper()
+	var e ErrorResponse
+	get(t, ts, path, want, &e)
+	if e.Error.Code == "" || e.Error.Message == "" {
+		t.Fatalf("GET %s: incomplete error envelope %+v", path, e)
+	}
+	return e.Error
+}
+
 func TestSearchEndpoint(t *testing.T) {
 	ts := testServer(t)
-	var got SearchResponse
-	get(t, ts, "/search?q=Taliban+bombing+in+Lahore&k=3", http.StatusOK, &got)
-	if len(got.Results) == 0 {
-		t.Fatal("no results")
+	// The versioned route and its legacy alias serve the same payload.
+	for _, path := range []string{"/v1/search", "/search"} {
+		var got SearchResponse
+		get(t, ts, path+"?q=Taliban+bombing+in+Lahore&k=3", http.StatusOK, &got)
+		if len(got.Results) == 0 {
+			t.Fatalf("%s: no results", path)
+		}
+		if got.Results[0].ID != 1 {
+			t.Fatalf("%s: top result = %+v, want the bombing story", path, got.Results[0])
+		}
+		if got.K != 3 || got.Query == "" {
+			t.Fatalf("%s: echo fields wrong: %+v", path, got)
+		}
 	}
-	if got.Results[0].ID != 1 {
-		t.Fatalf("top result = %+v, want the bombing story", got.Results[0])
+}
+
+func TestSearchPerRequestOverrides(t *testing.T) {
+	ts := testServer(t)
+	// beta=1 drops the pure-text business story that beta=0 ranks first.
+	var text SearchResponse
+	get(t, ts, "/v1/search?q=quarterly+earnings+beat+expectations&k=2&beta=0", http.StatusOK, &text)
+	if len(text.Results) == 0 || text.Results[0].ID != 7 {
+		t.Fatalf("beta=0: %+v", text.Results)
 	}
-	if got.K != 3 || got.Query == "" {
-		t.Fatalf("echo fields wrong: %+v", got)
+	var graph SearchResponse
+	get(t, ts, "/v1/search?q=quarterly+earnings+beat+expectations&k=2&beta=1", http.StatusOK, &graph)
+	if len(graph.Results) != 0 {
+		t.Fatalf("beta=1 entity-free query returned %+v", graph.Results)
 	}
+	// A tiny explicit pool still returns results.
+	var pooled SearchResponse
+	get(t, ts, "/v1/search?q=Taliban+bombing&k=1&pool=2", http.StatusOK, &pooled)
+	if len(pooled.Results) == 0 {
+		t.Fatal("pool=2 returned nothing")
+	}
+	getErr(t, ts, "/v1/search?q=x&beta=7", http.StatusBadRequest)
+	getErr(t, ts, "/v1/search?q=x&beta=abc", http.StatusBadRequest)
+	getErr(t, ts, "/v1/search?q=x&pool=-1", http.StatusBadRequest)
 }
 
 func TestSearchValidation(t *testing.T) {
 	ts := testServer(t)
-	var e struct{ Error string }
-	get(t, ts, "/search", http.StatusBadRequest, &e)
-	if !strings.Contains(e.Error, "q") {
-		t.Fatalf("error = %q", e.Error)
+	e := getErr(t, ts, "/v1/search", http.StatusBadRequest)
+	if e.Code != "bad_request" || !strings.Contains(e.Message, "q") {
+		t.Fatalf("error = %+v", e)
 	}
-	get(t, ts, "/search?q=x&k=abc", http.StatusBadRequest, &e)
-	get(t, ts, "/search?q=x&k=0", http.StatusBadRequest, &e)
-	get(t, ts, "/search?q=x&k=99999", http.StatusBadRequest, &e)
+	getErr(t, ts, "/v1/search?q=x&k=abc", http.StatusBadRequest)
+	getErr(t, ts, "/v1/search?q=x&k=0", http.StatusBadRequest)
+	getErr(t, ts, "/v1/search?q=x&k=99999", http.StatusBadRequest)
+	// Legacy alias uses the same envelope.
+	getErr(t, ts, "/search?q=x&k=0", http.StatusBadRequest)
 	// A query matching nothing returns an empty array, not null.
-	resp, err := http.Get(ts.URL + "/search?q=zzzzqqqq&k=3")
+	resp, err := http.Get(ts.URL + "/v1/search?q=zzzzqqqq&k=3")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +138,7 @@ func TestSearchValidation(t *testing.T) {
 func TestExplainEndpoint(t *testing.T) {
 	ts := testServer(t)
 	var got ExplainResponse
-	get(t, ts, "/explain?q=Fighting+between+Taliban+and+Pakistan+in+Upper+Dir&id=1&paths=4",
+	get(t, ts, "/v1/explain?q=Fighting+between+Taliban+and+Pakistan+in+Upper+Dir&id=1&paths=4",
 		http.StatusOK, &got)
 	if len(got.Explanation.SharedEntities) == 0 {
 		t.Fatal("no shared entities")
@@ -105,21 +151,25 @@ func TestExplainEndpoint(t *testing.T) {
 			t.Fatalf("bad path %+v", p)
 		}
 	}
-	var e struct{ Error string }
-	get(t, ts, "/explain?q=x", http.StatusBadRequest, &e)
-	get(t, ts, "/explain?id=1", http.StatusBadRequest, &e)
-	get(t, ts, "/explain?q=x&id=9999", http.StatusNotFound, &e)
+	getErr(t, ts, "/v1/explain?q=x", http.StatusBadRequest)
+	getErr(t, ts, "/v1/explain?id=1", http.StatusBadRequest)
+	if e := getErr(t, ts, "/v1/explain?q=x&id=9999", http.StatusNotFound); e.Code != "unknown_document" {
+		t.Fatalf("error code = %+v", e)
+	}
+	getErr(t, ts, "/explain?q=x&id=9999", http.StatusNotFound)
 }
 
 func TestHealthAndStats(t *testing.T) {
 	ts := testServer(t)
-	var h map[string]string
-	get(t, ts, "/healthz", http.StatusOK, &h)
-	if h["status"] != "ok" {
-		t.Fatalf("health = %v", h)
+	for _, path := range []string{"/v1/healthz", "/healthz"} {
+		var h map[string]string
+		get(t, ts, path, http.StatusOK, &h)
+		if h["status"] != "ok" {
+			t.Fatalf("health = %v", h)
+		}
 	}
 	var s StatsResponse
-	get(t, ts, "/stats", http.StatusOK, &s)
+	get(t, ts, "/v1/stats", http.StatusOK, &s)
 	if s.Docs == 0 || s.KGNodes == 0 || s.KGEdges == 0 || s.KGLabels == 0 {
 		t.Fatalf("stats = %+v", s)
 	}
@@ -137,7 +187,7 @@ func TestConcurrentRequests(t *testing.T) {
 			if i%2 == 1 {
 				q = "Clinton+and+Sanders+election"
 			}
-			resp, err := http.Get(ts.URL + "/search?q=" + q + "&k=5")
+			resp, err := http.Get(ts.URL + "/v1/search?q=" + q + "&k=5")
 			if err != nil {
 				errs <- err
 				return
@@ -157,7 +207,7 @@ func TestConcurrentRequests(t *testing.T) {
 
 func TestDOTEndpoint(t *testing.T) {
 	ts := testServer(t)
-	resp, err := http.Get(ts.URL + "/dot?q=Taliban+fighting+in+Upper+Dir+Pakistan&id=1")
+	resp, err := http.Get(ts.URL + "/v1/dot?q=Taliban+fighting+in+Upper+Dir+Pakistan&id=1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,9 +223,48 @@ func TestDOTEndpoint(t *testing.T) {
 	if !strings.Contains(string(body[:n]), "digraph") {
 		t.Fatalf("body: %s", body[:n])
 	}
-	var e struct{ Error string }
-	get(t, ts, "/dot?q=x", http.StatusBadRequest, &e)
-	get(t, ts, "/dot?q=Taliban&id=9999", http.StatusNotFound, &e)
+	getErr(t, ts, "/v1/dot?q=x", http.StatusBadRequest)
+	getErr(t, ts, "/v1/dot?q=Taliban&id=9999", http.StatusNotFound)
 	// Entity-free document has no embedding to draw.
-	get(t, ts, "/dot?q=Taliban+Pakistan&id=7", http.StatusNotFound, &e)
+	if e := getErr(t, ts, "/v1/dot?q=Taliban+Pakistan&id=7", http.StatusNotFound); e.Code != "no_embeddings" {
+		t.Fatalf("error code = %+v", e)
+	}
+}
+
+// TestQueryTimeoutMapsTo504: a server-side query deadline in the past must
+// surface as 504 with the deadline_exceeded code, not 500.
+func TestQueryTimeoutMapsTo504(t *testing.T) {
+	ts := testServer(t, WithQueryTimeout(time.Nanosecond))
+	if e := getErr(t, ts, "/v1/search?q=Taliban+attack&k=3", http.StatusGatewayTimeout); e.Code != "deadline_exceeded" {
+		t.Fatalf("error = %+v", e)
+	}
+	if e := getErr(t, ts, "/v1/explain?q=Taliban&id=1", http.StatusGatewayTimeout); e.Code != "deadline_exceeded" {
+		t.Fatalf("error = %+v", e)
+	}
+}
+
+// TestEngineErrorMapping drives writeEngineError through the statuses the
+// handler contract promises.
+func TestEngineErrorMapping(t *testing.T) {
+	rec := func(err error) (int, ErrorBody) {
+		w := httptest.NewRecorder()
+		writeEngineError(w, err)
+		var e ErrorResponse
+		if derr := json.NewDecoder(w.Body).Decode(&e); derr != nil {
+			t.Fatal(derr)
+		}
+		return w.Code, e.Error
+	}
+	if code, e := rec(context.Canceled); code != StatusClientClosedRequest || e.Code != "client_closed_request" {
+		t.Fatalf("canceled -> %d %+v", code, e)
+	}
+	if code, e := rec(context.DeadlineExceeded); code != http.StatusGatewayTimeout || e.Code != "deadline_exceeded" {
+		t.Fatalf("deadline -> %d %+v", code, e)
+	}
+	if code, _ := rec(newslink.ErrNotBuilt); code != http.StatusServiceUnavailable {
+		t.Fatalf("not built -> %d", code)
+	}
+	if code, _ := rec(newslink.ErrInvalidK); code != http.StatusBadRequest {
+		t.Fatalf("invalid k -> %d", code)
+	}
 }

@@ -21,12 +21,20 @@
 //	e.Build()
 //	results, _ := e.Search("Military conflicts between Pakistan and Taliban", 5)
 //	exp, _ := e.Explain(query, results[0].ID, 3)
+//
+// Servers that need cancellation or per-request parameters use the
+// request-scoped API instead:
+//
+//	results, err := e.SearchContext(ctx, newslink.Query{Text: q, K: 5, Beta: newslink.BetaOverride(1)})
+//	exp, err := e.ExplainContext(ctx, q, results[0].ID, 3)
 package newslink
 
 import (
-	"errors"
+	"context"
 	"fmt"
+	"runtime"
 	"strconv"
+	"sync"
 
 	"newslink/internal/core"
 	"newslink/internal/index"
@@ -74,6 +82,25 @@ type Document struct {
 	Text  string
 }
 
+// Query is one search request for SearchContext. The zero values of the
+// optional fields select the engine's Config, so Query{Text: q, K: 10} is a
+// complete request.
+type Query struct {
+	// Text is the query text.
+	Text string
+	// K is the number of results to return (required, > 0).
+	K int
+	// PoolDepth overrides Config.PoolDepth for this request (0 = engine
+	// default). The effective pool is never smaller than K.
+	PoolDepth int
+	// Beta overrides Config.Beta for this request (nil = engine default).
+	// Use BetaOverride to build the pointer inline.
+	Beta *float64
+}
+
+// BetaOverride returns a per-request β override for Query.Beta.
+func BetaOverride(v float64) *float64 { return &v }
+
 // Result is one search hit.
 type Result struct {
 	ID    int // the Document.ID supplied at Add time
@@ -106,9 +133,12 @@ type Explanation struct {
 	Paths []Path
 }
 
-// Engine indexes a corpus and serves NewsLink searches. It is not safe for
-// concurrent mutation; Search and Explain are safe to call concurrently
-// once Build has returned.
+// Engine indexes a corpus and serves NewsLink searches. It is safe for
+// concurrent use: Search, Explain and ExplainDOT run as readers under a
+// shared lock, while Add, AddAll, Build and Refresh are writers, so late
+// additions may interleave freely with in-flight queries. Reads capture an
+// immutable index snapshot and then run lock-free, so a long query never
+// blocks indexing for its full duration.
 type Engine struct {
 	cfg      Config
 	g        *kg.Graph
@@ -116,16 +146,26 @@ type Engine struct {
 	searcher *core.Searcher
 	embedder *core.Embedder
 
+	// mu guards the mutable index state below. The NLP pipeline, embedder
+	// and searcher above are stateless after construction and need no lock.
+	mu         sync.RWMutex
 	docs       []Document
 	embeddings []*core.DocEmbedding // aligned with docs; nil if unembeddable
+	docPos     map[int]int          // Document.ID -> position in docs
 
 	textB, nodeB *index.Builder
 	textIdx      index.Source
 	nodeIdx      index.Source
 	built        bool
 	pending      int // documents in the open (un-searchable) segment
-	queries      *queryCache
+
+	queries *queryCache
 }
+
+// shardedSearchMinDocs is the corpus size above which postings traversal is
+// sharded across GOMAXPROCS workers; below it the sequential path wins (the
+// fan-out/merge overhead exceeds the traversal cost).
+const shardedSearchMinDocs = 4096
 
 // New returns an Engine over the knowledge graph g.
 func New(g *kg.Graph, cfg Config) *Engine {
@@ -143,6 +183,7 @@ func New(g *kg.Graph, cfg Config) *Engine {
 		pipe:     nlp.NewPipeline(g.Index()),
 		searcher: s,
 		embedder: core.NewEmbedder(s),
+		docPos:   make(map[int]int),
 		textB:    index.NewBuilder(),
 		nodeB:    index.NewBuilder(),
 		queries:  newQueryCache(64),
@@ -153,19 +194,38 @@ func New(g *kg.Graph, cfg Config) *Engine {
 func (e *Engine) Graph() *kg.Graph { return e.g }
 
 // NumDocs returns the number of added documents.
-func (e *Engine) NumDocs() int { return len(e.docs) }
+func (e *Engine) NumDocs() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.docs)
+}
 
 // Add processes and indexes one document: NLP (Section IV), subgraph
 // embedding (Section V) and both inverted indexes (Section VI). Documents
 // whose entity groups yield no subgraph embedding are still text-indexed
-// (their BON vector is empty).
+// (their BON vector is empty). A document ID that was already added is
+// rejected with ErrDuplicateID.
 //
 // Add also works after Build: late documents accumulate in an open segment
 // that is sealed and attached (Lucene-style multi-segment reading) by the
-// next Search. Add must not run concurrently with other engine calls.
+// next Search or an explicit Refresh. Add is safe to call concurrently with
+// searches and other Adds.
 func (e *Engine) Add(doc Document) error {
-	e.ensureSegment()
+	// Analysis touches only immutable state; run it before taking the lock
+	// so concurrent Adds embed in parallel and searches are not blocked.
 	emb, terms := e.analyze(doc.Text)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.addLocked(doc, emb, terms)
+}
+
+// addLocked appends one analyzed document. Callers hold e.mu.
+func (e *Engine) addLocked(doc Document, emb *core.DocEmbedding, terms []string) error {
+	if _, dup := e.docPos[doc.ID]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, doc.ID)
+	}
+	e.ensureSegment()
+	e.docPos[doc.ID] = len(e.docs)
 	e.docs = append(e.docs, doc)
 	e.embeddings = append(e.embeddings, emb)
 	e.textB.Add(terms)
@@ -176,7 +236,8 @@ func (e *Engine) Add(doc Document) error {
 	return nil
 }
 
-// ensureSegment opens a fresh segment for post-Build additions.
+// ensureSegment opens a fresh segment for post-Build additions. Callers
+// hold e.mu.
 func (e *Engine) ensureSegment() {
 	if e.textB == nil {
 		e.textB = index.NewBuilder()
@@ -184,8 +245,19 @@ func (e *Engine) ensureSegment() {
 	}
 }
 
-// maybeRefresh seals the open segment so its documents become searchable.
-func (e *Engine) maybeRefresh() {
+// Refresh seals the open segment of post-Build additions so its documents
+// become searchable. Search calls it automatically when pending documents
+// exist; servers that want predictable query latency can call it explicitly
+// after a batch of Adds instead. Safe for concurrent use; a no-op when
+// nothing is pending.
+func (e *Engine) Refresh() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refreshLocked()
+}
+
+// refreshLocked attaches the open segment. Callers hold e.mu.
+func (e *Engine) refreshLocked() {
 	if !e.built || e.pending == 0 {
 		return
 	}
@@ -206,7 +278,8 @@ func (e *Engine) analyzeQuery(text string) (*core.DocEmbedding, []string) {
 	return emb, terms
 }
 
-// analyze runs the NLP and NE components on a text.
+// analyze runs the NLP and NE components on a text. It reads only immutable
+// engine state and is safe to call without holding e.mu.
 func (e *Engine) analyze(text string) (*core.DocEmbedding, []string) {
 	doc := e.pipe.Process(text)
 	var terms []string
@@ -232,14 +305,16 @@ func nodeWeights(emb *core.DocEmbedding) map[string]float32 {
 // nodeTerm names a KG node in the BON index vocabulary.
 func nodeTerm(n kg.NodeID) string { return strconv.FormatUint(uint64(n), 36) }
 
-// Build finalizes the inverted indexes. It must be called once, after all
-// Add calls and before Search.
+// Build finalizes the inverted indexes. It must be called once, after the
+// initial Add calls and before Search.
 func (e *Engine) Build() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.built {
-		return errors.New("newslink: Build called twice")
+		return ErrAlreadyBuilt
 	}
 	if len(e.docs) == 0 {
-		return errors.New("newslink: no documents added")
+		return ErrNoDocuments
 	}
 	e.textIdx = e.textB.Build()
 	e.nodeIdx = e.nodeB.Build()
@@ -249,43 +324,140 @@ func (e *Engine) Build() error {
 }
 
 // Search returns the top k documents for the query text, ranked by
-// Equation 3.
+// Equation 3. It is SearchContext with a background context and the
+// engine's configured parameters.
 func (e *Engine) Search(query string, k int) ([]Result, error) {
+	return e.SearchContext(context.Background(), Query{Text: query, K: k})
+}
+
+// snapshot captures an immutable view of the index state for one read
+// operation, sealing pending post-Build additions first.
+type snapshot struct {
+	textIdx, nodeIdx index.Source
+	docs             []Document
+	embeddings       []*core.DocEmbedding
+	docPos           map[int]int
+}
+
+// acquire returns a consistent snapshot of the searchable state, or
+// ErrNotBuilt. The returned docPos map must only be read: concurrent Adds
+// mutate it, so readers look positions up while holding the lock instead.
+func (e *Engine) acquire() (snapshot, error) {
+	e.mu.RLock()
 	if !e.built {
-		return nil, errors.New("newslink: Search before Build")
+		e.mu.RUnlock()
+		return snapshot{}, ErrNotBuilt
 	}
-	if k <= 0 {
-		return nil, fmt.Errorf("newslink: invalid k %d", k)
+	if e.pending > 0 {
+		e.mu.RUnlock()
+		e.Refresh()
+		e.mu.RLock()
 	}
-	e.maybeRefresh()
-	qEmb, qTerms := e.analyzeQuery(query)
-	pool := e.cfg.PoolDepth
-	if pool < k {
-		pool = k
+	s := snapshot{
+		textIdx:    e.textIdx,
+		nodeIdx:    e.nodeIdx,
+		docs:       e.docs,
+		embeddings: e.embeddings,
 	}
+	e.mu.RUnlock()
+	return s, nil
+}
+
+// lookup resolves a public document ID to its position, bounded by the
+// snapshot the caller holds (a doc added after the snapshot was taken is
+// reported unknown, keeping the read internally consistent).
+func (e *Engine) lookup(s snapshot, docID int) (int, error) {
+	e.mu.RLock()
+	pos, ok := e.docPos[docID]
+	e.mu.RUnlock()
+	if !ok || pos >= len(s.docs) {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownDoc, docID)
+	}
+	return pos, nil
+}
+
+// SearchContext executes one search request, ranked by Equation 3 with the
+// request's (or the engine's) β and candidate pool. BOW and BON retrieval
+// run in parallel goroutines — they touch disjoint indexes — and on corpora
+// past shardedSearchMinDocs each traversal is itself sharded across
+// GOMAXPROCS workers. Cancellation of ctx stops postings traversal
+// cooperatively and returns ctx.Err().
+func (e *Engine) SearchContext(ctx context.Context, q Query) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if q.K <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrInvalidK, q.K)
+	}
+	beta := e.cfg.Beta
+	if q.Beta != nil {
+		beta = *q.Beta
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("%w: %g", ErrInvalidBeta, beta)
+	}
+	pool := q.PoolDepth
+	if pool <= 0 {
+		pool = e.cfg.PoolDepth
+	}
+	if pool < q.K {
+		pool = q.K
+	}
+	snap, err := e.acquire()
+	if err != nil {
+		return nil, err
+	}
+	qEmb, qTerms := e.analyzeQuery(q.Text)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	runBOW := beta < 1
+	runBON := beta > 0 && qEmb != nil
 	var bow, bon []search.Hit
-	if e.cfg.Beta < 1 {
-		bow = search.TopKMaxScore(e.textIdx, search.NewBM25(e.textIdx), search.NewQuery(qTerms), pool)
+	var bowErr, bonErr error
+	retrieveBOW := func() {
+		bow, bowErr = topKAuto(ctx, snap.textIdx, search.NewBM25(snap.textIdx), search.NewQuery(qTerms), pool)
 	}
-	if e.cfg.Beta > 0 && qEmb != nil {
-		q := make(search.Query, len(qEmb.Counts))
+	retrieveBON := func() {
+		nq := make(search.Query, len(qEmb.Counts))
 		for n, c := range qEmb.Counts {
-			q[nodeTerm(n)] = float64(c)
+			nq[nodeTerm(n)] = float64(c)
 		}
 		// BON scoring uses BM25 with b=0 and a small k1: a subgraph
 		// embedding's size is structural, not verbosity (no length
 		// penalty), and node frequencies saturate quickly so BON behaves
 		// as an idf-weighted node-set match. This keeps Equation 3's text
 		// ranking authoritative within clusters of same-event stories.
-		bonScorer := search.NewBM25(e.nodeIdx)
+		bonScorer := search.NewBM25(snap.nodeIdx)
 		bonScorer.B = 0
 		bonScorer.K1 = 0.4
-		bon = search.TopKMaxScore(e.nodeIdx, bonScorer, q, pool)
+		bon, bonErr = topKAuto(ctx, snap.nodeIdx, bonScorer, nq, pool)
 	}
-	fused := search.Fuse(bow, bon, e.cfg.Beta, k)
+	switch {
+	case runBOW && runBON:
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			retrieveBON()
+		}()
+		retrieveBOW()
+		wg.Wait()
+	case runBOW:
+		retrieveBOW()
+	case runBON:
+		retrieveBON()
+	}
+	if bowErr != nil {
+		return nil, bowErr
+	}
+	if bonErr != nil {
+		return nil, bonErr
+	}
+	fused := search.Fuse(bow, bon, beta, q.K)
 	out := make([]Result, len(fused))
 	for i, h := range fused {
-		doc := e.docs[h.Doc]
+		doc := snap.docs[h.Doc]
 		out[i] = Result{
 			ID:      doc.ID,
 			Title:   doc.Title,
@@ -294,6 +466,15 @@ func (e *Engine) Search(query string, k int) ([]Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// topKAuto picks the sequential or sharded postings traversal by corpus
+// size. Both return identical rankings (property-tested).
+func topKAuto(ctx context.Context, idx index.Source, s search.Scorer, q search.Query, k int) ([]search.Hit, error) {
+	if workers := runtime.GOMAXPROCS(0); workers > 1 && idx.NumDocs() >= shardedSearchMinDocs {
+		return search.TopKMaxScoreSharded(ctx, idx, s, q, k, workers)
+	}
+	return search.TopKMaxScoreContext(ctx, idx, s, q, k)
 }
 
 // snippet picks the document sentence with the highest query-term overlap,
@@ -325,21 +506,25 @@ func snippet(text string, qTerms []string) string {
 // to the query: the overlap of their subgraph embeddings and up to maxPaths
 // relationship paths through it.
 func (e *Engine) Explain(query string, docID int, maxPaths int) (Explanation, error) {
-	if !e.built {
-		return Explanation{}, errors.New("newslink: Explain before Build")
+	return e.ExplainContext(context.Background(), query, docID, maxPaths)
+}
+
+// ExplainContext is Explain with cooperative cancellation: path enumeration
+// between entity pairs stops and returns ctx.Err() once ctx is done.
+func (e *Engine) ExplainContext(ctx context.Context, query string, docID int, maxPaths int) (Explanation, error) {
+	if err := ctx.Err(); err != nil {
+		return Explanation{}, err
 	}
-	pos := -1
-	for i := range e.docs {
-		if e.docs[i].ID == docID {
-			pos = i
-			break
-		}
+	snap, err := e.acquire()
+	if err != nil {
+		return Explanation{}, err
 	}
-	if pos < 0 {
-		return Explanation{}, fmt.Errorf("newslink: unknown document %d", docID)
+	pos, err := e.lookup(snap, docID)
+	if err != nil {
+		return Explanation{}, err
 	}
 	qEmb, _ := e.analyzeQuery(query)
-	dEmb := e.embeddings[pos]
+	dEmb := snap.embeddings[pos]
 	if qEmb == nil || dEmb == nil {
 		return Explanation{}, nil
 	}
@@ -354,6 +539,9 @@ func (e *Engine) Explain(query string, docID int, maxPaths int) (Explanation, er
 	seen := map[string]bool{}
 	seenPair := map[[2]string]bool{}
 	for _, ql := range qLabels {
+		if err := ctx.Err(); err != nil {
+			return Explanation{}, err
+		}
 		for _, dl := range dLabels {
 			if len(exp.Paths) >= maxPaths {
 				return exp, nil
@@ -371,7 +559,11 @@ func (e *Engine) Explain(query string, docID int, maxPaths int) (Explanation, er
 				continue
 			}
 			seenPair[pairKey] = true
-			for _, p := range core.CrossPaths(e.g, qEmb, dEmb, ql, dl, 1) {
+			paths, err := core.CrossPathsContext(ctx, e.g, qEmb, dEmb, ql, dl, 1)
+			if err != nil {
+				return Explanation{}, err
+			}
+			for _, p := range paths {
 				r := p.Render(e.g)
 				if r != "" && !seen[r] {
 					seen[r] = true
@@ -406,21 +598,24 @@ func (e *Engine) makePath(p core.RelPath, rendered string) Path {
 // `dot -Tsvg`. An empty string is returned when either side has no
 // embedding.
 func (e *Engine) ExplainDOT(query string, docID int, title string) (string, error) {
-	if !e.built {
-		return "", errors.New("newslink: ExplainDOT before Build")
+	return e.ExplainDOTContext(context.Background(), query, docID, title)
+}
+
+// ExplainDOTContext is ExplainDOT with a cancellable context.
+func (e *Engine) ExplainDOTContext(ctx context.Context, query string, docID int, title string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
 	}
-	pos := -1
-	for i := range e.docs {
-		if e.docs[i].ID == docID {
-			pos = i
-			break
-		}
+	snap, err := e.acquire()
+	if err != nil {
+		return "", err
 	}
-	if pos < 0 {
-		return "", fmt.Errorf("newslink: unknown document %d", docID)
+	pos, err := e.lookup(snap, docID)
+	if err != nil {
+		return "", err
 	}
 	qEmb, _ := e.analyzeQuery(query)
-	dEmb := e.embeddings[pos]
+	dEmb := snap.embeddings[pos]
 	if qEmb == nil || dEmb == nil {
 		return "", nil
 	}

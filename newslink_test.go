@@ -1,6 +1,8 @@
 package newslink
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -136,31 +138,44 @@ func TestCaseStudyElection(t *testing.T) {
 func TestEngineErrors(t *testing.T) {
 	g, arts := corpus.Sample()
 	e := New(g, DefaultConfig())
-	if _, err := e.Search("x", 1); err == nil {
-		t.Fatal("Search before Build must fail")
+	if _, err := e.Search("x", 1); !errors.Is(err, ErrNotBuilt) {
+		t.Fatalf("Search before Build: %v, want ErrNotBuilt", err)
 	}
-	if _, err := e.Explain("x", 0, 1); err == nil {
-		t.Fatal("Explain before Build must fail")
+	if _, err := e.Explain("x", 0, 1); !errors.Is(err, ErrNotBuilt) {
+		t.Fatalf("Explain before Build: %v, want ErrNotBuilt", err)
 	}
-	if err := e.Build(); err == nil {
-		t.Fatal("Build with no documents must fail")
+	if _, err := e.ExplainDOT("x", 0, "t"); !errors.Is(err, ErrNotBuilt) {
+		t.Fatalf("ExplainDOT before Build: %v, want ErrNotBuilt", err)
+	}
+	if err := e.Build(); !errors.Is(err, ErrNoDocuments) {
+		t.Fatalf("Build with no documents: %v, want ErrNoDocuments", err)
 	}
 	for _, a := range arts[:2] {
 		if err := e.Add(Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
 			t.Fatal(err)
 		}
 	}
+	if err := e.Add(Document{ID: arts[0].ID, Text: "again"}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate Add: %v, want ErrDuplicateID", err)
+	}
 	if err := e.Build(); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Build(); err == nil {
-		t.Fatal("double Build must fail")
+	if err := e.Build(); !errors.Is(err, ErrAlreadyBuilt) {
+		t.Fatalf("double Build: %v, want ErrAlreadyBuilt", err)
 	}
-	if _, err := e.Search("x", 0); err == nil {
-		t.Fatal("k=0 must fail")
+	if _, err := e.Search("x", 0); !errors.Is(err, ErrInvalidK) {
+		t.Fatalf("k=0: %v, want ErrInvalidK", err)
 	}
-	if _, err := e.Explain("x", 999, 1); err == nil {
-		t.Fatal("unknown doc must fail")
+	if _, err := e.Explain("x", 999, 1); !errors.Is(err, ErrUnknownDoc) {
+		t.Fatalf("unknown doc: %v, want ErrUnknownDoc", err)
+	}
+	if _, err := e.ExplainDOT("x", 999, "t"); !errors.Is(err, ErrUnknownDoc) {
+		t.Fatalf("unknown doc DOT: %v, want ErrUnknownDoc", err)
+	}
+	bad := 1.5
+	if _, err := e.SearchContext(context.Background(), Query{Text: "x", K: 1, Beta: &bad}); !errors.Is(err, ErrInvalidBeta) {
+		t.Fatalf("beta=1.5: %v, want ErrInvalidBeta", err)
 	}
 }
 

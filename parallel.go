@@ -11,9 +11,10 @@ import (
 // concurrently across workers (Section VII-G of the paper: "for processing
 // corpus data, we can easily parallelize the process"). Results are
 // identical to sequential Add calls in the same order; only wall-clock time
-// changes. workers <= 0 selects GOMAXPROCS. AddAll fails after Build.
+// changes. workers <= 0 selects GOMAXPROCS. After Build, the batch lands in
+// the open segment like individual Adds. A duplicate document ID aborts the
+// batch at the offending document; documents before it stay indexed.
 func (e *Engine) AddAll(docs []Document, workers int) error {
-	e.ensureSegment()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -24,6 +25,8 @@ func (e *Engine) AddAll(docs []Document, workers int) error {
 		emb   *core.DocEmbedding
 		terms []string
 	}
+	// Analysis reads only immutable engine state, so it runs outside the
+	// lock and searches proceed while the batch embeds.
 	out := make([]analyzed, len(docs))
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -44,14 +47,12 @@ func (e *Engine) AddAll(docs []Document, workers int) error {
 	wg.Wait()
 	// Indexing is order-dependent (DocIDs are positional), so it stays
 	// sequential; it is a tiny fraction of the embedding cost (Figure 7).
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for i, doc := range docs {
-		e.docs = append(e.docs, doc)
-		e.embeddings = append(e.embeddings, out[i].emb)
-		e.textB.Add(out[i].terms)
-		e.nodeB.AddWeighted(nodeWeights(out[i].emb))
-	}
-	if e.built {
-		e.pending += len(docs)
+		if err := e.addLocked(doc, out[i].emb, out[i].terms); err != nil {
+			return err
+		}
 	}
 	return nil
 }

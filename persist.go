@@ -2,7 +2,6 @@ package newslink
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -60,9 +59,18 @@ func asMemoryIndex(src index.Source) (*index.Index, error) {
 // Save writes a snapshot of the built engine to dir (created if needed).
 // Adding documents to the corpus requires rebuilding; snapshots make the
 // expensive part — embedding the corpus (Figure 7) — a one-time cost.
+// Save is safe to call concurrently with searches; it seals any pending
+// segment first and serializes a consistent snapshot of that state.
 func (e *Engine) Save(dir string) error {
-	if !e.built {
-		return errors.New("newslink: Save before Build")
+	e.Refresh()
+	e.mu.RLock()
+	built := e.built
+	docs := e.docs
+	embeddings := e.embeddings
+	textIdx, nodeIdx := e.textIdx, e.nodeIdx
+	e.mu.RUnlock()
+	if !built {
+		return ErrNotBuilt
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -71,7 +79,7 @@ func (e *Engine) Save(dir string) error {
 		Version: snapshotVersion,
 		Config:  e.cfg,
 		Graph:   fingerprint(e.g),
-		Docs:    e.docs,
+		Docs:    docs,
 	}
 	metaBytes, err := json.MarshalIndent(&meta, "", "  ")
 	if err != nil {
@@ -91,12 +99,11 @@ func (e *Engine) Save(dir string) error {
 		}
 		return f.Close()
 	}
-	e.maybeRefresh()
-	textMem, err := asMemoryIndex(e.textIdx)
+	textMem, err := asMemoryIndex(textIdx)
 	if err != nil {
 		return err
 	}
-	nodeMem, err := asMemoryIndex(e.nodeIdx)
+	nodeMem, err := asMemoryIndex(nodeIdx)
 	if err != nil {
 		return err
 	}
@@ -113,7 +120,7 @@ func (e *Engine) Save(dir string) error {
 		return err
 	}
 	return writeFile("emb.bin", func(f *os.File) error {
-		return core.WriteEmbeddings(f, e.embeddings)
+		return core.WriteEmbeddings(f, embeddings)
 	})
 }
 
@@ -162,6 +169,9 @@ func load(dir string, g *kg.Graph, onDisk bool) (*Engine, error) {
 	}
 	e := New(g, meta.Config)
 	e.docs = meta.Docs
+	for i, d := range e.docs {
+		e.docPos[d.ID] = i
+	}
 	readFile := func(name string, fn func(*os.File) error) error {
 		f, err := os.Open(filepath.Join(dir, name))
 		if err != nil {

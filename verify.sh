@@ -1,0 +1,11 @@
+#!/bin/sh
+# Full verification gate: static checks, build, and the complete test
+# suite under the race detector (the concurrency tests in
+# concurrency_test.go are only meaningful with -race).
+set -eux
+
+cd "$(dirname "$0")"
+
+go vet ./...
+go build ./...
+go test -race ./...
