@@ -176,7 +176,7 @@ func (t *threshold) refresh(acc map[index.DocID]float64, k int) {
 		t.v = 0
 		return
 	}
-	h := make(hitHeap, 0, k)
+	h := make(hitHeap, 0, min(k, len(acc)))
 	for d, s := range acc {
 		pushTop(&h, Hit{d, s}, k)
 	}
@@ -186,9 +186,11 @@ func (t *threshold) refresh(acc map[index.DocID]float64, k int) {
 	}
 }
 
-// selectTop extracts the k best hits from an accumulator.
+// selectTop extracts the k best hits from an accumulator. The heap holds at
+// most len(acc) hits, so the capacity is clamped defensively in case an
+// oversized (e.g. request-supplied) k reaches this point.
 func selectTop(acc map[index.DocID]float64, k int) []Hit {
-	h := make(hitHeap, 0, k)
+	h := make(hitHeap, 0, min(k, len(acc)))
 	for d, s := range acc {
 		pushTop(&h, Hit{d, s}, k)
 	}

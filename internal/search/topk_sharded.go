@@ -59,7 +59,13 @@ func TopKMaxScoreSharded(ctx context.Context, idx index.Source, s Scorer, q Quer
 	}
 	// Merge: shards own disjoint documents, so the global top k is the k
 	// best of the union of per-shard top k's, under the same comparator.
-	h := make(hitHeap, 0, k)
+	// The heap can hold at most the hits the shards produced, so clamp the
+	// capacity in case an oversized k reaches this point.
+	total := 0
+	for _, hits := range perShard {
+		total += len(hits)
+	}
+	h := make(hitHeap, 0, min(k, total))
 	for _, hits := range perShard {
 		for _, hit := range hits {
 			pushTop(&h, hit, k)

@@ -31,6 +31,11 @@ import (
 // for requests abandoned by the client before a response was produced.
 const StatusClientClosedRequest = 499
 
+// maxPoolDepth caps the per-request candidate pool. Like the cap on k, it
+// keeps an unauthenticated query parameter from sizing server allocations
+// (the engine additionally clamps the pool to the corpus size).
+const maxPoolDepth = 10000
+
 // Option configures a Server.
 type Option func(*Server)
 
@@ -179,8 +184,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pool, err := intParam(r, "pool", 0)
-	if err != nil || pool < 0 {
-		badRequest(w, "parameter \"pool\" must be a non-negative integer")
+	if err != nil || pool < 0 || pool > maxPoolDepth {
+		badRequest(w, "parameter \"pool\" must be an integer in [0,%d]", maxPoolDepth)
 		return
 	}
 	req := newslink.Query{Text: q, K: k, PoolDepth: pool}

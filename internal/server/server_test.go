@@ -107,6 +107,9 @@ func TestSearchPerRequestOverrides(t *testing.T) {
 	getErr(t, ts, "/v1/search?q=x&beta=7", http.StatusBadRequest)
 	getErr(t, ts, "/v1/search?q=x&beta=abc", http.StatusBadRequest)
 	getErr(t, ts, "/v1/search?q=x&pool=-1", http.StatusBadRequest)
+	// An oversized pool is rejected at the edge like an oversized k: it must
+	// never reach the engine and size allocations there.
+	getErr(t, ts, "/v1/search?q=x&k=1&pool=500000000", http.StatusBadRequest)
 }
 
 func TestSearchValidation(t *testing.T) {

@@ -91,7 +91,8 @@ type Query struct {
 	// K is the number of results to return (required, > 0).
 	K int
 	// PoolDepth overrides Config.PoolDepth for this request (0 = engine
-	// default). The effective pool is never smaller than K.
+	// default). The effective pool is never smaller than K and never larger
+	// than the corpus.
 	PoolDepth int
 	// Beta overrides Config.Beta for this request (nil = engine default).
 	// Use BetaOverride to build the pointer inline.
@@ -406,6 +407,12 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) ([]Result, error) {
 	snap, err := e.acquire()
 	if err != nil {
 		return nil, err
+	}
+	// A candidate pool can never usefully exceed the corpus, so clamp it to
+	// the snapshot size; this keeps an attacker-sized PoolDepth from driving
+	// pool-sized allocations regardless of the calling path.
+	if n := len(snap.docs); pool > n {
+		pool = n
 	}
 	qEmb, qTerms := e.analyzeQuery(q.Text)
 	if err := ctx.Err(); err != nil {

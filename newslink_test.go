@@ -56,6 +56,26 @@ func TestEndToEndSearch(t *testing.T) {
 	}
 }
 
+func TestOversizedPoolDepthClamped(t *testing.T) {
+	// Library callers can pass any PoolDepth; the engine clamps it to the
+	// corpus size so an attacker-sized value cannot drive pool-sized
+	// allocations. Beyond-corpus pools are all equivalent, so the results
+	// must match a default search exactly.
+	e := sampleEngine(t, DefaultConfig())
+	const q = "Military conflicts between Pakistan and Taliban in Upper Dir"
+	want, err := e.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.SearchContext(context.Background(), Query{Text: q, K: 5, PoolDepth: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("oversized pool changed results:\n%v\nvs\n%v", got, want)
+	}
+}
+
 func TestPureEmbeddingSearchBridgesVocabularyMismatch(t *testing.T) {
 	// β=1: only subgraph embeddings, as in the paper's case study. The
 	// query shares almost no keywords with doc 1 (no "bombing", no

@@ -62,13 +62,16 @@ func asMemoryIndex(src index.Source) (*index.Index, error) {
 // Save is safe to call concurrently with searches; it seals any pending
 // segment first and serializes a consistent snapshot of that state.
 func (e *Engine) Save(dir string) error {
-	e.Refresh()
-	e.mu.RLock()
+	// Seal and capture in one critical section: an Add landing between a
+	// separate Refresh and the capture would put documents into docs that
+	// are absent from the serialized indexes, silently losing them on Load.
+	e.mu.Lock()
+	e.refreshLocked()
 	built := e.built
 	docs := e.docs
 	embeddings := e.embeddings
 	textIdx, nodeIdx := e.textIdx, e.nodeIdx
-	e.mu.RUnlock()
+	e.mu.Unlock()
 	if !built {
 		return ErrNotBuilt
 	}

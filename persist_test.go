@@ -67,6 +67,48 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSaveConcurrentWithAdd exercises the seal-and-capture critical section
+// of Save: with concurrent Adds in flight, every snapshot written must be
+// internally consistent (docs == indexed == embeddings), so each one Loads
+// cleanly and every captured document is searchable. A Save that seals and
+// captures in separate steps lets an interleaved Add into the captured docs
+// but not the serialized indexes, and Load rejects the snapshot.
+func TestSaveConcurrentWithAdd(t *testing.T) {
+	g, _ := corpus.Sample()
+	e := sampleEngine(t, DefaultConfig())
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for id := 1000; ; id++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := e.Add(Document{ID: id, Title: "late", Text: "A late bulletin about Lahore."}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		dir := t.TempDir()
+		if err := e.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(dir, g)
+		if err != nil {
+			t.Fatalf("snapshot %d written during concurrent Adds: %v", i, err)
+		}
+		if _, err := loaded.Search("late bulletin about Lahore", 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	<-done
+}
+
 func TestSaveBeforeBuildFails(t *testing.T) {
 	g, _ := corpus.Sample()
 	e := New(g, DefaultConfig())
