@@ -1,0 +1,31 @@
+#!/bin/sh
+# Coverage gate: runs the test suite with a coverage profile, prints the
+# per-package coverage, and fails when total statement coverage drops below
+# the committed baseline (ci/coverage_baseline.txt).
+#
+# The baseline is a floor, not a target: raise it when coverage improves
+# durably, never lower it to make a PR pass. Strictly POSIX sh; CI invokes
+# this script directly so the gate is reproducible locally:
+#
+#	./ci/check_coverage.sh
+set -eu
+
+dir=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
+cd -- "$dir"
+
+profile="${COVERPROFILE:-/tmp/newslink-coverage.out}"
+
+echo '>> per-package coverage'
+go test -count=1 -coverprofile "$profile" ./...
+
+total=$(go tool cover -func="$profile" | awk '$1 == "total:" { gsub(/%/, "", $3); print $3 }')
+baseline=$(tr -d '[:space:]' < ci/coverage_baseline.txt)
+
+echo ">> total statement coverage: ${total}% (baseline: ${baseline}%)"
+if awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t + 0 >= b + 0) }'; then
+    echo '>> coverage gate passed'
+else
+    echo "coverage gate FAILED: total ${total}% is below the committed baseline ${baseline}%" >&2
+    echo "(if coverage legitimately moved, adjust ci/coverage_baseline.txt in the same PR and justify it)" >&2
+    exit 1
+fi

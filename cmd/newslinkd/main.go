@@ -2,6 +2,7 @@
 //
 //	newslinkd [-addr :8080] [-kg kg.tsv -corpus corpus.jsonl]
 //	          [-beta 0.2] [-snapshot dir] [-workers 0] [-querytimeout 20s]
+//	          [-debug-addr :6060] [-log-level info]
 //
 // Without -kg/-corpus the built-in sample corpus is served. With -snapshot,
 // a previously saved engine snapshot is loaded (or written after indexing
@@ -11,13 +12,22 @@
 // The API is served under /v1/ (unversioned paths remain as aliases).
 // -querytimeout bounds each query server-side; an exceeded deadline is
 // reported as 504 in the JSON error envelope, a client disconnect as 499.
+//
+// Observability: every request gets an X-Request-Id and one structured
+// access-log line on stderr (-log-level debug additionally logs per-stage
+// trace spans of trace=1 requests); /v1/metrics and /v1/metrics/prom expose
+// the metric registry. -debug-addr starts a second, private listener with
+// net/http/pprof under /debug/pprof/ plus the same metrics endpoints —
+// keep it off public interfaces.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -36,20 +46,67 @@ func main() {
 	onDisk := flag.Bool("ondisk", false, "serve snapshot postings from disk instead of loading them into memory")
 	workers := flag.Int("workers", 0, "indexing workers (0 = GOMAXPROCS)")
 	queryTimeout := flag.Duration("querytimeout", 20*time.Second, "per-request search deadline (0 = unbounded); expired requests return 504")
+	debugAddr := flag.String("debug-addr", "", "optional private listen address for net/http/pprof and metrics (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 	flag.Parse()
+
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	engine, err := buildEngineMode(*kgPath, *corpusPath, *beta, *snapshot, *workers, *onDisk)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *debugAddr != "" {
+		go func() {
+			logger.Info("debug server listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, debugHandler(engine)); err != nil {
+				logger.Error("debug server failed", "err", err)
+			}
+		}()
+	}
 	log.Printf("serving %d documents on %s (API under /v1/)", engine.NumDocs(), *addr)
 	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      server.New(engine, server.WithQueryTimeout(*queryTimeout)).Handler(),
+		Addr: *addr,
+		Handler: server.New(engine,
+			server.WithQueryTimeout(*queryTimeout),
+			server.WithLogger(logger)).Handler(),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
 	log.Fatal(srv.ListenAndServe())
+}
+
+func parseLogLevel(s string) (slog.Level, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("invalid -log-level %q (want debug, info, warn or error)", s)
+	}
+	return l, nil
+}
+
+// debugHandler is the private -debug-addr surface: the standard pprof
+// endpoints (registered explicitly rather than via the package's
+// DefaultServeMux side effect) plus the metric registry in both formats.
+func debugHandler(engine *newslink.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = engine.Metrics().WriteJSON(w)
+	})
+	mux.HandleFunc("GET /v1/metrics/prom", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = engine.Metrics().WritePrometheus(w)
+	})
+	return mux
 }
 
 func buildEngine(kgPath, corpusPath string, beta float64, snapshot string, workers int) (*newslink.Engine, error) {

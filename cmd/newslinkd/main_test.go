@@ -1,9 +1,12 @@
 package main
 
 import (
+	"io"
+	"log/slog"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"newslink/internal/corpus"
@@ -118,5 +121,59 @@ func TestBuildEngineOnDisk(t *testing.T) {
 	}
 	if len(res) == 0 || res[0].ID != 1 {
 		t.Fatalf("on-disk search: %+v", res)
+	}
+}
+
+// TestDebugHandler exercises the -debug-addr surface: pprof endpoints and
+// both metric expositions, served off the engine's registry.
+func TestDebugHandler(t *testing.T) {
+	e, err := buildEngine("", "", 0.2, "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Search("Taliban bombing in Lahore", 2); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(debugHandler(e))
+	defer ts.Close()
+
+	for path, wantBody := range map[string]string{
+		"/debug/pprof/":        "profiles",
+		"/debug/pprof/cmdline": "",
+		"/v1/metrics":          "newslink_searches_total",
+		"/v1/metrics/prom":     "# TYPE newslink_search_seconds histogram",
+	} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if wantBody != "" && !strings.Contains(string(body), wantBody) {
+			t.Fatalf("GET %s: body missing %q:\n%s", path, wantBody, body)
+		}
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := parseLogLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("parseLogLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseLogLevel("loud"); err == nil {
+		t.Fatal("invalid level must error")
 	}
 }

@@ -1,0 +1,455 @@
+// Package obs is the observability layer of the NewsLink serving path:
+// a lock-cheap metrics registry (counters, gauges, fixed-bucket latency
+// histograms with quantile estimation) and per-request trace spans carried
+// in a context.Context. Everything is stdlib-only and allocation-light so
+// the instrumentation can live inside the query hot path: metric updates
+// are single atomic operations and a disabled trace costs one pointer-typed
+// context lookup per request.
+//
+// The registry renders itself in two wire formats: expvar-style JSON
+// (served at /v1/metrics) and the Prometheus text exposition format
+// (served at /v1/metrics/prom).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use; updates are one atomic add.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the Prometheus exposition to stay valid).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer metric that can go up and down (queue depths,
+// document counts). Safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram in the Prometheus style: bucket i
+// counts observations v <= Bounds[i], plus one overflow bucket. Observe is
+// lock-free (a binary search over the bounds and two atomic adds, plus a
+// CAS loop for the running sum), so it can sit inside the query pipeline.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// DefBuckets are the default latency buckets in seconds: 100µs to 10s in
+// a 1-2.5-5 progression, chosen to bracket both the sub-millisecond BM25
+// stages and multi-second path enumerations.
+func DefBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound admits v; len(bounds) = overflow.
+	i := sort.SearchFloat64s(h.bounds, v)
+	// SearchFloat64s returns the first index with bounds[i] >= v, which is
+	// exactly the Prometheus "le" (less-or-equal) bucket for v.
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns a snapshot of the per-bucket counts, the last entry
+// being the +Inf overflow bucket. Concurrent Observes may make the snapshot
+// sum differ transiently from Count; callers that need consistency should
+// quiesce writers first (tests do, the HTTP exporters tolerate skew).
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts by
+// linear interpolation inside the holding bucket — the same estimate
+// Prometheus' histogram_quantile computes. The lower edge of the first
+// bucket is 0 (latencies are non-negative); an estimate that lands in the
+// overflow bucket is clamped to the highest finite bound. Returns NaN when
+// the histogram is empty or q is outside [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n > 0 && float64(cum+n) >= rank {
+			if i == len(h.bounds) {
+				// Overflow bucket: no finite upper edge to interpolate to.
+				if len(h.bounds) == 0 {
+					return math.NaN()
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			return lo + (hi-lo)*((rank-float64(cum))/float64(n))
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Label is one name="value" metric dimension.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label inline.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind discriminates the one non-nil instrument of a metric.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered time series: a family name plus a fixed label
+// set, holding exactly one instrument.
+type metric struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// id is the registry identity: family name plus the rendered label set.
+func metricID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteString(labelString(labels))
+	return b.String()
+}
+
+// labelString renders {k="v",...} with Prometheus escaping, or "" for an
+// empty set.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Registry holds named metrics. Registration (the Counter/Gauge/Histogram
+// get-or-create calls) takes a mutex; engines and servers register once at
+// startup and keep the returned handles, so steady-state updates never
+// touch the registry again. Exposition walks the registry in registration
+// order, giving stable output.
+type Registry struct {
+	mu   sync.Mutex
+	byID map[string]*metric
+	list []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]*metric)}
+}
+
+// Counter returns the counter registered under name+labels, creating it on
+// first use. Registering the same identity as a different metric type
+// panics: metric names are program constants, so a clash is a bug.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.register(name, help, kindCounter, labels)
+	return m.c
+}
+
+// Gauge returns the gauge registered under name+labels, creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.register(name, help, kindGauge, labels)
+	return m.g
+}
+
+// Histogram returns the histogram registered under name+labels, creating
+// it with the given bucket upper bounds on first use (nil bounds select
+// DefBuckets). Bounds are fixed at first registration; later calls with
+// the same identity return the existing histogram regardless of bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets()
+	}
+	m := r.registerHistogram(name, help, labels, bounds)
+	return m.h
+}
+
+func (r *Registry) register(name, help string, kind metricKind, labels []Label) *metric {
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byID[id]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", id, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind, labels: labels}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	}
+	r.byID[id] = m
+	r.list = append(r.list, m)
+	return m
+}
+
+func (r *Registry) registerHistogram(name, help string, labels []Label, bounds []float64) *metric {
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byID[id]; ok {
+		if m.kind != kindHistogram {
+			panic(fmt.Sprintf("obs: metric %q re-registered as histogram (was %s)", id, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kindHistogram, labels: labels, h: newHistogram(bounds)}
+	r.byID[id] = m
+	r.list = append(r.list, m)
+	return m
+}
+
+// snapshot returns the metric list under the lock; the metrics themselves
+// are read with atomics afterwards.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, len(r.list))
+	copy(out, r.list)
+	return out
+}
+
+// WriteJSON renders every metric as one JSON object keyed by metric
+// identity (expvar style). Counters and gauges render as numbers;
+// histograms as objects with count, sum, p50/p95/p99 estimates and the
+// cumulative buckets.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{")
+	for i, m := range r.snapshot() {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n  ")
+		b.WriteString(strconv.Quote(metricID(m.name, m.labels)))
+		b.WriteString(": ")
+		switch m.kind {
+		case kindCounter:
+			b.WriteString(strconv.FormatInt(m.c.Value(), 10))
+		case kindGauge:
+			b.WriteString(strconv.FormatInt(m.g.Value(), 10))
+		case kindHistogram:
+			writeHistogramJSON(&b, m.h)
+		}
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogramJSON(b *strings.Builder, h *Histogram) {
+	b.WriteString(`{"count": `)
+	b.WriteString(strconv.FormatInt(h.Count(), 10))
+	b.WriteString(`, "sum": `)
+	b.WriteString(jsonFloat(h.Sum()))
+	for _, q := range [...]struct {
+		name string
+		q    float64
+	}{{"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}} {
+		b.WriteString(`, "`)
+		b.WriteString(q.name)
+		b.WriteString(`": `)
+		b.WriteString(jsonFloat(h.Quantile(q.q)))
+	}
+	b.WriteString(`, "buckets": [`)
+	counts := h.BucketCounts()
+	cum := int64(0)
+	for i, n := range counts {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		cum += n
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatBound(h.bounds[i])
+		}
+		b.WriteString(`{"le": "`)
+		b.WriteString(le)
+		b.WriteString(`", "count": `)
+		b.WriteString(strconv.FormatInt(cum, 10))
+		b.WriteString("}")
+	}
+	b.WriteString("]}")
+}
+
+// jsonFloat renders a float as JSON; NaN (empty-histogram quantiles) has no
+// JSON spelling, so it renders as null.
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). HELP/TYPE headers are emitted once per metric
+// family; histograms expand into _bucket/_sum/_count series with cumulative
+// le buckets.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	seen := make(map[string]bool)
+	for _, m := range r.snapshot() {
+		if !seen[m.name] {
+			seen[m.name] = true
+			if m.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+		}
+		ls := labelString(m.labels)
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, ls, m.c.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, ls, m.g.Value())
+		case kindHistogram:
+			writeHistogramProm(&b, m.name, m.labels, m.h)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogramProm(b *strings.Builder, name string, labels []Label, h *Histogram) {
+	counts := h.BucketCounts()
+	cum := int64(0)
+	for i, n := range counts {
+		cum += n
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatBound(h.bounds[i])
+		}
+		withLE := make([]Label, 0, len(labels)+1)
+		withLE = append(withLE, labels...)
+		withLE = append(withLE, L("le", le))
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelString(withLE), cum)
+	}
+	ls := labelString(labels)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, ls, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, ls, h.Count())
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBucketMath(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// le semantics: an observation exactly on a bound lands in that bound's
+	// bucket, like Prometheus.
+	for _, v := range []float64{0.5, 1.0} { // both <= 1
+		h.Observe(v)
+	}
+	h.Observe(1.5) // <= 2
+	h.Observe(4.0) // <= 4 (edge)
+	h.Observe(9.0) // overflow
+	counts := h.BucketCounts()
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-16.0) > 1e-9 {
+		t.Fatalf("sum = %g, want 16", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 40})
+	// 10 observations uniformly in (0,10]: all in the first bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	// p50 → rank 5 of 10, all in bucket [0,10] → 0 + 10*(5/10) = 5.
+	if got := h.Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("p50 = %g, want 5", got)
+	}
+	// p100 interpolates to the bucket's upper edge.
+	if got := h.Quantile(1); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("p100 = %g, want 10", got)
+	}
+
+	// Split across buckets: 8 in bucket le=10, 2 in bucket le=20.
+	h2 := newHistogram([]float64{10, 20, 40})
+	for i := 0; i < 8; i++ {
+		h2.Observe(1)
+	}
+	h2.Observe(15)
+	h2.Observe(15)
+	// p90 → rank 9 → second bucket, 1st of its 2: 10 + 10*(1/2) = 15.
+	if got := h2.Quantile(0.9); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("p90 = %g, want 15", got)
+	}
+	// Overflow lands on the highest finite bound.
+	h3 := newHistogram([]float64{10})
+	h3.Observe(100)
+	if got := h3.Quantile(0.5); got != 10 {
+		t.Fatalf("overflow quantile = %g, want 10", got)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := newHistogram([]float64{1})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram quantile = %g, want NaN", got)
+	}
+	h.Observe(0.5)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Fatalf("Quantile(%g) = %g, want NaN", q, got)
+		}
+	}
+	// q=0 clamps to rank 1 (the smallest observation's bucket).
+	if got := h.Quantile(0); math.IsNaN(got) {
+		t.Fatal("Quantile(0) on non-empty histogram must not be NaN")
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "")
+	if a != b {
+		t.Fatal("same identity must return the same counter")
+	}
+	l1 := r.Counter("y_total", "", L("stage", "analyze"))
+	l2 := r.Counter("y_total", "", L("stage", "fuse"))
+	if l1 == l2 {
+		t.Fatal("distinct label sets must be distinct metrics")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("searches_total", "Searches.").Add(3)
+	r.Gauge("docs", "Docs.").Set(42)
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("JSON output does not parse: %v\n%s", err, b.String())
+	}
+	if doc["searches_total"].(float64) != 3 {
+		t.Fatalf("searches_total = %v", doc["searches_total"])
+	}
+	if doc["docs"].(float64) != 42 {
+		t.Fatalf("docs = %v", doc["docs"])
+	}
+	hist := doc["latency_seconds"].(map[string]any)
+	if hist["count"].(float64) != 2 {
+		t.Fatalf("histogram count = %v", hist["count"])
+	}
+	for _, q := range []string{"p50", "p95", "p99"} {
+		if _, ok := hist[q]; !ok {
+			t.Fatalf("histogram JSON missing %s: %v", q, hist)
+		}
+	}
+}
+
+func TestRegistryPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("newslink_searches_total", "Searches served.").Add(7)
+	r.Histogram("stage_seconds", "Stage latency.", []float64{0.5},
+		L("stage", `we"ird\val`)).Observe(0.1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP newslink_searches_total Searches served.",
+		"# TYPE newslink_searches_total counter",
+		"newslink_searches_total 7",
+		"# TYPE stage_seconds histogram",
+		`stage_seconds_bucket{stage="we\"ird\\val",le="0.5"} 1`,
+		`stage_seconds_bucket{stage="we\"ird\\val",le="+Inf"} 1`,
+		`stage_seconds_count{stage="we\"ird\\val"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryConcurrentHammer drives every instrument type from many
+// goroutines; correctness of the totals plus the race detector validate
+// the lock-free paths.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Registration races with updates on purpose: get-or-create
+			// must hand every goroutine the same instruments.
+			c := r.Counter("hammer_total", "")
+			g := r.Gauge("hammer_gauge", "")
+			h := r.Histogram("hammer_seconds", "", []float64{0.25, 0.75})
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%2) * 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("hammer_total", "").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	h := r.Histogram("hammer_seconds", "", nil)
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if got := h.Sum(); math.Abs(got-float64(workers*per/2)*0.5) > 1e-6 {
+		t.Fatalf("histogram sum = %g", got)
+	}
+	counts := h.BucketCounts()
+	if counts[0] != workers*per/2 || counts[1] != workers*per/2 {
+		t.Fatalf("bucket counts = %v", counts)
+	}
+}

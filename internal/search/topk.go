@@ -102,6 +102,24 @@ func suffixBounds(terms []termInfo) []float64 {
 	return out
 }
 
+// RetrievalStats reports how one top-k retrieval traversed the index: how
+// much of the candidate space the max-score bound pruned and how wide the
+// traversal fanned out. The engine attaches these to the per-request trace
+// spans (internal/obs) so pruning efficiency is visible per query.
+type RetrievalStats struct {
+	Terms    int // query terms with at least one posting
+	Postings int // postings available across those terms
+	Scored   int // postings actually scored into an accumulator
+	Skipped  int // postings skipped by the max-score bound
+	Shards   int // traversal fan-out (1 = sequential)
+}
+
+// add accumulates per-shard stats.
+func (st *RetrievalStats) add(o RetrievalStats) {
+	st.Scored += o.Scored
+	st.Skipped += o.Skipped
+}
+
 // TopKMaxScore evaluates the query with max-score pruning: terms are
 // processed in decreasing score-bound order and accumulation stops scanning
 // new candidate documents once the remaining bounds cannot lift a document
@@ -116,43 +134,84 @@ func TopKMaxScore(idx index.Source, s Scorer, q Query, k int) []Hit {
 // between terms and every cancelCheckEvery postings the context is polled,
 // and a done context aborts the traversal with ctx.Err().
 func TopKMaxScoreContext(ctx context.Context, idx index.Source, s Scorer, q Query, k int) ([]Hit, error) {
+	hits, _, err := TopKMaxScoreStats(ctx, idx, s, q, k)
+	return hits, err
+}
+
+// TopKMaxScoreStats is TopKMaxScoreContext reporting retrieval statistics.
+// The counters are plain local increments folded into the returned struct,
+// so the statistics cost nothing measurable on the traversal.
+func TopKMaxScoreStats(ctx context.Context, idx index.Source, s Scorer, q Query, k int) ([]Hit, RetrievalStats, error) {
+	var st RetrievalStats
+	st.Shards = 1
 	if k <= 0 || len(q) == 0 {
-		return nil, ctx.Err()
+		return nil, st, ctx.Err()
 	}
 	terms := prepareTerms(idx, s, q)
 	if terms == nil {
-		return nil, ctx.Err()
+		return nil, st, ctx.Err()
+	}
+	st.Terms = len(terms)
+	for _, t := range terms {
+		st.Postings += len(t.posts)
 	}
 	suffixBound := suffixBounds(terms)
+	hits, shardST, err := maxScoreAccumulate(ctx, idx, s, terms, suffixBound, k, nil)
+	if err != nil {
+		return nil, st, err
+	}
+	st.add(shardST)
+	return hits, st, nil
+}
+
+// docRange restricts an accumulation to documents in [Lo, Hi); nil means
+// the whole document space.
+type docRange struct {
+	Lo, Hi index.DocID
+}
+
+// maxScoreAccumulate runs the max-score accumulation loop over prepared
+// terms, optionally restricted to a DocID range (the sharded path), and
+// returns the local top k plus scan statistics.
+func maxScoreAccumulate(ctx context.Context, idx index.Source, s Scorer, terms []termInfo, suffixBound []float64, k int, rng *docRange) ([]Hit, RetrievalStats, error) {
+	var st RetrievalStats
 	acc := make(map[index.DocID]float64)
 	var th threshold // k-th best score so far
 	th.init(k)
 	sinceCheck := 0
+	scored, skipped := 0, 0
 	for i, t := range terms {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, st, err
 		}
 		// >= keeps tie-breaking exact: a new doc bounded at exactly the
 		// current threshold could still win a tie on DocID.
 		newDocsAllowed := suffixBound[i] >= th.min()
-		for _, p := range t.posts {
+		posts := t.posts
+		if rng != nil {
+			posts = postingsRange(posts, rng.Lo, rng.Hi)
+		}
+		for _, p := range posts {
 			if sinceCheck++; sinceCheck >= cancelCheckEvery {
 				sinceCheck = 0
 				if err := ctx.Err(); err != nil {
-					return nil, err
+					return nil, st, err
 				}
 			}
 			if _, seen := acc[p.Doc]; !seen && !newDocsAllowed {
 				// This document can only score within terms[i:], bounded by
 				// suffixBound[i] <= current k-th score: skip it.
+				skipped++
 				continue
 			}
+			scored++
 			acc[p.Doc] += t.qw * s.Weight(float64(p.TF), t.df, idx.DocLen(p.Doc))
 		}
 		// Refresh the running threshold from the accumulator.
 		th.refresh(acc, k)
 	}
-	return selectTop(acc, k), nil
+	st.Scored, st.Skipped = scored, skipped
+	return selectTop(acc, k), st, nil
 }
 
 // threshold tracks the k-th best accumulated score.

@@ -23,23 +23,38 @@ import (
 // implementations are only required to be safe for concurrent DocLen calls
 // (all in-tree sources are fully immutable after construction).
 func TopKMaxScoreSharded(ctx context.Context, idx index.Source, s Scorer, q Query, k, shards int) ([]Hit, error) {
+	hits, _, err := TopKMaxScoreShardedStats(ctx, idx, s, q, k, shards)
+	return hits, err
+}
+
+// TopKMaxScoreShardedStats is TopKMaxScoreSharded reporting retrieval
+// statistics aggregated across shards; Stats.Shards is the fan-out actually
+// used (1 when the traversal fell back to the sequential path).
+func TopKMaxScoreShardedStats(ctx context.Context, idx index.Source, s Scorer, q Query, k, shards int) ([]Hit, RetrievalStats, error) {
 	numDocs := idx.NumDocs()
 	if shards > numDocs {
 		shards = numDocs
 	}
 	if shards <= 1 {
-		return TopKMaxScoreContext(ctx, idx, s, q, k)
+		return TopKMaxScoreStats(ctx, idx, s, q, k)
 	}
+	var st RetrievalStats
+	st.Shards = shards
 	if k <= 0 || len(q) == 0 {
-		return nil, ctx.Err()
+		return nil, st, ctx.Err()
 	}
 	terms := prepareTerms(idx, s, q)
 	if terms == nil {
-		return nil, ctx.Err()
+		return nil, st, ctx.Err()
+	}
+	st.Terms = len(terms)
+	for _, t := range terms {
+		st.Postings += len(t.posts)
 	}
 	suffixBound := suffixBounds(terms)
 
 	perShard := make([][]Hit, shards)
+	perShardStats := make([]RetrievalStats, shards)
 	errs := make([]error, shards)
 	var wg sync.WaitGroup
 	for w := 0; w < shards; w++ {
@@ -48,14 +63,17 @@ func TopKMaxScoreSharded(ctx context.Context, idx index.Source, s Scorer, q Quer
 		wg.Add(1)
 		go func(w int, lo, hi index.DocID) {
 			defer wg.Done()
-			perShard[w], errs[w] = shardTopK(ctx, idx, s, terms, suffixBound, k, lo, hi)
+			perShard[w], perShardStats[w], errs[w] = shardTopK(ctx, idx, s, terms, suffixBound, k, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
+	}
+	for _, shardST := range perShardStats {
+		st.add(shardST)
 	}
 	// Merge: shards own disjoint documents, so the global top k is the k
 	// best of the union of per-shard top k's, under the same comparator.
@@ -75,37 +93,13 @@ func TopKMaxScoreSharded(ctx context.Context, idx index.Source, s Scorer, q Quer
 	for i := len(h) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(&h).(Hit)
 	}
-	return out, nil
+	return out, st, nil
 }
 
 // shardTopK runs the max-score accumulation restricted to documents in
-// [lo, hi), returning the shard-local top k.
-func shardTopK(ctx context.Context, idx index.Source, s Scorer, terms []termInfo, suffixBound []float64, k int, lo, hi index.DocID) ([]Hit, error) {
-	acc := make(map[index.DocID]float64)
-	var th threshold
-	th.init(k)
-	sinceCheck := 0
-	for i, t := range terms {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		newDocsAllowed := suffixBound[i] >= th.min()
-		posts := postingsRange(t.posts, lo, hi)
-		for _, p := range posts {
-			if sinceCheck++; sinceCheck >= cancelCheckEvery {
-				sinceCheck = 0
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			if _, seen := acc[p.Doc]; !seen && !newDocsAllowed {
-				continue
-			}
-			acc[p.Doc] += t.qw * s.Weight(float64(p.TF), t.df, idx.DocLen(p.Doc))
-		}
-		th.refresh(acc, k)
-	}
-	return selectTop(acc, k), nil
+// [lo, hi), returning the shard-local top k and scan statistics.
+func shardTopK(ctx context.Context, idx index.Source, s Scorer, terms []termInfo, suffixBound []float64, k int, lo, hi index.DocID) ([]Hit, RetrievalStats, error) {
+	return maxScoreAccumulate(ctx, idx, s, terms, suffixBound, k, &docRange{Lo: lo, Hi: hi})
 }
 
 // postingsRange returns the sub-slice of a DocID-sorted postings list whose

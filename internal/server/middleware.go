@@ -1,0 +1,116 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"newslink/internal/obs"
+)
+
+// statusWriter captures the status code and body size a handler produced,
+// for the access log and the HTTP metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// newRequestID returns the server's request-ID generator: a per-process
+// random prefix plus an atomic sequence number, so IDs are unique across
+// restarts without per-request entropy. The ID is attached to the response
+// as X-Request-Id and to every access-log line.
+func newRequestID() func() string {
+	var buf [4]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// Fall back to the zero prefix; IDs stay unique within the process.
+		buf = [4]byte{}
+	}
+	prefix := hex.EncodeToString(buf[:])
+	var seq atomic.Int64
+	return func() string {
+		n := seq.Add(1)
+		b := make([]byte, 0, len(prefix)+12)
+		b = append(b, prefix...)
+		b = append(b, '-')
+		b = appendInt(b, n)
+		return string(b)
+	}
+}
+
+func appendInt(b []byte, n int64) []byte {
+	if n >= 10 {
+		b = appendInt(b, n/10)
+	}
+	return append(b, byte('0'+n%10))
+}
+
+// instrument wraps one route handler with request-ID assignment, HTTP
+// metrics (per-route request counter and latency histogram) and one
+// structured access-log line per request. The metric handles are created
+// once per route at Handler-construction time, so nothing in the request
+// path touches the registry.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.registry.Counter("newslink_http_requests_total",
+		"HTTP requests served, by route.", obs.L("route", route))
+	errs := s.registry.Counter("newslink_http_request_errors_total",
+		"HTTP requests answered with status >= 400, by route.", obs.L("route", route))
+	latency := s.registry.Histogram("newslink_http_request_seconds",
+		"HTTP request latency, by route.", nil, obs.L("route", route))
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := s.requestID()
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		d := time.Since(start)
+		reqs.Inc()
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+		latency.Observe(d.Seconds())
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("query", r.URL.RawQuery),
+			slog.Int("status", sw.status),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("duration", d),
+		)
+	}
+}
+
+// logTrace emits the stage breakdown of a traced request at debug level,
+// one attr group per span, so `-v` style debugging does not require the
+// client to read the response body.
+func (s *Server) logTrace(r *http.Request, tr *obs.Trace) {
+	if tr == nil || !s.log.Enabled(r.Context(), slog.LevelDebug) {
+		return
+	}
+	for _, sp := range tr.Spans() {
+		attrs := []slog.Attr{
+			slog.String("stage", sp.Stage),
+			slog.Duration("start", sp.Start),
+			slog.Duration("dur", sp.Dur),
+		}
+		for _, a := range sp.Attrs {
+			attrs = append(attrs, slog.Int64(a.Key, a.Val))
+		}
+		s.log.LogAttrs(r.Context(), slog.LevelDebug, "trace", attrs...)
+	}
+}

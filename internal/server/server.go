@@ -3,15 +3,23 @@
 // whole search pipeline). Routes are versioned under /v1/; the unversioned
 // spellings are kept as aliases for old clients:
 //
-//	GET /v1/search?q=<text>&k=<n>[&beta=<b>][&pool=<d>]  ranked results (Equation 3)
-//	GET /v1/explain?q=<text>&id=<doc>&paths=<n>          overlap + relationship paths
-//	GET /v1/dot?q=<text>&id=<doc>                        Graphviz rendering of the pair
-//	GET /v1/healthz                                      liveness
-//	GET /v1/stats                                        engine and graph statistics
+//	GET /v1/search?q=<text>&k=<n>[&beta=<b>][&pool=<d>][&trace=1]  ranked results (Equation 3)
+//	GET /v1/explain?q=<text>&id=<doc>&paths=<n>[&trace=1]          overlap + relationship paths
+//	GET /v1/dot?q=<text>&id=<doc>                                  Graphviz rendering of the pair
+//	GET /v1/healthz                                                liveness
+//	GET /v1/stats                                                  engine and graph statistics
+//	GET /v1/metrics                                                metric registry as JSON
+//	GET /v1/metrics/prom                                           Prometheus text exposition
 //
 // Errors use a uniform JSON envelope {"error": {"code", "message"}}. A
 // request whose context is cancelled by the client maps to 499, one that
 // exceeds the server's query deadline to 504.
+//
+// Every request is assigned a request ID (returned as X-Request-Id) and
+// logged as one structured log/slog line; search and explain accept
+// trace=1, which runs the query with a per-request trace and includes the
+// stage-by-stage breakdown (durations, candidate counts, cache hit/miss,
+// shard fan-out) in the response.
 package server
 
 import (
@@ -19,12 +27,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
 
 	"newslink"
 	"newslink/internal/kg"
+	"newslink/internal/obs"
 )
 
 // StatusClientClosedRequest is the non-standard (nginx-originated) status
@@ -47,17 +58,38 @@ func WithQueryTimeout(d time.Duration) Option {
 	return func(s *Server) { s.queryTimeout = d }
 }
 
+// WithLogger sets the structured logger for access logs and trace output.
+// The default logger discards everything, keeping embedded and test servers
+// quiet; newslinkd installs a text handler on stderr.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
 // Server wraps a built engine. All handlers are read-only and safe for
 // concurrent use; the engine's own locking makes them safe against
 // concurrent Add/Refresh as well.
 type Server struct {
 	engine       *newslink.Engine
 	queryTimeout time.Duration
+	log          *slog.Logger
+	registry     *obs.Registry
+	requestID    func() string
 }
 
-// New returns a Server over a built engine.
+// New returns a Server over a built engine. HTTP-level metrics register
+// into the engine's own registry, so /v1/metrics exposes the engine and
+// the HTTP layer in one document.
 func New(e *newslink.Engine, opts ...Option) *Server {
-	s := &Server{engine: e}
+	s := &Server{
+		engine:    e,
+		log:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		registry:  e.Metrics(),
+		requestID: newRequestID(),
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -65,15 +97,27 @@ func New(e *newslink.Engine, opts ...Option) *Server {
 }
 
 // Handler returns the HTTP handler with all routes registered, each under
-// /v1/ and as a legacy unversioned alias.
+// /v1/ and as a legacy unversioned alias. Every route is wrapped with
+// request-ID assignment, access logging and HTTP metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	for _, prefix := range []string{"/v1", ""} {
-		mux.HandleFunc("GET "+prefix+"/search", s.handleSearch)
-		mux.HandleFunc("GET "+prefix+"/explain", s.handleExplain)
-		mux.HandleFunc("GET "+prefix+"/dot", s.handleDOT)
-		mux.HandleFunc("GET "+prefix+"/healthz", s.handleHealth)
-		mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
+	routes := []struct {
+		name string
+		h    http.HandlerFunc
+	}{
+		{"search", s.handleSearch},
+		{"explain", s.handleExplain},
+		{"dot", s.handleDOT},
+		{"healthz", s.handleHealth},
+		{"stats", s.handleStats},
+		{"metrics", s.handleMetrics},
+		{"metrics/prom", s.handleMetricsProm},
+	}
+	for _, rt := range routes {
+		h := s.instrument(rt.name, rt.h)
+		for _, prefix := range []string{"/v1", ""} {
+			mux.HandleFunc("GET "+prefix+"/"+rt.name, h)
+		}
 	}
 	return mux
 }
@@ -86,18 +130,22 @@ func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelF
 	return r.Context(), func() {}
 }
 
-// SearchResponse is the /search reply.
+// SearchResponse is the /search reply. Trace is present only for trace=1
+// requests: one entry per pipeline stage, ordered by start offset.
 type SearchResponse struct {
 	Query   string            `json:"query"`
 	K       int               `json:"k"`
 	Results []newslink.Result `json:"results"`
+	Trace   []obs.Span        `json:"trace,omitempty"`
 }
 
-// ExplainResponse is the /explain reply.
+// ExplainResponse is the /explain reply. Trace is present only for trace=1
+// requests.
 type ExplainResponse struct {
 	Query       string               `json:"query"`
 	DocID       int                  `json:"doc_id"`
 	Explanation newslink.Explanation `json:"explanation"`
+	Trace       []obs.Span           `json:"trace,omitempty"`
 }
 
 // StatsResponse is the /stats reply.
@@ -199,6 +247,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
+	ctx, tr := maybeTrace(ctx, r)
 	results, err := s.engine.SearchContext(ctx, req)
 	if err != nil {
 		writeEngineError(w, err)
@@ -207,7 +256,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if results == nil {
 		results = []newslink.Result{}
 	}
-	writeJSON(w, http.StatusOK, SearchResponse{Query: q, K: k, Results: results})
+	s.logTrace(r, tr)
+	writeJSON(w, http.StatusOK, SearchResponse{Query: q, K: k, Results: results, Trace: tr.Spans()})
+}
+
+// maybeTrace attaches a per-request trace to ctx when the request asked for
+// one with trace=1. A nil *obs.Trace is a valid no-op, so callers use the
+// result unconditionally.
+func maybeTrace(ctx context.Context, r *http.Request) (context.Context, *obs.Trace) {
+	if r.URL.Query().Get("trace") != "1" {
+		return ctx, nil
+	}
+	return obs.WithTrace(ctx)
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -232,12 +292,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
+	ctx, tr := maybeTrace(ctx, r)
 	exp, err := s.engine.ExplainContext(ctx, q, id, paths)
 	if err != nil {
 		writeEngineError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ExplainResponse{Query: q, DocID: id, Explanation: exp})
+	s.logTrace(r, tr)
+	writeJSON(w, http.StatusOK, ExplainResponse{Query: q, DocID: id, Explanation: exp, Trace: tr.Spans()})
 }
 
 // handleDOT returns a Graphviz rendering of the query and document
@@ -273,6 +335,27 @@ func (s *Server) handleDOT(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the metric registry (engine + HTTP layer) as one
+// JSON object keyed by metric identity; histograms include count, sum and
+// p50/p95/p99 estimates.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := s.registry.WriteJSON(w); err != nil {
+		return
+	}
+}
+
+// handleMetricsProm serves the same registry in the Prometheus text
+// exposition format, for scraping.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if err := s.registry.WritePrometheus(w); err != nil {
+		return
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

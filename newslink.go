@@ -35,11 +35,13 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"newslink/internal/core"
 	"newslink/internal/index"
 	"newslink/internal/kg"
 	"newslink/internal/nlp"
+	"newslink/internal/obs"
 	"newslink/internal/search"
 )
 
@@ -161,6 +163,12 @@ type Engine struct {
 	pending      int // documents in the open (un-searchable) segment
 
 	queries *queryCache
+
+	// metrics is the engine's observability registry; met caches the
+	// pre-registered handles the pipeline updates. Both are created in New
+	// and immutable afterwards, so no lock guards them.
+	metrics *obs.Registry
+	met     engineMetrics
 }
 
 // shardedSearchMinDocs is the corpus size above which postings traversal is
@@ -178,6 +186,8 @@ func New(g *kg.Graph, cfg Config) *Engine {
 		MaxDepth:      cfg.MaxDepth,
 		MaxExpansions: cfg.MaxExpansions,
 	})
+	registry := obs.NewRegistry()
+	met := newEngineMetrics(registry)
 	return &Engine{
 		cfg:      cfg,
 		g:        g,
@@ -187,7 +197,9 @@ func New(g *kg.Graph, cfg Config) *Engine {
 		docPos:   make(map[int]int),
 		textB:    index.NewBuilder(),
 		nodeB:    index.NewBuilder(),
-		queries:  newQueryCache(64),
+		queries:  newQueryCache(64, met.cacheHits, met.cacheMisses),
+		metrics:  registry,
+		met:      met,
 	}
 }
 
@@ -234,6 +246,7 @@ func (e *Engine) addLocked(doc Document, emb *core.DocEmbedding, terms []string)
 	if e.built {
 		e.pending++
 	}
+	e.met.docs.Set(int64(len(e.docs)))
 	return nil
 }
 
@@ -266,16 +279,22 @@ func (e *Engine) refreshLocked() {
 	e.nodeIdx = index.NewMulti(e.nodeIdx, e.nodeB.Build())
 	e.textB, e.nodeB = nil, nil
 	e.pending = 0
+	e.met.refreshes.Inc()
 }
 
 // analyzeQuery is analyze with LRU memoization; Search, Explain and
-// ExplainDOT on the same query text share one NLP + NE pass.
-func (e *Engine) analyzeQuery(text string) (*core.DocEmbedding, []string) {
-	if emb, terms, ok := e.queries.get(text); ok {
-		return emb, terms
+// ExplainDOT on the same query text share one NLP + NE pass. It records the
+// "analyze" stage span into the request trace (cache hits included: a hit
+// still shows up in the breakdown, just with a near-zero duration).
+func (e *Engine) analyzeQuery(ctx context.Context, text string) (*core.DocEmbedding, []string) {
+	sp := obs.FromContext(ctx).Start(obs.StageAnalyze)
+	emb, terms, hit := e.queries.get(text)
+	if !hit {
+		emb, terms = e.analyze(text)
+		e.queries.put(text, emb, terms)
 	}
-	emb, terms := e.analyze(text)
-	e.queries.put(text, emb, terms)
+	d := sp.End(obs.Bool("cache_hit", hit), obs.Int("terms", len(terms)))
+	e.met.stageObserve(obs.StageAnalyze, d)
 	return emb, terms
 }
 
@@ -383,7 +402,24 @@ func (e *Engine) lookup(s snapshot, docID int) (int, error) {
 // past shardedSearchMinDocs each traversal is itself sharded across
 // GOMAXPROCS workers. Cancellation of ctx stops postings traversal
 // cooperatively and returns ctx.Err().
+//
+// When ctx carries a trace (obs.WithTrace), the pipeline records one span
+// per stage — analyze, bow-retrieve, bon-retrieve, fuse, topk — with stage
+// attributes (candidate counts, pruning statistics, cache hit/miss, shard
+// fan-out). Stage latencies additionally feed the engine's metric registry
+// (Metrics) whether or not a trace is attached.
 func (e *Engine) SearchContext(ctx context.Context, q Query) ([]Result, error) {
+	start := time.Now()
+	out, err := e.searchContext(ctx, q)
+	e.met.searches.Inc()
+	e.met.searchSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		e.met.searchErrors.Inc()
+	}
+	return out, err
+}
+
+func (e *Engine) searchContext(ctx context.Context, q Query) ([]Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -414,18 +450,24 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) ([]Result, error) {
 	if n := len(snap.docs); pool > n {
 		pool = n
 	}
-	qEmb, qTerms := e.analyzeQuery(q.Text)
+	qEmb, qTerms := e.analyzeQuery(ctx, q.Text)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr := obs.FromContext(ctx)
 	runBOW := beta < 1
 	runBON := beta > 0 && qEmb != nil
 	var bow, bon []search.Hit
 	var bowErr, bonErr error
 	retrieveBOW := func() {
-		bow, bowErr = topKAuto(ctx, snap.textIdx, search.NewBM25(snap.textIdx), search.NewQuery(qTerms), pool)
+		sp := tr.Start(obs.StageBOW)
+		var st search.RetrievalStats
+		bow, st, bowErr = topKAuto(ctx, snap.textIdx, search.NewBM25(snap.textIdx), search.NewQuery(qTerms), pool)
+		d := sp.End(retrievalAttrs(len(bow), st)...)
+		e.met.stageObserve(obs.StageBOW, d)
 	}
 	retrieveBON := func() {
+		sp := tr.Start(obs.StageBON)
 		nq := make(search.Query, len(qEmb.Counts))
 		for n, c := range qEmb.Counts {
 			nq[nodeTerm(n)] = float64(c)
@@ -438,7 +480,10 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) ([]Result, error) {
 		bonScorer := search.NewBM25(snap.nodeIdx)
 		bonScorer.B = 0
 		bonScorer.K1 = 0.4
-		bon, bonErr = topKAuto(ctx, snap.nodeIdx, bonScorer, nq, pool)
+		var st search.RetrievalStats
+		bon, st, bonErr = topKAuto(ctx, snap.nodeIdx, bonScorer, nq, pool)
+		d := sp.End(retrievalAttrs(len(bon), st)...)
+		e.met.stageObserve(obs.StageBON, d)
 	}
 	switch {
 	case runBOW && runBON:
@@ -461,7 +506,11 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) ([]Result, error) {
 	if bonErr != nil {
 		return nil, bonErr
 	}
+	sp := tr.Start(obs.StageFuse)
 	fused := search.Fuse(bow, bon, beta, q.K)
+	d := sp.End(obs.Int("bow_candidates", len(bow)), obs.Int("bon_candidates", len(bon)), obs.Int("fused", len(fused)))
+	e.met.stageObserve(obs.StageFuse, d)
+	sp = tr.Start(obs.StageTopK)
 	out := make([]Result, len(fused))
 	for i, h := range fused {
 		doc := snap.docs[h.Doc]
@@ -472,16 +521,30 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) ([]Result, error) {
 			Snippet: snippet(doc.Text, qTerms),
 		}
 	}
+	d = sp.End(obs.Int("k", len(out)))
+	e.met.stageObserve(obs.StageTopK, d)
 	return out, nil
+}
+
+// retrievalAttrs converts retrieval statistics into trace span attributes.
+func retrievalAttrs(candidates int, st search.RetrievalStats) []obs.Attr {
+	return []obs.Attr{
+		obs.Int("candidates", candidates),
+		obs.Int("terms", st.Terms),
+		obs.Int("postings", st.Postings),
+		obs.Int("scored", st.Scored),
+		obs.Int("pruned", st.Skipped),
+		obs.Int("shards", st.Shards),
+	}
 }
 
 // topKAuto picks the sequential or sharded postings traversal by corpus
 // size. Both return identical rankings (property-tested).
-func topKAuto(ctx context.Context, idx index.Source, s search.Scorer, q search.Query, k int) ([]search.Hit, error) {
+func topKAuto(ctx context.Context, idx index.Source, s search.Scorer, q search.Query, k int) ([]search.Hit, search.RetrievalStats, error) {
 	if workers := runtime.GOMAXPROCS(0); workers > 1 && idx.NumDocs() >= shardedSearchMinDocs {
-		return search.TopKMaxScoreSharded(ctx, idx, s, q, k, workers)
+		return search.TopKMaxScoreShardedStats(ctx, idx, s, q, k, workers)
 	}
-	return search.TopKMaxScoreContext(ctx, idx, s, q, k)
+	return search.TopKMaxScoreStats(ctx, idx, s, q, k)
 }
 
 // snippet picks the document sentence with the highest query-term overlap,
@@ -518,7 +581,20 @@ func (e *Engine) Explain(query string, docID int, maxPaths int) (Explanation, er
 
 // ExplainContext is Explain with cooperative cancellation: path enumeration
 // between entity pairs stops and returns ctx.Err() once ctx is done.
+//
+// When ctx carries a trace (obs.WithTrace), the analyze and
+// path-enumeration stages record spans with pair/path counts, mirroring
+// SearchContext's stage breakdown.
 func (e *Engine) ExplainContext(ctx context.Context, query string, docID int, maxPaths int) (Explanation, error) {
+	exp, err := e.explainContext(ctx, query, docID, maxPaths)
+	e.met.explains.Inc()
+	if err != nil {
+		e.met.explainErrors.Inc()
+	}
+	return exp, err
+}
+
+func (e *Engine) explainContext(ctx context.Context, query string, docID int, maxPaths int) (Explanation, error) {
 	if err := ctx.Err(); err != nil {
 		return Explanation{}, err
 	}
@@ -530,7 +606,7 @@ func (e *Engine) ExplainContext(ctx context.Context, query string, docID int, ma
 	if err != nil {
 		return Explanation{}, err
 	}
-	qEmb, _ := e.analyzeQuery(query)
+	qEmb, _ := e.analyzeQuery(ctx, query)
 	dEmb := snap.embeddings[pos]
 	if qEmb == nil || dEmb == nil {
 		return Explanation{}, nil
@@ -539,19 +615,34 @@ func (e *Engine) ExplainContext(ctx context.Context, query string, docID int, ma
 	for _, n := range qEmb.Overlap(dEmb) {
 		exp.SharedEntities = append(exp.SharedEntities, e.g.Label(n))
 	}
-	// Relationship paths: link every query label to every result label
-	// until maxPaths are collected, shortest pairs first.
+	sp := obs.FromContext(ctx).Start(obs.StagePaths)
+	paths, pairs, err := e.enumeratePaths(ctx, qEmb, dEmb, maxPaths)
+	d := sp.End(obs.Int("pairs", pairs), obs.Int("paths", len(paths)), obs.Int("shared_entities", len(exp.SharedEntities)))
+	e.met.stageObserve(obs.StagePaths, d)
+	if err != nil {
+		return Explanation{}, err
+	}
+	exp.Paths = paths
+	return exp, nil
+}
+
+// enumeratePaths links every query label to every result label until
+// maxPaths relationship paths are collected, shortest pairs first. It
+// returns the paths and the number of label pairs actually explored.
+func (e *Engine) enumeratePaths(ctx context.Context, qEmb, dEmb *core.DocEmbedding, maxPaths int) ([]Path, int, error) {
 	qLabels := embeddingLabels(qEmb)
 	dLabels := embeddingLabels(dEmb)
+	var out []Path
+	pairs := 0
 	seen := map[string]bool{}
 	seenPair := map[[2]string]bool{}
 	for _, ql := range qLabels {
 		if err := ctx.Err(); err != nil {
-			return Explanation{}, err
+			return nil, pairs, err
 		}
 		for _, dl := range dLabels {
-			if len(exp.Paths) >= maxPaths {
-				return exp, nil
+			if len(out) >= maxPaths {
+				return out, pairs, nil
 			}
 			if ql == dl {
 				continue
@@ -566,23 +657,24 @@ func (e *Engine) ExplainContext(ctx context.Context, query string, docID int, ma
 				continue
 			}
 			seenPair[pairKey] = true
+			pairs++
 			paths, err := core.CrossPathsContext(ctx, e.g, qEmb, dEmb, ql, dl, 1)
 			if err != nil {
-				return Explanation{}, err
+				return nil, pairs, err
 			}
 			for _, p := range paths {
 				r := p.Render(e.g)
 				if r != "" && !seen[r] {
 					seen[r] = true
-					exp.Paths = append(exp.Paths, e.makePath(p, r))
+					out = append(out, e.makePath(p, r))
 				}
-				if len(exp.Paths) >= maxPaths {
-					return exp, nil
+				if len(out) >= maxPaths {
+					return out, pairs, nil
 				}
 			}
 		}
 	}
-	return exp, nil
+	return out, pairs, nil
 }
 
 // makePath converts an internal relationship path into the public form.
@@ -621,7 +713,7 @@ func (e *Engine) ExplainDOTContext(ctx context.Context, query string, docID int,
 	if err != nil {
 		return "", err
 	}
-	qEmb, _ := e.analyzeQuery(query)
+	qEmb, _ := e.analyzeQuery(ctx, query)
 	dEmb := snap.embeddings[pos]
 	if qEmb == nil || dEmb == nil {
 		return "", nil

@@ -300,7 +300,7 @@ func TestExplainDOT(t *testing.T) {
 }
 
 func TestQueryCache(t *testing.T) {
-	c := newQueryCache(2)
+	c := newQueryCache(2, nil, nil)
 	c.put("a", nil, []string{"a"})
 	c.put("b", nil, []string{"b"})
 	if _, terms, ok := c.get("a"); !ok || terms[0] != "a" {
@@ -319,6 +319,9 @@ func TestQueryCache(t *testing.T) {
 	}
 	if c.len() != 2 {
 		t.Fatalf("len = %d", c.len())
+	}
+	if c.hits.Value() == 0 || c.misses.Value() == 0 {
+		t.Fatalf("hit/miss counters not recorded: hits=%d misses=%d", c.hits.Value(), c.misses.Value())
 	}
 }
 

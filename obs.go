@@ -1,0 +1,66 @@
+package newslink
+
+import (
+	"time"
+
+	"newslink/internal/obs"
+)
+
+// engineMetrics holds the pre-registered metric handles of one Engine.
+// Registration happens once in New; the query pipeline only touches the
+// atomic instruments, never the registry, so instrumentation adds no lock
+// traffic to the read path (see DESIGN.md §8).
+type engineMetrics struct {
+	searches      *obs.Counter
+	searchErrors  *obs.Counter
+	explains      *obs.Counter
+	explainErrors *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	refreshes     *obs.Counter
+	docs          *obs.Gauge
+	searchSeconds *obs.Histogram
+	// stages maps the obs.Stage* names to their latency histograms. The map
+	// is read-only after New, so concurrent searches read it lock-free.
+	stages map[string]*obs.Histogram
+}
+
+func newEngineMetrics(r *obs.Registry) engineMetrics {
+	stageHist := func(stage string) *obs.Histogram {
+		return r.Histogram("newslink_query_stage_seconds",
+			"Latency of one pipeline stage of a search or explain request.",
+			nil, obs.L("stage", stage))
+	}
+	return engineMetrics{
+		searches:      r.Counter("newslink_searches_total", "Search requests served (including failed ones)."),
+		searchErrors:  r.Counter("newslink_search_errors_total", "Search requests that returned an error (including cancellations)."),
+		explains:      r.Counter("newslink_explains_total", "Explain requests served (including failed ones)."),
+		explainErrors: r.Counter("newslink_explain_errors_total", "Explain requests that returned an error (including cancellations)."),
+		cacheHits:     r.Counter("newslink_query_cache_hits_total", "Query analyses served from the LRU cache."),
+		cacheMisses:   r.Counter("newslink_query_cache_misses_total", "Query analyses that ran the NLP + NE components."),
+		refreshes:     r.Counter("newslink_refreshes_total", "Segment refreshes (explicit and search-triggered)."),
+		docs:          r.Gauge("newslink_docs", "Documents currently indexed."),
+		searchSeconds: r.Histogram("newslink_search_seconds", "End-to-end latency of SearchContext.", nil),
+		stages: map[string]*obs.Histogram{
+			obs.StageAnalyze: stageHist(obs.StageAnalyze),
+			obs.StageBOW:     stageHist(obs.StageBOW),
+			obs.StageBON:     stageHist(obs.StageBON),
+			obs.StageFuse:    stageHist(obs.StageFuse),
+			obs.StageTopK:    stageHist(obs.StageTopK),
+			obs.StagePaths:   stageHist(obs.StagePaths),
+		},
+	}
+}
+
+// stageObserve records one stage duration into its latency histogram.
+func (m *engineMetrics) stageObserve(stage string, d time.Duration) {
+	if h := m.stages[stage]; h != nil {
+		h.Observe(d.Seconds())
+	}
+}
+
+// Metrics returns the engine's metric registry. The HTTP layer serves it at
+// /v1/metrics (JSON) and /v1/metrics/prom (Prometheus text format); servers
+// embedding the engine directly can register their own metrics into the
+// same registry.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }

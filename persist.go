@@ -175,6 +175,7 @@ func load(dir string, g *kg.Graph, onDisk bool) (*Engine, error) {
 	for i, d := range e.docs {
 		e.docPos[d.ID] = i
 	}
+	e.met.docs.Set(int64(len(e.docs)))
 	readFile := func(name string, fn func(*os.File) error) error {
 		f, err := os.Open(filepath.Join(dir, name))
 		if err != nil {

@@ -5,14 +5,18 @@ import (
 	"sync"
 
 	"newslink/internal/core"
+	"newslink/internal/obs"
 )
 
 // queryCache memoizes query analysis (NLP + subgraph embedding). A search
 // UI calls Search and then Explain/ExplainDOT for several results of the
 // same query; without the cache each call would re-run the NE component,
 // which dominates query latency (Table VIII). Small LRU, safe for
-// concurrent use.
+// concurrent use. Hit/miss counters feed the engine's metric registry, so
+// cache effectiveness is visible at /v1/metrics.
 type queryCache struct {
+	hits, misses *obs.Counter // incremented outside mu; never nil
+
 	mu    sync.Mutex
 	max   int
 	order *list.List // front = most recent; values are *cacheEntry
@@ -25,8 +29,17 @@ type cacheEntry struct {
 	terms []string
 }
 
-func newQueryCache(max int) *queryCache {
-	return &queryCache{max: max, order: list.New(), byKey: make(map[string]*list.Element)}
+// newQueryCache builds an LRU of at most max analyses reporting hits and
+// misses into the given counters (both may be shared with a registry; nil
+// counters are replaced with unregistered ones so callers never check).
+func newQueryCache(max int, hits, misses *obs.Counter) *queryCache {
+	if hits == nil {
+		hits = &obs.Counter{}
+	}
+	if misses == nil {
+		misses = &obs.Counter{}
+	}
+	return &queryCache{hits: hits, misses: misses, max: max, order: list.New(), byKey: make(map[string]*list.Element)}
 }
 
 // get returns the cached analysis and whether it was present.
@@ -35,8 +48,10 @@ func (c *queryCache) get(key string) (*core.DocEmbedding, []string, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
+		c.misses.Inc()
 		return nil, nil, false
 	}
+	c.hits.Inc()
 	c.order.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
 	return e.emb, e.terms, true

@@ -1,11 +1,32 @@
 #!/bin/sh
-# Full verification gate: static checks, build, and the complete test
-# suite under the race detector (the concurrency tests in
+# Full verification gate: formatting, static checks, build, and the
+# complete test suite under the race detector (the concurrency tests in
 # concurrency_test.go are only meaningful with -race).
-set -eux
+#
+# CI (.github/workflows/ci.yml) invokes this same script, so the local and
+# CI gates cannot drift. Strictly POSIX sh: no bashisms, and the repo root
+# is resolved without relying on the caller's working directory or an
+# inherited CDPATH (which would make `cd` print the target or resolve it
+# against unrelated directories).
+set -eu
 
-cd "$(dirname "$0")"
+dir=$(CDPATH='' cd -- "$(dirname -- "$0")" && pwd)
+cd -- "$dir"
 
+echo '>> gofmt'
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    printf 'gofmt: the following files need formatting:\n%s\n' "$unformatted" >&2
+    exit 1
+fi
+
+echo '>> go vet ./...'
 go vet ./...
+
+echo '>> go build ./...'
 go build ./...
+
+echo '>> go test -race ./...'
 go test -race ./...
+
+echo '>> verify.sh: all checks passed'
