@@ -2,6 +2,8 @@
 //
 //	newslinkd [-addr :8080] [-kg kg.tsv -corpus corpus.jsonl]
 //	          [-beta 0.2] [-snapshot dir] [-workers 0] [-querytimeout 20s]
+//	          [-max-inflight 256] [-admission-wait 100ms] [-bon-timeout 0]
+//	          [-drain-timeout 15s] [-drain-grace 0]
 //	          [-debug-addr :6060] [-log-level info]
 //
 // Without -kg/-corpus the built-in sample corpus is served. With -snapshot,
@@ -13,6 +15,15 @@
 // -querytimeout bounds each query server-side; an exceeded deadline is
 // reported as 504 in the JSON error envelope, a client disconnect as 499.
 //
+// Resilience: -max-inflight caps concurrent query work (excess requests
+// wait up to -admission-wait, then are shed with 429); -bon-timeout puts
+// a stage deadline on the graph side of fused search, past which results
+// degrade to BOW-only ranking instead of blocking. On SIGINT/SIGTERM the
+// process drains: /v1/readyz flips to 503 (liveness /v1/healthz stays
+// 200), -drain-grace lets load balancers observe the flip, in-flight
+// requests run to completion within -drain-timeout, and the process
+// exits 0.
+//
 // Observability: every request gets an X-Request-Id and one structured
 // access-log line on stderr (-log-level debug additionally logs per-stage
 // trace spans of trace=1 requests); /v1/metrics and /v1/metrics/prom expose
@@ -22,13 +33,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"newslink"
@@ -46,6 +62,11 @@ func main() {
 	onDisk := flag.Bool("ondisk", false, "serve snapshot postings from disk instead of loading them into memory")
 	workers := flag.Int("workers", 0, "indexing workers (0 = GOMAXPROCS)")
 	queryTimeout := flag.Duration("querytimeout", 20*time.Second, "per-request search deadline (0 = unbounded); expired requests return 504")
+	maxInFlight := flag.Int("max-inflight", 256, "admission-control capacity for the query routes (0 = unlimited)")
+	admissionWait := flag.Duration("admission-wait", 100*time.Millisecond, "how long an over-capacity request may wait before it is shed with 429")
+	bonTimeout := flag.Duration("bon-timeout", 0, "BON stage deadline for fused search; past it results degrade to BOW-only (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "shutdown deadline for in-flight requests after SIGINT/SIGTERM")
+	drainGrace := flag.Duration("drain-grace", 0, "pause between flipping /v1/readyz to 503 and closing listeners, for load balancers to observe the flip")
 	debugAddr := flag.String("debug-addr", "", "optional private listen address for net/http/pprof and metrics (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 	flag.Parse()
@@ -60,24 +81,156 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *debugAddr != "" {
+	engine.SetBONTimeout(*bonTimeout)
+
+	d, err := newDaemon(engine, daemonConfig{
+		addr:          *addr,
+		debugAddr:     *debugAddr,
+		queryTimeout:  *queryTimeout,
+		maxInFlight:   *maxInFlight,
+		admissionWait: *admissionWait,
+		drainTimeout:  *drainTimeout,
+		drainGrace:    *drainGrace,
+		logger:        logger,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %d documents on %s (API under /v1/)", engine.NumDocs(), d.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := d.run(ctx); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// daemonConfig collects everything newDaemon needs beyond the engine.
+type daemonConfig struct {
+	addr          string
+	debugAddr     string // empty = no debug listener
+	queryTimeout  time.Duration
+	maxInFlight   int
+	admissionWait time.Duration
+	drainTimeout  time.Duration
+	drainGrace    time.Duration
+	logger        *slog.Logger
+}
+
+// daemon owns the process's listeners and drives the serve/drain
+// lifecycle. Listeners are bound in newDaemon — synchronously, so a port
+// clash is a startup error instead of a log line from a goroutine racing
+// main.
+type daemon struct {
+	api     *server.Server
+	main    *http.Server
+	mainLn  net.Listener
+	debug   *http.Server // nil when the debug listener is disabled
+	debugLn net.Listener
+	cfg     daemonConfig
+}
+
+func newDaemon(engine *newslink.Engine, cfg daemonConfig) (*daemon, error) {
+	if cfg.logger == nil {
+		cfg.logger = slog.Default()
+	}
+	api := server.New(engine,
+		server.WithQueryTimeout(cfg.queryTimeout),
+		server.WithMaxInFlight(cfg.maxInFlight),
+		server.WithAdmissionWait(cfg.admissionWait),
+		server.WithLogger(cfg.logger))
+	d := &daemon{
+		api:  api,
+		main: hardenServer(&http.Server{Handler: api.Handler()}),
+		cfg:  cfg,
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return nil, fmt.Errorf("binding %s: %w", cfg.addr, err)
+	}
+	d.mainLn = ln
+	if cfg.debugAddr != "" {
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("binding debug address %s: %w", cfg.debugAddr, err)
+		}
+		d.debugLn = dln
+		// The debug server gets its own http.Server (so shutdown reaches
+		// it too) and no WriteTimeout: pprof profile captures legitimately
+		// stream for longer than any sane response deadline.
+		d.debug = hardenServer(&http.Server{Handler: debugHandler(engine)})
+		d.debug.WriteTimeout = 0
+	}
+	return d, nil
+}
+
+// hardenServer applies the shared protections against slow or abusive
+// clients to a listener-facing http.Server.
+func hardenServer(s *http.Server) *http.Server {
+	s.ReadHeaderTimeout = 5 * time.Second
+	s.ReadTimeout = 15 * time.Second
+	s.WriteTimeout = 30 * time.Second
+	s.IdleTimeout = 60 * time.Second
+	s.MaxHeaderBytes = 1 << 20
+	return s
+}
+
+// Addr returns the main listener's bound address (useful with ":0").
+func (d *daemon) Addr() string { return d.mainLn.Addr().String() }
+
+// DebugAddr returns the debug listener's bound address, or "".
+func (d *daemon) DebugAddr() string {
+	if d.debugLn == nil {
+		return ""
+	}
+	return d.debugLn.Addr().String()
+}
+
+// run serves until ctx is cancelled (SIGINT/SIGTERM in main) or a
+// listener fails, then drains: readiness flips to 503, the optional
+// grace period lets load balancers take the instance out of rotation,
+// and both servers shut down gracefully — admitted requests complete,
+// bounded by the drain timeout. Returns nil on a clean drain.
+func (d *daemon) run(ctx context.Context) error {
+	errc := make(chan error, 2)
+	go func() {
+		if err := d.main.Serve(d.mainLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- fmt.Errorf("api server: %w", err)
+		}
+	}()
+	if d.debug != nil {
+		d.cfg.logger.Info("debug server listening", "addr", d.DebugAddr())
 		go func() {
-			logger.Info("debug server listening", "addr", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, debugHandler(engine)); err != nil {
-				logger.Error("debug server failed", "err", err)
+			if err := d.debug.Serve(d.debugLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errc <- fmt.Errorf("debug server: %w", err)
 			}
 		}()
 	}
-	log.Printf("serving %d documents on %s (API under /v1/)", engine.NumDocs(), *addr)
-	srv := &http.Server{
-		Addr: *addr,
-		Handler: server.New(engine,
-			server.WithQueryTimeout(*queryTimeout),
-			server.WithLogger(logger)).Handler(),
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 30 * time.Second,
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	d.cfg.logger.Info("drain started",
+		"grace", d.cfg.drainGrace, "timeout", d.cfg.drainTimeout)
+	d.api.SetReady(false)
+	if d.cfg.drainGrace > 0 {
+		time.Sleep(d.cfg.drainGrace)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), d.cfg.drainTimeout)
+	defer cancel()
+	err := d.main.Shutdown(sctx)
+	if d.debug != nil {
+		err = errors.Join(err, d.debug.Shutdown(sctx))
+	}
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	d.cfg.logger.Info("drain complete")
+	return nil
 }
 
 func parseLogLevel(s string) (slog.Level, error) {

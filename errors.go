@@ -21,4 +21,12 @@ var (
 	ErrInvalidBeta = errors.New("newslink: invalid beta")
 	// ErrDuplicateID is returned by Add for a document ID already indexed.
 	ErrDuplicateID = errors.New("newslink: duplicate document id")
+	// ErrSnapshotCorrupt is returned by Load/LoadOnDisk when a snapshot
+	// fails integrity verification: an unparsable meta.json, a missing or
+	// truncated artifact, a checksum mismatch, or internally inconsistent
+	// document counts. A corrupt snapshot never yields a partial engine.
+	ErrSnapshotCorrupt = errors.New("newslink: snapshot corrupt")
+	// ErrSnapshotVersion is returned by Load/LoadOnDisk when the snapshot
+	// was written by an incompatible format version.
+	ErrSnapshotVersion = errors.New("newslink: snapshot version mismatch")
 )

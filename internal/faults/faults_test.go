@@ -1,0 +1,112 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedFireIsNil(t *testing.T) {
+	Disarm()
+	if err := Fire(BONStage); err != nil {
+		t.Fatalf("disarmed Fire = %v", err)
+	}
+	if err := FireCtx(context.Background(), SaveWrite); err != nil {
+		t.Fatalf("disarmed FireCtx = %v", err)
+	}
+}
+
+func TestFailAndHits(t *testing.T) {
+	errBoom := errors.New("boom")
+	inj := New().Fail(BONStage, errBoom)
+	Arm(inj)
+	defer Disarm()
+	if err := Fire(BONStage); !errors.Is(err, errBoom) {
+		t.Fatalf("Fire = %v, want boom", err)
+	}
+	// A point without a rule passes but still counts.
+	if err := Fire(SaveRename); err != nil {
+		t.Fatalf("ruleless Fire = %v", err)
+	}
+	if got := inj.Hits(BONStage); got != 1 {
+		t.Fatalf("hits(BONStage) = %d", got)
+	}
+	if got := inj.Hits(SaveRename); got != 1 {
+		t.Fatalf("hits(SaveRename) = %d", got)
+	}
+}
+
+func TestFailNConsumesShots(t *testing.T) {
+	errBoom := errors.New("boom")
+	inj := New().FailN(SaveWrite, 2, errBoom)
+	Arm(inj)
+	defer Disarm()
+	for i := 0; i < 2; i++ {
+		if err := Fire(SaveWrite); !errors.Is(err, errBoom) {
+			t.Fatalf("shot %d = %v, want boom", i, err)
+		}
+	}
+	if err := Fire(SaveWrite); err != nil {
+		t.Fatalf("spent rule = %v, want nil", err)
+	}
+	if got := inj.Hits(SaveWrite); got != 3 {
+		t.Fatalf("hits = %d", got)
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	Arm(New().Panic(Handler, "injected panic"))
+	defer Disarm()
+	defer func() {
+		if r := recover(); r != "injected panic" {
+			t.Fatalf("recover() = %v", r)
+		}
+	}()
+	Fire(Handler)
+	t.Fatal("Fire must panic")
+}
+
+func TestDelayRespectsContext(t *testing.T) {
+	Arm(New().Delay(BONStage, time.Minute))
+	defer Disarm()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := FireCtx(ctx, BONStage)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("FireCtx = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("FireCtx ignored the context for %v", elapsed)
+	}
+}
+
+func TestConcurrentFires(t *testing.T) {
+	errBoom := errors.New("boom")
+	inj := New().FailN(BONStage, 50, errBoom).Delay(SaveWrite, time.Microsecond)
+	Arm(inj)
+	defer Disarm()
+	var wg sync.WaitGroup
+	var failed sync.Map
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := Fire(BONStage); err != nil {
+				failed.Store(i, true)
+			}
+			_ = Fire(SaveWrite)
+		}(i)
+	}
+	wg.Wait()
+	n := 0
+	failed.Range(func(_, _ any) bool { n++; return true })
+	if n != 50 {
+		t.Fatalf("injected failures = %d, want exactly 50", n)
+	}
+	if got := inj.Hits(BONStage); got != 100 {
+		t.Fatalf("hits = %d", got)
+	}
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"newslink/internal/obs"
+)
+
+// semaphore is a weighted counting semaphore with FIFO admission: waiters
+// are granted strictly in arrival order, so one heavy request cannot be
+// starved by a stream of light ones. It is a small, stdlib-only stand-in
+// for golang.org/x/sync/semaphore (this module takes no dependencies).
+type semaphore struct {
+	size int64
+
+	mu      sync.Mutex
+	cur     int64
+	waiters []*waiter
+}
+
+type waiter struct {
+	n     int64
+	ready chan struct{}
+}
+
+func newSemaphore(size int64) *semaphore { return &semaphore{size: size} }
+
+// Acquire blocks until n units are available or ctx ends. A request
+// heavier than the whole semaphore is still admitted (alone) rather than
+// deadlocking forever.
+func (s *semaphore) Acquire(ctx context.Context, n int64) error {
+	s.mu.Lock()
+	if s.cur+n <= s.size && len(s.waiters) == 0 {
+		s.cur += n
+		s.mu.Unlock()
+		return nil
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted between ctx firing and taking the lock: keep the
+			// grant consistent by releasing it.
+			s.mu.Unlock()
+			s.Release(n)
+			return ctx.Err()
+		default:
+		}
+		for i, q := range s.waiters {
+			if q == w {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns n units and wakes the longest-waiting requests that now
+// fit.
+func (s *semaphore) Release(n int64) {
+	s.mu.Lock()
+	s.cur -= n
+	if s.cur < 0 {
+		s.mu.Unlock()
+		panic("server: semaphore released more than held")
+	}
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		if s.cur+w.n > s.size && s.cur > 0 {
+			// Head does not fit yet; FIFO means nobody behind it may jump
+			// the queue. (If the semaphore is idle, admit even an
+			// oversized head so it cannot wedge the queue.)
+			break
+		}
+		s.cur += w.n
+		s.waiters = s.waiters[1:]
+		close(w.ready)
+	}
+	s.mu.Unlock()
+}
+
+// TryAcquire acquires n units without waiting; it reports whether the
+// acquisition succeeded. Fairness holds: it fails while earlier arrivals
+// are still queued.
+func (s *semaphore) TryAcquire(n int64) bool {
+	s.mu.Lock()
+	ok := s.cur+n <= s.size && len(s.waiters) == 0
+	if ok {
+		s.cur += n
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// limiter applies admission control to the query routes: at most
+// maxInFlight weight units execute concurrently, an arriving request
+// waits at most maxWait for capacity (not at all when maxWait is zero),
+// and past that it is shed with 429 and a Retry-After hint. Sheds are
+// deliberate back-pressure, not queueing: a saturated server answers
+// cheaply and immediately instead of stacking goroutines until the
+// latency SLO is gone anyway.
+type limiter struct {
+	sem      *semaphore
+	maxWait  time.Duration
+	inFlight *obs.Gauge
+	shed     *obs.Counter
+}
+
+func newLimiter(maxInFlight int, maxWait time.Duration, reg *obs.Registry) *limiter {
+	return &limiter{
+		sem:     newSemaphore(int64(maxInFlight)),
+		maxWait: maxWait,
+		inFlight: reg.Gauge("newslink_http_in_flight",
+			"Weight units currently admitted to the query routes."),
+		shed: reg.Counter("newslink_http_shed_total",
+			"Requests shed with 429 because the server was at capacity."),
+	}
+}
+
+// admit wraps a query handler with weighted admission. A nil limiter
+// (admission control disabled) returns h unchanged.
+func (l *limiter) admit(weight int64, h http.HandlerFunc) http.HandlerFunc {
+	if l == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !l.acquire(r.Context(), weight) {
+			l.shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "overloaded",
+				"server at capacity, retry later")
+			return
+		}
+		l.inFlight.Add(weight)
+		defer func() {
+			l.inFlight.Add(-weight)
+			l.sem.Release(weight)
+		}()
+		h(w, r)
+	}
+}
+
+func (l *limiter) acquire(ctx context.Context, weight int64) bool {
+	if l.maxWait <= 0 {
+		return l.sem.TryAcquire(weight)
+	}
+	ctx, cancel := context.WithTimeout(ctx, l.maxWait)
+	defer cancel()
+	return l.sem.Acquire(ctx, weight) == nil
+}

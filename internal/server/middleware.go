@@ -5,26 +5,33 @@ import (
 	"encoding/hex"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
+	"newslink/internal/faults"
 	"newslink/internal/obs"
 )
 
 // statusWriter captures the status code and body size a handler produced,
-// for the access log and the HTTP metrics.
+// for the access log and the HTTP metrics. wrote records whether anything
+// reached the wire, which decides if a panic can still be turned into a
+// clean 500 envelope.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 	bytes  int64
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(status)
 }
 
 func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
@@ -59,11 +66,19 @@ func appendInt(b []byte, n int64) []byte {
 	return append(b, byte('0'+n%10))
 }
 
-// instrument wraps one route handler with request-ID assignment, HTTP
-// metrics (per-route request counter and latency histogram) and one
-// structured access-log line per request. The metric handles are created
-// once per route at Handler-construction time, so nothing in the request
-// path touches the registry.
+// instrument wraps one route handler with request-ID assignment, panic
+// recovery, HTTP metrics (per-route request counter and latency
+// histogram) and one structured access-log line per request. The metric
+// handles are created once per route at Handler-construction time, so
+// nothing in the request path touches the registry.
+//
+// Panic recovery is the outermost layer: a panicking handler is counted
+// (newslink_http_panics_total), logged with its stack, and — when nothing
+// has reached the wire yet — answered with the uniform 500 envelope
+// instead of a dropped connection. http.ErrAbortHandler is re-raised, as
+// it is the sanctioned way to abort a response. Metrics and the access
+// log run in the same deferred block, so panicked requests are observed
+// like any other.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	reqs := s.registry.Counter("newslink_http_requests_total",
 		"HTTP requests served, by route.", obs.L("route", route))
@@ -76,22 +91,43 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		w.Header().Set("X-Request-Id", id)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		h(sw, r)
-		d := time.Since(start)
-		reqs.Inc()
-		if sw.status >= 400 {
-			errs.Inc()
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				s.panics.Inc()
+				s.log.LogAttrs(r.Context(), slog.LevelError, "panic",
+					slog.String("request_id", id),
+					slog.Any("value", v),
+					slog.String("stack", string(debug.Stack())),
+				)
+				if !sw.wrote {
+					sw.status = http.StatusInternalServerError
+					writeError(sw, http.StatusInternalServerError,
+						"internal_panic", "internal server error")
+				}
+			}
+			d := time.Since(start)
+			reqs.Inc()
+			if sw.status >= 400 {
+				errs.Inc()
+			}
+			latency.Observe(d.Seconds())
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("query", r.URL.RawQuery),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", d),
+			)
+		}()
+		if err := faults.Fire(faults.Handler); err != nil {
+			panic(err)
 		}
-		latency.Observe(d.Seconds())
-		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
-			slog.String("request_id", id),
-			slog.String("method", r.Method),
-			slog.String("path", r.URL.Path),
-			slog.String("query", r.URL.RawQuery),
-			slog.Int("status", sw.status),
-			slog.Int64("bytes", sw.bytes),
-			slog.Duration("duration", d),
-		)
+		h(sw, r)
 	}
 }
 

@@ -59,7 +59,8 @@ func keys(m map[string]any) []string {
 }
 
 func TestMetricsEndpointPrometheus(t *testing.T) {
-	ts := testServer(t)
+	// Admission control enabled so its gauge/counter register too.
+	ts := testServer(t, WithMaxInFlight(8))
 	var sr SearchResponse
 	get(t, ts, "/v1/search?q=Taliban+Pakistan&k=3", http.StatusOK, &sr)
 
@@ -85,6 +86,14 @@ func TestMetricsEndpointPrometheus(t *testing.T) {
 		`newslink_query_stage_seconds_bucket{stage="bow-retrieve",le="+Inf"}`,
 		"newslink_search_seconds_count 1",
 		`newslink_http_request_seconds_count{route="search"} 1`,
+		// Resilience metrics are pre-registered, so dashboards see them
+		// at zero before the first incident.
+		"# TYPE newslink_search_degraded_total counter",
+		`newslink_search_degraded_total{reason="bon_error"} 0`,
+		`newslink_search_degraded_total{reason="bon_timeout"} 0`,
+		"newslink_http_panics_total 0",
+		"newslink_http_shed_total 0",
+		"newslink_http_in_flight 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("Prometheus exposition missing %q:\n%s", want, out)

@@ -6,7 +6,8 @@
 //	GET /v1/search?q=<text>&k=<n>[&beta=<b>][&pool=<d>][&trace=1]  ranked results (Equation 3)
 //	GET /v1/explain?q=<text>&id=<doc>&paths=<n>[&trace=1]          overlap + relationship paths
 //	GET /v1/dot?q=<text>&id=<doc>                                  Graphviz rendering of the pair
-//	GET /v1/healthz                                                liveness
+//	GET /v1/healthz                                                liveness: 200 while the process serves at all
+//	GET /v1/readyz                                                 readiness: 200, or 503 while draining
 //	GET /v1/stats                                                  engine and graph statistics
 //	GET /v1/metrics                                                metric registry as JSON
 //	GET /v1/metrics/prom                                           Prometheus text exposition
@@ -14,6 +15,14 @@
 // Errors use a uniform JSON envelope {"error": {"code", "message"}}. A
 // request whose context is cancelled by the client maps to 499, one that
 // exceeds the server's query deadline to 504.
+//
+// The query routes (search, explain, dot) sit behind optional weighted
+// admission control (WithMaxInFlight): past capacity a request waits a
+// short bounded time and is then shed with 429 and a Retry-After hint.
+// Handler panics are recovered, counted, and answered with a 500
+// envelope. A BON-stage failure inside the engine degrades a fused
+// search to BOW-only ranking — HTTP 200 with "degraded": true — instead
+// of failing the request.
 //
 // Every request is assigned a request ID (returned as X-Request-Id) and
 // logged as one structured log/slog line; search and explain accept
@@ -31,6 +40,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"newslink"
@@ -69,20 +79,43 @@ func WithLogger(l *slog.Logger) Option {
 	}
 }
 
+// WithMaxInFlight enables admission control on the query routes: at most
+// n weight units execute concurrently (search weighs 1; explain and dot,
+// which walk the graph, weigh 2). Requests beyond capacity wait briefly
+// (see WithAdmissionWait) and are then shed with 429. Zero disables
+// admission control (the default).
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) { s.maxInFlight = n }
+}
+
+// WithAdmissionWait bounds how long an over-capacity request may wait for
+// admission before it is shed. Zero (the default) sheds immediately. The
+// wait is deliberately short — queueing is bounded back-pressure, not a
+// second queue in front of the engine.
+func WithAdmissionWait(d time.Duration) Option {
+	return func(s *Server) { s.admissionWait = d }
+}
+
 // Server wraps a built engine. All handlers are read-only and safe for
 // concurrent use; the engine's own locking makes them safe against
 // concurrent Add/Refresh as well.
 type Server struct {
-	engine       *newslink.Engine
-	queryTimeout time.Duration
-	log          *slog.Logger
-	registry     *obs.Registry
-	requestID    func() string
+	engine        *newslink.Engine
+	queryTimeout  time.Duration
+	maxInFlight   int
+	admissionWait time.Duration
+	log           *slog.Logger
+	registry      *obs.Registry
+	requestID     func() string
+	limiter       *limiter // nil when admission control is disabled
+	panics        *obs.Counter
+	ready         atomic.Bool
 }
 
 // New returns a Server over a built engine. HTTP-level metrics register
 // into the engine's own registry, so /v1/metrics exposes the engine and
-// the HTTP layer in one document.
+// the HTTP layer in one document. The server starts ready; SetReady
+// flips /v1/readyz for drain orchestration.
 func New(e *newslink.Engine, opts ...Option) *Server {
 	s := &Server{
 		engine:    e,
@@ -93,28 +126,48 @@ func New(e *newslink.Engine, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	s.panics = s.registry.Counter("newslink_http_panics_total",
+		"Handler panics recovered by the HTTP layer.")
+	if s.maxInFlight > 0 {
+		s.limiter = newLimiter(s.maxInFlight, s.admissionWait, s.registry)
+	}
+	s.ready.Store(true)
 	return s
 }
 
+// SetReady flips the readiness state served by /v1/readyz. newslinkd
+// sets it to false at the start of a drain so load balancers stop
+// sending new work while in-flight requests complete.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
 // Handler returns the HTTP handler with all routes registered, each under
 // /v1/ and as a legacy unversioned alias. Every route is wrapped with
-// request-ID assignment, access logging and HTTP metrics.
+// request-ID assignment, panic recovery, access logging and HTTP metrics;
+// the query routes additionally pass weighted admission control when it
+// is enabled. Health, readiness and metrics are never subject to
+// admission — an overloaded server must still answer its probes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	routes := []struct {
-		name string
-		h    http.HandlerFunc
+		name   string
+		h      http.HandlerFunc
+		weight int64 // 0 = exempt from admission control
 	}{
-		{"search", s.handleSearch},
-		{"explain", s.handleExplain},
-		{"dot", s.handleDOT},
-		{"healthz", s.handleHealth},
-		{"stats", s.handleStats},
-		{"metrics", s.handleMetrics},
-		{"metrics/prom", s.handleMetricsProm},
+		{"search", s.handleSearch, 1},
+		{"explain", s.handleExplain, 2},
+		{"dot", s.handleDOT, 2},
+		{"healthz", s.handleHealth, 0},
+		{"readyz", s.handleReady, 0},
+		{"stats", s.handleStats, 0},
+		{"metrics", s.handleMetrics, 0},
+		{"metrics/prom", s.handleMetricsProm, 0},
 	}
 	for _, rt := range routes {
-		h := s.instrument(rt.name, rt.h)
+		h := rt.h
+		if rt.weight > 0 {
+			h = s.limiter.admit(rt.weight, h)
+		}
+		h = s.instrument(rt.name, h)
 		for _, prefix := range []string{"/v1", ""} {
 			mux.HandleFunc("GET "+prefix+"/"+rt.name, h)
 		}
@@ -132,11 +185,16 @@ func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelF
 
 // SearchResponse is the /search reply. Trace is present only for trace=1
 // requests: one entry per pipeline stage, ordered by start offset.
+// Degraded is true when the BON stage failed or timed out and the ranking
+// fell back to BOW-only scoring; DegradedReason then carries the cause
+// ("bon_error" or "bon_timeout").
 type SearchResponse struct {
-	Query   string            `json:"query"`
-	K       int               `json:"k"`
-	Results []newslink.Result `json:"results"`
-	Trace   []obs.Span        `json:"trace,omitempty"`
+	Query          string            `json:"query"`
+	K              int               `json:"k"`
+	Results        []newslink.Result `json:"results"`
+	Degraded       bool              `json:"degraded,omitempty"`
+	DegradedReason string            `json:"degraded_reason,omitempty"`
+	Trace          []obs.Span        `json:"trace,omitempty"`
 }
 
 // ExplainResponse is the /explain reply. Trace is present only for trace=1
@@ -248,16 +306,24 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
 	ctx, tr := maybeTrace(ctx, r)
-	results, err := s.engine.SearchContext(ctx, req)
+	resp, err := s.engine.SearchContextFull(ctx, req)
 	if err != nil {
 		writeEngineError(w, err)
 		return
 	}
+	results := resp.Results
 	if results == nil {
 		results = []newslink.Result{}
 	}
 	s.logTrace(r, tr)
-	writeJSON(w, http.StatusOK, SearchResponse{Query: q, K: k, Results: results, Trace: tr.Spans()})
+	writeJSON(w, http.StatusOK, SearchResponse{
+		Query:          q,
+		K:              k,
+		Results:        results,
+		Degraded:       resp.Degraded,
+		DegradedReason: resp.DegradedReason,
+		Trace:          tr.Spans(),
+	})
 }
 
 // maybeTrace attaches a per-request trace to ctx when the request asked for
@@ -333,8 +399,21 @@ func (s *Server) handleDOT(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealth is the liveness probe: 200 as long as the process can
+// serve HTTP at all. It stays 200 during a drain — restarting a process
+// because it is shutting down would be counterproductive.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the readiness probe: 200 while the server accepts new
+// work, 503 once a drain began. Load balancers route on this one.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // handleMetrics serves the metric registry (engine + HTTP layer) as one

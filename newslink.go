@@ -32,9 +32,9 @@ package newslink
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"newslink/internal/core"
@@ -114,6 +114,34 @@ type Result struct {
 	Snippet string
 }
 
+// Degradation reasons reported in SearchResponse.DegradedReason and
+// counted by the newslink_search_degraded_total{reason} metric.
+const (
+	// DegradedBONError: the BON retrieval stage returned an error.
+	DegradedBONError = "bon_error"
+	// DegradedBONTimeout: the BON retrieval stage exceeded its stage
+	// deadline (SetBONTimeout).
+	DegradedBONTimeout = "bon_timeout"
+)
+
+// SearchResponse is the full outcome of one search request: the ranked
+// results plus the degradation status of the fused pipeline.
+//
+// Equation 3 fuses two independently useful rankings, and the text (BOW)
+// side carries no graph dependency — so when the subgraph (BON) side
+// fails or is too slow, the engine serves the BOW-only ranking instead of
+// failing the request, and reports it here. A degraded response ranks
+// exactly like a pure-text (β = 0) query of the same text.
+type SearchResponse struct {
+	Results []Result
+	// Degraded reports that the BON stage failed or timed out and Results
+	// carry BOW-only ranking.
+	Degraded bool
+	// DegradedReason is DegradedBONError or DegradedBONTimeout when
+	// Degraded, empty otherwise.
+	DegradedReason string
+}
+
 // Path is one relationship path presented as evidence: Nodes holds the
 // entity labels along the path and Relations the relation name of each hop
 // (len(Relations) == len(Nodes)-1). Rendered is a human-readable form like
@@ -169,7 +197,18 @@ type Engine struct {
 	// and immutable afterwards, so no lock guards them.
 	metrics *obs.Registry
 	met     engineMetrics
+
+	// bonTimeout is the per-request BON stage deadline in nanoseconds
+	// (0 = none), read lock-free by searches and settable at any time.
+	bonTimeout atomic.Int64
 }
+
+// SetBONTimeout bounds the BON (subgraph) retrieval stage of every fused
+// search: past d the stage is cancelled and the request degrades to
+// BOW-only ranking (SearchResponse.Degraded, reason DegradedBONTimeout)
+// instead of blocking on a slow graph side. Zero removes the bound. Safe
+// to call at any time, including while searches are in flight.
+func (e *Engine) SetBONTimeout(d time.Duration) { e.bonTimeout.Store(int64(d)) }
 
 // shardedSearchMinDocs is the corpus size above which postings traversal is
 // sharded across GOMAXPROCS workers; below it the sequential path wins (the
@@ -409,29 +448,46 @@ func (e *Engine) lookup(s snapshot, docID int) (int, error) {
 // fan-out). Stage latencies additionally feed the engine's metric registry
 // (Metrics) whether or not a trace is attached.
 func (e *Engine) SearchContext(ctx context.Context, q Query) ([]Result, error) {
+	resp, err := e.SearchContextFull(ctx, q)
+	return resp.Results, err
+}
+
+// SearchContextFull is SearchContext returning the full response
+// envelope, including the degradation status servers surface to clients.
+// A BON-stage error or stage-deadline expiry (SetBONTimeout) in a fused
+// request does not fail the request: the response carries the BOW-only
+// ranking with Degraded set and the reason recorded, and the engine
+// counts it in newslink_search_degraded_total{reason}. Pure-BON requests
+// (β = 1) have no text ranking to fall back to and still fail hard.
+func (e *Engine) SearchContextFull(ctx context.Context, q Query) (SearchResponse, error) {
 	start := time.Now()
-	out, err := e.searchContext(ctx, q)
+	resp, err := e.searchContext(ctx, q)
 	e.met.searches.Inc()
 	e.met.searchSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
 		e.met.searchErrors.Inc()
 	}
-	return out, err
+	if resp.Degraded {
+		if c := e.met.degraded[resp.DegradedReason]; c != nil {
+			c.Inc()
+		}
+	}
+	return resp, err
 }
 
-func (e *Engine) searchContext(ctx context.Context, q Query) ([]Result, error) {
+func (e *Engine) searchContext(ctx context.Context, q Query) (SearchResponse, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return SearchResponse{}, err
 	}
 	if q.K <= 0 {
-		return nil, fmt.Errorf("%w: %d", ErrInvalidK, q.K)
+		return SearchResponse{}, fmt.Errorf("%w: %d", ErrInvalidK, q.K)
 	}
 	beta := e.cfg.Beta
 	if q.Beta != nil {
 		beta = *q.Beta
 	}
 	if beta < 0 || beta > 1 {
-		return nil, fmt.Errorf("%w: %g", ErrInvalidBeta, beta)
+		return SearchResponse{}, fmt.Errorf("%w: %g", ErrInvalidBeta, beta)
 	}
 	pool := q.PoolDepth
 	if pool <= 0 {
@@ -442,7 +498,7 @@ func (e *Engine) searchContext(ctx context.Context, q Query) ([]Result, error) {
 	}
 	snap, err := e.acquire()
 	if err != nil {
-		return nil, err
+		return SearchResponse{}, err
 	}
 	// A candidate pool can never usefully exceed the corpus, so clamp it to
 	// the snapshot size; this keeps an attacker-sized PoolDepth from driving
@@ -452,63 +508,23 @@ func (e *Engine) searchContext(ctx context.Context, q Query) ([]Result, error) {
 	}
 	qEmb, qTerms := e.analyzeQuery(ctx, q.Text)
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return SearchResponse{}, err
+	}
+	ret, err := e.retrieve(ctx, snap, qEmb, qTerms, beta, pool)
+	if err != nil {
+		return SearchResponse{}, err
 	}
 	tr := obs.FromContext(ctx)
-	runBOW := beta < 1
-	runBON := beta > 0 && qEmb != nil
-	var bow, bon []search.Hit
-	var bowErr, bonErr error
-	retrieveBOW := func() {
-		sp := tr.Start(obs.StageBOW)
-		var st search.RetrievalStats
-		bow, st, bowErr = topKAuto(ctx, snap.textIdx, search.NewBM25(snap.textIdx), search.NewQuery(qTerms), pool)
-		d := sp.End(retrievalAttrs(len(bow), st)...)
-		e.met.stageObserve(obs.StageBOW, d)
-	}
-	retrieveBON := func() {
-		sp := tr.Start(obs.StageBON)
-		nq := make(search.Query, len(qEmb.Counts))
-		for n, c := range qEmb.Counts {
-			nq[nodeTerm(n)] = float64(c)
-		}
-		// BON scoring uses BM25 with b=0 and a small k1: a subgraph
-		// embedding's size is structural, not verbosity (no length
-		// penalty), and node frequencies saturate quickly so BON behaves
-		// as an idf-weighted node-set match. This keeps Equation 3's text
-		// ranking authoritative within clusters of same-event stories.
-		bonScorer := search.NewBM25(snap.nodeIdx)
-		bonScorer.B = 0
-		bonScorer.K1 = 0.4
-		var st search.RetrievalStats
-		bon, st, bonErr = topKAuto(ctx, snap.nodeIdx, bonScorer, nq, pool)
-		d := sp.End(retrievalAttrs(len(bon), st)...)
-		e.met.stageObserve(obs.StageBON, d)
-	}
-	switch {
-	case runBOW && runBON:
-		var wg sync.WaitGroup
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			retrieveBON()
-		}()
-		retrieveBOW()
-		wg.Wait()
-	case runBOW:
-		retrieveBOW()
-	case runBON:
-		retrieveBON()
-	}
-	if bowErr != nil {
-		return nil, bowErr
-	}
-	if bonErr != nil {
-		return nil, bonErr
-	}
 	sp := tr.Start(obs.StageFuse)
-	fused := search.Fuse(bow, bon, beta, q.K)
-	d := sp.End(obs.Int("bow_candidates", len(bow)), obs.Int("bon_candidates", len(bon)), obs.Int("fused", len(fused)))
+	fuseBeta := beta
+	if ret.degraded {
+		// No BON ranking survived; fuse as pure text so a degraded reply
+		// is score- and rank-identical to a β = 0 query and the documented
+		// normalization (max score = 1) still holds.
+		fuseBeta = 0
+	}
+	fused := search.Fuse(ret.bow, ret.bon, fuseBeta, q.K)
+	d := sp.End(obs.Int("bow_candidates", len(ret.bow)), obs.Int("bon_candidates", len(ret.bon)), obs.Int("fused", len(fused)))
 	e.met.stageObserve(obs.StageFuse, d)
 	sp = tr.Start(obs.StageTopK)
 	out := make([]Result, len(fused))
@@ -523,28 +539,7 @@ func (e *Engine) searchContext(ctx context.Context, q Query) ([]Result, error) {
 	}
 	d = sp.End(obs.Int("k", len(out)))
 	e.met.stageObserve(obs.StageTopK, d)
-	return out, nil
-}
-
-// retrievalAttrs converts retrieval statistics into trace span attributes.
-func retrievalAttrs(candidates int, st search.RetrievalStats) []obs.Attr {
-	return []obs.Attr{
-		obs.Int("candidates", candidates),
-		obs.Int("terms", st.Terms),
-		obs.Int("postings", st.Postings),
-		obs.Int("scored", st.Scored),
-		obs.Int("pruned", st.Skipped),
-		obs.Int("shards", st.Shards),
-	}
-}
-
-// topKAuto picks the sequential or sharded postings traversal by corpus
-// size. Both return identical rankings (property-tested).
-func topKAuto(ctx context.Context, idx index.Source, s search.Scorer, q search.Query, k int) ([]search.Hit, search.RetrievalStats, error) {
-	if workers := runtime.GOMAXPROCS(0); workers > 1 && idx.NumDocs() >= shardedSearchMinDocs {
-		return search.TopKMaxScoreShardedStats(ctx, idx, s, q, k, workers)
-	}
-	return search.TopKMaxScoreStats(ctx, idx, s, q, k)
+	return SearchResponse{Results: out, Degraded: ret.degraded, DegradedReason: ret.reason}, nil
 }
 
 // snippet picks the document sentence with the highest query-term overlap,

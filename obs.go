@@ -20,6 +20,11 @@ type engineMetrics struct {
 	refreshes     *obs.Counter
 	docs          *obs.Gauge
 	searchSeconds *obs.Histogram
+	// degraded counts searches served BOW-only, keyed by degradation
+	// reason. Both reasons are pre-registered in New so the series appear
+	// in expositions before the first incident; the map is read-only after
+	// New, so concurrent searches read it lock-free.
+	degraded map[string]*obs.Counter
 	// stages maps the obs.Stage* names to their latency histograms. The map
 	// is read-only after New, so concurrent searches read it lock-free.
 	stages map[string]*obs.Histogram
@@ -41,6 +46,14 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		refreshes:     r.Counter("newslink_refreshes_total", "Segment refreshes (explicit and search-triggered)."),
 		docs:          r.Gauge("newslink_docs", "Documents currently indexed."),
 		searchSeconds: r.Histogram("newslink_search_seconds", "End-to-end latency of SearchContext.", nil),
+		degraded: map[string]*obs.Counter{
+			DegradedBONError: r.Counter("newslink_search_degraded_total",
+				"Searches served with BOW-only ranking after a BON-stage failure, by reason.",
+				obs.L("reason", DegradedBONError)),
+			DegradedBONTimeout: r.Counter("newslink_search_degraded_total",
+				"Searches served with BOW-only ranking after a BON-stage failure, by reason.",
+				obs.L("reason", DegradedBONTimeout)),
+		},
 		stages: map[string]*obs.Histogram{
 			obs.StageAnalyze: stageHist(obs.StageAnalyze),
 			obs.StageBOW:     stageHist(obs.StageBOW),

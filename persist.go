@@ -2,32 +2,60 @@ package newslink
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 
 	"newslink/internal/core"
+	"newslink/internal/faults"
 	"newslink/internal/index"
 	"newslink/internal/kg"
 )
 
 // Snapshot layout: a directory with
 //
-//	meta.json   engine config, document metadata, graph fingerprint
+//	meta.json   engine config, document metadata, graph fingerprint,
+//	            and a CRC32-C checksum per artifact
 //	text.idx    BOW inverted index (binary)
 //	node.idx    BON inverted index (binary)
 //	emb.bin     per-document subgraph embeddings (binary)
 //
 // A snapshot is only valid together with the knowledge graph it was built
 // on; Load verifies a structural fingerprint and rejects mismatches.
+//
+// Crash safety: Save never touches the target directory until the whole
+// snapshot is durable. It writes every artifact into a temporary sibling
+// directory, fsyncs each file and the directory itself, records a CRC32-C
+// checksum per artifact in meta.json, and only then renames the directory
+// into place (parking any previous snapshot and rolling it back if the
+// install fails). A crash at any point leaves either the old snapshot or
+// the new one — never a torn mix — and Load verifies version and
+// checksums so silent corruption surfaces as ErrSnapshotCorrupt instead
+// of a half-built engine.
 
-const snapshotVersion = 1
+// snapshotVersion 2 added per-artifact checksums to meta.json; version 1
+// snapshots predate integrity verification and are rejected with
+// ErrSnapshotVersion (re-save to upgrade).
+const snapshotVersion = 2
+
+// artifactNames are the binary artifacts covered by meta.json checksums.
+var artifactNames = [...]string{"text.idx", "node.idx", "emb.bin"}
+
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64), shared by Save and Load.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 type snapshotMeta struct {
 	Version int        `json:"version"`
 	Config  Config     `json:"config"`
 	Graph   graphPrint `json:"graph"`
 	Docs    []Document `json:"docs"`
+	// Checksums maps each artifact file to the CRC32-C of its contents,
+	// rendered as 8 hex digits.
+	Checksums map[string]string `json:"checksums"`
 }
 
 type graphPrint struct {
@@ -56,11 +84,48 @@ func asMemoryIndex(src index.Source) (*index.Index, error) {
 	}
 }
 
+// checksumString renders a CRC32-C value the way meta.json stores it.
+func checksumString(sum uint32) string { return fmt.Sprintf("%08x", sum) }
+
+// fileChecksum streams one file through CRC32-C.
+func fileChecksum(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := crc32.New(castagnoli)
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return checksumString(h.Sum32()), nil
+}
+
+// syncDir fsyncs a directory, making the entries inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
 // Save writes a snapshot of the built engine to dir (created if needed).
 // Adding documents to the corpus requires rebuilding; snapshots make the
 // expensive part — embedding the corpus (Figure 7) — a one-time cost.
 // Save is safe to call concurrently with searches; it seals any pending
 // segment first and serializes a consistent snapshot of that state.
+//
+// The write is atomic with respect to crashes and failures: the snapshot
+// is staged in a temporary directory, fsynced, checksummed, and renamed
+// into place only when complete. On any failure the previous snapshot at
+// dir (if one exists) stays intact and loadable, and the staging
+// directory is removed.
 func (e *Engine) Save(dir string) error {
 	// Seal and capture in one critical section: an Add landing between a
 	// separate Refresh and the capture would put documents into docs that
@@ -75,33 +140,6 @@ func (e *Engine) Save(dir string) error {
 	if !built {
 		return ErrNotBuilt
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	meta := snapshotMeta{
-		Version: snapshotVersion,
-		Config:  e.cfg,
-		Graph:   fingerprint(e.g),
-		Docs:    docs,
-	}
-	metaBytes, err := json.MarshalIndent(&meta, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(filepath.Join(dir, "meta.json"), metaBytes, 0o644); err != nil {
-		return err
-	}
-	writeFile := func(name string, fn func(*os.File) error) error {
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			return err
-		}
-		if err := fn(f); err != nil {
-			f.Close()
-			return fmt.Errorf("newslink: writing %s: %w", name, err)
-		}
-		return f.Close()
-	}
 	textMem, err := asMemoryIndex(textIdx)
 	if err != nil {
 		return err
@@ -110,26 +148,139 @@ func (e *Engine) Save(dir string) error {
 	if err != nil {
 		return err
 	}
-	if err := writeFile("text.idx", func(f *os.File) error {
-		_, err := textMem.WriteTo(f)
+	parent := filepath.Dir(filepath.Clean(dir))
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.MkdirTemp(parent, ".newslink-tmp-")
+	if err != nil {
+		return err
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			os.RemoveAll(tmp)
+		}
+	}()
+	sums := make(map[string]string, len(artifactNames))
+	writeArtifact := func(name string, write func(io.Writer) error) error {
+		if err := faults.Fire(faults.SaveWrite); err != nil {
+			return fmt.Errorf("newslink: writing %s: %w", name, err)
+		}
+		f, err := os.Create(filepath.Join(tmp, name))
+		if err != nil {
+			return err
+		}
+		h := crc32.New(castagnoli)
+		if err := write(io.MultiWriter(f, h)); err != nil {
+			f.Close()
+			return fmt.Errorf("newslink: writing %s: %w", name, err)
+		}
+		// fsync before the final rename: a snapshot must be durable
+		// before it becomes reachable under its public name.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		sums[name] = checksumString(h.Sum32())
+		return nil
+	}
+	if err := writeArtifact("text.idx", func(w io.Writer) error {
+		_, err := textMem.WriteTo(w)
 		return err
 	}); err != nil {
 		return err
 	}
-	if err := writeFile("node.idx", func(f *os.File) error {
-		_, err := nodeMem.WriteTo(f)
+	if err := writeArtifact("node.idx", func(w io.Writer) error {
+		_, err := nodeMem.WriteTo(w)
 		return err
 	}); err != nil {
 		return err
 	}
-	return writeFile("emb.bin", func(f *os.File) error {
-		return core.WriteEmbeddings(f, embeddings)
-	})
+	if err := writeArtifact("emb.bin", func(w io.Writer) error {
+		return core.WriteEmbeddings(w, embeddings)
+	}); err != nil {
+		return err
+	}
+	meta := snapshotMeta{
+		Version:   snapshotVersion,
+		Config:    e.cfg,
+		Graph:     fingerprint(e.g),
+		Docs:      docs,
+		Checksums: sums,
+	}
+	metaBytes, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	// meta.json goes last: it references the checksums of everything else,
+	// so its presence marks the artifact set complete.
+	if err := writeArtifact("meta.json", func(w io.Writer) error {
+		_, err := w.Write(metaBytes)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := syncDir(tmp); err != nil {
+		return err
+	}
+	if err := installSnapshot(tmp, dir); err != nil {
+		return err
+	}
+	committed = true
+	return nil
+}
+
+// installSnapshot atomically replaces dir with the staged snapshot in
+// tmp: any existing snapshot is parked next to the target, the staging
+// directory is renamed into place, and the parked copy is removed only
+// after the rename succeeded (and restored if it failed). The parent
+// directory is fsynced so the swap itself is durable.
+func installSnapshot(tmp, dir string) error {
+	if err := faults.Fire(faults.SaveRename); err != nil {
+		return fmt.Errorf("newslink: installing snapshot: %w", err)
+	}
+	old := dir + ".old"
+	// A leftover parked copy from a crashed earlier install is dead weight.
+	if err := os.RemoveAll(old); err != nil {
+		return err
+	}
+	moved := false
+	if _, err := os.Stat(dir); err == nil {
+		if err := os.Rename(dir, old); err != nil {
+			return err
+		}
+		moved = true
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		if moved {
+			// Roll the previous snapshot back into place.
+			if rerr := os.Rename(old, dir); rerr != nil {
+				return errors.Join(err, rerr)
+			}
+		}
+		return err
+	}
+	if moved {
+		if err := os.RemoveAll(old); err != nil {
+			return err
+		}
+	}
+	return syncDir(filepath.Dir(filepath.Clean(dir)))
 }
 
 // Load restores an engine snapshot written by Save, reading both inverted
 // indexes fully into memory. g must be the same knowledge graph the
 // snapshot was built on (verified by fingerprint).
+//
+// Load verifies the snapshot before building any state: a format-version
+// mismatch returns ErrSnapshotVersion, and an unparsable meta.json, a
+// missing or truncated artifact, a checksum mismatch, or inconsistent
+// document counts return ErrSnapshotCorrupt (match both with errors.Is).
+// On any error no engine is returned — never a partially loaded one.
 func Load(dir string, g *kg.Graph) (*Engine, error) {
 	return load(dir, g, false)
 }
@@ -137,7 +288,9 @@ func Load(dir string, g *kg.Graph) (*Engine, error) {
 // LoadOnDisk restores a snapshot but serves the inverted indexes directly
 // from the snapshot files (postings are read on demand), so startup cost
 // and resident memory stay flat as the corpus grows. The engine holds the
-// files open until Close; it cannot be re-saved.
+// files open until Close; it cannot be re-saved. Integrity verification
+// streams each artifact once at open time (sequential IO, no resident
+// memory); the same typed errors as Load apply.
 func LoadOnDisk(dir string, g *kg.Graph) (*Engine, error) {
 	return load(dir, g, true)
 }
@@ -162,13 +315,29 @@ func load(dir string, g *kg.Graph, onDisk bool) (*Engine, error) {
 	}
 	var meta snapshotMeta
 	if err := json.Unmarshal(metaBytes, &meta); err != nil {
-		return nil, fmt.Errorf("newslink: parsing meta.json: %w", err)
+		return nil, fmt.Errorf("%w: parsing meta.json: %v", ErrSnapshotCorrupt, err)
 	}
 	if meta.Version != snapshotVersion {
-		return nil, fmt.Errorf("newslink: snapshot version %d, want %d", meta.Version, snapshotVersion)
+		return nil, fmt.Errorf("%w: snapshot version %d, want %d", ErrSnapshotVersion, meta.Version, snapshotVersion)
 	}
 	if got := fingerprint(g); got != meta.Graph {
 		return nil, fmt.Errorf("newslink: knowledge graph mismatch: snapshot %+v, graph %+v", meta.Graph, got)
+	}
+	// Verify every artifact against its recorded checksum before building
+	// any engine state: a torn write or bit flip must surface as a typed
+	// error, never as a half-built engine.
+	for _, name := range artifactNames {
+		want, ok := meta.Checksums[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: meta.json has no checksum for %s", ErrSnapshotCorrupt, name)
+		}
+		got, err := fileChecksum(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrSnapshotCorrupt, name, err)
+		}
+		if got != want {
+			return nil, fmt.Errorf("%w: %s checksum %s, want %s", ErrSnapshotCorrupt, name, got, want)
+		}
 	}
 	e := New(g, meta.Config)
 	e.docs = meta.Docs
@@ -179,21 +348,21 @@ func load(dir string, g *kg.Graph, onDisk bool) (*Engine, error) {
 	readFile := func(name string, fn func(*os.File) error) error {
 		f, err := os.Open(filepath.Join(dir, name))
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: %s: %v", ErrSnapshotCorrupt, name, err)
 		}
 		defer f.Close()
 		if err := fn(f); err != nil {
-			return fmt.Errorf("newslink: reading %s: %w", name, err)
+			return fmt.Errorf("%w: reading %s: %v", ErrSnapshotCorrupt, name, err)
 		}
 		return nil
 	}
 	if onDisk {
 		if e.textIdx, err = index.OpenDiskIndex(filepath.Join(dir, "text.idx")); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: text.idx: %v", ErrSnapshotCorrupt, err)
 		}
 		if e.nodeIdx, err = index.OpenDiskIndex(filepath.Join(dir, "node.idx")); err != nil {
 			e.Close()
-			return nil, err
+			return nil, fmt.Errorf("%w: node.idx: %v", ErrSnapshotCorrupt, err)
 		}
 	} else {
 		if err := readFile("text.idx", func(f *os.File) error {
@@ -217,8 +386,9 @@ func load(dir string, g *kg.Graph, onDisk bool) (*Engine, error) {
 		return nil, err
 	}
 	if e.textIdx.NumDocs() != len(e.docs) || len(e.embeddings) != len(e.docs) {
-		return nil, fmt.Errorf("newslink: snapshot inconsistent: %d docs, %d indexed, %d embeddings",
-			len(e.docs), e.textIdx.NumDocs(), len(e.embeddings))
+		e.Close()
+		return nil, fmt.Errorf("%w: %d docs, %d indexed, %d embeddings",
+			ErrSnapshotCorrupt, len(e.docs), e.textIdx.NumDocs(), len(e.embeddings))
 	}
 	e.textB, e.nodeB = nil, nil
 	e.built = true
