@@ -1,0 +1,40 @@
+#!/bin/sh
+# Runs the key engine benchmarks and emits machine-readable BENCH_pr4.json:
+# one record per benchmark variant with ns/op, B/op, allocs/op and any
+# custom metrics the benchmark reports (postings_scored/op,
+# blocks_skipped/op). CI uploads the file as an artifact so the performance
+# trajectory has a reproducible, CI-generated source; run locally as
+#
+#     ./ci/bench.sh [benchtime] [outfile]
+#
+# with a real benchtime (e.g. 2s) for publishable numbers — CI uses a short
+# smoke time so the job stays fast.
+set -eu
+cd "$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+
+BENCHTIME="${1:-1s}"
+OUT="${2:-BENCH_pr4.json}"
+BENCHES='BenchmarkTopKStrategies|BenchmarkParallelFusedSearch|BenchmarkSnapshotServing'
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
+
+# Parse `go test -bench` lines into a JSON array. A line looks like:
+#   BenchmarkName/sub-8  100  12345 ns/op  67 B/op  8 allocs/op  9.0 extra/op
+awk '
+BEGIN { n = 0; print "[" }
+/^Benchmark/ {
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s", $1, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/"/, "", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { if (n) printf "\n"; print "]" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmark records)"

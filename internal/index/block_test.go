@@ -1,0 +1,325 @@
+package index
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// randPostings builds a random strictly-increasing postings list with mixed
+// integral and fractional TFs over a numDocs document space.
+func randPostings(rng *rand.Rand, n int, numDocs uint32) []Posting {
+	if uint32(n) > numDocs {
+		n = int(numDocs)
+	}
+	docs := rng.Perm(int(numDocs))[:n]
+	pl := make([]Posting, 0, n)
+	for _, d := range docs {
+		tf := float32(1 + rng.Intn(5))
+		if rng.Intn(3) == 0 {
+			tf = float32(rng.Intn(20)) / 4.0
+		}
+		pl = append(pl, Posting{Doc: DocID(d), TF: tf})
+	}
+	sortPostings(pl)
+	return pl
+}
+
+func sortPostings(pl []Posting) {
+	for i := 1; i < len(pl); i++ {
+		for j := i; j > 0 && pl[j].Doc < pl[j-1].Doc; j-- {
+			pl[j], pl[j-1] = pl[j-1], pl[j]
+		}
+	}
+}
+
+// TestBlockCodecRoundTrip: encodeBlocks → decodeAll must be the identity
+// for list sizes around every block boundary.
+func TestBlockCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{0, 1, 2, blockSize - 1, blockSize, blockSize + 1, 3 * blockSize, 10*blockSize + 17}
+	for _, n := range sizes {
+		pl := randPostings(rng, n, 1<<16)
+		tl := encodeBlocks(pl)
+		if tl.count != len(pl) {
+			t.Fatalf("n=%d: count %d", n, tl.count)
+		}
+		if len(tl.blocks) != numBlocksFor(len(pl)) {
+			t.Fatalf("n=%d: %d blocks", n, len(tl.blocks))
+		}
+		if err := tl.validate(1 << 16); err != nil {
+			t.Fatalf("n=%d: validate: %v", n, err)
+		}
+		got, err := tl.decodeAll(1 << 16)
+		if err != nil {
+			t.Fatalf("n=%d: decodeAll: %v", n, err)
+		}
+		if len(got) == 0 && len(pl) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, pl) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+// TestDecodeBlockRejectsCorrupt: truncated or tampered block bytes must fail
+// with an error, never a panic or silent bad data.
+func TestDecodeBlockRejectsCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pl := randPostings(rng, blockSize, 1<<12)
+	tl := encodeBlocks(pl)
+	data := tl.data[tl.blocks[0].off:tl.blocks[0].end]
+	decode := func(d []byte) error {
+		_, err := decodeBlock(d, nil, blockSize, 0, true, 1<<12, tl.blocks[0].last)
+		return err
+	}
+	if err := decode(data); err != nil {
+		t.Fatalf("pristine block failed: %v", err)
+	}
+	for cut := 1; cut <= len(data); cut += 7 {
+		if err := decode(data[:len(data)-cut]); err == nil {
+			t.Fatalf("truncation by %d accepted", cut)
+		}
+	}
+	for i := 0; i < len(data); i += 3 {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x80
+		// Any outcome but a panic is fine; most mutations must error, and
+		// those that decode cannot have produced out-of-range docs.
+		if pl2, err := decodeBlock(mut, nil, blockSize, 0, true, 1<<12, tl.blocks[0].last); err == nil {
+			for _, p := range pl2 {
+				if uint32(p.Doc) >= 1<<12 {
+					t.Fatalf("mutation at %d decoded doc %d out of range", i, p.Doc)
+				}
+			}
+		}
+	}
+	if _, err := decodeBlock(data, nil, blockSize+1, 0, true, 1<<12, 0); err == nil {
+		t.Fatal("oversized posting count accepted")
+	}
+}
+
+// TestCursorParity: memory and disk cursors must agree block-for-block, and
+// PostingIter must reproduce the flat list through Next and SeekGE.
+func TestCursorParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := NewBuilder()
+	numDocs := 4000
+	for d := 0; d < numDocs; d++ {
+		terms := []string{"common"}
+		if rng.Intn(3) == 0 {
+			terms = append(terms, "mid")
+		}
+		if rng.Intn(200) == 0 {
+			terms = append(terms, "rare")
+		}
+		b.Add(terms)
+	}
+	idx := b.Build()
+	path := filepath.Join(t.TempDir(), "idx.bin")
+	writeIndex(t, idx, path)
+	d, err := OpenDiskIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	for _, term := range []string{"common", "mid", "rare"} {
+		want := idx.Postings(term)
+		for _, src := range []Source{idx, d, NewMulti(idx), NewMulti(d)} {
+			c := src.TermCursor(term)
+			if c == nil {
+				t.Fatalf("%T: nil cursor for %q", src, term)
+			}
+			if c.Count() != len(want) {
+				t.Fatalf("%T %q: count %d want %d", src, term, c.Count(), len(want))
+			}
+			var got []Posting
+			for c.NextBlock() {
+				pl, err := c.Block()
+				if err != nil {
+					t.Fatalf("%T %q: %v", src, term, err)
+				}
+				if pl[len(pl)-1].Doc != c.BlockLast() {
+					t.Fatalf("%T %q: block last %d, summary %d", src, term, pl[len(pl)-1].Doc, c.BlockLast())
+				}
+				got = append(got, pl...)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%T %q: cursor traversal differs from Postings", src, term)
+			}
+			// SeekGE from a fresh iterator at random targets.
+			for trial := 0; trial < 50; trial++ {
+				target := DocID(rng.Intn(numDocs + 10))
+				it := NewPostingIter(src.TermCursor(term))
+				wantIdx := 0
+				for wantIdx < len(want) && want[wantIdx].Doc < target {
+					wantIdx++
+				}
+				if ok := it.SeekGE(target); ok != (wantIdx < len(want)) {
+					t.Fatalf("%T %q: SeekGE(%d) = %v, want %v", src, term, target, ok, wantIdx < len(want))
+				} else if ok && it.Doc() != want[wantIdx].Doc {
+					t.Fatalf("%T %q: SeekGE(%d) at doc %d, want %d", src, term, target, it.Doc(), want[wantIdx].Doc)
+				}
+			}
+		}
+		if idx.TermCursor("absent") != nil || d.TermCursor("absent") != nil || NewMulti(idx).TermCursor("absent") != nil {
+			t.Fatal("absent term should yield nil cursor")
+		}
+	}
+}
+
+// TestDiskIndexReadsOnlyTouchedBlocks: a pruned query must fetch a small
+// fraction of the bytes that materializing its terms' lists would read —
+// the acceptance check that DiskIndex serves queries at block granularity.
+func TestDiskIndexReadsOnlyTouchedBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	b := NewBuilder()
+	for d := 0; d < 30000; d++ {
+		terms := []string{"common"}
+		if rng.Intn(500) == 0 {
+			terms = append(terms, "rare")
+		}
+		b.Add(terms)
+	}
+	idx := b.Build()
+	path := filepath.Join(t.TempDir(), "idx.bin")
+	writeIndex(t, idx, path)
+	d, err := OpenDiskIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Simulate the block-max access pattern: read every "rare" block, then
+	// only the "common" blocks that cover one of rare's documents.
+	rare := d.TermCursor("rare")
+	var rareDocs []DocID
+	for rare.NextBlock() {
+		pl, err := rare.Block()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pl {
+			rareDocs = append(rareDocs, p.Doc)
+		}
+	}
+	common := d.TermCursor("common")
+	for _, doc := range rareDocs {
+		if !common.SeekBlock(doc) {
+			break
+		}
+		if _, err := common.Block(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	touched := d.BytesRead()
+
+	// Full materialization of both lists for comparison.
+	if _, err := d.PostingsErr("common"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.PostingsErr("rare"); err != nil {
+		t.Fatal(err)
+	}
+	full := d.BytesRead() - touched
+	if touched == 0 || full == 0 {
+		t.Fatalf("degenerate byte counts: touched=%d full=%d", touched, full)
+	}
+	if touched*4 > full {
+		t.Fatalf("touched blocks read %d bytes, whole lists are %d — expected < 1/4", touched, full)
+	}
+}
+
+// FuzzBlockCodec: the block codec must round-trip arbitrary postings lists
+// and reject corrupt block bytes without panicking.
+func FuzzBlockCodec(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint16(3))
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, uint16(300))
+	f.Fuzz(func(t *testing.T, data []byte, n16 uint16) {
+		const numDocs = 1 << 16
+		// First interpretation: data drives a synthetic postings list that
+		// must round-trip exactly.
+		n := int(n16)
+		pl := make([]Posting, 0, n)
+		doc := uint32(0)
+		for i := 0; i < n && len(data) >= 2; i++ {
+			gap := uint32(data[i*2%len(data)])%97 + 1
+			if i == 0 {
+				gap-- // the first doc may be 0
+			}
+			doc += gap
+			if doc >= numDocs {
+				break
+			}
+			tf := float32(data[(i*2+1)%len(data)]) / 4.0
+			if tf == 0 {
+				tf = 1
+			}
+			pl = append(pl, Posting{Doc: DocID(doc), TF: tf})
+		}
+		tl := encodeBlocks(pl)
+		got, err := tl.decodeAll(numDocs)
+		if err != nil {
+			t.Fatalf("decodeAll of encodeBlocks output: %v", err)
+		}
+		if len(got) != len(pl) {
+			t.Fatalf("round trip length %d want %d", len(got), len(pl))
+		}
+		for i := range pl {
+			if got[i] != pl[i] {
+				t.Fatalf("posting %d: %v want %v", i, got[i], pl[i])
+			}
+		}
+		if err := tl.validate(numDocs); err != nil {
+			t.Fatalf("validate of encodeBlocks output: %v", err)
+		}
+		// Second interpretation: data as raw block bytes — must never
+		// panic, and successful decodes must respect the doc-ID range.
+		count := n % (blockSize + 2)
+		if out, err := decodeBlock(data, nil, count, 0, true, numDocs, DocID(n16)); err == nil {
+			for _, p := range out {
+				if uint32(p.Doc) >= numDocs {
+					t.Fatalf("decoded out-of-range doc %d", p.Doc)
+				}
+			}
+		}
+	})
+}
+
+// writeIndex serializes idx to path.
+func writeIndex(t *testing.T, idx *Index, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxBlockBytesBound pins the parser's block-size rejection guard to the
+// real encoder maximum (two max-width varints per posting).
+func TestMaxBlockBytesBound(t *testing.T) {
+	if maxBlockBytes != 2*binary.MaxVarintLen64*blockSize {
+		t.Fatalf("maxBlockBytes = %d", maxBlockBytes)
+	}
+	// A worst-case block (huge gaps, float TFs) must still fit the bound.
+	pl := make([]Posting, blockSize)
+	for i := range pl {
+		pl[i] = Posting{Doc: DocID(i * 2000000), TF: 0.3}
+	}
+	tl := encodeBlocks(pl)
+	if got := len(tl.data); got > maxBlockBytes {
+		t.Fatalf("encoded block %d bytes > bound %d", got, maxBlockBytes)
+	}
+}

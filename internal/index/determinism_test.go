@@ -1,0 +1,45 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestSerializeDeterministic: two builds of the same corpus must serialize
+// byte-identically. This pins both determinism fixes — Build canonicalizes
+// TermIDs in sorted term order, and AddWeighted folds a document's term
+// weights in sorted order so the float32 docLen sum (addition-order
+// sensitive) comes out the same regardless of map iteration. Reproducible
+// bytes make snapshot CRCs comparable across hosts for ops diffing.
+func TestSerializeDeterministic(t *testing.T) {
+	build := func() *Index {
+		// Fixed corpus, but wide documents so map-iteration order would
+		// shuffle both TermID assignment and docLen summation if either
+		// were order-sensitive.
+		rng := rand.New(rand.NewSource(42))
+		b := NewBuilder()
+		for d := 0; d < 300; d++ {
+			counts := make(map[string]float32)
+			for i := 0; i < 40; i++ {
+				counts[string(rune('a'+rng.Intn(26)))+string(rune('a'+rng.Intn(26)))] += float32(rng.Intn(12)) / 4.0
+			}
+			b.AddWeighted(counts)
+		}
+		return b.Build()
+	}
+	var first []byte
+	for run := 0; run < 5; run++ {
+		var buf bytes.Buffer
+		if _, err := build().WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if run == 0 {
+			first = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), first) {
+			t.Fatalf("run %d serialized differently (%d vs %d bytes)", run, buf.Len(), len(first))
+		}
+	}
+}

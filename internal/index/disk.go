@@ -5,20 +5,24 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 )
 
 // DiskIndex serves queries directly from a serialized index file: the
-// directory (terms, postings offsets) and document lengths are held in
-// memory, postings blocks are read and decoded on demand with ReadAt. This
-// is the production path for corpora whose postings exceed RAM, and it
-// makes engine snapshots searchable without a load phase. Safe for
-// concurrent use.
+// directory (terms, per-block summaries and offsets) and document lengths
+// are held in memory; postings blocks are read and decoded on demand, one
+// ReadAt per block. A query that prunes a block never reads its bytes, so
+// the IO cost tracks the blocks actually scored rather than the lists
+// touched. This is the production path for corpora whose postings exceed
+// RAM, and it makes engine snapshots searchable without a load phase. Safe
+// for concurrent use: cursors carry their own read and decode buffers.
 type DiskIndex struct {
-	f        *os.File
-	base     int64 // file offset where postings blocks start
-	docLens  []float32
-	totalLen float64
-	dir      map[string]termEntry
+	f         *os.File
+	base      int64 // file offset where block data starts
+	docLens   []float32
+	totalLen  float64
+	dir       map[string]*termEntry
+	bytesRead atomic.Int64
 }
 
 // OpenDiskIndex opens path (a file written by Index.WriteTo) for on-demand
@@ -34,7 +38,7 @@ func OpenDiskIndex(path string) (*DiskIndex, error) {
 		f.Close()
 		return nil, err
 	}
-	// The header reader consumed exactly up to the postings area; its file
+	// The header reader consumed exactly up to the block data area; its file
 	// position is the current offset minus what is still buffered.
 	pos, err := f.Seek(0, io.SeekCurrent)
 	if err != nil {
@@ -46,13 +50,13 @@ func OpenDiskIndex(path string) (*DiskIndex, error) {
 		f:       f,
 		base:    base,
 		docLens: hdr.docLens,
-		dir:     make(map[string]termEntry, len(hdr.terms)),
+		dir:     make(map[string]*termEntry, len(hdr.terms)),
 	}
 	for _, l := range hdr.docLens {
 		d.totalLen += float64(l)
 	}
-	for _, te := range hdr.terms {
-		d.dir[te.term] = te
+	for i := range hdr.terms {
+		d.dir[hdr.terms[i].term] = &hdr.terms[i]
 	}
 	return d, nil
 }
@@ -78,12 +82,23 @@ func (d *DiskIndex) AvgDocLen() float64 {
 }
 
 // DF implements Source.
-func (d *DiskIndex) DF(term string) int { return d.dir[term].count }
+func (d *DiskIndex) DF(term string) int {
+	te, ok := d.dir[term]
+	if !ok {
+		return 0
+	}
+	return te.count
+}
 
-// Postings implements Source: the term's block is read with ReadAt and
-// decoded. Absent terms return nil; IO or corruption surfaces as nil too
-// (the search layer treats it as an absent term), with the error available
-// via PostingsErr for callers that need to distinguish.
+// BytesRead returns the cumulative number of postings bytes fetched with
+// ReadAt since the index was opened. Tests use it to prove queries read only
+// the blocks they touch.
+func (d *DiskIndex) BytesRead() int64 { return d.bytesRead.Load() }
+
+// Postings implements Source: every block of the term is read and decoded.
+// Absent terms return nil; IO or corruption surfaces as nil too (the search
+// layer treats it as an absent term), with the error available via
+// PostingsErr for callers that need to distinguish.
 func (d *DiskIndex) Postings(term string) []Posting {
 	pl, _ := d.PostingsErr(term)
 	return pl
@@ -95,15 +110,93 @@ func (d *DiskIndex) PostingsErr(term string) ([]Posting, error) {
 	if !ok {
 		return nil, nil
 	}
-	block := make([]byte, te.blockLen)
-	if _, err := d.f.ReadAt(block, d.base+te.offset); err != nil {
-		return nil, fmt.Errorf("index: reading postings of %q: %w", term, err)
+	out := make([]Posting, 0, te.count)
+	c := d.newCursor(te)
+	for c.NextBlock() {
+		pl, err := c.Block()
+		if err != nil {
+			return nil, fmt.Errorf("index: term %q: %w", term, err)
+		}
+		out = append(out, pl...)
 	}
-	pl, err := decodePostings(block, te.count, uint32(len(d.docLens)))
-	if err != nil {
-		return nil, fmt.Errorf("index: term %q: %w", term, err)
+	return out, nil
+}
+
+// TermCursor implements Source. Each cursor owns its buffers, so any number
+// of cursors — including several over the same term — may run concurrently.
+func (d *DiskIndex) TermCursor(term string) Cursor {
+	te, ok := d.dir[term]
+	if !ok {
+		return nil
 	}
-	return pl, nil
+	return d.newCursor(te)
+}
+
+func (d *DiskIndex) newCursor(te *termEntry) *diskCursor {
+	return &diskCursor{d: d, te: te, bi: -1}
+}
+
+// diskCursor iterates one on-disk term block by block, fetching each decoded
+// block with a single ReadAt into a cursor-owned buffer.
+type diskCursor struct {
+	d   *DiskIndex
+	te  *termEntry
+	bi  int // current block; -1 before the first NextBlock
+	raw []byte
+	buf []Posting
+}
+
+func (c *diskCursor) Count() int          { return c.te.count }
+func (c *diskCursor) MaxTF() float32      { return c.te.maxTF }
+func (c *diskCursor) BlockLast() DocID    { return c.te.blocks[c.bi].last }
+func (c *diskCursor) BlockMaxTF() float32 { return c.te.blocks[c.bi].maxTF }
+
+func (c *diskCursor) BlockLen() int {
+	if c.bi < len(c.te.blocks)-1 {
+		return blockSize
+	}
+	return c.te.count - c.bi*blockSize
+}
+
+func (c *diskCursor) NextBlock() bool {
+	if c.bi+1 >= len(c.te.blocks) {
+		return false
+	}
+	c.bi++
+	return true
+}
+
+func (c *diskCursor) SeekBlock(d DocID) bool {
+	if c.bi >= 0 && c.bi < len(c.te.blocks) && c.te.blocks[c.bi].last >= d {
+		return true
+	}
+	blocks := c.te.blocks
+	for c.bi++; c.bi < len(blocks); c.bi++ {
+		if blocks[c.bi].last >= d {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *diskCursor) Block() ([]Posting, error) {
+	bm := c.te.blocks[c.bi]
+	n := int(bm.end - bm.off)
+	if cap(c.raw) < n {
+		c.raw = make([]byte, maxBlockBytes)
+	}
+	raw := c.raw[:n]
+	if _, err := c.d.f.ReadAt(raw, c.d.base+c.te.offset+int64(bm.off)); err != nil {
+		return nil, fmt.Errorf("index: reading block %d: %w", c.bi, err)
+	}
+	c.d.bytesRead.Add(int64(n))
+	base := DocID(0)
+	if c.bi > 0 {
+		base = c.te.blocks[c.bi-1].last
+	}
+	pl, err := decodeBlock(raw, c.buf, c.BlockLen(), base, c.bi == 0, uint32(len(c.d.docLens)), bm.last)
+	c.buf = pl
+	return pl, err
 }
 
 var _ Source = (*DiskIndex)(nil)

@@ -11,15 +11,22 @@ import (
 )
 
 // Source is the read interface the query processor consumes; the in-memory
-// Index and the DiskIndex both satisfy it, so searches run unchanged over
-// either.
+// Index, the segmented Multi and the DiskIndex all satisfy it, so searches
+// run unchanged over any of them.
 type Source interface {
 	NumDocs() int
 	DocLen(d DocID) float64
 	AvgDocLen() float64
-	// Postings returns the postings list for a term, sorted by DocID, or
-	// nil if the term is absent. Callers must not modify the slice.
+	// Postings materializes the full postings list for a term, sorted by
+	// DocID, or nil if the term is absent. The slice is freshly decoded
+	// from the block-compressed layout; the hot query path should prefer
+	// TermCursor, which decodes only the blocks it visits.
 	Postings(term string) []Posting
+	// TermCursor returns a new block-granular iterator over a term's
+	// postings, or nil if the term is absent. Every call returns an
+	// independent cursor, so concurrent traversals (the sharded top-k
+	// path) each position their own.
+	TermCursor(term string) Cursor
 	// DF returns the document frequency of a term.
 	DF(term string) int
 	// ForEachTerm enumerates the vocabulary in sorted order until fn
@@ -27,10 +34,109 @@ type Source interface {
 	ForEachTerm(fn func(term string) bool)
 }
 
+// Cursor iterates one term's postings block by block. A fresh cursor is
+// positioned before the first block; NextBlock or SeekBlock must succeed
+// before the Block* accessors are used. Block summaries (BlockLast,
+// BlockMaxTF, BlockLen) are available without decoding, which is what makes
+// block-max pruning and block-granular disk reads possible: a block whose
+// score upper bound cannot matter is skipped without ever touching its
+// bytes.
+type Cursor interface {
+	// Count returns the total number of postings in the list (the DF).
+	Count() int
+	// MaxTF returns the maximum term frequency across the whole list.
+	MaxTF() float32
+	// NextBlock advances to the next block without decoding it; it
+	// returns false when the list is exhausted.
+	NextBlock() bool
+	// SeekBlock advances (never retreats) to the first block whose last
+	// doc ID is >= d — the block that contains the first posting >= d if
+	// one exists. It returns false when every remaining posting is < d.
+	SeekBlock(d DocID) bool
+	// BlockLast returns the last doc ID of the current block.
+	BlockLast() DocID
+	// BlockMaxTF returns the maximum TF within the current block.
+	BlockMaxTF() float32
+	// BlockLen returns the number of postings in the current block.
+	BlockLen() int
+	// Block decodes the current block and returns its postings. The slice
+	// is owned by the cursor and only valid until the next Block call.
+	Block() ([]Posting, error)
+}
+
+// PostingIter adapts a Cursor to posting-at-a-time traversal (next /
+// seekGE), decoding lazily one block at a time.
+type PostingIter struct {
+	c   Cursor
+	pl  []Posting
+	i   int
+	err error
+}
+
+// NewPostingIter wraps a cursor (which must be freshly created).
+func NewPostingIter(c Cursor) *PostingIter { return &PostingIter{c: c, i: -1} }
+
+// Next advances to the next posting; false at the end or on decode error.
+func (it *PostingIter) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	it.i++
+	if it.i < len(it.pl) {
+		return true
+	}
+	if !it.c.NextBlock() {
+		return false
+	}
+	it.pl, it.err = it.c.Block()
+	it.i = 0
+	return it.err == nil && len(it.pl) > 0
+}
+
+// SeekGE advances to the first posting with Doc >= d, skipping whole blocks
+// using their summaries; false when no such posting exists.
+func (it *PostingIter) SeekGE(d DocID) bool {
+	if it.err != nil {
+		return false
+	}
+	if it.i >= 0 && it.i < len(it.pl) && it.pl[it.i].Doc >= d {
+		return true
+	}
+	// Still inside a decoded block that may contain d?
+	if it.i >= 0 && len(it.pl) > 0 && it.pl[len(it.pl)-1].Doc >= d {
+		it.i += sort.Search(len(it.pl)-it.i, func(j int) bool { return it.pl[it.i+j].Doc >= d })
+		return true
+	}
+	if !it.c.SeekBlock(d) {
+		it.i = len(it.pl)
+		return false
+	}
+	if it.pl, it.err = it.c.Block(); it.err != nil {
+		return false
+	}
+	it.i = sort.Search(len(it.pl), func(j int) bool { return it.pl[j].Doc >= d })
+	if it.i == len(it.pl) {
+		// Summary said the block reaches d; a decoded block that does not
+		// is corrupt, and decodeBlock would have failed first.
+		return false
+	}
+	return true
+}
+
+// Doc returns the current posting's document ID.
+func (it *PostingIter) Doc() DocID { return it.pl[it.i].Doc }
+
+// TF returns the current posting's term frequency.
+func (it *PostingIter) TF() float32 { return it.pl[it.i].TF }
+
+// Err reports a decode/IO error that terminated the iteration, if any.
+func (it *PostingIter) Err() error { return it.err }
+
 // DocID identifies a document in the index, dense from 0.
 type DocID uint32
 
-// TermID identifies an interned term.
+// TermID identifies an interned term. Build assigns IDs in sorted term
+// order, so two builds of the same corpus produce identical indexes.
 type TermID uint32
 
 // Posting is one document entry in a term's postings list.
@@ -39,10 +145,11 @@ type Posting struct {
 	TF  float32
 }
 
-// Index is an immutable inverted index. Build one with a Builder.
+// Index is an immutable inverted index storing block-compressed postings
+// (see block.go for the layout). Build one with a Builder.
 type Index struct {
 	terms    map[string]TermID
-	postings [][]Posting
+	lists    []termList
 	docLen   []float32
 	totalLen float64
 }
@@ -72,18 +179,23 @@ func (b *Builder) Add(terms []string) DocID {
 }
 
 // AddWeighted indexes a document from explicit term weights (the BON model
-// supplies node-frequency weights directly).
+// supplies node-frequency weights directly). Terms are folded in sorted
+// order so the document length — a float32 sum, sensitive to addition
+// order — is identical across runs; together with Build's canonical TermID
+// assignment this makes serialized indexes byte-deterministic.
 func (b *Builder) AddWeighted(counts map[string]float32) DocID {
 	if b.terms == nil {
 		b.terms = make(map[string]TermID)
 	}
 	doc := DocID(len(b.docLen))
+	keys := make([]string, 0, len(counts))
+	for t := range counts {
+		keys = append(keys, t)
+	}
+	sort.Strings(keys)
 	var total float32
-	// Deterministic postings regardless of map order: postings lists are
-	// per-term and appended in doc order, which is already deterministic;
-	// the map iteration order here only affects append order across
-	// *different* terms, which is immaterial.
-	for t, c := range counts {
+	for _, t := range keys {
+		c := counts[t]
 		id, ok := b.terms[t]
 		if !ok {
 			id = TermID(len(b.postings))
@@ -98,16 +210,26 @@ func (b *Builder) AddWeighted(counts map[string]float32) DocID {
 	return doc
 }
 
-// Build finalizes the index. The Builder must not be used afterwards.
+// Build finalizes the index: term IDs are canonicalized to sorted term
+// order and every postings list is compressed into the block layout. The
+// Builder must not be used afterwards.
 func (b *Builder) Build() *Index {
-	for _, pl := range b.postings {
-		sort.Slice(pl, func(i, j int) bool { return pl[i].Doc < pl[j].Doc })
+	names := make([]string, 0, len(b.terms))
+	for t := range b.terms {
+		names = append(names, t)
 	}
+	sort.Strings(names)
 	idx := &Index{
-		terms:    b.terms,
-		postings: b.postings,
+		terms:    make(map[string]TermID, len(names)),
+		lists:    make([]termList, len(names)),
 		docLen:   b.docLen,
 		totalLen: b.totalLen,
+	}
+	for i, t := range names {
+		pl := b.postings[b.terms[t]]
+		sort.Slice(pl, func(a, c int) bool { return pl[a].Doc < pl[c].Doc })
+		idx.terms[t] = TermID(i)
+		idx.lists[i] = encodeBlocks(pl)
 	}
 	b.terms, b.postings, b.docLen = nil, nil, nil
 	return idx
@@ -117,7 +239,7 @@ func (b *Builder) Build() *Index {
 func (idx *Index) NumDocs() int { return len(idx.docLen) }
 
 // NumTerms returns the vocabulary size.
-func (idx *Index) NumTerms() int { return len(idx.postings) }
+func (idx *Index) NumTerms() int { return len(idx.lists) }
 
 // DocLen returns the total term weight of a document.
 func (idx *Index) DocLen(d DocID) float64 { return float64(idx.docLen[d]) }
@@ -130,18 +252,39 @@ func (idx *Index) AvgDocLen() float64 {
 	return idx.totalLen / float64(len(idx.docLen))
 }
 
-// Postings returns the postings list for a term (nil if absent). The slice
-// is shared with the index and must not be modified.
+// Postings materializes the postings list for a term (nil if absent). Each
+// call decodes a fresh slice; the query hot path uses TermCursor instead.
 func (idx *Index) Postings(term string) []Posting {
 	id, ok := idx.terms[term]
 	if !ok {
 		return nil
 	}
-	return idx.postings[id]
+	pl, err := idx.lists[id].decodeAll(uint32(len(idx.docLen)))
+	if err != nil {
+		// The in-memory layout is produced by encodeBlocks or validated at
+		// deserialization time, so decoding cannot fail on reachable data.
+		panic(fmt.Sprintf("index: corrupt in-memory postings for %q: %v", term, err))
+	}
+	return pl
+}
+
+// TermCursor implements Source.
+func (idx *Index) TermCursor(term string) Cursor {
+	id, ok := idx.terms[term]
+	if !ok {
+		return nil
+	}
+	return &memCursor{tl: &idx.lists[id], numDocs: uint32(len(idx.docLen)), bi: -1}
 }
 
 // DF returns the document frequency of a term.
-func (idx *Index) DF(term string) int { return len(idx.Postings(term)) }
+func (idx *Index) DF(term string) int {
+	id, ok := idx.terms[term]
+	if !ok {
+		return 0
+	}
+	return idx.lists[id].count
+}
 
 // String summarizes the index.
 func (idx *Index) String() string {

@@ -115,8 +115,94 @@ func (m *Multi) ForEachTerm(fn func(term string) bool) {
 	}
 }
 
+// TermCursor implements Source: a cursor that walks each segment's blocks
+// in order with the segment's DocID base applied. ForEachTerm's sorted
+// union and the ascending bases keep the global block sequence sorted.
+func (m *Multi) TermCursor(term string) Cursor {
+	var parts []Cursor
+	var bases []DocID
+	count := 0
+	maxTF := float32(0)
+	for i, p := range m.parts {
+		c := p.TermCursor(term)
+		if c == nil || c.Count() == 0 {
+			continue
+		}
+		parts = append(parts, c)
+		bases = append(bases, m.bases[i])
+		count += c.Count()
+		if c.MaxTF() > maxTF {
+			maxTF = c.MaxTF()
+		}
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	return &multiCursor{parts: parts, bases: bases, count: count, maxTF: maxTF}
+}
+
+// multiCursor concatenates per-segment cursors, rebasing doc IDs.
+type multiCursor struct {
+	parts []Cursor
+	bases []DocID
+	pi    int
+	count int
+	maxTF float32
+	buf   []Posting
+}
+
+func (c *multiCursor) Count() int          { return c.count }
+func (c *multiCursor) MaxTF() float32      { return c.maxTF }
+func (c *multiCursor) BlockLen() int       { return c.parts[c.pi].BlockLen() }
+func (c *multiCursor) BlockLast() DocID    { return c.parts[c.pi].BlockLast() + c.bases[c.pi] }
+func (c *multiCursor) BlockMaxTF() float32 { return c.parts[c.pi].BlockMaxTF() }
+
+func (c *multiCursor) NextBlock() bool {
+	for c.pi < len(c.parts) {
+		if c.parts[c.pi].NextBlock() {
+			return true
+		}
+		c.pi++
+	}
+	return false
+}
+
+func (c *multiCursor) SeekBlock(d DocID) bool {
+	for c.pi < len(c.parts) {
+		base := c.bases[c.pi]
+		rel := DocID(0)
+		if d > base {
+			rel = d - base
+		}
+		if c.parts[c.pi].SeekBlock(rel) {
+			return true
+		}
+		c.pi++
+	}
+	return false
+}
+
+// Block decodes the current segment block and rebases its doc IDs into a
+// cursor-owned buffer.
+func (c *multiCursor) Block() ([]Posting, error) {
+	pl, err := c.parts[c.pi].Block()
+	if err != nil {
+		return nil, err
+	}
+	if cap(c.buf) < len(pl) {
+		c.buf = make([]Posting, 0, blockSize)
+	}
+	c.buf = c.buf[:0]
+	base := c.bases[c.pi]
+	for _, p := range pl {
+		c.buf = append(c.buf, Posting{Doc: p.Doc + base, TF: p.TF})
+	}
+	return c.buf, nil
+}
+
 // Flatten merges all segments into a single in-memory Index (the compaction
-// step of segmented indexing). Document IDs are preserved.
+// step of segmented indexing). Document IDs are preserved, and term IDs come
+// out canonical because ForEachTerm enumerates in sorted order.
 func (m *Multi) Flatten() *Index {
 	idx := &Index{
 		terms:    make(map[string]TermID),
@@ -127,8 +213,8 @@ func (m *Multi) Flatten() *Index {
 		idx.docLen = append(idx.docLen, float32(m.DocLen(DocID(d))))
 	}
 	m.ForEachTerm(func(t string) bool {
-		idx.terms[t] = TermID(len(idx.postings))
-		idx.postings = append(idx.postings, m.Postings(t))
+		idx.terms[t] = TermID(len(idx.lists))
+		idx.lists = append(idx.lists, encodeBlocks(m.Postings(t)))
 		return true
 	})
 	return idx

@@ -9,29 +9,40 @@ import (
 	"sort"
 )
 
-// Binary index format v2 (little endian):
+// Binary index format v3 (little endian):
 //
-//	magic   "NLIDX2\n"
+//	magic   "NLIDX3\n"
 //	uint32  numDocs
 //	float32 docLen per doc
 //	uint32  numTerms
 //	directory, one entry per term (sorted lexicographically):
 //	  uvarint len(term), term bytes
 //	  uvarint postings count
-//	  uvarint postings block length in bytes
-//	postings blocks, concatenated in directory order:
-//	  per posting: uvarint docID delta (first = docID; gaps thereafter),
+//	  per block (ceil(count/128) blocks; counts are implied — every block
+//	  holds 128 postings except the last):
+//	    uvarint last-doc delta (first block: absolute last doc ID; later
+//	            blocks: increase over the previous block's last)
+//	    uvarint encodeTF(max TF within the block)
+//	    uvarint block data length in bytes
+//	block data, concatenated in directory order:
+//	  per posting: uvarint docID delta (list-first = docID; gaps thereafter),
 //	               tf: uvarint (v<<1|1) when tf is a small integer,
 //	                   uvarint (float32bits<<1) otherwise
 //
 // Doc-gap + varint compression shrinks postings ~3-4x versus fixed-width
-// encoding, and the directory gives DiskIndex O(1) random access to any
-// term's block without loading the postings into memory.
+// encoding. The directory carries each block's summary (last doc, max TF,
+// byte length), so a reader can compute per-block score upper bounds and
+// fetch exactly the blocks a query touches: DiskIndex issues one ReadAt per
+// decoded block and never reads a whole list.
+//
+// v2 stored one flat blob per term, which forced whole-list reads; v3 is not
+// backward compatible, and readers reject the old magic.
 
-const indexMagic = "NLIDX2\n"
+const indexMagic = "NLIDX3\n"
 
-// WriteTo serializes the index. The output is byte-stable for a given
-// index.
+// WriteTo serializes the index. Build canonicalizes term IDs and document
+// folding order, so the output is byte-identical across builds of the same
+// corpus.
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: bufio.NewWriter(w)}
 	le := func(data any) error { return binary.Write(cw, binary.LittleEndian, data) }
@@ -52,57 +63,47 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := le(uint32(len(terms))); err != nil {
 		return cw.n, err
 	}
-	// Encode every postings block up front so the directory can carry block
-	// lengths.
-	blocks := make([][]byte, len(terms))
-	for i, t := range terms {
-		blocks[i] = encodePostings(idx.postings[idx.terms[t]])
-	}
 	var varintBuf [binary.MaxVarintLen64]byte
 	writeUvarint := func(v uint64) error {
 		n := binary.PutUvarint(varintBuf[:], v)
 		_, err := cw.Write(varintBuf[:n])
 		return err
 	}
-	for i, t := range terms {
+	for _, t := range terms {
+		tl := &idx.lists[idx.terms[t]]
 		if err := writeUvarint(uint64(len(t))); err != nil {
 			return cw.n, err
 		}
 		if _, err := io.WriteString(cw, t); err != nil {
 			return cw.n, err
 		}
-		if err := writeUvarint(uint64(len(idx.postings[idx.terms[t]]))); err != nil {
+		if err := writeUvarint(uint64(tl.count)); err != nil {
 			return cw.n, err
 		}
-		if err := writeUvarint(uint64(len(blocks[i]))); err != nil {
-			return cw.n, err
+		prevLast := DocID(0)
+		for bi, bm := range tl.blocks {
+			delta := uint64(bm.last)
+			if bi > 0 {
+				delta = uint64(bm.last - prevLast)
+			}
+			prevLast = bm.last
+			if err := writeUvarint(delta); err != nil {
+				return cw.n, err
+			}
+			if err := writeUvarint(encodeTF(bm.maxTF)); err != nil {
+				return cw.n, err
+			}
+			if err := writeUvarint(uint64(bm.end - bm.off)); err != nil {
+				return cw.n, err
+			}
 		}
 	}
-	for _, b := range blocks {
-		if _, err := cw.Write(b); err != nil {
+	for _, t := range terms {
+		if _, err := cw.Write(idx.lists[idx.terms[t]].data); err != nil {
 			return cw.n, err
 		}
 	}
 	return cw.n, cw.w.(*bufio.Writer).Flush()
-}
-
-// encodePostings delta-varint encodes one postings list.
-func encodePostings(pl []Posting) []byte {
-	var buf [binary.MaxVarintLen64]byte
-	out := make([]byte, 0, len(pl)*3)
-	prev := uint32(0)
-	for i, p := range pl {
-		delta := uint32(p.Doc)
-		if i > 0 {
-			delta = uint32(p.Doc) - prev
-		}
-		prev = uint32(p.Doc)
-		n := binary.PutUvarint(buf[:], uint64(delta))
-		out = append(out, buf[:n]...)
-		n = binary.PutUvarint(buf[:], encodeTF(p.TF))
-		out = append(out, buf[:n]...)
-	}
-	return out
 }
 
 // encodeTF packs a term frequency: small integral frequencies (the common
@@ -121,42 +122,8 @@ func decodeTF(v uint64) float32 {
 	return math.Float32frombits(uint32(v >> 1))
 }
 
-// decodePostings reverses encodePostings; count postings are expected.
-func decodePostings(data []byte, count int, numDocs uint32) ([]Posting, error) {
-	out := make([]Posting, 0, count)
-	pos := 0
-	prev := uint32(0)
-	for i := 0; i < count; i++ {
-		delta, n := binary.Uvarint(data[pos:])
-		if n <= 0 {
-			return nil, fmt.Errorf("index: truncated posting %d", i)
-		}
-		pos += n
-		doc := uint32(delta)
-		if i > 0 {
-			doc = prev + uint32(delta)
-			if uint32(delta) == 0 {
-				return nil, fmt.Errorf("index: postings not strictly increasing")
-			}
-		}
-		if doc >= numDocs {
-			return nil, fmt.Errorf("index: posting doc %d out of range", doc)
-		}
-		prev = doc
-		tfRaw, n := binary.Uvarint(data[pos:])
-		if n <= 0 {
-			return nil, fmt.Errorf("index: truncated tf %d", i)
-		}
-		pos += n
-		out = append(out, Posting{Doc: DocID(doc), TF: decodeTF(tfRaw)})
-	}
-	if pos != len(data) {
-		return nil, fmt.Errorf("index: %d trailing bytes in postings block", len(data)-pos)
-	}
-	return out, nil
-}
-
-// ReadIndex parses an index written by WriteTo into memory.
+// ReadIndex parses an index written by WriteTo into memory, fully validating
+// every block (decode round-trip, monotone doc IDs, summary cross-checks).
 func ReadIndex(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	hdr, err := readHeader(br)
@@ -165,23 +132,23 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	}
 	idx := &Index{
 		terms:  make(map[string]TermID, len(hdr.terms)),
+		lists:  make([]termList, len(hdr.terms)),
 		docLen: hdr.docLens,
 	}
 	for _, l := range hdr.docLens {
 		idx.totalLen += float64(l)
 	}
-	idx.postings = make([][]Posting, len(hdr.terms))
 	for i, te := range hdr.terms {
-		block := make([]byte, te.blockLen)
-		if _, err := io.ReadFull(br, block); err != nil {
+		data := make([]byte, te.dataLen())
+		if _, err := io.ReadFull(br, data); err != nil {
 			return nil, fmt.Errorf("index: postings of %q: %w", te.term, err)
 		}
-		pl, err := decodePostings(block, te.count, uint32(len(hdr.docLens)))
-		if err != nil {
+		tl := termList{count: te.count, maxTF: te.maxTF, blocks: te.blocks, data: data}
+		if err := tl.validate(uint32(len(hdr.docLens))); err != nil {
 			return nil, fmt.Errorf("index: term %q: %w", te.term, err)
 		}
 		idx.terms[te.term] = TermID(i)
-		idx.postings[i] = pl
+		idx.lists[i] = tl
 	}
 	return idx, nil
 }
@@ -192,11 +159,23 @@ type header struct {
 	terms   []termEntry
 }
 
+// termEntry is one directory row: the term, its block summaries (offsets
+// relative to the term's own data, as in termList), and where the term's
+// data starts within the file's postings area.
 type termEntry struct {
-	term     string
-	count    int
-	blockLen int64
-	offset   int64 // set by the caller while accumulating
+	term   string
+	count  int
+	maxTF  float32
+	blocks []blockMeta
+	offset int64 // start of this term's data within the postings area
+}
+
+// dataLen returns the total encoded size of the term's blocks.
+func (te *termEntry) dataLen() int64 {
+	if len(te.blocks) == 0 {
+		return 0
+	}
+	return int64(te.blocks[len(te.blocks)-1].end)
 }
 
 func readHeader(br *bufio.Reader) (*header, error) {
@@ -256,20 +235,51 @@ func readHeader(br *bufio.Reader) (*header, error) {
 		if count > uint64(nDocs) {
 			return nil, fmt.Errorf("index: term %q has %d postings for %d docs", term, count, nDocs)
 		}
-		blockLen, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
+		te := termEntry{term: term, count: int(count), offset: offset}
+		te.blocks = make([]blockMeta, numBlocksFor(int(count)))
+		prevLast := DocID(0)
+		dataOff := uint32(0)
+		for bi := range te.blocks {
+			lastDelta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: term %q block %d last: %w", term, bi, err)
+			}
+			if bi > 0 && lastDelta == 0 {
+				return nil, fmt.Errorf("index: term %q block last docs not increasing", term)
+			}
+			last := uint64(prevLast) + lastDelta
+			if last >= uint64(nDocs) {
+				return nil, fmt.Errorf("index: term %q block last doc %d out of range", term, last)
+			}
+			maxRaw, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: term %q block %d max tf: %w", term, bi, err)
+			}
+			maxTF := decodeTF(maxRaw)
+			if maxTF < 0 || math.IsNaN(float64(maxTF)) {
+				return nil, fmt.Errorf("index: term %q invalid block max tf %v", term, maxTF)
+			}
+			blen, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: term %q block %d length: %w", term, bi, err)
+			}
+			if blen == 0 || blen > maxBlockBytes {
+				return nil, fmt.Errorf("index: term %q block length %d out of range", term, blen)
+			}
+			te.blocks[bi] = blockMeta{
+				last:  DocID(last),
+				maxTF: maxTF,
+				off:   dataOff,
+				end:   dataOff + uint32(blen),
+			}
+			prevLast = DocID(last)
+			dataOff += uint32(blen)
+			if maxTF > te.maxTF {
+				te.maxTF = maxTF
+			}
 		}
-		if blockLen > 1<<32 {
-			return nil, fmt.Errorf("index: block length %d too large", blockLen)
-		}
-		h.terms = append(h.terms, termEntry{
-			term:     term,
-			count:    int(count),
-			blockLen: int64(blockLen),
-			offset:   offset,
-		})
-		offset += int64(blockLen)
+		h.terms = append(h.terms, te)
+		offset += int64(dataOff)
 	}
 	return h, nil
 }

@@ -110,14 +110,19 @@ type RetrievalStats struct {
 	Terms    int // query terms with at least one posting
 	Postings int // postings available across those terms
 	Scored   int // postings actually scored into an accumulator
-	Skipped  int // postings skipped by the max-score bound
-	Shards   int // traversal fan-out (1 = sequential)
+	Skipped  int // postings decoded/inspected but skipped by the bound
+	// Postings − Scored − Skipped = postings in pruned blocks, never decoded.
+	BlocksDecoded int // postings blocks decoded (block-max path only)
+	BlocksSkipped int // postings blocks pruned without decoding
+	Shards        int // traversal fan-out (1 = sequential)
 }
 
 // add accumulates per-shard stats.
 func (st *RetrievalStats) add(o RetrievalStats) {
 	st.Scored += o.Scored
 	st.Skipped += o.Skipped
+	st.BlocksDecoded += o.BlocksDecoded
+	st.BlocksSkipped += o.BlocksSkipped
 }
 
 // TopKMaxScore evaluates the query with max-score pruning: terms are

@@ -1,0 +1,224 @@
+package search
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+
+	"newslink/internal/index"
+)
+
+// randomCorpus builds an index large enough that frequent terms span many
+// postings blocks, with a mix of integral and fractional term weights.
+func randomCorpus(rng *rand.Rand, nDocs int, vocab []string) *index.Index {
+	b := index.NewBuilder()
+	for d := 0; d < nDocs; d++ {
+		n := 1 + rng.Intn(8)
+		counts := make(map[string]float32, n)
+		for i := 0; i < n; i++ {
+			t := vocab[rng.Intn(len(vocab))]
+			if rng.Intn(4) == 0 {
+				counts[t] += float32(rng.Intn(8)) / 4.0 // fractional weights (BON path)
+			} else {
+				counts[t]++
+			}
+		}
+		b.AddWeighted(counts)
+	}
+	return b.Build()
+}
+
+// TestBlockMaxAgreesWithExact: the block-pruned evaluation must return
+// exactly the same ranking and scores as exhaustive accumulation and as
+// whole-list max-score, on random corpora sized to span many blocks, for
+// both the sequential and the sharded paths.
+func TestBlockMaxAgreesWithExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	ctx := context.Background()
+	for trial := 0; trial < 25; trial++ {
+		nDocs := 50 + rng.Intn(2000)
+		idx := randomCorpus(rng, nDocs, vocab)
+		s := NewBM25(idx)
+		nq := 1 + rng.Intn(4)
+		q := Query{}
+		for i := 0; i < nq; i++ {
+			q[vocab[rng.Intn(len(vocab))]] = 0.5 + rng.Float64()
+		}
+		k := 1 + rng.Intn(12)
+		exact := TopK(idx, s, q, k)
+		maxscore := TopKMaxScore(idx, s, q, k)
+		blockmax, bmStats, err := TopKBlockMaxStats(ctx, idx, s, q, k)
+		if err != nil {
+			t.Fatalf("trial %d: block-max error: %v", trial, err)
+		}
+		shards := 2 + rng.Intn(4)
+		sharded, _, err := TopKBlockMaxShardedStats(ctx, idx, s, q, k, shards)
+		if err != nil {
+			t.Fatalf("trial %d: sharded block-max error: %v", trial, err)
+		}
+		if len(blockmax) != len(exact) || len(sharded) != len(exact) {
+			t.Fatalf("trial %d: lengths exact=%d blockmax=%d sharded=%d",
+				trial, len(exact), len(blockmax), len(sharded))
+		}
+		for i := range exact {
+			if blockmax[i].Doc != exact[i].Doc || math.Abs(blockmax[i].Score-exact[i].Score) > 1e-9 {
+				t.Fatalf("trial %d rank %d: exact %v blockmax %v (query %v k=%d)",
+					trial, i, exact[i], blockmax[i], q, k)
+			}
+			// Against max-score the sums run in the same term order over the
+			// same documents, so equality is bitwise.
+			if blockmax[i] != maxscore[i] {
+				t.Fatalf("trial %d rank %d: maxscore %v blockmax %v", trial, i, maxscore[i], blockmax[i])
+			}
+			if sharded[i] != maxscore[i] {
+				t.Fatalf("trial %d rank %d: maxscore %v sharded blockmax %v", trial, i, maxscore[i], sharded[i])
+			}
+		}
+		if bmStats.Scored+bmStats.Skipped > bmStats.Postings {
+			t.Fatalf("trial %d: scored %d + skipped %d > postings %d",
+				trial, bmStats.Scored, bmStats.Skipped, bmStats.Postings)
+		}
+	}
+}
+
+// TestBlockMaxAgreesOnDisk runs the same equivalence through a DiskIndex, so
+// the disk cursors' block-granular ReadAt path is exercised too.
+func TestBlockMaxAgreesOnDisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	vocab := []string{"a", "b", "c", "d", "e"}
+	idx := randomCorpus(rng, 3000, vocab)
+	path := t.TempDir() + "/idx.bin"
+	if err := writeIndexFile(idx, path); err != nil {
+		t.Fatal(err)
+	}
+	d, err := index.OpenDiskIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	for trial := 0; trial < 10; trial++ {
+		q := Query{}
+		for i := 0; i <= rng.Intn(3); i++ {
+			q[vocab[rng.Intn(len(vocab))]] = 1
+		}
+		k := 1 + rng.Intn(10)
+		exact := TopK(idx, NewBM25(idx), q, k)
+		got, _, err := TopKBlockMaxStats(ctx, d, NewBM25(d), q, k)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sharded, _, err := TopKBlockMaxShardedStats(ctx, d, NewBM25(d), q, k, 3)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got) != len(exact) || len(sharded) != len(exact) {
+			t.Fatalf("trial %d: lengths exact=%d blockmax=%d sharded=%d", trial, len(exact), len(got), len(sharded))
+		}
+		for i := range exact {
+			// TopK folds terms in map order, so scores may differ in ULPs.
+			if got[i].Doc != exact[i].Doc || math.Abs(got[i].Score-exact[i].Score) > 1e-9 {
+				t.Fatalf("trial %d rank %d: exact %v blockmax %v", trial, i, exact[i], got[i])
+			}
+			if sharded[i] != got[i] {
+				t.Fatalf("trial %d rank %d: blockmax %v sharded %v", trial, i, got[i], sharded[i])
+			}
+		}
+	}
+}
+
+// writeIndexFile serializes idx to path.
+func writeIndexFile(idx *index.Index, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// TestBlockMaxPrunesBlocks: the realistic skewed query shape — a rare,
+// high-IDF term plus a frequent, low-IDF one — must skip most of the
+// frequent term's blocks: after the rare term, the accumulator holds only
+// its few documents, and frequent-term blocks containing none of them fall
+// below the threshold. The whole-list max-score path scans every posting of
+// the frequent term, so Scored must drop measurably too.
+func TestBlockMaxPrunesBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := index.NewBuilder()
+	for d := 0; d < 20000; d++ {
+		terms := []string{"common"}
+		if rng.Intn(400) == 0 {
+			terms = append(terms, "rare")
+		}
+		if rng.Intn(2) == 0 {
+			terms = append(terms, "filler")
+		}
+		b.Add(terms)
+	}
+	idx := b.Build()
+	sc := NewBM25(idx)
+	q := Query{"rare": 1, "common": 1}
+	_, bmStats, err := TopKBlockMaxStats(context.Background(), idx, sc, q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bmStats.BlocksSkipped == 0 {
+		t.Fatalf("expected pruned blocks, stats %+v", bmStats)
+	}
+	if bmStats.BlocksDecoded == 0 || bmStats.Scored == 0 {
+		t.Fatalf("expected decoded blocks and scored postings, stats %+v", bmStats)
+	}
+	_, msStats, err := TopKMaxScoreStats(context.Background(), idx, sc, q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max-score inspects every posting (Scored+Skipped == Postings); the
+	// block path must leave a large share of postings entirely undecoded.
+	if msStats.Scored+msStats.Skipped != msStats.Postings {
+		t.Fatalf("max-score inspected %d+%d of %d postings", msStats.Scored, msStats.Skipped, msStats.Postings)
+	}
+	bmTouched := bmStats.Scored + bmStats.Skipped
+	if bmTouched*2 > bmStats.Postings {
+		t.Fatalf("block-max decoded %d of %d postings — expected < half, stats %+v",
+			bmTouched, bmStats.Postings, bmStats)
+	}
+}
+
+func TestBlockMaxEdgeCases(t *testing.T) {
+	idx := buildIdx("a b", "b c")
+	sc := NewBM25(idx)
+	if TopKBlockMax(idx, sc, NewQuery(nil), 5) != nil {
+		t.Fatal("empty query should return nil")
+	}
+	if TopKBlockMax(idx, sc, NewQuery([]string{"a"}), 0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if got := TopKBlockMax(idx, sc, NewQuery([]string{"zzz"}), 5); got != nil {
+		t.Fatalf("unknown term hits = %v", got)
+	}
+	if got := TopKBlockMax(idx, sc, NewQuery([]string{"a", "zzz"}), 100); len(got) != 1 {
+		t.Fatalf("k > matches: %v", got)
+	}
+}
+
+// TestBlockMaxCancellation: a canceled context aborts the traversal.
+func TestBlockMaxCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	idx := randomCorpus(rng, 5000, []string{"x", "y"})
+	sc := NewBM25(idx)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TopKBlockMaxContext(ctx, idx, sc, Query{"x": 1, "y": 1}, 10); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := TopKBlockMaxSharded(ctx, idx, sc, Query{"x": 1, "y": 1}, 10, 4); err != context.Canceled {
+		t.Fatalf("sharded err = %v, want context.Canceled", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"newslink/internal/obs"
+	"newslink/internal/search"
 )
 
 // engineMetrics holds the pre-registered metric handles of one Engine.
@@ -18,6 +19,8 @@ type engineMetrics struct {
 	cacheHits     *obs.Counter
 	cacheMisses   *obs.Counter
 	refreshes     *obs.Counter
+	blocksDecoded *obs.Counter
+	blocksSkipped *obs.Counter
 	docs          *obs.Gauge
 	searchSeconds *obs.Histogram
 	// degraded counts searches served BOW-only, keyed by degradation
@@ -44,6 +47,8 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		cacheHits:     r.Counter("newslink_query_cache_hits_total", "Query analyses served from the LRU cache."),
 		cacheMisses:   r.Counter("newslink_query_cache_misses_total", "Query analyses that ran the NLP + NE components."),
 		refreshes:     r.Counter("newslink_refreshes_total", "Segment refreshes (explicit and search-triggered)."),
+		blocksDecoded: r.Counter("newslink_blocks_decoded_total", "Postings blocks decoded by block-max retrieval."),
+		blocksSkipped: r.Counter("newslink_blocks_skipped_total", "Postings blocks pruned undecoded by the block-max bound."),
 		docs:          r.Gauge("newslink_docs", "Documents currently indexed."),
 		searchSeconds: r.Histogram("newslink_search_seconds", "End-to-end latency of SearchContext.", nil),
 		degraded: map[string]*obs.Counter{
@@ -62,6 +67,17 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 			obs.StageTopK:    stageHist(obs.StageTopK),
 			obs.StagePaths:   stageHist(obs.StagePaths),
 		},
+	}
+}
+
+// blocksObserve folds one retrieval's block-pruning counters into the
+// engine-wide totals, making pruning effectiveness visible at /v1/metrics.
+func (m *engineMetrics) blocksObserve(st search.RetrievalStats) {
+	if st.BlocksDecoded > 0 {
+		m.blocksDecoded.Add(int64(st.BlocksDecoded))
+	}
+	if st.BlocksSkipped > 0 {
+		m.blocksSkipped.Add(int64(st.BlocksSkipped))
 	}
 }
 

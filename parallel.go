@@ -45,6 +45,7 @@ func (e *Engine) retrieve(ctx context.Context, snap snapshot, qEmb *core.DocEmbe
 		sp := tr.Start(obs.StageBOW)
 		var st search.RetrievalStats
 		bow, st, bowErr = topKAuto(ctx, snap.textIdx, search.NewBM25(snap.textIdx), search.NewQuery(qTerms), pool)
+		e.met.blocksObserve(st)
 		d := sp.End(retrievalAttrs(len(bow), st)...)
 		e.met.stageObserve(obs.StageBOW, d)
 	}
@@ -52,6 +53,7 @@ func (e *Engine) retrieve(ctx context.Context, snap snapshot, qEmb *core.DocEmbe
 		sp := tr.Start(obs.StageBON)
 		var st search.RetrievalStats
 		defer func() {
+			e.met.blocksObserve(st)
 			d := sp.End(retrievalAttrs(len(bon), st)...)
 			e.met.stageObserve(obs.StageBON, d)
 		}()
@@ -122,17 +124,21 @@ func retrievalAttrs(candidates int, st search.RetrievalStats) []obs.Attr {
 		obs.Int("postings", st.Postings),
 		obs.Int("scored", st.Scored),
 		obs.Int("pruned", st.Skipped),
+		obs.Int("blocks_decoded", st.BlocksDecoded),
+		obs.Int("blocks_skipped", st.BlocksSkipped),
 		obs.Int("shards", st.Shards),
 	}
 }
 
-// topKAuto picks the sequential or sharded postings traversal by corpus
-// size. Both return identical rankings (property-tested).
+// topKAuto picks the sequential or sharded block-max traversal by corpus
+// size. Both return rankings identical to exact TAAT (property-tested);
+// block-max additionally leaves provably irrelevant postings blocks
+// undecoded (and, on disk-backed snapshots, unread).
 func topKAuto(ctx context.Context, idx index.Source, s search.Scorer, q search.Query, k int) ([]search.Hit, search.RetrievalStats, error) {
 	if workers := runtime.GOMAXPROCS(0); workers > 1 && idx.NumDocs() >= shardedSearchMinDocs {
-		return search.TopKMaxScoreShardedStats(ctx, idx, s, q, k, workers)
+		return search.TopKBlockMaxShardedStats(ctx, idx, s, q, k, workers)
 	}
-	return search.TopKMaxScoreStats(ctx, idx, s, q, k)
+	return search.TopKBlockMaxStats(ctx, idx, s, q, k)
 }
 
 // AddAll indexes a batch of documents, running the NLP and NE components

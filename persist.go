@@ -36,10 +36,12 @@ import (
 // checksums so silent corruption surfaces as ErrSnapshotCorrupt instead
 // of a half-built engine.
 
-// snapshotVersion 2 added per-artifact checksums to meta.json; version 1
-// snapshots predate integrity verification and are rejected with
-// ErrSnapshotVersion (re-save to upgrade).
-const snapshotVersion = 2
+// snapshotVersion 3 switched the index artifacts to the block-compressed
+// postings format (NLIDX3: per-block summaries enabling block-max pruning
+// and block-granular disk reads); version 2 added per-artifact checksums to
+// meta.json. Older snapshots are rejected with ErrSnapshotVersion (re-save
+// to upgrade).
+const snapshotVersion = 3
 
 // artifactNames are the binary artifacts covered by meta.json checksums.
 var artifactNames = [...]string{"text.idx", "node.idx", "emb.bin"}

@@ -103,6 +103,28 @@ func TestLoadCorruptionTable(t *testing.T) {
 				t.Fatal(err)
 			}
 		}, ErrSnapshotVersion},
+		// A snapshot from before the block-compressed index format (v3):
+		// the version gate must reject it before any index bytes are read,
+		// so the pre-PR on-disk layout never reaches the parser.
+		tc{"pre-block-format-version", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, "meta.json")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var m map[string]json.RawMessage
+			if err := json.Unmarshal(data, &m); err != nil {
+				t.Fatal(err)
+			}
+			m["version"] = json.RawMessage("2")
+			out, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, out, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, ErrSnapshotVersion},
 		tc{"torn-meta", func(t *testing.T, dir string) {
 			if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte(`{"version": 2, "conf`), 0o644); err != nil {
 				t.Fatal(err)

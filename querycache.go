@@ -57,8 +57,13 @@ func (c *queryCache) get(key string) (*core.DocEmbedding, []string, bool) {
 	return e.emb, e.terms, true
 }
 
-// put stores an analysis, evicting the least recently used entry if full.
+// put stores an analysis, evicting the least recently used entry if full. A
+// cache built with max <= 0 stores nothing (and in particular never tries
+// to evict from an empty list).
 func (c *queryCache) put(key string, emb *core.DocEmbedding, terms []string) {
+	if c.max <= 0 {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
@@ -68,9 +73,10 @@ func (c *queryCache) put(key string, emb *core.DocEmbedding, terms []string) {
 		return
 	}
 	if c.order.Len() >= c.max {
-		last := c.order.Back()
-		c.order.Remove(last)
-		delete(c.byKey, last.Value.(*cacheEntry).key)
+		if last := c.order.Back(); last != nil {
+			c.order.Remove(last)
+			delete(c.byKey, last.Value.(*cacheEntry).key)
+		}
 	}
 	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, emb: emb, terms: terms})
 }

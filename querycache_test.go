@@ -1,0 +1,53 @@
+package newslink
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Regression: put on a cache constructed with max <= 0 used to call
+// list.Remove(nil) — the eviction branch fired with an empty order list.
+// A non-positive capacity must mean "cache disabled", not panic.
+func TestQueryCacheZeroCapacity(t *testing.T) {
+	for _, max := range []int{0, -1} {
+		c := newQueryCache(max, nil, nil)
+		c.put("q", nil, []string{"a"})
+		c.put("q2", nil, []string{"b"})
+		if n := c.len(); n != 0 {
+			t.Fatalf("max=%d: cached %d entries, want 0", max, n)
+		}
+		if _, _, ok := c.get("q"); ok {
+			t.Fatalf("max=%d: get returned an entry from a disabled cache", max)
+		}
+	}
+}
+
+// TestQueryCacheEviction pins the LRU behavior around the capacity
+// boundary, including the smallest legal capacity.
+func TestQueryCacheEviction(t *testing.T) {
+	c := newQueryCache(1, nil, nil)
+	c.put("a", nil, nil)
+	c.put("b", nil, nil) // evicts a
+	if _, _, ok := c.get("a"); ok {
+		t.Fatal("entry a should have been evicted")
+	}
+	if _, _, ok := c.get("b"); !ok {
+		t.Fatal("entry b should be cached")
+	}
+	if n := c.len(); n != 1 {
+		t.Fatalf("len = %d, want 1", n)
+	}
+
+	c = newQueryCache(3, nil, nil)
+	for i := 0; i < 5; i++ {
+		c.put(fmt.Sprint(i), nil, nil)
+	}
+	if n := c.len(); n != 3 {
+		t.Fatalf("len = %d, want 3", n)
+	}
+	for i, want := range []bool{false, false, true, true, true} {
+		if _, _, ok := c.get(fmt.Sprint(i)); ok != want {
+			t.Fatalf("entry %d cached = %v, want %v", i, ok, want)
+		}
+	}
+}
