@@ -1,5 +1,5 @@
 #!/bin/sh
-# Runs the key engine benchmarks and emits machine-readable BENCH_pr4.json:
+# Runs the key engine benchmarks and emits machine-readable BENCH_pr5.json:
 # one record per benchmark variant with ns/op, B/op, allocs/op and any
 # custom metrics the benchmark reports (postings_scored/op,
 # blocks_skipped/op). CI uploads the file as an artifact so the performance
@@ -13,8 +13,8 @@ set -eu
 cd "$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 
 BENCHTIME="${1:-1s}"
-OUT="${2:-BENCH_pr4.json}"
-BENCHES='BenchmarkTopKStrategies|BenchmarkParallelFusedSearch|BenchmarkSnapshotServing'
+OUT="${2:-BENCH_pr5.json}"
+BENCHES='BenchmarkTopKStrategies|BenchmarkParallelFusedSearch|BenchmarkSnapshotServing|BenchmarkSegmentChurn'
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

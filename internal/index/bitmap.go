@@ -1,0 +1,139 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// maxBitmapBits bounds the decoded size of a serialized bitmap. It matches
+// the document-count scale the engine is designed for and keeps a corrupt
+// or adversarial length prefix from driving a giant allocation.
+const maxBitmapBits = 1 << 28
+
+// Bitmap is a fixed-length bit set used for segment tombstones: bit i set
+// means document i of the segment is deleted. Like every index structure it
+// is treated as immutable once published — writers mutate a Clone and swap
+// it in, so readers need no synchronization.
+type Bitmap struct {
+	n     int
+	words []uint64
+	count int
+}
+
+// NewBitmap returns an all-zero bitmap over n bits.
+func NewBitmap(n int) *Bitmap {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitmap{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of addressable bits (0 for a nil bitmap).
+func (b *Bitmap) Len() int {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
+
+// Count returns the number of set bits (0 for a nil bitmap).
+func (b *Bitmap) Count() int {
+	if b == nil {
+		return 0
+	}
+	return b.count
+}
+
+// Any reports whether any bit is set. A nil bitmap has none.
+func (b *Bitmap) Any() bool { return b != nil && b.count > 0 }
+
+// Get reports bit i. Out-of-range positions (and a nil bitmap) read as
+// unset, so a missing tombstone map means "all documents live".
+func (b *Bitmap) Get(i int) bool {
+	if b == nil || i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6]&(1<<(i&63)) != 0
+}
+
+// Set sets bit i. Setting an already-set bit is a no-op.
+func (b *Bitmap) Set(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("index: Bitmap.Set(%d) out of range [0,%d)", i, b.n))
+	}
+	w, m := i>>6, uint64(1)<<(i&63)
+	if b.words[w]&m == 0 {
+		b.words[w] |= m
+		b.count++
+	}
+}
+
+// Clone returns an independent copy (copy-on-write support for tombstone
+// updates against a published bitmap).
+func (b *Bitmap) Clone() *Bitmap {
+	c := &Bitmap{n: b.n, words: make([]uint64, len(b.words)), count: b.count}
+	copy(c.words, b.words)
+	return c
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (b *Bitmap) ForEach(fn func(i int)) {
+	if b == nil {
+		return
+	}
+	for w, word := range b.words {
+		for word != 0 {
+			low := word & (-word)
+			word &^= low
+			fn(w<<6 | bits.TrailingZeros64(low))
+		}
+	}
+}
+
+// Encode serializes the bitmap: uvarint bit length followed by one uvarint
+// per 64-bit word. Varints keep the common case — few or no tombstones —
+// near-free, and the format is self-delimiting so it can be embedded in a
+// larger artifact.
+func (b *Bitmap) Encode() []byte {
+	out := make([]byte, 0, binary.MaxVarintLen64*(1+len(b.words)))
+	out = binary.AppendUvarint(out, uint64(b.n))
+	for _, w := range b.words {
+		out = binary.AppendUvarint(out, w)
+	}
+	return out
+}
+
+// DecodeBitmap parses an Encode result, validating the length bound, that
+// the payload holds exactly the declared number of words, and that no bit
+// beyond the declared length is set, so a corrupt buffer can never yield a
+// bitmap that disagrees with its own Len/Count.
+func DecodeBitmap(data []byte) (*Bitmap, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("index: bitmap: bad length prefix")
+	}
+	if n > maxBitmapBits {
+		return nil, fmt.Errorf("index: bitmap: length %d exceeds limit %d", n, maxBitmapBits)
+	}
+	data = data[sz:]
+	b := NewBitmap(int(n))
+	for i := range b.words {
+		w, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return nil, fmt.Errorf("index: bitmap: truncated at word %d", i)
+		}
+		data = data[sz:]
+		b.words[i] = w
+		b.count += bits.OnesCount64(w)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("index: bitmap: %d trailing bytes", len(data))
+	}
+	if tail := b.n & 63; tail != 0 && len(b.words) > 0 {
+		if b.words[len(b.words)-1]&(^uint64(0)<<tail) != 0 {
+			return nil, fmt.Errorf("index: bitmap: bits set beyond length %d", b.n)
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,162 @@
+package index
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(130)
+	if b.Len() != 130 || b.Count() != 0 || b.Any() {
+		t.Fatalf("fresh bitmap: len=%d count=%d any=%v", b.Len(), b.Count(), b.Any())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitmap", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d unset after Set", i)
+		}
+	}
+	if b.Count() != 4 || !b.Any() {
+		t.Fatalf("count=%d any=%v", b.Count(), b.Any())
+	}
+	b.Set(63) // setting a set bit is a no-op
+	if b.Count() != 4 {
+		t.Fatalf("double Set changed count: %d", b.Count())
+	}
+	// Out-of-range reads are unset, not panics.
+	if b.Get(-1) || b.Get(130) || b.Get(1<<20) {
+		t.Fatal("out-of-range Get returned true")
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	want := []int{0, 63, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitmapNilSafety(t *testing.T) {
+	var b *Bitmap
+	if b.Len() != 0 || b.Count() != 0 || b.Any() || b.Get(0) {
+		t.Fatal("nil bitmap must read as empty")
+	}
+	b.ForEach(func(int) { t.Fatal("nil bitmap visited a bit") })
+}
+
+func TestBitmapSetOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set out of range did not panic")
+		}
+	}()
+	NewBitmap(10).Set(10)
+}
+
+func TestBitmapCloneIndependence(t *testing.T) {
+	b := NewBitmap(70)
+	b.Set(5)
+	c := b.Clone()
+	c.Set(69)
+	if b.Get(69) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !c.Get(5) || c.Count() != 2 || b.Count() != 1 {
+		t.Fatalf("clone state wrong: c=%d b=%d", c.Count(), b.Count())
+	}
+}
+
+func TestBitmapCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		b := NewBitmap(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		got, err := DecodeBitmap(b.Encode())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.Len() != b.Len() || got.Count() != b.Count() {
+			t.Fatalf("n=%d: len/count %d/%d, want %d/%d", n, got.Len(), got.Count(), b.Len(), b.Count())
+		}
+		for i := 0; i < n; i++ {
+			if got.Get(i) != b.Get(i) {
+				t.Fatalf("n=%d: bit %d differs after round trip", n, i)
+			}
+		}
+	}
+}
+
+func TestBitmapDecodeRejectsCorruption(t *testing.T) {
+	b := NewBitmap(100)
+	b.Set(7)
+	b.Set(99)
+	enc := b.Encode()
+	cases := map[string][]byte{
+		"empty":         {},
+		"truncated":     enc[:len(enc)-1],
+		"trailing":      append(append([]byte{}, enc...), 0x00),
+		"oversized":     binary.AppendUvarint(nil, maxBitmapBits+1),
+		"bits-past-len": append(binary.AppendUvarint(nil, 3), binary.AppendUvarint(nil, 0xFF)...),
+		"missing-words": binary.AppendUvarint(nil, 128),
+	}
+	for name, data := range cases {
+		if got, err := DecodeBitmap(data); err == nil {
+			t.Fatalf("%s: decoded to %+v, want error", name, got)
+		}
+	}
+}
+
+// FuzzBitmapCodec: DecodeBitmap must never panic, and anything it accepts
+// must re-encode to a buffer that decodes to the same bitmap with a
+// self-consistent Len/Count.
+func FuzzBitmapCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(NewBitmap(0).Encode())
+	seed := NewBitmap(130)
+	seed.Set(0)
+	seed.Set(129)
+	f.Add(seed.Encode())
+	f.Add(binary.AppendUvarint(nil, maxBitmapBits+1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBitmap(data)
+		if err != nil {
+			return
+		}
+		count := 0
+		prev := -1
+		b.ForEach(func(i int) {
+			if i <= prev || i >= b.Len() || !b.Get(i) {
+				t.Fatalf("ForEach visited inconsistent bit %d (prev %d, len %d)", i, prev, b.Len())
+			}
+			prev = i
+			count++
+		})
+		if count != b.Count() {
+			t.Fatalf("ForEach visited %d bits, Count says %d", count, b.Count())
+		}
+		rt, err := DecodeBitmap(b.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of Encode output: %v", err)
+		}
+		if rt.Len() != b.Len() || rt.Count() != b.Count() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d", rt.Len(), rt.Count(), b.Len(), b.Count())
+		}
+		for i := 0; i < b.Len(); i++ {
+			if rt.Get(i) != b.Get(i) {
+				t.Fatalf("round trip changed bit %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package index
+
+import "sort"
+
+// MergeSegments compacts an ordered sequence of segments into a single
+// in-memory Index, dropping documents marked dead in the per-segment
+// tombstone bitmaps (dead may be nil, or hold nil entries, meaning no
+// deletes in that segment). Surviving documents keep their relative order
+// and are renumbered densely from 0.
+//
+// For inputs without deletes the merge is an identity transform in the
+// strict floating-point sense, which is what makes segmented search
+// rank/score-identical to a single-segment build (DESIGN.md §11):
+//
+//   - docLen values are copied, not recomputed, so the float32 sums the
+//     Builder folded in sorted-term order survive bit-for-bit;
+//   - totalLen is re-accumulated as one float64 fold in document order —
+//     the same order Builder.AddWeighted used across consecutive Adds;
+//   - postings concatenate in (segment, local DocID) order, so each term's
+//     list is already DocID-sorted and encodeBlocks produces the same
+//     block layout a single build would;
+//   - TermIDs come out canonical because the term union is enumerated in
+//     sorted order, matching Builder.Build.
+//
+// With deletes, the rewrite drops the tombstoned postings and their length
+// statistics, so DF/AvgDocLen tighten to the live corpus — the point of
+// compaction.
+func MergeSegments(parts []Source, dead []*Bitmap) *Index {
+	idx := &Index{terms: make(map[string]TermID)}
+	// Remap each part's local DocIDs to the merged space (-1 = dropped),
+	// copying per-document lengths as we go.
+	remaps := make([][]int32, len(parts))
+	next := int32(0)
+	for pi, p := range parts {
+		n := p.NumDocs()
+		r := make([]int32, n)
+		var dd *Bitmap
+		if dead != nil {
+			dd = dead[pi]
+		}
+		for d := 0; d < n; d++ {
+			if dd.Get(d) {
+				r[d] = -1
+				continue
+			}
+			r[d] = next
+			next++
+			l := float32(p.DocLen(DocID(d)))
+			idx.docLen = append(idx.docLen, l)
+			idx.totalLen += float64(l)
+		}
+		remaps[pi] = r
+	}
+	for _, t := range mergedTerms(parts) {
+		var pl []Posting
+		for pi, p := range parts {
+			r := remaps[pi]
+			for _, e := range p.Postings(t) {
+				if nd := r[e.Doc]; nd >= 0 {
+					pl = append(pl, Posting{Doc: DocID(nd), TF: e.TF})
+				}
+			}
+		}
+		if len(pl) == 0 {
+			continue // every posting of this term was tombstoned
+		}
+		idx.terms[t] = TermID(len(idx.lists))
+		idx.lists = append(idx.lists, encodeBlocks(pl))
+	}
+	return idx
+}
+
+// mergedTerms returns the sorted union of the parts' vocabularies.
+func mergedTerms(parts []Source) []string {
+	seen := map[string]bool{}
+	var terms []string
+	for _, p := range parts {
+		p.ForEachTerm(func(t string) bool {
+			if !seen[t] {
+				seen[t] = true
+				terms = append(terms, t)
+			}
+			return true
+		})
+	}
+	sort.Strings(terms)
+	return terms
+}

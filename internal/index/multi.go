@@ -30,7 +30,14 @@ func NewMulti(parts ...Source) *Multi {
 		m.bases = append(m.bases, DocID(m.numDocs))
 		m.parts = append(m.parts, s)
 		m.numDocs += s.NumDocs()
-		m.totalLen += s.AvgDocLen() * float64(s.NumDocs())
+		// Re-accumulate totalLen as one float64 fold in document order —
+		// bit-identical to what a single Builder over the concatenated
+		// corpus computes — so AvgDocLen (hence BM25 scores) cannot drift
+		// between a segmented and a single-segment build. The O(numDocs)
+		// walk happens once per refresh/swap, never on the query path.
+		for d, n := 0, s.NumDocs(); d < n; d++ {
+			m.totalLen += s.DocLen(DocID(d))
+		}
 	}
 	for _, p := range parts {
 		add(p)

@@ -134,8 +134,9 @@ func (g *Graph) Degree(id NodeID) int {
 	return int(g.arcOff[id+1] - g.arcOff[id])
 }
 
-// Aliases calls fn for every (folded alias, nodes) pair in deterministic
-// order is NOT guaranteed; callers needing determinism should sort.
+// Aliases calls fn for every (folded alias, nodes) pair until fn returns
+// false. Iteration order is NOT deterministic (it follows Go's map order);
+// callers needing a stable order should collect and sort.
 func (g *Graph) Aliases(fn func(alias string, nodes []NodeID) bool) {
 	for a, ns := range g.aliases {
 		if !fn(a, ns) {

@@ -1,0 +1,136 @@
+package search
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"newslink/internal/index"
+)
+
+// sameHits compares rankings the way the other traversal tests do: exact
+// document order, scores within float tolerance (term-at-a-time
+// accumulation order follows Go map iteration, so last-ulp differences
+// between separate traversals are expected).
+func sameHits(a, b []Hit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Doc != b[i].Doc || math.Abs(a[i].Score-b[i].Score) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// buildRandIdx builds a deterministic synthetic index for the live-mask
+// tests, large enough that MaxScore and block-max pruning actually engage.
+func buildRandIdx(seed int64, nDocs int) *index.Index {
+	rng := rand.New(rand.NewSource(seed))
+	b := index.NewBuilder()
+	for d := 0; d < nDocs; d++ {
+		terms := make([]string, 5+rng.Intn(30))
+		for i := range terms {
+			t := rng.Intn(60)
+			terms[i] = "t" + strconv.Itoa(t*rng.Intn(60)/60)
+		}
+		b.Add(terms)
+	}
+	return b.Build()
+}
+
+// TestLiveFilteredTraversalsAgree: every traversal strategy must return
+// the same ranking over a tombstone-filtered source, that ranking must be
+// exactly the unfiltered ranking with dead documents removed (Lucene
+// semantics: tombstones mask results but keep contributing to DF and
+// average length), and a dead document must never surface.
+func TestLiveFilteredTraversalsAgree(t *testing.T) {
+	const nDocs = 500
+	idx := buildRandIdx(3, nDocs)
+	rng := rand.New(rand.NewSource(4))
+	dead := index.NewBitmap(nDocs)
+	for d := 0; d < nDocs; d++ {
+		if rng.Intn(4) == 0 {
+			dead.Set(d)
+		}
+	}
+	lf := index.NewLiveFiltered(idx, dead)
+	if lf.NumLive() != nDocs-dead.Count() {
+		t.Fatalf("NumLive = %d, want %d", lf.NumLive(), nDocs-dead.Count())
+	}
+	scorer := NewBM25(idx) // statistics over the FULL corpus, dead included
+	ctx := context.Background()
+	for qi := 0; qi < 20; qi++ {
+		q := Query{}
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			q["t"+strconv.Itoa(rng.Intn(60))] = 1
+		}
+		for _, k := range []int{1, 10, nDocs} {
+			want := TopK(lf, scorer, q, k)
+			for _, h := range want {
+				if dead.Get(int(h.Doc)) {
+					t.Fatalf("q%d k=%d: dead doc %d returned", qi, k, h.Doc)
+				}
+			}
+			// The live ranking is the full ranking minus dead docs: masking
+			// changes which documents are admitted, never how one scores.
+			full := TopK(idx, scorer, q, idx.NumDocs())
+			var masked []Hit
+			for _, h := range full {
+				if !dead.Get(int(h.Doc)) {
+					masked = append(masked, h)
+				}
+			}
+			if len(masked) > k {
+				masked = masked[:k]
+			}
+			if !sameHits(want, masked) {
+				t.Fatalf("q%d k=%d: filtered TopK != full-minus-dead\n%v\nvs\n%v", qi, k, want, masked)
+			}
+			ms, _, err := TopKMaxScoreStats(ctx, lf, scorer, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bm, _, err := TopKBlockMaxStats(ctx, lf, scorer, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mss, _, err := TopKMaxScoreShardedStats(ctx, lf, scorer, q, k, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bms, _, err := TopKBlockMaxShardedStats(ctx, lf, scorer, q, k, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, got := range map[string][]Hit{
+				"MaxScore": ms, "BlockMax": bm, "MaxScoreSharded": mss, "BlockMaxSharded": bms,
+			} {
+				if !sameHits(got, want) {
+					t.Fatalf("q%d k=%d: %s disagrees with TAAT on filtered source\n%v\nvs\n%v", qi, k, name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLiveFilteredPassThrough: a LiveFiltered wrapper delegates the Source
+// interface unchanged — statistics keep counting tombstoned documents.
+func TestLiveFilteredPassThrough(t *testing.T) {
+	idx := buildRandIdx(5, 50)
+	dead := index.NewBitmap(50)
+	dead.Set(10)
+	lf := index.NewLiveFiltered(idx, dead)
+	if lf.NumDocs() != idx.NumDocs() || lf.AvgDocLen() != idx.AvgDocLen() {
+		t.Fatal("LiveFiltered changed corpus statistics")
+	}
+	if lf.Live(10) || !lf.Live(11) {
+		t.Fatal("Live mask wrong")
+	}
+	if lf.Unwrap() != idx {
+		t.Fatal("Unwrap lost the underlying source")
+	}
+}

@@ -39,6 +39,7 @@ func TopK(idx index.Source, s Scorer, q Query, k int) []Hit {
 	if k <= 0 || len(q) == 0 {
 		return nil
 	}
+	live := liveMask(idx)
 	acc := make(map[index.DocID]float64)
 	for term, qw := range q {
 		df := idx.DF(term)
@@ -46,6 +47,9 @@ func TopK(idx index.Source, s Scorer, q Query, k int) []Hit {
 			continue
 		}
 		for _, p := range idx.Postings(term) {
+			if live != nil && !live.Live(p.Doc) {
+				continue
+			}
 			acc[p.Doc] += qw * s.Weight(float64(p.TF), df, idx.DocLen(p.Doc))
 		}
 	}
@@ -177,9 +181,12 @@ type docRange struct {
 
 // maxScoreAccumulate runs the max-score accumulation loop over prepared
 // terms, optionally restricted to a DocID range (the sharded path), and
-// returns the local top k plus scan statistics.
+// returns the local top k plus scan statistics. Tombstoned documents (the
+// source's LiveSource mask) are dropped before the seen/admission check,
+// so they are never scored and never influence the threshold.
 func maxScoreAccumulate(ctx context.Context, idx index.Source, s Scorer, terms []termInfo, suffixBound []float64, k int, rng *docRange) ([]Hit, RetrievalStats, error) {
 	var st RetrievalStats
+	live := liveMask(idx)
 	acc := make(map[index.DocID]float64)
 	var th threshold // k-th best score so far
 	th.init(k)
@@ -202,6 +209,10 @@ func maxScoreAccumulate(ctx context.Context, idx index.Source, s Scorer, terms [
 				if err := ctx.Err(); err != nil {
 					return nil, st, err
 				}
+			}
+			if live != nil && !live.Live(p.Doc) {
+				skipped++
+				continue
 			}
 			if _, seen := acc[p.Doc]; !seen && !newDocsAllowed {
 				// This document can only score within terms[i:], bounded by

@@ -337,6 +337,7 @@ func (a *bmAcc) selectTop(k int) []Hit {
 // skipped undecoded.
 func blockMaxAccumulate(ctx context.Context, idx index.Source, s Scorer, terms []bmTerm, suffixBound []float64, k int, rng *docRange) ([]Hit, RetrievalStats, error) {
 	var st RetrievalStats
+	live := liveMask(idx)
 	lo, hi := index.DocID(0), index.DocID(idx.NumDocs())
 	if rng != nil {
 		lo, hi = rng.Lo, rng.Hi
@@ -414,6 +415,12 @@ func blockMaxAccumulate(ctx context.Context, idx index.Source, s Scorer, terms [
 				}
 				if p.Doc >= hi {
 					break
+				}
+				// Tombstoned documents are dropped before the seen check:
+				// never admitted, never scored, invisible to the threshold.
+				if live != nil && !live.Live(p.Doc) {
+					st.Skipped++
+					continue
 				}
 				if !acc.isSeen(p.Doc) {
 					if !blockNewOK {

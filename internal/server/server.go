@@ -3,14 +3,16 @@
 // whole search pipeline). Routes are versioned under /v1/; the unversioned
 // spellings are kept as aliases for old clients:
 //
-//	GET /v1/search?q=<text>&k=<n>[&beta=<b>][&pool=<d>][&trace=1]  ranked results (Equation 3)
-//	GET /v1/explain?q=<text>&id=<doc>&paths=<n>[&trace=1]          overlap + relationship paths
-//	GET /v1/dot?q=<text>&id=<doc>                                  Graphviz rendering of the pair
-//	GET /v1/healthz                                                liveness: 200 while the process serves at all
-//	GET /v1/readyz                                                 readiness: 200, or 503 while draining
-//	GET /v1/stats                                                  engine and graph statistics
-//	GET /v1/metrics                                                metric registry as JSON
-//	GET /v1/metrics/prom                                           Prometheus text exposition
+//	GET    /v1/search?q=<text>&k=<n>[&beta=<b>][&pool=<d>][&trace=1]  ranked results (Equation 3)
+//	GET    /v1/explain?q=<text>&id=<doc>&paths=<n>[&trace=1]          overlap + relationship paths
+//	GET    /v1/dot?q=<text>&id=<doc>                                  Graphviz rendering of the pair
+//	POST   /v1/docs                                                   add or replace one document (upsert)
+//	DELETE /v1/docs/{id}                                              tombstone one document
+//	GET    /v1/healthz                                                liveness: 200 while the process serves at all
+//	GET    /v1/readyz                                                 readiness: 200, or 503 while draining
+//	GET    /v1/stats                                                  engine and graph statistics
+//	GET    /v1/metrics                                                metric registry as JSON
+//	GET    /v1/metrics/prom                                           Prometheus text exposition
 //
 // Errors use a uniform JSON envelope {"error": {"code", "message"}}. A
 // request whose context is cancelled by the client maps to 499, one that
@@ -149,18 +151,22 @@ func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	routes := []struct {
-		name   string
-		h      http.HandlerFunc
-		weight int64 // 0 = exempt from admission control
+		method  string
+		pattern string // path pattern under the version prefix
+		name    string // metric/log label
+		h       http.HandlerFunc
+		weight  int64 // 0 = exempt from admission control
 	}{
-		{"search", s.handleSearch, 1},
-		{"explain", s.handleExplain, 2},
-		{"dot", s.handleDOT, 2},
-		{"healthz", s.handleHealth, 0},
-		{"readyz", s.handleReady, 0},
-		{"stats", s.handleStats, 0},
-		{"metrics", s.handleMetrics, 0},
-		{"metrics/prom", s.handleMetricsProm, 0},
+		{"GET", "search", "search", s.handleSearch, 1},
+		{"GET", "explain", "explain", s.handleExplain, 2},
+		{"GET", "dot", "dot", s.handleDOT, 2},
+		{"POST", "docs", "docs_upsert", s.handleDocUpsert, 1},
+		{"DELETE", "docs/{id}", "docs_delete", s.handleDocDelete, 1},
+		{"GET", "healthz", "healthz", s.handleHealth, 0},
+		{"GET", "readyz", "readyz", s.handleReady, 0},
+		{"GET", "stats", "stats", s.handleStats, 0},
+		{"GET", "metrics", "metrics", s.handleMetrics, 0},
+		{"GET", "metrics/prom", "metrics/prom", s.handleMetricsProm, 0},
 	}
 	for _, rt := range routes {
 		h := rt.h
@@ -169,7 +175,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		h = s.instrument(rt.name, h)
 		for _, prefix := range []string{"/v1", ""} {
-			mux.HandleFunc("GET "+prefix+"/"+rt.name, h)
+			mux.HandleFunc(rt.method+" "+prefix+"/"+rt.pattern, h)
 		}
 	}
 	return mux
@@ -208,10 +214,27 @@ type ExplainResponse struct {
 
 // StatsResponse is the /stats reply.
 type StatsResponse struct {
-	Docs     int `json:"docs"`
-	KGNodes  int `json:"kg_nodes"`
-	KGEdges  int `json:"kg_edges"`
-	KGLabels int `json:"kg_labels"`
+	Docs        int `json:"docs"`
+	Segments    int `json:"segments"`
+	DeletedDocs int `json:"deleted_docs"`
+	KGNodes     int `json:"kg_nodes"`
+	KGEdges     int `json:"kg_edges"`
+	KGLabels    int `json:"kg_labels"`
+}
+
+// DocPayload is the POST /docs request body. ID is a pointer so a missing
+// id is distinguishable from document 0.
+type DocPayload struct {
+	ID    *int   `json:"id"`
+	Title string `json:"title"`
+	Text  string `json:"text"`
+}
+
+// DocResponse acknowledges a document write.
+type DocResponse struct {
+	ID   int    `json:"id"`
+	Docs int    `json:"docs"`
+	Op   string `json:"op"`
 }
 
 // ErrorBody is the inner object of the error envelope.
@@ -399,6 +422,53 @@ func (s *Server) handleDOT(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// maxDocBody bounds the POST /docs request body; like the query-parameter
+// caps it keeps one unauthenticated request from sizing server allocations.
+const maxDocBody = 1 << 20
+
+// handleDocUpsert adds or replaces one document (engine Update semantics:
+// a new ID is added, an existing one is atomically replaced). The engine
+// embeds the text before indexing, so this is the expensive write path;
+// it carries admission weight like a query.
+func (s *Server) handleDocUpsert(w http.ResponseWriter, r *http.Request) {
+	var p DocPayload
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxDocBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		badRequest(w, "invalid JSON body: %v", err)
+		return
+	}
+	if p.ID == nil || *p.ID < 0 {
+		badRequest(w, "missing or negative field id")
+		return
+	}
+	if p.Text == "" {
+		badRequest(w, "missing field text")
+		return
+	}
+	if err := s.engine.Update(newslink.Document{ID: *p.ID, Title: p.Title, Text: p.Text}); err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DocResponse{ID: *p.ID, Docs: s.engine.NumDocs(), Op: "upsert"})
+}
+
+// handleDocDelete tombstones one document by ID; it disappears from
+// search results immediately and its index space is reclaimed by the next
+// segment merge. Unknown (or already deleted) IDs answer 404.
+func (s *Server) handleDocDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		badRequest(w, "path parameter id must be a non-negative integer")
+		return
+	}
+	if err := s.engine.Delete(id); err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DocResponse{ID: id, Docs: s.engine.NumDocs(), Op: "delete"})
+}
+
 // handleHealth is the liveness probe: 200 as long as the process can
 // serve HTTP at all. It stays 200 during a drain — restarting a process
 // because it is shutting down would be counterproductive.
@@ -440,10 +510,12 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	g := s.engine.Graph()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Docs:     s.engine.NumDocs(),
-		KGNodes:  g.NumNodes(),
-		KGEdges:  g.NumEdges(),
-		KGLabels: labelCount(g),
+		Docs:        s.engine.NumDocs(),
+		Segments:    s.engine.NumSegments(),
+		DeletedDocs: s.engine.NumDeletedDocs(),
+		KGNodes:     g.NumNodes(),
+		KGEdges:     g.NumEdges(),
+		KGLabels:    labelCount(g),
 	})
 }
 

@@ -165,11 +165,12 @@ type Explanation struct {
 }
 
 // Engine indexes a corpus and serves NewsLink searches. It is safe for
-// concurrent use: Search, Explain and ExplainDOT run as readers under a
-// shared lock, while Add, AddAll, Build and Refresh are writers, so late
-// additions may interleave freely with in-flight queries. Reads capture an
-// immutable index snapshot and then run lock-free, so a long query never
-// blocks indexing for its full duration.
+// concurrent use: Search, Explain and ExplainDOT are lock-free readers —
+// they load the atomically-published segment set and work against that
+// immutable view for the whole request — while Add, AddAll, Build,
+// Refresh, Delete, Update and Compact serialize on a writer mutex, so
+// writes of any kind interleave freely with in-flight queries and a long
+// query never blocks indexing.
 type Engine struct {
 	cfg      Config
 	g        *kg.Graph
@@ -177,18 +178,23 @@ type Engine struct {
 	searcher *core.Searcher
 	embedder *core.Embedder
 
-	// mu guards the mutable index state below. The NLP pipeline, embedder
-	// and searcher above are stateless after construction and need no lock.
-	mu         sync.RWMutex
-	docs       []Document
-	embeddings []*core.DocEmbedding // aligned with docs; nil if unembeddable
-	docPos     map[int]int          // Document.ID -> position in docs
+	// set is the published, immutable segment set (segment.go); nil until
+	// Build. Readers load it atomically; writers rebuild and swap it under
+	// mu.
+	set atomic.Pointer[segmentSet]
+	// pending counts documents in the open (un-searchable) segment, read
+	// lock-free by acquire to decide whether a search must refresh first.
+	pending atomic.Int64
 
-	textB, nodeB *index.Builder
-	textIdx      index.Source
-	nodeIdx      index.Source
-	built        bool
-	pending      int // documents in the open (un-searchable) segment
+	// mu serializes writers and guards the open-segment accumulation state
+	// below. The NLP pipeline, embedder and searcher above are stateless
+	// after construction and need no lock.
+	mu       sync.Mutex
+	pendDocs []Document
+	pendEmbs []*core.DocEmbedding // aligned with pendDocs; nil if unembeddable
+	pendPos  map[int]int          // Document.ID -> position in pendDocs
+	textB    *index.Builder
+	nodeB    *index.Builder
 
 	queries *queryCache
 
@@ -233,7 +239,7 @@ func New(g *kg.Graph, cfg Config) *Engine {
 		pipe:     nlp.NewPipeline(g.Index()),
 		searcher: s,
 		embedder: core.NewEmbedder(s),
-		docPos:   make(map[int]int),
+		pendPos:  make(map[int]int),
 		textB:    index.NewBuilder(),
 		nodeB:    index.NewBuilder(),
 		queries:  newQueryCache(64, met.cacheHits, met.cacheMisses),
@@ -245,11 +251,35 @@ func New(g *kg.Graph, cfg Config) *Engine {
 // Graph returns the underlying knowledge graph.
 func (e *Engine) Graph() *kg.Graph { return e.g }
 
-// NumDocs returns the number of added documents.
+// NumDocs returns the number of live documents: everything added (sealed
+// or still pending) minus tombstoned deletes.
 func (e *Engine) NumDocs() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.docs)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := len(e.pendDocs)
+	if s := e.set.Load(); s != nil {
+		n += s.numLive()
+	}
+	return n
+}
+
+// NumSegments returns the number of sealed segments currently serving
+// searches (0 before Build). Refresh appends one; the tiered merge policy
+// and Compact shrink it.
+func (e *Engine) NumSegments() int {
+	if s := e.set.Load(); s != nil {
+		return len(s.segs)
+	}
+	return 0
+}
+
+// NumDeletedDocs returns the number of tombstoned documents still held in
+// segments (they stop counting once a merge rewrites their segment).
+func (e *Engine) NumDeletedDocs() int {
+	if s := e.set.Load(); s != nil {
+		return s.deleted
+	}
+	return 0
 }
 
 // Add processes and indexes one document: NLP (Section IV), subgraph
@@ -271,30 +301,41 @@ func (e *Engine) Add(doc Document) error {
 	return e.addLocked(doc, emb, terms)
 }
 
-// addLocked appends one analyzed document. Callers hold e.mu.
+// addLocked appends one analyzed document to the open segment. A document
+// ID is a duplicate when it is pending or live; a tombstoned ID may be
+// re-added (that is what Update does). Callers hold e.mu.
 func (e *Engine) addLocked(doc Document, emb *core.DocEmbedding, terms []string) error {
-	if _, dup := e.docPos[doc.ID]; dup {
+	if _, dup := e.pendPos[doc.ID]; dup {
 		return fmt.Errorf("%w: %d", ErrDuplicateID, doc.ID)
 	}
+	s := e.set.Load()
+	if s != nil {
+		if _, dup := s.docPos[doc.ID]; dup {
+			return fmt.Errorf("%w: %d", ErrDuplicateID, doc.ID)
+		}
+	}
 	e.ensureSegment()
-	e.docPos[doc.ID] = len(e.docs)
-	e.docs = append(e.docs, doc)
-	e.embeddings = append(e.embeddings, emb)
+	e.pendPos[doc.ID] = len(e.pendDocs)
+	e.pendDocs = append(e.pendDocs, doc)
+	e.pendEmbs = append(e.pendEmbs, emb)
 	e.textB.Add(terms)
 	e.nodeB.AddWeighted(nodeWeights(emb))
-	if e.built {
-		e.pending++
+	live := 0
+	if s != nil {
+		e.pending.Add(1)
+		live = s.numLive()
 	}
-	e.met.docs.Set(int64(len(e.docs)))
+	e.met.docs.Set(int64(live + len(e.pendDocs)))
 	return nil
 }
 
-// ensureSegment opens a fresh segment for post-Build additions. Callers
-// hold e.mu.
+// ensureSegment opens a fresh accumulation segment after the previous one
+// was sealed. Callers hold e.mu.
 func (e *Engine) ensureSegment() {
 	if e.textB == nil {
 		e.textB = index.NewBuilder()
 		e.nodeB = index.NewBuilder()
+		e.pendPos = make(map[int]int)
 	}
 }
 
@@ -309,16 +350,36 @@ func (e *Engine) Refresh() {
 	e.refreshLocked()
 }
 
-// refreshLocked attaches the open segment. Callers hold e.mu.
+// refreshLocked seals the open segment, appends it to the published set
+// and lets the tiered merge policy compact qualifying runs. Callers hold
+// e.mu.
 func (e *Engine) refreshLocked() {
-	if !e.built || e.pending == 0 {
+	s := e.set.Load()
+	if s == nil || len(e.pendDocs) == 0 {
 		return
 	}
-	e.textIdx = index.NewMulti(e.textIdx, e.textB.Build())
-	e.nodeIdx = index.NewMulti(e.nodeIdx, e.nodeB.Build())
-	e.textB, e.nodeB = nil, nil
-	e.pending = 0
+	seg := e.sealPendingLocked()
+	segs := make([]*segment, 0, len(s.segs)+1)
+	segs = append(segs, s.segs...)
+	segs = append(segs, seg)
+	e.publishLocked(e.applyMergePolicyLocked(segs))
 	e.met.refreshes.Inc()
+}
+
+// sealPendingLocked turns the open segment's accumulated state into an
+// immutable segment and resets the accumulators. Callers hold e.mu and
+// have checked that pending documents exist.
+func (e *Engine) sealPendingLocked() *segment {
+	seg := &segment{
+		docs: e.pendDocs,
+		embs: e.pendEmbs,
+		text: e.textB.Build(),
+		node: e.nodeB.Build(),
+	}
+	e.pendDocs, e.pendEmbs, e.pendPos = nil, nil, nil
+	e.textB, e.nodeB = nil, nil
+	e.pending.Store(0)
+	return seg
 }
 
 // analyzeQuery is analyze with LRU memoization; Search, Explain and
@@ -369,16 +430,114 @@ func nodeTerm(n kg.NodeID) string { return strconv.FormatUint(uint64(n), 36) }
 func (e *Engine) Build() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.built {
+	if e.set.Load() != nil {
 		return ErrAlreadyBuilt
 	}
-	if len(e.docs) == 0 {
+	if len(e.pendDocs) == 0 {
 		return ErrNoDocuments
 	}
-	e.textIdx = e.textB.Build()
-	e.nodeIdx = e.nodeB.Build()
-	e.textB, e.nodeB = nil, nil
-	e.built = true
+	e.publishLocked([]*segment{e.sealPendingLocked()})
+	return nil
+}
+
+// Delete tombstones a document by ID: it disappears from Search, Explain
+// and ExplainDOT immediately but — Lucene deletion semantics — keeps
+// counting in DF and average document length until a merge (the tiered
+// policy on Refresh, or Compact) rewrites its segment. An unknown or
+// already-deleted ID returns ErrUnknownDoc; an engine without Build
+// returns ErrNotBuilt. Safe to call concurrently with searches — the
+// tombstone is a copy-on-write swap of the published segment set.
+func (e *Engine) Delete(id int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.set.Load()
+	if s == nil {
+		return ErrNotBuilt
+	}
+	if _, ok := e.pendPos[id]; ok {
+		// The document is still in the open segment: seal it first so the
+		// tombstone lands in a sealed segment's bitmap.
+		e.refreshLocked()
+		s = e.set.Load()
+	}
+	pos, ok := s.docPos[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownDoc, id)
+	}
+	e.deleteAtLocked(s, pos)
+	return nil
+}
+
+// deleteAtLocked tombstones the document at a global position:
+// copy-on-write of the owning segment's bitmap, then a republish of the
+// set. Callers hold e.mu.
+func (e *Engine) deleteAtLocked(s *segmentSet, pos int) {
+	si, local := s.segIndexOf(pos)
+	old := s.segs[si]
+	var dead *index.Bitmap
+	if old.dead != nil {
+		dead = old.dead.Clone()
+	} else {
+		dead = index.NewBitmap(len(old.docs))
+	}
+	dead.Set(local)
+	clone := &segment{docs: old.docs, embs: old.embs, text: old.text, node: old.node, dead: dead}
+	// Tombstones are not part of the artifact identity (they live in
+	// meta.json), so the clone keeps the memoized snapshot artifacts.
+	clone.shareArtifact(old)
+	segs := make([]*segment, len(s.segs))
+	copy(segs, s.segs)
+	segs[si] = clone
+	e.publishLocked(segs)
+}
+
+// Update replaces the document with doc.ID by tombstoning the old version
+// (when one exists — Update is an upsert, so a new ID is simply added) and
+// indexing the new one. The replacement is atomic from a reader's point of
+// view: any search sees either the old version or the new one, never both.
+// Returns ErrNotBuilt before Build; use Add for initial corpus loading.
+func (e *Engine) Update(doc Document) error {
+	// Analysis reads only immutable state; do it before taking the lock.
+	emb, terms := e.analyze(doc.Text)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.set.Load()
+	if s == nil {
+		return ErrNotBuilt
+	}
+	if _, ok := e.pendPos[doc.ID]; ok {
+		// The previous version is still pending: seal it so the tombstone
+		// machinery below covers it.
+		e.refreshLocked()
+	}
+	if s = e.set.Load(); s != nil {
+		if pos, ok := s.docPos[doc.ID]; ok {
+			e.deleteAtLocked(s, pos)
+		}
+	}
+	return e.addLocked(doc, emb, terms)
+}
+
+// Compact merges every segment into a single tombstone-free segment,
+// rewriting postings without deleted documents so DF and average document
+// length reflect the live corpus again and block-max pruning gets full
+// blocks. A no-op on an already-compacted engine; ErrNotBuilt before
+// Build. Searches proceed concurrently against the pre-compaction set
+// until the swap.
+func (e *Engine) Compact() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.set.Load() == nil {
+		return ErrNotBuilt
+	}
+	e.refreshLocked()
+	s := e.set.Load()
+	if len(s.segs) == 0 || (len(s.segs) == 1 && s.deleted == 0) {
+		return nil
+	}
+	merged := mergeRun(s.segs)
+	e.met.segmentMerges.Inc()
+	e.publishLocked([]*segment{merged})
 	return nil
 }
 
@@ -389,47 +548,28 @@ func (e *Engine) Search(query string, k int) ([]Result, error) {
 	return e.SearchContext(context.Background(), Query{Text: query, K: k})
 }
 
-// snapshot captures an immutable view of the index state for one read
-// operation, sealing pending post-Build additions first.
-type snapshot struct {
-	textIdx, nodeIdx index.Source
-	docs             []Document
-	embeddings       []*core.DocEmbedding
-	docPos           map[int]int
-}
-
-// acquire returns a consistent snapshot of the searchable state, or
-// ErrNotBuilt. The returned docPos map must only be read: concurrent Adds
-// mutate it, so readers look positions up while holding the lock instead.
-func (e *Engine) acquire() (snapshot, error) {
-	e.mu.RLock()
-	if !e.built {
-		e.mu.RUnlock()
-		return snapshot{}, ErrNotBuilt
-	}
-	if e.pending > 0 {
-		e.mu.RUnlock()
+// acquire returns the published segment set for one read operation, or
+// ErrNotBuilt. When pending documents exist it refreshes first, so a
+// search always sees everything added before it started. The returned set
+// is immutable: the read runs lock-free against it for its full duration.
+func (e *Engine) acquire() (*segmentSet, error) {
+	if e.pending.Load() > 0 {
 		e.Refresh()
-		e.mu.RLock()
 	}
-	s := snapshot{
-		textIdx:    e.textIdx,
-		nodeIdx:    e.nodeIdx,
-		docs:       e.docs,
-		embeddings: e.embeddings,
+	s := e.set.Load()
+	if s == nil {
+		return nil, ErrNotBuilt
 	}
-	e.mu.RUnlock()
 	return s, nil
 }
 
-// lookup resolves a public document ID to its position, bounded by the
-// snapshot the caller holds (a doc added after the snapshot was taken is
-// reported unknown, keeping the read internally consistent).
-func (e *Engine) lookup(s snapshot, docID int) (int, error) {
-	e.mu.RLock()
-	pos, ok := e.docPos[docID]
-	e.mu.RUnlock()
-	if !ok || pos >= len(s.docs) {
+// lookup resolves a public document ID to its global position within the
+// set the caller holds. Tombstoned documents are absent from docPos, so a
+// deleted ID is unknown — Explain can never serve evidence for a document
+// Search would no longer return.
+func (e *Engine) lookup(s *segmentSet, docID int) (int, error) {
+	pos, ok := s.docPos[docID]
+	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrUnknownDoc, docID)
 	}
 	return pos, nil
@@ -500,10 +640,10 @@ func (e *Engine) searchContext(ctx context.Context, q Query) (SearchResponse, er
 	if err != nil {
 		return SearchResponse{}, err
 	}
-	// A candidate pool can never usefully exceed the corpus, so clamp it to
-	// the snapshot size; this keeps an attacker-sized PoolDepth from driving
-	// pool-sized allocations regardless of the calling path.
-	if n := len(snap.docs); pool > n {
+	// A candidate pool can never usefully exceed the live corpus, so clamp
+	// it to the set size; this keeps an attacker-sized PoolDepth from
+	// driving pool-sized allocations regardless of the calling path.
+	if n := snap.numLive(); pool > n {
 		pool = n
 	}
 	qEmb, qTerms := e.analyzeQuery(ctx, q.Text)
@@ -529,7 +669,7 @@ func (e *Engine) searchContext(ctx context.Context, q Query) (SearchResponse, er
 	sp = tr.Start(obs.StageTopK)
 	out := make([]Result, len(fused))
 	for i, h := range fused {
-		doc := snap.docs[h.Doc]
+		doc := snap.doc(int(h.Doc))
 		out[i] = Result{
 			ID:      doc.ID,
 			Title:   doc.Title,
@@ -602,7 +742,7 @@ func (e *Engine) explainContext(ctx context.Context, query string, docID int, ma
 		return Explanation{}, err
 	}
 	qEmb, _ := e.analyzeQuery(ctx, query)
-	dEmb := snap.embeddings[pos]
+	dEmb := snap.embedding(pos)
 	if qEmb == nil || dEmb == nil {
 		return Explanation{}, nil
 	}
@@ -709,7 +849,7 @@ func (e *Engine) ExplainDOTContext(ctx context.Context, query string, docID int,
 		return "", err
 	}
 	qEmb, _ := e.analyzeQuery(ctx, query)
-	dEmb := snap.embeddings[pos]
+	dEmb := snap.embedding(pos)
 	if qEmb == nil || dEmb == nil {
 		return "", nil
 	}

@@ -19,9 +19,13 @@ type engineMetrics struct {
 	cacheHits     *obs.Counter
 	cacheMisses   *obs.Counter
 	refreshes     *obs.Counter
+	segmentMerges *obs.Counter
 	blocksDecoded *obs.Counter
 	blocksSkipped *obs.Counter
 	docs          *obs.Gauge
+	segments      *obs.Gauge
+	liveDocs      *obs.Gauge
+	deletedDocs   *obs.Gauge
 	searchSeconds *obs.Histogram
 	// degraded counts searches served BOW-only, keyed by degradation
 	// reason. Both reasons are pre-registered in New so the series appear
@@ -47,9 +51,13 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		cacheHits:     r.Counter("newslink_query_cache_hits_total", "Query analyses served from the LRU cache."),
 		cacheMisses:   r.Counter("newslink_query_cache_misses_total", "Query analyses that ran the NLP + NE components."),
 		refreshes:     r.Counter("newslink_refreshes_total", "Segment refreshes (explicit and search-triggered)."),
+		segmentMerges: r.Counter("newslink_segment_merges_total", "Segment merges performed by the tiered policy and Compact."),
 		blocksDecoded: r.Counter("newslink_blocks_decoded_total", "Postings blocks decoded by block-max retrieval."),
 		blocksSkipped: r.Counter("newslink_blocks_skipped_total", "Postings blocks pruned undecoded by the block-max bound."),
-		docs:          r.Gauge("newslink_docs", "Documents currently indexed."),
+		docs:          r.Gauge("newslink_docs", "Documents currently indexed (live plus pending, excluding tombstoned)."),
+		segments:      r.Gauge("newslink_segments", "Sealed segments currently serving searches."),
+		liveDocs:      r.Gauge("newslink_live_docs", "Live (searchable, non-tombstoned) documents in sealed segments."),
+		deletedDocs:   r.Gauge("newslink_deleted_docs", "Tombstoned documents still held in segments (reclaimed by merges)."),
 		searchSeconds: r.Histogram("newslink_search_seconds", "End-to-end latency of SearchContext.", nil),
 		degraded: map[string]*obs.Counter{
 			DegradedBONError: r.Counter("newslink_search_degraded_total",

@@ -35,7 +35,7 @@ type retrieval struct {
 // degraded reply beats a 5xx. A request whose own context ended still
 // fails with that context's error, and single-sided requests (β = 0 or
 // β = 1) keep strict error semantics: they have nothing to fall back to.
-func (e *Engine) retrieve(ctx context.Context, snap snapshot, qEmb *core.DocEmbedding, qTerms []string, beta float64, pool int) (retrieval, error) {
+func (e *Engine) retrieve(ctx context.Context, snap *segmentSet, qEmb *core.DocEmbedding, qTerms []string, beta float64, pool int) (retrieval, error) {
 	tr := obs.FromContext(ctx)
 	runBOW := beta < 1
 	runBON := beta > 0 && qEmb != nil
@@ -44,7 +44,7 @@ func (e *Engine) retrieve(ctx context.Context, snap snapshot, qEmb *core.DocEmbe
 	retrieveBOW := func(ctx context.Context) {
 		sp := tr.Start(obs.StageBOW)
 		var st search.RetrievalStats
-		bow, st, bowErr = topKAuto(ctx, snap.textIdx, search.NewBM25(snap.textIdx), search.NewQuery(qTerms), pool)
+		bow, st, bowErr = topKAuto(ctx, snap.text, search.NewBM25(snap.text), search.NewQuery(qTerms), pool)
 		e.met.blocksObserve(st)
 		d := sp.End(retrievalAttrs(len(bow), st)...)
 		e.met.stageObserve(obs.StageBOW, d)
@@ -69,10 +69,10 @@ func (e *Engine) retrieve(ctx context.Context, snap snapshot, qEmb *core.DocEmbe
 		// penalty), and node frequencies saturate quickly so BON behaves
 		// as an idf-weighted node-set match. This keeps Equation 3's text
 		// ranking authoritative within clusters of same-event stories.
-		bonScorer := search.NewBM25(snap.nodeIdx)
+		bonScorer := search.NewBM25(snap.node)
 		bonScorer.B = 0
 		bonScorer.K1 = 0.4
-		bon, st, bonErr = topKAuto(ctx, snap.nodeIdx, bonScorer, nq, pool)
+		bon, st, bonErr = topKAuto(ctx, snap.node, bonScorer, nq, pool)
 	}
 	switch {
 	case runBOW && runBON:

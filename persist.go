@@ -1,6 +1,9 @@
 package newslink
 
 import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,46 +18,67 @@ import (
 	"newslink/internal/kg"
 )
 
-// Snapshot layout: a directory with
+// Snapshot layout (version 4): a directory with
 //
-//	meta.json   engine config, document metadata, graph fingerprint,
-//	            and a CRC32-C checksum per artifact
-//	text.idx    BOW inverted index (binary)
-//	node.idx    BON inverted index (binary)
-//	emb.bin     per-document subgraph embeddings (binary)
+//	meta.json             engine config, graph fingerprint, the ordered
+//	                      segment list (documents + tombstone bitmap per
+//	                      segment) and a CRC32-C checksum per artifact
+//	seg-<id>.text.idx     BOW inverted index of one segment (binary)
+//	seg-<id>.node.idx     BON inverted index of one segment (binary)
+//	seg-<id>.emb.bin      per-document subgraph embeddings of one segment
+//
+// <id> is derived from the artifact contents (truncated SHA-256), which
+// makes saves incremental: a segment that already exists under the target
+// directory with matching checksums is hard-linked into the staged
+// snapshot instead of re-serialized, so saving after an incremental batch
+// rewrites only the new and merged segments plus meta.json. Tombstones
+// live in meta.json — not in the binary artifacts — so deletes never force
+// a segment rewrite either.
 //
 // A snapshot is only valid together with the knowledge graph it was built
 // on; Load verifies a structural fingerprint and rejects mismatches.
 //
-// Crash safety: Save never touches the target directory until the whole
-// snapshot is durable. It writes every artifact into a temporary sibling
-// directory, fsyncs each file and the directory itself, records a CRC32-C
-// checksum per artifact in meta.json, and only then renames the directory
-// into place (parking any previous snapshot and rolling it back if the
-// install fails). A crash at any point leaves either the old snapshot or
-// the new one — never a torn mix — and Load verifies version and
-// checksums so silent corruption surfaces as ErrSnapshotCorrupt instead
-// of a half-built engine.
+// Crash safety is unchanged from version 3: Save never touches the target
+// directory until the whole snapshot is durable. It stages everything in a
+// temporary sibling directory, fsyncs each file and the directory itself,
+// records a CRC32-C checksum per artifact in meta.json (written last), and
+// only then renames the directory into place (parking any previous
+// snapshot and rolling it back if the install fails). A crash at any point
+// leaves either the old snapshot or the new one — never a torn mix — and
+// Load verifies version and checksums so silent corruption surfaces as
+// ErrSnapshotCorrupt instead of a half-built engine.
 
-// snapshotVersion 3 switched the index artifacts to the block-compressed
-// postings format (NLIDX3: per-block summaries enabling block-max pruning
-// and block-granular disk reads); version 2 added per-artifact checksums to
-// meta.json. Older snapshots are rejected with ErrSnapshotVersion (re-save
-// to upgrade).
-const snapshotVersion = 3
+// snapshotVersion 4 switched to per-segment artifacts with tombstone
+// bitmaps in meta.json (content-addressed, enabling incremental saves);
+// version 3 was the block-compressed single-index layout, version 2 added
+// per-artifact checksums. Older snapshots are rejected with
+// ErrSnapshotVersion (re-save to upgrade).
+const snapshotVersion = 4
 
-// artifactNames are the binary artifacts covered by meta.json checksums.
-var artifactNames = [...]string{"text.idx", "node.idx", "emb.bin"}
+// segmentSuffixes are the binary artifacts every segment owns.
+var segmentSuffixes = [...]string{"text.idx", "node.idx", "emb.bin"}
+
+// segFileName names one segment artifact file inside the snapshot.
+func segFileName(id, suffix string) string { return "seg-" + id + "." + suffix }
 
 // castagnoli is the CRC32-C polynomial table (hardware-accelerated on
 // amd64/arm64), shared by Save and Load.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// segmentMeta describes one segment in meta.json: which artifact files it
+// reads (via ID), its documents in segment order, and the tombstone bitmap
+// (index.Bitmap codec, base64; absent when nothing is deleted).
+type segmentMeta struct {
+	ID   string     `json:"id"`
+	Docs []Document `json:"docs"`
+	Dead string     `json:"dead,omitempty"`
+}
+
 type snapshotMeta struct {
-	Version int        `json:"version"`
-	Config  Config     `json:"config"`
-	Graph   graphPrint `json:"graph"`
-	Docs    []Document `json:"docs"`
+	Version  int           `json:"version"`
+	Config   Config        `json:"config"`
+	Graph    graphPrint    `json:"graph"`
+	Segments []segmentMeta `json:"segments"`
 	// Checksums maps each artifact file to the CRC32-C of its contents,
 	// rendered as 8 hex digits.
 	Checksums map[string]string `json:"checksums"`
@@ -117,11 +141,42 @@ func syncDir(dir string) error {
 	return cerr
 }
 
+// oldSnapshot is what Save learns about an existing snapshot at the target
+// directory, for content-addressed artifact reuse. nil when the target has
+// no readable same-version snapshot (then everything is re-serialized).
+type oldSnapshot struct {
+	dir  string
+	ids  map[string]bool
+	sums map[string]string
+}
+
+func readOldSnapshot(dir string) *oldSnapshot {
+	data, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil
+	}
+	var m snapshotMeta
+	if json.Unmarshal(data, &m) != nil || m.Version != snapshotVersion {
+		return nil
+	}
+	old := &oldSnapshot{dir: dir, ids: make(map[string]bool, len(m.Segments)), sums: m.Checksums}
+	for _, sm := range m.Segments {
+		old.ids[sm.ID] = true
+	}
+	return old
+}
+
 // Save writes a snapshot of the built engine to dir (created if needed).
 // Adding documents to the corpus requires rebuilding; snapshots make the
 // expensive part — embedding the corpus (Figure 7) — a one-time cost.
-// Save is safe to call concurrently with searches; it seals any pending
-// segment first and serializes a consistent snapshot of that state.
+// Save is safe to call concurrently with searches and writers; it seals
+// any pending segment first and serializes a consistent capture of the
+// published segment set.
+//
+// Saves are incremental: segment artifacts are content-addressed, so a
+// segment already present in the snapshot being replaced is hard-linked
+// into the new one instead of rewritten — only new and merged segments
+// (and meta.json, which carries the tombstones) cost IO.
 //
 // The write is atomic with respect to crashes and failures: the snapshot
 // is staged in a temporary directory, fsynced, checksummed, and renamed
@@ -130,26 +185,17 @@ func syncDir(dir string) error {
 // directory is removed.
 func (e *Engine) Save(dir string) error {
 	// Seal and capture in one critical section: an Add landing between a
-	// separate Refresh and the capture would put documents into docs that
-	// are absent from the serialized indexes, silently losing them on Load.
+	// separate Refresh and the capture would leave documents behind that
+	// are absent from the serialized segments, silently losing them on
+	// Load.
 	e.mu.Lock()
 	e.refreshLocked()
-	built := e.built
-	docs := e.docs
-	embeddings := e.embeddings
-	textIdx, nodeIdx := e.textIdx, e.nodeIdx
+	set := e.set.Load()
 	e.mu.Unlock()
-	if !built {
+	if set == nil {
 		return ErrNotBuilt
 	}
-	textMem, err := asMemoryIndex(textIdx)
-	if err != nil {
-		return err
-	}
-	nodeMem, err := asMemoryIndex(nodeIdx)
-	if err != nil {
-		return err
-	}
+	old := readOldSnapshot(dir)
 	parent := filepath.Dir(filepath.Clean(dir))
 	if err := os.MkdirAll(parent, 0o755); err != nil {
 		return err
@@ -164,8 +210,8 @@ func (e *Engine) Save(dir string) error {
 			os.RemoveAll(tmp)
 		}
 	}()
-	sums := make(map[string]string, len(artifactNames))
-	writeArtifact := func(name string, write func(io.Writer) error) error {
+	sums := make(map[string]string)
+	writeArtifact := func(name string, extra io.Writer, write func(io.Writer) error) error {
 		if err := faults.Fire(faults.SaveWrite); err != nil {
 			return fmt.Errorf("newslink: writing %s: %w", name, err)
 		}
@@ -174,7 +220,11 @@ func (e *Engine) Save(dir string) error {
 			return err
 		}
 		h := crc32.New(castagnoli)
-		if err := write(io.MultiWriter(f, h)); err != nil {
+		w := io.MultiWriter(f, h)
+		if extra != nil {
+			w = io.MultiWriter(f, h, extra)
+		}
+		if err := write(w); err != nil {
 			f.Close()
 			return fmt.Errorf("newslink: writing %s: %w", name, err)
 		}
@@ -190,28 +240,26 @@ func (e *Engine) Save(dir string) error {
 		sums[name] = checksumString(h.Sum32())
 		return nil
 	}
-	if err := writeArtifact("text.idx", func(w io.Writer) error {
-		_, err := textMem.WriteTo(w)
-		return err
-	}); err != nil {
-		return err
-	}
-	if err := writeArtifact("node.idx", func(w io.Writer) error {
-		_, err := nodeMem.WriteTo(w)
-		return err
-	}); err != nil {
-		return err
-	}
-	if err := writeArtifact("emb.bin", func(w io.Writer) error {
-		return core.WriteEmbeddings(w, embeddings)
-	}); err != nil {
-		return err
+	segMetas := make([]segmentMeta, 0, len(set.segs))
+	for si, seg := range set.segs {
+		art := seg.art.Load()
+		if art == nil || !reuseSegment(old, art, tmp, sums) {
+			if art, err = writeSegment(tmp, si, seg, writeArtifact, sums); err != nil {
+				return err
+			}
+			seg.art.Store(art)
+		}
+		sm := segmentMeta{ID: art.id, Docs: seg.docs}
+		if seg.dead.Any() {
+			sm.Dead = base64.StdEncoding.EncodeToString(seg.dead.Encode())
+		}
+		segMetas = append(segMetas, sm)
 	}
 	meta := snapshotMeta{
 		Version:   snapshotVersion,
 		Config:    e.cfg,
 		Graph:     fingerprint(e.g),
-		Docs:      docs,
+		Segments:  segMetas,
 		Checksums: sums,
 	}
 	metaBytes, err := json.MarshalIndent(&meta, "", "  ")
@@ -220,12 +268,13 @@ func (e *Engine) Save(dir string) error {
 	}
 	// meta.json goes last: it references the checksums of everything else,
 	// so its presence marks the artifact set complete.
-	if err := writeArtifact("meta.json", func(w io.Writer) error {
+	if err := writeArtifact("meta.json", nil, func(w io.Writer) error {
 		_, err := w.Write(metaBytes)
 		return err
 	}); err != nil {
 		return err
 	}
+	delete(sums, "meta.json") // not self-referenced
 	if err := syncDir(tmp); err != nil {
 		return err
 	}
@@ -234,6 +283,78 @@ func (e *Engine) Save(dir string) error {
 	}
 	committed = true
 	return nil
+}
+
+// reuseSegment hard-links a segment's artifacts from the existing snapshot
+// into the staging directory when the old snapshot provably holds the same
+// content (same content-derived id, same recorded checksums). Returns
+// false — and leaves any partial links to be overwritten by a fresh
+// serialization — when reuse is not possible.
+func reuseSegment(old *oldSnapshot, art *segmentArtifact, tmp string, sums map[string]string) bool {
+	if old == nil || !old.ids[art.id] {
+		return false
+	}
+	for _, suffix := range segmentSuffixes {
+		name := segFileName(art.id, suffix)
+		if old.sums[name] != art.sums[name] || art.sums[name] == "" {
+			return false
+		}
+	}
+	for _, suffix := range segmentSuffixes {
+		name := segFileName(art.id, suffix)
+		if _, done := sums[name]; done {
+			continue // an identical segment already staged this file
+		}
+		if err := os.Link(filepath.Join(old.dir, name), filepath.Join(tmp, name)); err != nil {
+			return false
+		}
+		sums[name] = art.sums[name]
+	}
+	return true
+}
+
+// writeSegment serializes one segment's three artifacts into the staging
+// directory. Files are first written under staging names while a running
+// SHA-256 over their concatenation derives the content id, then renamed to
+// their final seg-<id>.* names. The returned artifact identity is memoized
+// on the segment so the next Save can reuse the files via hard links.
+func writeSegment(tmp string, si int, seg *segment, writeArtifact func(string, io.Writer, func(io.Writer) error) error, sums map[string]string) (*segmentArtifact, error) {
+	textMem, err := asMemoryIndex(seg.text)
+	if err != nil {
+		return nil, err
+	}
+	nodeMem, err := asMemoryIndex(seg.node)
+	if err != nil {
+		return nil, err
+	}
+	digest := sha256.New()
+	writers := []struct {
+		suffix string
+		write  func(io.Writer) error
+	}{
+		{"text.idx", func(w io.Writer) error { _, err := textMem.WriteTo(w); return err }},
+		{"node.idx", func(w io.Writer) error { _, err := nodeMem.WriteTo(w); return err }},
+		{"emb.bin", func(w io.Writer) error { return core.WriteEmbeddings(w, seg.embs) }},
+	}
+	staged := make([]string, len(writers))
+	for i, a := range writers {
+		staged[i] = fmt.Sprintf("stage-%d.%s", si, a.suffix)
+		if err := writeArtifact(staged[i], digest, a.write); err != nil {
+			return nil, err
+		}
+	}
+	id := hex.EncodeToString(digest.Sum(nil))[:16]
+	art := &segmentArtifact{id: id, sums: make(map[string]string, len(writers))}
+	for i, a := range writers {
+		name := segFileName(id, a.suffix)
+		if err := os.Rename(filepath.Join(tmp, staged[i]), filepath.Join(tmp, name)); err != nil {
+			return nil, err
+		}
+		art.sums[name] = sums[staged[i]]
+		delete(sums, staged[i])
+		sums[name] = art.sums[name]
+	}
+	return art, nil
 }
 
 // installSnapshot atomically replaces dir with the staged snapshot in
@@ -274,15 +395,16 @@ func installSnapshot(tmp, dir string) error {
 	return syncDir(filepath.Dir(filepath.Clean(dir)))
 }
 
-// Load restores an engine snapshot written by Save, reading both inverted
+// Load restores an engine snapshot written by Save, reading all segment
 // indexes fully into memory. g must be the same knowledge graph the
 // snapshot was built on (verified by fingerprint).
 //
 // Load verifies the snapshot before building any state: a format-version
 // mismatch returns ErrSnapshotVersion, and an unparsable meta.json, a
-// missing or truncated artifact, a checksum mismatch, or inconsistent
-// document counts return ErrSnapshotCorrupt (match both with errors.Is).
-// On any error no engine is returned — never a partially loaded one.
+// missing or truncated artifact, a checksum mismatch, a corrupt tombstone
+// bitmap, or inconsistent document counts return ErrSnapshotCorrupt
+// (match both with errors.Is). On any error no engine is returned — never
+// a partially loaded one.
 func Load(dir string, g *kg.Graph) (*Engine, error) {
 	return load(dir, g, false)
 }
@@ -290,9 +412,9 @@ func Load(dir string, g *kg.Graph) (*Engine, error) {
 // LoadOnDisk restores a snapshot but serves the inverted indexes directly
 // from the snapshot files (postings are read on demand), so startup cost
 // and resident memory stay flat as the corpus grows. The engine holds the
-// files open until Close; it cannot be re-saved. Integrity verification
-// streams each artifact once at open time (sequential IO, no resident
-// memory); the same typed errors as Load apply.
+// files open until Close. Integrity verification streams each artifact
+// once at open time (sequential IO, no resident memory); the same typed
+// errors as Load apply.
 func LoadOnDisk(dir string, g *kg.Graph) (*Engine, error) {
 	return load(dir, g, true)
 }
@@ -300,10 +422,16 @@ func LoadOnDisk(dir string, g *kg.Graph) (*Engine, error) {
 // Close releases the snapshot files of an engine opened with LoadOnDisk
 // (a no-op for in-memory engines).
 func (e *Engine) Close() error {
-	for _, src := range []index.Source{e.textIdx, e.nodeIdx} {
-		if c, ok := src.(*index.DiskIndex); ok {
-			if err := c.Close(); err != nil {
-				return err
+	s := e.set.Load()
+	if s == nil {
+		return nil
+	}
+	for _, seg := range s.segs {
+		for _, src := range []index.Source{seg.text, seg.node} {
+			if c, ok := src.(*index.DiskIndex); ok {
+				if err := c.Close(); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -327,72 +455,129 @@ func load(dir string, g *kg.Graph, onDisk bool) (*Engine, error) {
 	}
 	// Verify every artifact against its recorded checksum before building
 	// any engine state: a torn write or bit flip must surface as a typed
-	// error, never as a half-built engine.
-	for _, name := range artifactNames {
-		want, ok := meta.Checksums[name]
-		if !ok {
-			return nil, fmt.Errorf("%w: meta.json has no checksum for %s", ErrSnapshotCorrupt, name)
-		}
-		got, err := fileChecksum(filepath.Join(dir, name))
-		if err != nil {
-			return nil, fmt.Errorf("%w: %s: %v", ErrSnapshotCorrupt, name, err)
-		}
-		if got != want {
-			return nil, fmt.Errorf("%w: %s checksum %s, want %s", ErrSnapshotCorrupt, name, got, want)
+	// error, never as a half-built engine. Content-addressed ids may share
+	// files between identical segments; verify each file once.
+	verified := make(map[string]bool)
+	for _, sm := range meta.Segments {
+		for _, suffix := range segmentSuffixes {
+			name := segFileName(sm.ID, suffix)
+			if verified[name] {
+				continue
+			}
+			want, ok := meta.Checksums[name]
+			if !ok {
+				return nil, fmt.Errorf("%w: meta.json has no checksum for %s", ErrSnapshotCorrupt, name)
+			}
+			got, err := fileChecksum(filepath.Join(dir, name))
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s: %v", ErrSnapshotCorrupt, name, err)
+			}
+			if got != want {
+				return nil, fmt.Errorf("%w: %s checksum %s, want %s", ErrSnapshotCorrupt, name, got, want)
+			}
+			verified[name] = true
 		}
 	}
 	e := New(g, meta.Config)
-	e.docs = meta.Docs
-	for i, d := range e.docs {
-		e.docPos[d.ID] = i
-	}
-	e.met.docs.Set(int64(len(e.docs)))
-	readFile := func(name string, fn func(*os.File) error) error {
-		f, err := os.Open(filepath.Join(dir, name))
-		if err != nil {
-			return fmt.Errorf("%w: %s: %v", ErrSnapshotCorrupt, name, err)
-		}
-		defer f.Close()
-		if err := fn(f); err != nil {
-			return fmt.Errorf("%w: reading %s: %v", ErrSnapshotCorrupt, name, err)
-		}
-		return nil
-	}
-	if onDisk {
-		if e.textIdx, err = index.OpenDiskIndex(filepath.Join(dir, "text.idx")); err != nil {
-			return nil, fmt.Errorf("%w: text.idx: %v", ErrSnapshotCorrupt, err)
-		}
-		if e.nodeIdx, err = index.OpenDiskIndex(filepath.Join(dir, "node.idx")); err != nil {
-			e.Close()
-			return nil, fmt.Errorf("%w: node.idx: %v", ErrSnapshotCorrupt, err)
-		}
-	} else {
-		if err := readFile("text.idx", func(f *os.File) error {
-			e.textIdx, err = index.ReadIndex(f)
-			return err
-		}); err != nil {
-			return nil, err
-		}
-		if err := readFile("node.idx", func(f *os.File) error {
-			e.nodeIdx, err = index.ReadIndex(f)
-			return err
-		}); err != nil {
-			return nil, err
-		}
-	}
-	if err := readFile("emb.bin", func(f *os.File) error {
-		e.embeddings, err = core.ReadEmbeddings(f, g)
-		return err
-	}); err != nil {
-		e.Close()
+	segs := make([]*segment, 0, len(meta.Segments))
+	fail := func(err error) (*Engine, error) {
+		closeSegments(segs)
 		return nil, err
 	}
-	if e.textIdx.NumDocs() != len(e.docs) || len(e.embeddings) != len(e.docs) {
-		e.Close()
-		return nil, fmt.Errorf("%w: %d docs, %d indexed, %d embeddings",
-			ErrSnapshotCorrupt, len(e.docs), e.textIdx.NumDocs(), len(e.embeddings))
+	for _, sm := range meta.Segments {
+		seg, err := loadSegment(dir, sm, meta.Checksums, g, onDisk)
+		if err != nil {
+			return fail(err)
+		}
+		segs = append(segs, seg)
 	}
-	e.textB, e.nodeB = nil, nil
-	e.built = true
+	e.mu.Lock()
+	e.publishLocked(segs)
+	e.mu.Unlock()
 	return e, nil
+}
+
+// loadSegment restores one segment from its artifacts (already checksum-
+// verified). The artifact identity from meta.json is memoized on the
+// segment so a later Save can reuse the files without rewriting them.
+func loadSegment(dir string, sm segmentMeta, checksums map[string]string, g *kg.Graph, onDisk bool) (*segment, error) {
+	seg := &segment{docs: sm.Docs}
+	corrupt := func(name string, err error) (*segment, error) {
+		closeSegments([]*segment{seg})
+		return nil, fmt.Errorf("%w: %s: %v", ErrSnapshotCorrupt, name, err)
+	}
+	for _, suffix := range []string{"text.idx", "node.idx"} {
+		name := segFileName(sm.ID, suffix)
+		var src index.Source
+		if onDisk {
+			d, err := index.OpenDiskIndex(filepath.Join(dir, name))
+			if err != nil {
+				return corrupt(name, err)
+			}
+			src = d
+		} else {
+			f, err := os.Open(filepath.Join(dir, name))
+			if err != nil {
+				return corrupt(name, err)
+			}
+			idx, err := index.ReadIndex(f)
+			f.Close()
+			if err != nil {
+				return corrupt(name, err)
+			}
+			src = idx
+		}
+		if suffix == "text.idx" {
+			seg.text = src
+		} else {
+			seg.node = src
+		}
+	}
+	embName := segFileName(sm.ID, "emb.bin")
+	f, err := os.Open(filepath.Join(dir, embName))
+	if err != nil {
+		return corrupt(embName, err)
+	}
+	seg.embs, err = core.ReadEmbeddings(f, g)
+	f.Close()
+	if err != nil {
+		return corrupt(embName, err)
+	}
+	if sm.Dead != "" {
+		raw, err := base64.StdEncoding.DecodeString(sm.Dead)
+		if err != nil {
+			return corrupt("meta.json", fmt.Errorf("tombstones of segment %s: %v", sm.ID, err))
+		}
+		dead, err := index.DecodeBitmap(raw)
+		if err != nil {
+			return corrupt("meta.json", fmt.Errorf("tombstones of segment %s: %v", sm.ID, err))
+		}
+		if dead.Len() != len(sm.Docs) {
+			return corrupt("meta.json", fmt.Errorf("tombstone bitmap covers %d docs, segment has %d", dead.Len(), len(sm.Docs)))
+		}
+		seg.dead = dead
+	}
+	if seg.text.NumDocs() != len(sm.Docs) || seg.node.NumDocs() != len(sm.Docs) || len(seg.embs) != len(sm.Docs) {
+		return corrupt("meta.json", fmt.Errorf("segment %s: %d docs, %d text-indexed, %d node-indexed, %d embeddings",
+			sm.ID, len(sm.Docs), seg.text.NumDocs(), seg.node.NumDocs(), len(seg.embs)))
+	}
+	art := &segmentArtifact{id: sm.ID, sums: make(map[string]string, len(segmentSuffixes))}
+	for _, suffix := range segmentSuffixes {
+		name := segFileName(sm.ID, suffix)
+		art.sums[name] = checksums[name]
+	}
+	seg.art.Store(art)
+	return seg, nil
+}
+
+// closeSegments releases any disk-backed indexes of partially loaded
+// segments on the load error path.
+func closeSegments(segs []*segment) {
+	for _, seg := range segs {
+		for _, src := range []index.Source{seg.text, seg.node} {
+			if c, ok := src.(*index.DiskIndex); ok {
+				c.Close()
+			}
+		}
+	}
 }

@@ -33,6 +33,17 @@ func copyDir(t *testing.T, src, dst string) {
 	}
 }
 
+// segArtifact locates the (single) per-segment artifact file with the
+// given suffix inside a snapshot directory.
+func segArtifact(t *testing.T, dir, suffix string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "seg-*."+suffix))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no seg-*.%s artifact in %s (err=%v)", suffix, dir, err)
+	}
+	return matches[0]
+}
+
 // TestLoadCorruptionTable drives Load and LoadOnDisk over every corruption
 // class the snapshot format defends against: truncation, a single bit
 // flip, and outright removal of each binary artifact, plus version skew
@@ -56,7 +67,7 @@ func TestLoadCorruptionTable(t *testing.T) {
 	for _, a := range artifacts {
 		cases = append(cases,
 			tc{"truncate/" + a, func(t *testing.T, dir string) {
-				path := filepath.Join(dir, a)
+				path := segArtifact(t, dir, a)
 				data, err := os.ReadFile(path)
 				if err != nil {
 					t.Fatal(err)
@@ -66,7 +77,7 @@ func TestLoadCorruptionTable(t *testing.T) {
 				}
 			}, ErrSnapshotCorrupt},
 			tc{"bitflip/" + a, func(t *testing.T, dir string) {
-				path := filepath.Join(dir, a)
+				path := segArtifact(t, dir, a)
 				data, err := os.ReadFile(path)
 				if err != nil {
 					t.Fatal(err)
@@ -77,7 +88,7 @@ func TestLoadCorruptionTable(t *testing.T) {
 				}
 			}, ErrSnapshotCorrupt},
 			tc{"missing/" + a, func(t *testing.T, dir string) {
-				if err := os.Remove(filepath.Join(dir, a)); err != nil {
+				if err := os.Remove(segArtifact(t, dir, a)); err != nil {
 					t.Fatal(err)
 				}
 			}, ErrSnapshotCorrupt},

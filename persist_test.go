@@ -136,8 +136,12 @@ func TestLoadRejectsCorruptSnapshot(t *testing.T) {
 	if err := e.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	// Missing file.
-	if err := os.Remove(filepath.Join(dir, "node.idx")); err != nil {
+	// Missing file (the per-segment node index).
+	matches, err := filepath.Glob(filepath.Join(dir, "seg-*.node.idx"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no seg-*.node.idx artifact in snapshot (err=%v)", err)
+	}
+	if err := os.Remove(matches[0]); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Load(dir, g); err == nil {

@@ -1,0 +1,257 @@
+package newslink
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"newslink/internal/core"
+	"newslink/internal/index"
+)
+
+// The engine's searchable state is a set of immutable segments, the
+// Lucene-style lifecycle (DESIGN.md §11):
+//
+//	Add/AddAll  → documents accumulate in the open (un-searchable) segment
+//	Refresh     → the open segment is sealed, appended, and the tiered
+//	              merge policy compacts runs of small segments
+//	Delete      → a copy-on-write tombstone bit; the document vanishes
+//	              from results immediately but keeps contributing to
+//	              DF/AvgDocLen until a merge rewrites its segment
+//	Compact     → everything merges into one tombstone-free segment
+//
+// Readers never lock: they load the published *segmentSet atomically and
+// work against it for the whole request.
+
+// segment owns one immutable slice of the corpus: its documents and
+// embeddings (local positions 0..n-1), its two inverted indexes over those
+// positions, and the tombstone bitmap marking deleted documents. All
+// fields are immutable after construction — deletes clone the segment with
+// a new bitmap — except art, a memoized snapshot-artifact identity that is
+// computed on first Save and carried along (tombstones are not part of the
+// artifact identity: they live in meta.json, so a delete never forces a
+// segment rewrite on disk).
+type segment struct {
+	docs []Document
+	embs []*core.DocEmbedding // aligned with docs; nil if unembeddable
+	text index.Source         // *index.Index, or *index.DiskIndex when loaded on disk
+	node index.Source
+	dead *index.Bitmap // nil = no deletes
+
+	art atomic.Pointer[segmentArtifact]
+}
+
+func (s *segment) numDocs() int { return len(s.docs) }
+func (s *segment) numLive() int { return len(s.docs) - s.dead.Count() }
+
+// shareArtifact copies the memoized artifact identity from an older
+// incarnation of the same segment (tombstone clones share it).
+func (s *segment) shareArtifact(from *segment) {
+	if a := from.art.Load(); a != nil {
+		s.art.Store(a)
+	}
+}
+
+// segmentArtifact names a segment's on-disk artifacts: a content-derived
+// id plus the CRC32-C of each file, enabling content-addressed reuse
+// across incremental saves (persist.go).
+type segmentArtifact struct {
+	id   string
+	sums map[string]string // artifact file name -> CRC32-C hex
+}
+
+// segmentSet is one published, immutable view of the searchable corpus:
+// the ordered segments, the global-position bookkeeping over their
+// concatenation, and the combined index sources the retrieval tier reads.
+// The engine swaps the current set atomically (Engine.set), so readers get
+// a consistent view with a single atomic load.
+type segmentSet struct {
+	segs    []*segment
+	bases   []int       // bases[i] = global position of segs[i]'s first document
+	numDocs int         // including tombstoned documents
+	deleted int         // tombstoned documents across all segments
+	docPos  map[int]int // Document.ID -> global position, live documents only
+
+	// text and node are the sources searches traverse: the single
+	// segment's own index when possible, an index.Multi otherwise, and
+	// wrapped in index.LiveFiltered whenever tombstones exist so deleted
+	// documents are masked out of retrieval.
+	text index.Source
+	node index.Source
+}
+
+// newSegmentSet builds the published view over segs. Cost is O(numDocs)
+// (docPos and the exact Multi statistics); it runs on the write path only
+// — build, refresh, delete, merge — never per query.
+func newSegmentSet(segs []*segment) *segmentSet {
+	s := &segmentSet{segs: segs, docPos: make(map[int]int)}
+	for _, sg := range segs {
+		s.bases = append(s.bases, s.numDocs)
+		for j, d := range sg.docs {
+			if sg.dead.Get(j) {
+				s.deleted++
+			} else {
+				s.docPos[d.ID] = s.numDocs + j
+			}
+		}
+		s.numDocs += len(sg.docs)
+	}
+	var text, node index.Source
+	if len(segs) == 1 {
+		// Single segment: serve its index directly, so a compacted engine
+		// is indistinguishable — allocation and layout included — from one
+		// built in a single batch.
+		text, node = segs[0].text, segs[0].node
+	} else {
+		texts := make([]index.Source, len(segs))
+		nodes := make([]index.Source, len(segs))
+		for i, sg := range segs {
+			texts[i], nodes[i] = sg.text, sg.node
+		}
+		text, node = index.NewMulti(texts...), index.NewMulti(nodes...)
+	}
+	if s.deleted > 0 {
+		dead := index.NewBitmap(s.numDocs)
+		for i, sg := range segs {
+			base := s.bases[i]
+			sg.dead.ForEach(func(j int) { dead.Set(base + j) })
+		}
+		text = index.NewLiveFiltered(text, dead)
+		node = index.NewLiveFiltered(node, dead)
+	}
+	s.text, s.node = text, node
+	return s
+}
+
+func (s *segmentSet) numLive() int { return s.numDocs - s.deleted }
+
+// segIndexOf locates the segment containing global position pos.
+func (s *segmentSet) segIndexOf(pos int) (si, local int) {
+	si = sort.Search(len(s.bases), func(i int) bool { return s.bases[i] > pos }) - 1
+	return si, pos - s.bases[si]
+}
+
+// doc returns the document at a global position.
+func (s *segmentSet) doc(pos int) Document {
+	si, local := s.segIndexOf(pos)
+	return s.segs[si].docs[local]
+}
+
+// embedding returns the subgraph embedding at a global position.
+func (s *segmentSet) embedding(pos int) *core.DocEmbedding {
+	si, local := s.segIndexOf(pos)
+	return s.segs[si].embs[local]
+}
+
+// Tiered merge policy. Segments are tiered by live-document count:
+// tier 0 holds up to mergeTier0 documents, and each higher tier is
+// mergeFactor times larger. When an adjacent run of at least mergeFactor
+// same-tier segments exists, the whole run merges into one tombstone-free
+// segment. Adjacency is required — merging concatenates, and preserving
+// document order is what keeps merged search results bitwise identical to
+// the unmerged set (DESIGN.md §11). The policy bounds the segment count to
+// O(mergeFactor · log_mergeFactor(corpus)), which keeps per-query fan-out
+// flat and postings blocks full enough for block-max pruning to bite.
+const (
+	mergeFactor = 8
+	mergeTier0  = 1024
+)
+
+// segTier buckets a live-document count into its merge tier.
+func segTier(live int) int {
+	t := 0
+	for ceil := mergeTier0; live >= ceil; ceil *= mergeFactor {
+		t++
+	}
+	return t
+}
+
+// findMergeRun locates the first (smallest-tier, then leftmost) adjacent
+// run of at least mergeFactor segments of equal tier. Returns ok=false
+// when no run qualifies.
+func findMergeRun(segs []*segment) (lo, hi int, ok bool) {
+	maxTier := 0
+	tiers := make([]int, len(segs))
+	for i, sg := range segs {
+		tiers[i] = segTier(sg.numLive())
+		if tiers[i] > maxTier {
+			maxTier = tiers[i]
+		}
+	}
+	for t := 0; t <= maxTier; t++ {
+		run := 0
+		for i := 0; i <= len(segs); i++ {
+			if i < len(segs) && tiers[i] == t {
+				run++
+				continue
+			}
+			if run >= mergeFactor {
+				return i - run, i, true
+			}
+			run = 0
+		}
+	}
+	return 0, 0, false
+}
+
+// mergeRun compacts a run of segments into one segment: live documents
+// and embeddings are concatenated in order and the indexes are rewritten
+// tombstone-free (index.MergeSegments), so DF/AvgDocLen tighten to the
+// surviving corpus and block-max summaries regain full blocks.
+func mergeRun(segs []*segment) *segment {
+	var docs []Document
+	var embs []*core.DocEmbedding
+	texts := make([]index.Source, len(segs))
+	nodes := make([]index.Source, len(segs))
+	deads := make([]*index.Bitmap, len(segs))
+	for i, sg := range segs {
+		texts[i], nodes[i], deads[i] = sg.text, sg.node, sg.dead
+		for j, d := range sg.docs {
+			if !sg.dead.Get(j) {
+				docs = append(docs, d)
+				embs = append(embs, sg.embs[j])
+			}
+		}
+	}
+	return &segment{
+		docs: docs,
+		embs: embs,
+		text: index.MergeSegments(texts, deads),
+		node: index.MergeSegments(nodes, deads),
+	}
+}
+
+// applyMergePolicyLocked repeatedly merges qualifying runs until the set
+// is stable. Callers hold e.mu.
+func (e *Engine) applyMergePolicyLocked(segs []*segment) []*segment {
+	for {
+		lo, hi, ok := findMergeRun(segs)
+		if !ok {
+			return segs
+		}
+		merged := mergeRun(segs[lo:hi])
+		e.met.segmentMerges.Inc()
+		out := make([]*segment, 0, len(segs)-(hi-lo)+1)
+		out = append(out, segs[:lo]...)
+		out = append(out, merged)
+		out = append(out, segs[hi:]...)
+		segs = out
+	}
+}
+
+// publishLocked installs a new segment set, dropping segments whose
+// documents are all tombstoned (nothing left to serve or to save), and
+// refreshes the segment gauges. Callers hold e.mu.
+func (e *Engine) publishLocked(segs []*segment) {
+	kept := make([]*segment, 0, len(segs))
+	for _, sg := range segs {
+		if sg.numLive() > 0 {
+			kept = append(kept, sg)
+		}
+	}
+	s := newSegmentSet(kept)
+	e.set.Store(s)
+	e.met.segments.Set(int64(len(s.segs)))
+	e.met.liveDocs.Set(int64(s.numLive()))
+	e.met.deletedDocs.Set(int64(s.deleted))
+	e.met.docs.Set(int64(s.numLive() + len(e.pendDocs)))
+}
