@@ -1,9 +1,13 @@
 #!/bin/sh
-# Runs the key engine benchmarks and emits machine-readable BENCH_pr5.json:
+# Runs the key engine benchmarks and emits machine-readable BENCH_pr6.json:
 # one record per benchmark variant with ns/op, B/op, allocs/op and any
 # custom metrics the benchmark reports (postings_scored/op,
-# blocks_skipped/op). CI uploads the file as an artifact so the performance
-# trajectory has a reproducible, CI-generated source; run locally as
+# blocks_skipped/op). The BenchmarkQueryEmbed band covers the KG side:
+# Table-8-style multi-entity query embedding at 100k and 1M synthetic
+# nodes — map-based reference vs flat-state cold vs parallel fan-out vs
+# entity-set-cache-warm. CI uploads the file as an artifact so the
+# performance trajectory has a reproducible, CI-generated source; run
+# locally as
 #
 #     ./ci/bench.sh [benchtime] [outfile]
 #
@@ -13,8 +17,8 @@ set -eu
 cd "$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 
 BENCHTIME="${1:-1s}"
-OUT="${2:-BENCH_pr5.json}"
-BENCHES='BenchmarkTopKStrategies|BenchmarkParallelFusedSearch|BenchmarkSnapshotServing|BenchmarkSegmentChurn'
+OUT="${2:-BENCH_pr6.json}"
+BENCHES='BenchmarkTopKStrategies|BenchmarkParallelFusedSearch|BenchmarkSnapshotServing|BenchmarkSegmentChurn|BenchmarkQueryEmbed'
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

@@ -65,6 +65,8 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 256, "admission-control capacity for the query routes (0 = unlimited)")
 	admissionWait := flag.Duration("admission-wait", 100*time.Millisecond, "how long an over-capacity request may wait before it is shed with 429")
 	bonTimeout := flag.Duration("bon-timeout", 0, "BON stage deadline for fused search; past it results degrade to BOW-only (0 = unbounded)")
+	embedWorkers := flag.Int("embed-workers", 0, "per-document entity-group embedding fan-out (0 = GOMAXPROCS, 1 = sequential)")
+	embedCache := flag.Int("embed-cache", 128, "entity-set embedding cache capacity (0 disables the tier)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "shutdown deadline for in-flight requests after SIGINT/SIGTERM")
 	drainGrace := flag.Duration("drain-grace", 0, "pause between flipping /v1/readyz to 503 and closing listeners, for load balancers to observe the flip")
 	debugAddr := flag.String("debug-addr", "", "optional private listen address for net/http/pprof and metrics (empty = disabled)")
@@ -77,6 +79,10 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	engineOpts = []newslink.Option{
+		newslink.WithParallelEmbed(*embedWorkers),
+		newslink.WithEmbedCache(*embedCache),
+	}
 	engine, err := buildEngineMode(*kgPath, *corpusPath, *beta, *snapshot, *workers, *onDisk)
 	if err != nil {
 		log.Fatal(err)
@@ -262,6 +268,11 @@ func debugHandler(engine *newslink.Engine) http.Handler {
 	return mux
 }
 
+// engineOpts carries the flag-derived construction options into
+// buildEngineMode (snapshot loads construct from persisted metadata and
+// ignore them).
+var engineOpts []newslink.Option
+
 func buildEngine(kgPath, corpusPath string, beta float64, snapshot string, workers int) (*newslink.Engine, error) {
 	return buildEngineMode(kgPath, corpusPath, beta, snapshot, workers, false)
 }
@@ -305,7 +316,7 @@ func buildEngineMode(kgPath, corpusPath string, beta float64, snapshot string, w
 	}
 	cfg := newslink.DefaultConfig()
 	cfg.Beta = beta
-	engine := newslink.New(g, cfg)
+	engine := newslink.New(g, append([]newslink.Option{cfg}, engineOpts...)...)
 	docs := make([]newslink.Document, len(arts))
 	for i, a := range arts {
 		docs[i] = newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text}

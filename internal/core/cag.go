@@ -53,6 +53,15 @@ type Options struct {
 	// MaxDepth/MaxExpansions) is exhausted. The result is compactness-equal
 	// to the early-stopping run; only the work differs (Section VII-G).
 	NoEarlyStop bool
+	// EmbedWorkers bounds how many entity groups an Embedder works on
+	// concurrently within one EmbedGroups call; 0 selects GOMAXPROCS, 1
+	// forces sequential embedding. The result is deterministic either way.
+	EmbedWorkers int
+	// GroupCacheSize enables the Embedder's per-entity-group subgraph LRU
+	// (keyed by the canonical resolved label sequence) with the given
+	// capacity; 0 disables it, keeping every search cold — the right mode
+	// for the paper-reproduction timing harnesses.
+	GroupCacheSize int
 }
 
 // DefaultMaxExpansions is the default traversal budget per entity group.

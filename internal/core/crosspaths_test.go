@@ -9,7 +9,7 @@ import (
 
 func embed(t *testing.T, g *kg.Graph, groups ...[]string) *DocEmbedding {
 	t.Helper()
-	e := NewEmbedder(NewSearcher(g, Options{}))
+	e := NewEmbedder(g, Options{})
 	d := e.EmbedGroups(groups)
 	if d == nil {
 		t.Fatal("no embedding")

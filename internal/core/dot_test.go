@@ -18,7 +18,7 @@ func lineContaining(out, sub string) string {
 
 func TestDOTFigure1(t *testing.T) {
 	g := figure1Graph()
-	e := NewEmbedder(NewSearcher(g, Options{}))
+	e := NewEmbedder(g, Options{})
 	q := e.EmbedGroups([][]string{{"upper dir", "swat valley", "pakistan", "taliban"}})
 	r := e.EmbedGroups([][]string{{"lahore", "peshawar", "pakistan", "taliban"}})
 	out := DOT(g, "figure1", q, r)
@@ -52,7 +52,7 @@ func TestDOTFigure1(t *testing.T) {
 
 func TestDOTDeterministic(t *testing.T) {
 	g := figure1Graph()
-	e := NewEmbedder(NewSearcher(g, Options{}))
+	e := NewEmbedder(g, Options{})
 	q := e.EmbedGroups([][]string{{"pakistan", "taliban"}})
 	a := DOT(g, "t", q)
 	b := DOT(g, "t", q)

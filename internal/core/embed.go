@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"newslink/internal/kg"
 )
@@ -15,25 +19,147 @@ type DocEmbedding struct {
 	Counts    map[kg.NodeID]int
 }
 
-// Embedder turns entity groups into document embeddings.
-type Embedder struct {
-	S *Searcher
+// EmbedStats reports what one EmbedGroups call did, replacing the old
+// pattern of reaching into the embedder's searcher internals.
+type EmbedStats struct {
+	// Groups is the number of entity groups submitted.
+	Groups int
+	// Embedded is the number of groups that produced a subgraph.
+	Embedded int
+	// ResolvedLabels is the total number of labels (deduplicated per group)
+	// that resolved to at least one KG node across embedded groups.
+	ResolvedLabels int
+	// Expansions is the total number of path enumerations performed (for a
+	// group served from the cache, the expansions its original search paid).
+	Expansions int
+	// GroupCacheHits counts groups served from the embedder's per-group
+	// subgraph cache.
+	GroupCacheHits int
+	// CacheHit is set by engine-level callers when the whole document
+	// embedding was served from a higher-tier cache (e.g. the entity-set
+	// cache); the core embedder itself never sets it.
+	CacheHit bool
 }
 
-// NewEmbedder returns an Embedder using the given searcher.
-func NewEmbedder(s *Searcher) *Embedder { return &Embedder{S: s} }
+// Embedder turns entity groups into document embeddings. It owns its
+// Searcher (and therefore the pooled traversal states), an optional
+// per-entity-group subgraph cache, and the fan-out policy for embedding a
+// document's groups in parallel. It is safe for concurrent use.
+type Embedder struct {
+	s       *Searcher
+	workers int
+	cache   *groupCache // nil when Options.GroupCacheSize == 0
+}
+
+// NewEmbedder returns an Embedder over g. It builds and owns its searcher;
+// Options.EmbedWorkers and Options.GroupCacheSize configure the parallel
+// fan-out and the per-group cache.
+func NewEmbedder(g *kg.Graph, opts Options) *Embedder {
+	return newEmbedder(NewSearcher(g, opts))
+}
+
+// NewEmbedderFromSearcher wraps an existing Searcher.
+//
+// Deprecated: construct with NewEmbedder(g, opts), which owns its searcher.
+// This shim exists for one release to ease migration; callers that need
+// the searcher for other calls (FindK, ExactGST) can reach it via
+// Embedder.Searcher.
+func NewEmbedderFromSearcher(s *Searcher) *Embedder { return newEmbedder(s) }
+
+func newEmbedder(s *Searcher) *Embedder {
+	e := &Embedder{s: s, workers: s.opts.EmbedWorkers}
+	if n := s.opts.GroupCacheSize; n > 0 {
+		e.cache = newGroupCache(n)
+	}
+	return e
+}
+
+// Searcher returns the embedder's searcher.
+func (e *Embedder) Searcher() *Searcher { return e.s }
+
+// Graph returns the knowledge graph the embedder operates on.
+func (e *Embedder) Graph() *kg.Graph { return e.s.g }
 
 // EmbedGroups embeds one document given the entity groups of its maximal
 // entity co-occurrence set. Groups with no embeddable entities are skipped;
 // the result is nil when no group could be embedded (the paper filters such
 // documents out of the corpus, Section VII-A2).
 func (e *Embedder) EmbedGroups(groups [][]string) *DocEmbedding {
+	d, _, _ := e.EmbedGroupsContext(nil, groups)
+	return d
+}
+
+// EmbedGroupsContext is EmbedGroups with cancellation and statistics.
+// Groups are embedded concurrently (up to Options.EmbedWorkers workers,
+// GOMAXPROCS when 0) but the result is deterministic: subgraphs appear in
+// group order and node counts are merged sequentially, so the embedding is
+// byte-identical to a sequential run. A nil ctx disables cancellation.
+func (e *Embedder) EmbedGroupsContext(ctx context.Context, groups [][]string) (*DocEmbedding, EmbedStats, error) {
+	stats := EmbedStats{Groups: len(groups)}
+	if len(groups) == 0 {
+		return nil, stats, nil
+	}
+	sgs := make([]*Subgraph, len(groups))
+	hits := make([]bool, len(groups))
+	var firstErr atomic.Value
+
+	embedOne := func(i int) {
+		sg, hit, err := e.embedGroup(ctx, groups[i])
+		if err != nil {
+			firstErr.CompareAndSwap(nil, err)
+			return
+		}
+		sgs[i], hits[i] = sg, hit
+	}
+
+	workers := e.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		for i := range groups {
+			embedOne(i)
+			if firstErr.Load() != nil {
+				break
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(groups) || firstErr.Load() != nil {
+						return
+					}
+					embedOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err, ok := firstErr.Load().(error); ok {
+		return nil, stats, err
+	}
+
+	// Merge in group order — identical to the sequential seed path.
 	var d *DocEmbedding
-	for _, g := range groups {
-		sg := e.S.Find(g)
+	for i, sg := range sgs {
+		if hits[i] {
+			stats.GroupCacheHits++
+		}
 		if sg == nil {
 			continue
 		}
+		stats.Embedded++
+		stats.ResolvedLabels += len(sg.Labels)
+		stats.Expansions += sg.Expansions
 		if d == nil {
 			d = &DocEmbedding{Counts: make(map[kg.NodeID]int)}
 		}
@@ -42,7 +168,30 @@ func (e *Embedder) EmbedGroups(groups [][]string) *DocEmbedding {
 			d.Counts[n]++
 		}
 	}
-	return d
+	return d, stats, nil
+}
+
+// embedGroup embeds one entity group, consulting the per-group cache when
+// enabled. Cached subgraphs are shared pointers: treat them as immutable
+// (every in-tree consumer only reads them).
+func (e *Embedder) embedGroup(ctx context.Context, labels []string) (*Subgraph, bool, error) {
+	var key string
+	if e.cache != nil {
+		key = e.groupKey(labels)
+		if key != "" {
+			if sg, ok := e.cache.get(key); ok {
+				return sg, true, nil
+			}
+		}
+	}
+	sg, err := e.s.FindContext(ctx, labels)
+	if err != nil {
+		return nil, false, err
+	}
+	if e.cache != nil && key != "" && sg != nil {
+		e.cache.put(key, sg)
+	}
+	return sg, false, nil
 }
 
 // Nodes returns the distinct nodes of the document embedding in ascending

@@ -20,25 +20,28 @@ func (s *Searcher) FindK(labels []string, k int) []*Subgraph {
 	if k <= 0 {
 		return nil
 	}
-	st := newState(s.g, s.opts, labels)
-	if st == nil {
+	st := s.pool.Get().(*state)
+	defer func() {
+		st.release()
+		s.pool.Put(st)
+	}()
+	st.begin(nil)
+	if !st.init(labels) {
 		return nil
 	}
 	st.run()
 	if len(st.candidates) == 0 {
 		return nil
 	}
+	m := len(st.labels)
 	type ranked struct {
 		v   kg.NodeID
 		vec []float64
 	}
 	all := make([]ranked, 0, len(st.candidates))
 	for _, v := range st.candidates {
-		vec := make([]float64, len(st.ls))
-		for i := range st.ls {
-			vec[i] = st.ls[i].dist[v]
-		}
-		sort.Sort(sort.Reverse(sort.Float64Slice(vec)))
+		vec := make([]float64, m)
+		st.fillVec(vec, v)
 		all = append(all, ranked{v, vec})
 	}
 	sort.Slice(all, func(i, j int) bool {

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"newslink/internal/kg"
+)
+
+// groupCache is a concurrency-safe LRU of entity-group → *Subgraph. The
+// key is the group's canonical resolved-label sequence in first-seen order
+// — exactly the Labels slice Find would produce — so a hit returns a
+// subgraph byte-identical to a fresh search, while groups that differ only
+// in unresolvable labels, duplicate labels, case or whitespace share an
+// entry. Values are shared pointers and must be treated as immutable.
+type groupCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recent; values are *groupEntry
+	m   map[string]*list.Element
+}
+
+type groupEntry struct {
+	key string
+	sg  *Subgraph
+}
+
+func newGroupCache(max int) *groupCache {
+	return &groupCache{max: max, ll: list.New(), m: make(map[string]*list.Element, max)}
+}
+
+func (c *groupCache) get(key string) (*Subgraph, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*groupEntry).sg, true
+}
+
+func (c *groupCache) put(key string, sg *Subgraph) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*groupEntry).sg = sg
+		return
+	}
+	c.m[key] = c.ll.PushFront(&groupEntry{key: key, sg: sg})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*groupEntry).key)
+	}
+}
+
+func (c *groupCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// groupKey canonicalizes an entity group into its cache key: labels are
+// folded, deduplicated in first-seen order, and dropped unless they resolve
+// to at least one KG node — mirroring Find's own label registration, so
+// equal keys provably enumerate the same frontier. Returns "" when nothing
+// resolves (Find would return nil; not worth caching).
+func (e *Embedder) groupKey(labels []string) string {
+	resolved := make([]string, 0, len(labels))
+outer:
+	for _, l := range labels {
+		key := kg.Fold(l)
+		for _, r := range resolved {
+			if r == key {
+				continue outer
+			}
+		}
+		if len(e.s.g.Lookup(key)) == 0 {
+			continue
+		}
+		resolved = append(resolved, key)
+	}
+	if len(resolved) == 0 {
+		return ""
+	}
+	return strings.Join(resolved, "\x1f")
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"newslink/internal/kg"
+)
+
+// These property tests gate the flat-state rewrite: Find (paged
+// epoch-stamped arrays, pooled state, manual heap) must produce embeddings
+// identical to FindReference (the original map-based implementation kept
+// as an executable specification) — same root, labels, distance vectors,
+// node sets, arcs, and identical serialized bytes — across models,
+// ablations, random label sets, and pooled state reuse. Run them with
+// -race: the pool and the parallel embedder must also be data-race-free.
+
+// subgraphBytes serializes one subgraph in the NLEMB1 on-disk encoding,
+// the strictest equality check available: any drift in ordering or content
+// changes the bytes.
+func subgraphBytes(t *testing.T, sg *Subgraph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeSubgraph(&buf, sg); err != nil {
+		t.Fatalf("writeSubgraph: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// checkIdentical fails the test unless got and want are the same embedding
+// down to the serialized bytes.
+func checkIdentical(t *testing.T, labels []string, got, want *Subgraph) {
+	t.Helper()
+	if (got == nil) != (want == nil) {
+		t.Fatalf("labels %q: flat=%v reference=%v", labels, got != nil, want != nil)
+	}
+	if got == nil {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("labels %q: flat-state subgraph differs from reference\n got: %+v\nwant: %+v", labels, got, want)
+	}
+	if gb, wb := subgraphBytes(t, got), subgraphBytes(t, want); !bytes.Equal(gb, wb) {
+		t.Fatalf("labels %q: serialized bytes differ (%d vs %d bytes)", labels, len(gb), len(wb))
+	}
+}
+
+// randomLabelSet draws an entity group the way real queries look: labels
+// of one or two synthetic events (participants, location, country — often
+// cross-country so frontiers must meet far from home), plus occasional
+// random nodes, junk labels, duplicates and case/whitespace variants.
+func randomLabelSet(rng *rand.Rand, w *kg.World) []string {
+	g := w.Graph
+	ev := w.Events[rng.Intn(len(w.Events))]
+	labels := []string{
+		g.Label(ev.Participants[rng.Intn(len(ev.Participants))]),
+		g.Label(ev.Location),
+		g.Label(ev.Country),
+	}
+	if rng.Intn(2) == 0 {
+		ev2 := w.Events[rng.Intn(len(w.Events))]
+		labels = append(labels, g.Label(ev2.Participants[0]))
+	}
+	if rng.Intn(3) == 0 {
+		labels = append(labels, g.Label(kg.NodeID(rng.Intn(g.NumNodes()))))
+	}
+	if rng.Intn(4) == 0 {
+		labels = append(labels, "no such entity anywhere")
+	}
+	if rng.Intn(3) == 0 {
+		// Duplicate with folding noise: must dedup identically.
+		labels = append(labels, "  "+strings.ToUpper(labels[rng.Intn(len(labels))])+" ")
+	}
+	rng.Shuffle(len(labels), func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+	return labels
+}
+
+func TestFlatStateMatchesReference(t *testing.T) {
+	optsList := []Options{
+		{MaxDepth: 6},
+		{},
+		{Model: ModelTree, MaxDepth: 6},
+		{Model: ModelTree, MaxDepth: 6, NoEarlyStop: true},
+		{MaxDepth: 6, DepthOnly: true},
+		{MaxDepth: 4, NoEarlyStop: true},
+		{MaxDepth: 6, MaxExpansions: 200},
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		w := kg.Generate(kg.DefaultConfig(seed))
+		rng := rand.New(rand.NewSource(seed * 7919))
+		for _, opts := range optsList {
+			s := NewSearcher(w.Graph, opts)
+			// One pooled searcher across all queries: state reuse must not
+			// leak anything from query to query.
+			for q := 0; q < 25; q++ {
+				labels := randomLabelSet(rng, w)
+				checkIdentical(t, labels, s.Find(labels), s.FindReference(labels))
+			}
+		}
+	}
+}
+
+// TestFindKMatchesReferenceRank0 pins FindK's contract that rank 0 equals
+// Find (and therefore FindReference) after the state rewrite.
+func TestFindKMatchesReferenceRank0(t *testing.T) {
+	w := kg.Generate(kg.DefaultConfig(11))
+	rng := rand.New(rand.NewSource(99))
+	s := NewSearcher(w.Graph, Options{MaxDepth: 6})
+	for q := 0; q < 15; q++ {
+		labels := randomLabelSet(rng, w)
+		ranked := s.FindK(labels, 3)
+		want := s.FindReference(labels)
+		if want == nil {
+			if len(ranked) != 0 {
+				t.Fatalf("labels %q: FindK returned %d results, reference found none", labels, len(ranked))
+			}
+			continue
+		}
+		if len(ranked) == 0 {
+			t.Fatalf("labels %q: FindK empty, reference found %v", labels, want.Root)
+		}
+		checkIdentical(t, labels, ranked[0], want)
+	}
+}
+
+// TestPooledSearcherConcurrentIdentity hammers one Searcher from many
+// goroutines; under -race this proves the sync.Pool state recycling is
+// race-free and every concurrent result is still byte-identical to the
+// sequential reference.
+func TestPooledSearcherConcurrentIdentity(t *testing.T) {
+	w := kg.Generate(kg.DefaultConfig(5))
+	rng := rand.New(rand.NewSource(42))
+	s := NewSearcher(w.Graph, Options{MaxDepth: 6})
+	sets := make([][]string, 30)
+	refs := make([]*Subgraph, len(sets))
+	for i := range sets {
+		sets[i] = randomLabelSet(rng, w)
+		refs[i] = s.FindReference(sets[i])
+	}
+	var wg sync.WaitGroup
+	for worker := 0; worker < 8; worker++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for n := 0; n < len(sets); n++ {
+				i := (n + off) % len(sets)
+				got := s.Find(sets[i])
+				if (got == nil) != (refs[i] == nil) {
+					t.Errorf("labels %q: concurrent Find nil-ness diverged", sets[i])
+					return
+				}
+				if got != nil && !reflect.DeepEqual(got, refs[i]) {
+					t.Errorf("labels %q: concurrent Find differs from reference", sets[i])
+					return
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+}
+
+// TestParallelEmbedderMatchesSequential proves the EmbedGroups fan-out is
+// a pure throughput optimization: sequential, parallel, and parallel with
+// the group cache (cold and warm) all produce byte-identical document
+// embeddings.
+func TestParallelEmbedderMatchesSequential(t *testing.T) {
+	w := kg.Generate(kg.DefaultConfig(3))
+	rng := rand.New(rand.NewSource(17))
+	var groups [][]string
+	for i := 0; i < 8; i++ {
+		groups = append(groups, randomLabelSet(rng, w))
+	}
+	groups = append(groups, []string{"nothing resolvable here"})
+
+	seq := NewEmbedder(w.Graph, Options{MaxDepth: 6, EmbedWorkers: 1})
+	par := NewEmbedder(w.Graph, Options{MaxDepth: 6, EmbedWorkers: 8})
+	cached := NewEmbedder(w.Graph, Options{MaxDepth: 6, EmbedWorkers: 8, GroupCacheSize: 64})
+
+	wantEmb, wantStats, err := seq.EmbedGroupsContext(context.Background(), groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := WriteEmbeddings(&want, []*DocEmbedding{wantEmb}); err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, e *Embedder, wantGroupHits int) {
+		emb, stats, err := e.EmbedGroupsContext(context.Background(), groups)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var got bytes.Buffer
+		if err := WriteEmbeddings(&got, []*DocEmbedding{emb}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("%s: serialized embedding differs from sequential run", name)
+		}
+		if stats.Groups != wantStats.Groups || stats.Embedded != wantStats.Embedded ||
+			stats.ResolvedLabels != wantStats.ResolvedLabels || stats.Expansions != wantStats.Expansions {
+			t.Fatalf("%s: stats %+v, want %+v", name, stats, wantStats)
+		}
+		if stats.GroupCacheHits != wantGroupHits {
+			t.Fatalf("%s: group cache hits = %d, want %d", name, stats.GroupCacheHits, wantGroupHits)
+		}
+	}
+	check("parallel", par, 0)
+	check("cached-cold", cached, 0)
+	// Warm pass: every embeddable group must now come from the cache and the
+	// result must still be byte-identical.
+	check("cached-warm", cached, wantStats.Embedded)
+}
+
+// TestFindContextCancellation proves the enumeration loop honors context
+// cancellation instead of running to termination.
+func TestFindContextCancellation(t *testing.T) {
+	w := kg.Generate(kg.DefaultConfig(2))
+	s := NewSearcher(w.Graph, Options{}) // unbounded depth: a long traversal
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ev := w.Events[0]
+	labels := []string{w.Graph.Label(ev.Participants[0]), w.Graph.Label(ev.Location), w.Graph.Label(ev.Country)}
+	if _, err := s.FindContext(ctx, labels); err != context.Canceled {
+		t.Fatalf("FindContext on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}

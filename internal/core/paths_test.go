@@ -114,7 +114,7 @@ func TestPathsBetweenRootLabel(t *testing.T) {
 
 func TestDocEmbeddingPathsAndNodes(t *testing.T) {
 	g := figure1Graph()
-	e := NewEmbedder(NewSearcher(g, Options{}))
+	e := NewEmbedder(g, Options{})
 	d := e.EmbedGroups([][]string{
 		{"pakistan", "taliban"},
 		{"upper dir", "swat valley", "pakistan", "taliban"},
@@ -149,7 +149,7 @@ func TestDocEmbeddingPathsAndNodes(t *testing.T) {
 
 func TestEmbedGroupsSkipsUnembeddable(t *testing.T) {
 	g := figure1Graph()
-	e := NewEmbedder(NewSearcher(g, Options{}))
+	e := NewEmbedder(g, Options{})
 	d := e.EmbedGroups([][]string{{"atlantis"}, {"pakistan", "taliban"}})
 	if d == nil || len(d.Subgraphs) != 1 {
 		t.Fatalf("want exactly one subgraph, got %+v", d)
@@ -164,7 +164,7 @@ func TestEmbedGroupsSkipsUnembeddable(t *testing.T) {
 
 func TestOverlapNil(t *testing.T) {
 	g := figure1Graph()
-	e := NewEmbedder(NewSearcher(g, Options{}))
+	e := NewEmbedder(g, Options{})
 	d := e.EmbedGroups([][]string{{"pakistan", "taliban"}})
 	if d.Overlap(nil) != nil {
 		t.Fatal("overlap with nil should be nil")

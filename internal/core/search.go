@@ -1,17 +1,20 @@
 package core
 
 import (
-	"container/heap"
-	"sort"
+	"context"
+	"sync"
 
 	"newslink/internal/kg"
 )
 
 // Searcher finds subgraph embeddings in a knowledge graph. It is safe for
-// concurrent use; each Find call allocates its own traversal state.
+// concurrent use: traversal states are recycled through an internal
+// sync.Pool, so concurrent Find calls each borrow an independent state and
+// a steady-state query allocates nothing in the enumeration loop.
 type Searcher struct {
 	g    *kg.Graph
 	opts Options
+	pool sync.Pool // of *state
 }
 
 // NewSearcher returns a Searcher over g with the given options.
@@ -19,23 +22,44 @@ func NewSearcher(g *kg.Graph, opts Options) *Searcher {
 	if opts.MaxExpansions <= 0 {
 		opts.MaxExpansions = DefaultMaxExpansions
 	}
-	return &Searcher{g: g, opts: opts}
+	s := &Searcher{g: g, opts: opts}
+	s.pool.New = func() any { return newState(s.g, s.opts) }
+	return s
 }
 
 // Graph returns the knowledge graph the searcher operates on.
 func (s *Searcher) Graph() *kg.Graph { return s.g }
+
+// Options returns the search options the searcher was built with.
+func (s *Searcher) Options() Options { return s.opts }
 
 // Find implements Algorithm 1: it returns the optimal subgraph embedding for
 // the entity labels of one news segment, or nil if no common ancestor exists
 // within the traversal budget. Labels that do not resolve to any KG node are
 // ignored; if none resolve, Find returns nil.
 func (s *Searcher) Find(labels []string) *Subgraph {
-	st := newState(s.g, s.opts, labels)
-	if st == nil {
-		return nil
+	sg, _ := s.FindContext(nil, labels)
+	return sg
+}
+
+// FindContext is Find with cooperative cancellation: the enumeration loop
+// polls ctx periodically and returns (nil, ctx.Err()) once it is done. A
+// nil ctx disables polling entirely.
+func (s *Searcher) FindContext(ctx context.Context, labels []string) (*Subgraph, error) {
+	st := s.pool.Get().(*state)
+	defer func() {
+		st.release()
+		s.pool.Put(st)
+	}()
+	st.begin(ctx)
+	if !st.init(labels) {
+		return nil, nil
 	}
 	st.run()
-	return st.best()
+	if st.err != nil {
+		return nil, st.err
+	}
+	return st.best(), nil
 }
 
 // item is one frontier entry: node v at tentative distance d from label li.
@@ -45,23 +69,31 @@ type item struct {
 	v  kg.NodeID
 }
 
-// frontier is the global min-priority queue implementing Equation 2: the
+// less is the frontier's strict total order implementing Equation 2: the
 // next path enumerated is the globally smallest distance across all labels'
-// queues F_i. Ties break on label then node for determinism.
+// queues F_i. Ties break on label then node for determinism — and because
+// the order is total, the manual heap below pops in exactly the sequence
+// container/heap produced for the reference implementation.
+func (a item) less(b item) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	if a.li != b.li {
+		return a.li < b.li
+	}
+	return a.v < b.v
+}
+
+// frontier is the global min-priority queue. The hot path uses the manual
+// push/popMin below (no interface boxing ⇒ no per-operation allocation);
+// the heap.Interface methods remain for container/heap users such as the
+// exact GST baseline's Dijkstra relaxation.
 type frontier []item
 
-func (f frontier) Len() int { return len(f) }
-func (f frontier) Less(i, j int) bool {
-	if f[i].d != f[j].d {
-		return f[i].d < f[j].d
-	}
-	if f[i].li != f[j].li {
-		return f[i].li < f[j].li
-	}
-	return f[i].v < f[j].v
-}
-func (f frontier) Swap(i, j int) { f[i], f[j] = f[j], f[i] }
-func (f *frontier) Push(x any)   { *f = append(*f, x.(item)) }
+func (f frontier) Len() int           { return len(f) }
+func (f frontier) Less(i, j int) bool { return f[i].less(f[j]) }
+func (f frontier) Swap(i, j int)      { f[i], f[j] = f[j], f[i] }
+func (f *frontier) Push(x any)        { *f = append(*f, x.(item)) }
 func (f *frontier) Pop() any {
 	old := *f
 	n := len(old)
@@ -70,287 +102,45 @@ func (f *frontier) Pop() any {
 	return it
 }
 
-// labelState is the per-label Dijkstra state (the paper's F_i plus the
-// distance map and shortest-path DAG parents for reconstruction).
-type labelState struct {
-	dist    map[kg.NodeID]float64
-	settled map[kg.NodeID]bool
-	parents map[kg.NodeID][]PathArc
+// push inserts it, sifting up.
+func (f *frontier) push(it item) {
+	h := append(*f, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	*f = h
 }
 
-type state struct {
-	g      *kg.Graph
-	opts   Options
-	labels []string // deduplicated labels that resolved to >=1 node
-	ls     []labelState
-	h      frontier
-	// reached counts how many labels have assigned a finite distance to a
-	// node; when it hits len(labels) the node becomes a candidate root.
-	reached    map[kg.NodeID]int32
-	candidates []kg.NodeID
-	candSet    map[kg.NodeID]bool
-	minDepth   float64 // min over candidates of depth at insertion (C2)
-	minSum     float64 // min over candidates of distance sum (ModelTree)
-	expansions int
-}
-
-// newState initializes Algorithm 1 lines 1-7. It returns nil if no label
-// resolves to a node.
-func newState(g *kg.Graph, opts Options, labels []string) *state {
-	st := &state{
-		g:        g,
-		opts:     opts,
-		reached:  make(map[kg.NodeID]int32),
-		candSet:  make(map[kg.NodeID]bool),
-		minDepth: inf,
-		minSum:   inf,
-	}
-	// First pass: register every label that resolves, so the candidate test
-	// (reached == len(labels)) sees the final label count.
-	seen := make(map[string]bool, len(labels))
-	var sourceSets [][]kg.NodeID
-	for _, l := range labels {
-		key := kg.Fold(l)
-		if seen[key] {
-			continue
+// popMin removes and returns the minimum entry. The caller must ensure the
+// frontier is non-empty.
+func (f *frontier) popMin() item {
+	h := *f
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h[l].less(h[small]) {
+			small = l
 		}
-		sources := g.Lookup(key)
-		if len(sources) == 0 {
-			continue
+		if r < n && h[r].less(h[small]) {
+			small = r
 		}
-		seen[key] = true
-		st.labels = append(st.labels, key)
-		sourceSets = append(sourceSets, sources)
-	}
-	if len(st.labels) == 0 {
-		return nil
-	}
-	// Second pass: seed the per-label frontiers F_i (Algorithm 1 lines 1-5).
-	for li, sources := range sourceSets {
-		ls := labelState{
-			dist:    make(map[kg.NodeID]float64),
-			settled: make(map[kg.NodeID]bool),
-			parents: make(map[kg.NodeID][]PathArc),
+		if small == i {
+			break
 		}
-		st.ls = append(st.ls, ls)
-		for _, v := range sources {
-			if _, ok := ls.dist[v]; ok {
-				continue
-			}
-			ls.dist[v] = 0
-			st.noteReached(v)
-			heap.Push(&st.h, item{0, int32(li), v})
-		}
+		h[i], h[small] = h[small], h[i]
+		i = small
 	}
-	return st
-}
-
-// noteReached records that one more label reached v and promotes v to a
-// candidate root when all labels have (Algorithm 3).
-func (st *state) noteReached(v kg.NodeID) {
-	st.reached[v]++
-	if int(st.reached[v]) != len(st.labels) || st.candSet[v] {
-		return
-	}
-	st.candSet[v] = true
-	st.candidates = append(st.candidates, v)
-	depth, sum := 0.0, 0.0
-	for i := range st.ls {
-		d := st.ls[i].dist[v]
-		sum += d
-		if d > depth {
-			depth = d
-		}
-	}
-	if depth < st.minDepth {
-		st.minDepth = depth
-	}
-	if sum < st.minSum {
-		st.minSum = sum
-	}
-}
-
-// peekValid returns the distance of the next non-stale frontier entry
-// (D'_min at Algorithm 1 line 11), discarding stale entries as it goes.
-func (st *state) peekValid() float64 {
-	for st.h.Len() > 0 {
-		top := st.h[0]
-		ls := &st.ls[top.li]
-		if ls.settled[top.v] || top.d > ls.dist[top.v] {
-			heap.Pop(&st.h)
-			continue
-		}
-		return top.d
-	}
-	return inf
-}
-
-// run is the PathEnumeration / CandidateCollection loop (Algorithm 1 lines
-// 8-13, Algorithm 2).
-func (st *state) run() {
-	for st.expansions < st.opts.MaxExpansions {
-		// Termination test: C1 (a candidate exists) and C2 (the next frontier
-		// distance exceeds the collected depth). TreeEmb uses the Steiner
-		// lower bound m*D'_min instead.
-		next := st.peekValid()
-		if next == inf {
-			return // graph exhausted
-		}
-		// Termination. G* stops under C1 (a candidate exists) and C2 (the
-		// next frontier distance exceeds the collected depth). ModelTree
-		// stops under the Steiner lower bound: any undiscovered root has
-		// every label at distance >= next, hence sum >= m*next — a sound,
-		// quality-preserving cut that the as-published bidirectional-
-		// expansion baseline LACKS; pass NoEarlyStop to time that original
-		// exhaustive behaviour (Figure 7 reproduces the published gap).
-		if len(st.candidates) > 0 && !st.opts.NoEarlyStop {
-			if st.opts.Model == ModelTree {
-				if st.minSum <= float64(len(st.labels))*next {
-					return
-				}
-			} else if st.minDepth < next {
-				return
-			}
-		}
-		// PathEnumeration: pop the globally smallest frontier entry.
-		it := heap.Pop(&st.h).(item)
-		ls := &st.ls[it.li]
-		if ls.settled[it.v] || it.d > ls.dist[it.v] {
-			continue // stale
-		}
-		ls.settled[it.v] = true
-		st.expansions++
-		for _, a := range st.g.Neighbors(it.v) {
-			nd := it.d + a.Weight
-			if st.opts.MaxDepth > 0 && nd > st.opts.MaxDepth {
-				continue
-			}
-			cur, ok := ls.dist[a.To]
-			arc := PathArc{From: it.v, To: a.To, Rel: a.Rel, Reverse: a.Reverse}
-			switch {
-			case !ok || nd < cur:
-				ls.dist[a.To] = nd
-				ls.parents[a.To] = append(ls.parents[a.To][:0], arc)
-				heap.Push(&st.h, item{nd, it.li, a.To})
-				if !ok {
-					st.noteReached(a.To)
-				}
-			case nd == cur:
-				// An equal-cost path: preserve it for the "width" of the
-				// embedding (Definition 3 keeps all shortest paths).
-				ls.parents[a.To] = append(ls.parents[a.To], arc)
-			}
-		}
-	}
-}
-
-// best implements compactness sorting (Algorithm 1 line 14) and subgraph
-// reconstruction, returning nil when no candidate was collected.
-func (st *state) best() *Subgraph {
-	if len(st.candidates) == 0 {
-		return nil
-	}
-	vec := func(v kg.NodeID) []float64 {
-		out := make([]float64, len(st.ls))
-		for i := range st.ls {
-			out[i] = st.ls[i].dist[v]
-		}
-		sort.Sort(sort.Reverse(sort.Float64Slice(out)))
-		return out
-	}
-	bestV := st.candidates[0]
-	bestVec := vec(bestV)
-	for _, v := range st.candidates[1:] {
-		cand := vec(v)
-		var better bool
-		switch {
-		case st.opts.Model == ModelTree:
-			cs, bs := sumVec(cand), sumVec(bestVec)
-			better = cs < bs || cs == bs && CompareCompactness(cand, bestVec) < 0 ||
-				cs == bs && CompareCompactness(cand, bestVec) == 0 && v < bestV
-		case st.opts.DepthOnly:
-			// Ablation: plain depth minimization ignores the tie-breaking
-			// tail of the compactness order.
-			cd, bd := cand[0], bestVec[0]
-			better = cd < bd || cd == bd && v < bestV
-		default:
-			c := CompareCompactness(cand, bestVec)
-			better = c < 0 || c == 0 && v < bestV
-		}
-		if better {
-			bestV, bestVec = v, cand
-		}
-	}
-	return st.reconstruct(bestV)
-}
-
-// reconstruct builds the subgraph G_r(L) = union over labels of the
-// shortest paths from the label's sources to the root (Definition 3 /
-// Equation 1). For ModelTree only the first recorded parent is followed,
-// yielding a single path per label.
-func (st *state) reconstruct(root kg.NodeID) *Subgraph {
-	sg := &Subgraph{
-		Root:       root,
-		Labels:     append([]string(nil), st.labels...),
-		Dists:      make([]float64, len(st.labels)),
-		Expansions: st.expansions,
-	}
-	sg.LabelArcs = make([][]PathArc, len(st.labels))
-	nodeSet := map[kg.NodeID]bool{root: true}
-	arcSet := map[PathArc]bool{}
-	for i := range st.ls {
-		ls := &st.ls[i]
-		sg.Dists[i] = ls.dist[root]
-		// Walk the shortest-path DAG backwards from the root. Arcs are
-		// oriented From(parent, closer to the label) -> To(closer to root).
-		visited := map[kg.NodeID]bool{root: true}
-		labelSeen := map[PathArc]bool{}
-		stack := []kg.NodeID{root}
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			parents := ls.parents[v]
-			if st.opts.Model == ModelTree && len(parents) > 1 {
-				parents = parents[:1]
-			}
-			for _, p := range parents {
-				arcSet[p] = true
-				if !labelSeen[p] {
-					labelSeen[p] = true
-					sg.LabelArcs[i] = append(sg.LabelArcs[i], p)
-				}
-				nodeSet[p.From] = true
-				if !visited[p.From] {
-					visited[p.From] = true
-					stack = append(stack, p.From)
-				}
-			}
-		}
-		sortArcs(sg.LabelArcs[i])
-	}
-	sg.Nodes = make([]kg.NodeID, 0, len(nodeSet))
-	for v := range nodeSet {
-		sg.Nodes = append(sg.Nodes, v)
-	}
-	sort.Slice(sg.Nodes, func(i, j int) bool { return sg.Nodes[i] < sg.Nodes[j] })
-	sg.Arcs = make([]PathArc, 0, len(arcSet))
-	for a := range arcSet {
-		sg.Arcs = append(sg.Arcs, a)
-	}
-	sortArcs(sg.Arcs)
-	return sg
-}
-
-// sortArcs orders arcs by (From, To, Rel) for deterministic output.
-func sortArcs(arcs []PathArc) {
-	sort.Slice(arcs, func(i, j int) bool {
-		a, b := arcs[i], arcs[j]
-		if a.From != b.From {
-			return a.From < b.From
-		}
-		if a.To != b.To {
-			return a.To < b.To
-		}
-		return a.Rel < b.Rel
-	})
+	*f = h
+	return top
 }

@@ -73,7 +73,7 @@ func TestFigure1QueryEmbedding(t *testing.T) {
 func TestFigure1ResultEmbeddingOverlap(t *testing.T) {
 	g := figure1Graph()
 	s := NewSearcher(g, Options{})
-	e := NewEmbedder(s)
+	e := NewEmbedderFromSearcher(s) // exercises the deprecated shim
 	q := e.EmbedGroups([][]string{{"upper dir", "swat valley", "pakistan", "taliban"}})
 	r := e.EmbedGroups([][]string{{"lahore", "peshawar", "pakistan", "taliban"}})
 	if q == nil || r == nil {

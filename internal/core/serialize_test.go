@@ -10,7 +10,7 @@ import (
 
 func TestEmbeddingsRoundTrip(t *testing.T) {
 	g := figure1Graph()
-	e := NewEmbedder(NewSearcher(g, Options{}))
+	e := NewEmbedder(g, Options{})
 	embs := []*DocEmbedding{
 		e.EmbedGroups([][]string{
 			{"upper dir", "swat valley", "pakistan", "taliban"},
@@ -85,7 +85,7 @@ func eqArcs(a, b []PathArc) bool {
 
 func TestReadEmbeddingsRejectsCorruption(t *testing.T) {
 	g := figure1Graph()
-	e := NewEmbedder(NewSearcher(g, Options{}))
+	e := NewEmbedder(g, Options{})
 	embs := []*DocEmbedding{e.EmbedGroups([][]string{{"pakistan", "taliban"}})}
 	var buf bytes.Buffer
 	if err := WriteEmbeddings(&buf, embs); err != nil {

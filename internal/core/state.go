@@ -1,0 +1,494 @@
+package core
+
+import (
+	"context"
+	"math"
+	"slices"
+	"sort"
+
+	"newslink/internal/kg"
+)
+
+// This file holds the flat traversal state of the G* search. The original
+// implementation (retained verbatim as FindReference, reference.go) kept
+// per-label map[kg.NodeID]float64 distance maps, map[kg.NodeID]bool settled
+// sets and a global reached map — at 10⁶⁺ nodes every relaxation was a hash
+// probe into a pointer-chasing table, and every query re-allocated the
+// whole visited set. The layout below replaces all of it:
+//
+//   - Per-label state lives in fixed-size pages of statePageSize node IDs
+//     (dist array, settled bitset words, parent-arc slices), allocated
+//     lazily for the pages the traversal actually touches, so memory stays
+//     proportional to the visited set rather than the graph.
+//   - Every page carries an epoch stamp. A query bumps the state's epoch
+//     once; a page whose stamp is stale is reset (dist=+Inf, settled=0,
+//     parents truncated in place) on first touch. Nothing is cleared at
+//     release time, so recycling a state costs O(1).
+//   - The candidate set and reconstruction visited sets are kg.Bitset
+//     values with sparse reset: clearing costs O(words touched).
+//   - States are recycled through the owning Searcher's sync.Pool, so a
+//     steady-state query performs zero allocations in the enumeration loop
+//     (the returned Subgraph is freshly allocated — it outlives the state).
+//
+// The enumeration order is bit-for-bit identical to the reference: the
+// frontier is the same (distance, label, node) strict total order, page
+// lookups preserve the map semantics (+Inf ⇔ absent), and the identity
+// property tests compare entire serialized embeddings against
+// FindReference on synthetic worlds.
+
+const (
+	statePageBits  = 10
+	statePageSize  = 1 << statePageBits
+	statePageMask  = statePageSize - 1
+	statePageWords = statePageSize / 64
+)
+
+// infDists is the reset image of a page's distance array.
+var infDists = func() (d [statePageSize]float64) {
+	for i := range d {
+		d[i] = math.Inf(1)
+	}
+	return
+}()
+
+// statePage is the per-label traversal state of one aligned block of
+// statePageSize node IDs: tentative distances (+Inf = undiscovered),
+// settled bits, and the shortest-path DAG parent arcs. Parent slices keep
+// their capacity across epochs, so re-expanding a recycled page allocates
+// only when a node collects more equal-cost parents than it ever had.
+type statePage struct {
+	epoch   uint64
+	settled [statePageWords]uint64
+	dist    [statePageSize]float64
+	parents [statePageSize][]PathArc
+}
+
+func (p *statePage) reset(epoch uint64) {
+	p.epoch = epoch
+	copy(p.dist[:], infDists[:])
+	p.settled = [statePageWords]uint64{}
+	for i := range p.parents {
+		p.parents[i] = p.parents[i][:0]
+	}
+}
+
+// labelState is one label's paged Dijkstra state (the paper's F_i distance
+// structure plus parents for reconstruction).
+type labelState struct {
+	pages []*statePage
+}
+
+// page returns the page holding node block pi, fresh for epoch.
+func (ls *labelState) page(pi int, epoch uint64) *statePage {
+	p := ls.pages[pi]
+	if p == nil {
+		p = new(statePage)
+		ls.pages[pi] = p
+	}
+	if p.epoch != epoch {
+		p.reset(epoch)
+	}
+	return p
+}
+
+// reachPage counts, per node of one block, how many labels have assigned a
+// finite distance (the candidate test of Algorithm 3).
+type reachPage struct {
+	epoch uint64
+	cnt   [statePageSize]int32
+}
+
+func pageOf(v kg.NodeID) (pi, off int) {
+	return int(v) >> statePageBits, int(v) & statePageMask
+}
+
+// state is one pooled G* traversal. It is owned by a single Find/FindK
+// call at a time and recycled through the Searcher's pool.
+type state struct {
+	g      *kg.Graph
+	opts   Options
+	epoch  uint64
+	nPages int
+
+	labels     []string // deduplicated labels that resolved to >=1 node
+	ls         []labelState
+	h          frontier
+	reach      []*reachPage
+	candSet    *kg.Bitset
+	candidates []kg.NodeID
+	minDepth   float64 // min over candidates of depth at insertion (C2)
+	minSum     float64 // min over candidates of distance sum (ModelTree)
+	expansions int
+
+	// reconstruction scratch, reused across calls
+	nodeSeen  *kg.Bitset
+	visitSeen *kg.Bitset
+	nodeBuf   []kg.NodeID
+	stack     []kg.NodeID
+	vecA      []float64
+	vecB      []float64
+
+	// ctx, polled every ctxPollMask+1 loop iterations when non-nil, lets
+	// EmbedGroupsContext cancel a long enumeration cooperatively.
+	ctx   context.Context
+	steps int
+	err   error
+}
+
+// ctxPollMask throttles context polling in the enumeration loop.
+const ctxPollMask = 255
+
+func newState(g *kg.Graph, opts Options) *state {
+	n := g.NumNodes()
+	np := (n + statePageSize - 1) / statePageSize
+	return &state{
+		g:         g,
+		opts:      opts,
+		nPages:    np,
+		reach:     make([]*reachPage, np),
+		candSet:   kg.NewBitset(n),
+		nodeSeen:  kg.NewBitset(n),
+		visitSeen: kg.NewBitset(n),
+	}
+}
+
+// begin readies a (possibly recycled) state for one query: a single epoch
+// bump invalidates every page lazily; only the bitsets and slice headers
+// are reset eagerly, each in O(touched).
+func (st *state) begin(ctx context.Context) {
+	st.epoch++
+	st.labels = st.labels[:0]
+	st.h = st.h[:0]
+	st.candidates = st.candidates[:0]
+	st.candSet.Reset()
+	st.minDepth, st.minSum = inf, inf
+	st.expansions = 0
+	st.ctx = ctx
+	st.steps = 0
+	st.err = nil
+}
+
+// release drops request-scoped references before the state returns to the
+// pool.
+func (st *state) release() { st.ctx = nil }
+
+// hasLabel reports whether the folded key is already registered. Label
+// sets are tiny (one news segment's entities), so a linear scan beats a
+// map and allocates nothing.
+func (st *state) hasLabel(key string) bool {
+	for _, l := range st.labels {
+		if l == key {
+			return true
+		}
+	}
+	return false
+}
+
+// init is Algorithm 1 lines 1-7: resolve and deduplicate the labels, then
+// seed every label's frontier with its source nodes at distance 0. It
+// returns false if no label resolves to a node.
+func (st *state) init(labels []string) bool {
+	// First pass: register every label that resolves, so the candidate test
+	// (reached == len(labels)) sees the final label count.
+	for _, l := range labels {
+		key := kg.Fold(l)
+		if st.hasLabel(key) {
+			continue
+		}
+		if len(st.g.Lookup(key)) == 0 {
+			continue
+		}
+		st.labels = append(st.labels, key)
+	}
+	if len(st.labels) == 0 {
+		return false
+	}
+	for len(st.ls) < len(st.labels) {
+		st.ls = append(st.ls, labelState{pages: make([]*statePage, st.nPages)})
+	}
+	// Second pass: seed the per-label frontiers F_i (Algorithm 1 lines 1-5).
+	for li, key := range st.labels {
+		ls := &st.ls[li]
+		for _, v := range st.g.Lookup(key) {
+			pi, off := pageOf(v)
+			p := ls.page(pi, st.epoch)
+			if p.dist[off] != inf {
+				continue
+			}
+			p.dist[off] = 0
+			st.noteReached(v)
+			st.h.push(item{0, int32(li), v})
+		}
+	}
+	return true
+}
+
+// distOf returns label li's distance to v. The caller guarantees li has
+// discovered v this epoch (candidates and heap entries always have).
+func (st *state) distOf(li int, v kg.NodeID) float64 {
+	pi, off := pageOf(v)
+	return st.ls[li].pages[pi].dist[off]
+}
+
+// noteReached records that one more label reached v and promotes v to a
+// candidate root when all labels have (Algorithm 3).
+func (st *state) noteReached(v kg.NodeID) {
+	pi, off := pageOf(v)
+	rp := st.reach[pi]
+	if rp == nil {
+		rp = new(reachPage)
+		st.reach[pi] = rp
+	}
+	if rp.epoch != st.epoch {
+		rp.epoch = st.epoch
+		clear(rp.cnt[:])
+	}
+	rp.cnt[off]++
+	if int(rp.cnt[off]) != len(st.labels) || st.candSet.Test(int(v)) {
+		return
+	}
+	st.candSet.Set(int(v))
+	st.candidates = append(st.candidates, v)
+	depth, sum := 0.0, 0.0
+	for i := range st.labels {
+		d := st.distOf(i, v)
+		sum += d
+		if d > depth {
+			depth = d
+		}
+	}
+	if depth < st.minDepth {
+		st.minDepth = depth
+	}
+	if sum < st.minSum {
+		st.minSum = sum
+	}
+}
+
+// peekValid returns the distance of the next non-stale frontier entry
+// (D'_min at Algorithm 1 line 11), discarding stale entries as it goes.
+func (st *state) peekValid() float64 {
+	for len(st.h) > 0 {
+		top := st.h[0]
+		pi, off := pageOf(top.v)
+		p := st.ls[top.li].pages[pi]
+		if p.settled[off>>6]&(1<<(off&63)) != 0 || top.d > p.dist[off] {
+			st.h.popMin()
+			continue
+		}
+		return top.d
+	}
+	return inf
+}
+
+// run is the PathEnumeration / CandidateCollection loop (Algorithm 1 lines
+// 8-13, Algorithm 2).
+func (st *state) run() {
+	m := len(st.labels)
+	for st.expansions < st.opts.MaxExpansions {
+		if st.ctx != nil {
+			if st.steps&ctxPollMask == 0 {
+				if err := st.ctx.Err(); err != nil {
+					st.err = err
+					return
+				}
+			}
+			st.steps++
+		}
+		// Termination test: C1 (a candidate exists) and C2 (the next frontier
+		// distance exceeds the collected depth). TreeEmb uses the Steiner
+		// lower bound m*D'_min instead.
+		next := st.peekValid()
+		if next == inf {
+			return // graph exhausted
+		}
+		// Termination. G* stops under C1 (a candidate exists) and C2 (the
+		// next frontier distance exceeds the collected depth). ModelTree
+		// stops under the Steiner lower bound: any undiscovered root has
+		// every label at distance >= next, hence sum >= m*next — a sound,
+		// quality-preserving cut that the as-published bidirectional-
+		// expansion baseline LACKS; pass NoEarlyStop to time that original
+		// exhaustive behaviour (Figure 7 reproduces the published gap).
+		if len(st.candidates) > 0 && !st.opts.NoEarlyStop {
+			if st.opts.Model == ModelTree {
+				if st.minSum <= float64(m)*next {
+					return
+				}
+			} else if st.minDepth < next {
+				return
+			}
+		}
+		// PathEnumeration: pop the globally smallest frontier entry.
+		it := st.h.popMin()
+		ls := &st.ls[it.li]
+		pi, off := pageOf(it.v)
+		p := ls.pages[pi]
+		w, bit := off>>6, uint64(1)<<(off&63)
+		if p.settled[w]&bit != 0 || it.d > p.dist[off] {
+			continue // stale
+		}
+		p.settled[w] |= bit
+		st.expansions++
+		for _, a := range st.g.Neighbors(it.v) {
+			nd := it.d + a.Weight
+			if st.opts.MaxDepth > 0 && nd > st.opts.MaxDepth {
+				continue
+			}
+			npi, noff := pageOf(a.To)
+			np := ls.page(npi, st.epoch)
+			cur := np.dist[noff] // +Inf ⇔ undiscovered
+			arc := PathArc{From: it.v, To: a.To, Rel: a.Rel, Reverse: a.Reverse}
+			switch {
+			case nd < cur:
+				np.dist[noff] = nd
+				np.parents[noff] = append(np.parents[noff][:0], arc)
+				st.h.push(item{nd, it.li, a.To})
+				if cur == inf {
+					st.noteReached(a.To)
+				}
+			case nd == cur:
+				// An equal-cost path: preserve it for the "width" of the
+				// embedding (Definition 3 keeps all shortest paths).
+				np.parents[noff] = append(np.parents[noff], arc)
+			}
+		}
+	}
+}
+
+// sortDescending orders a compactness vector in place, largest first —
+// the allocation-free equivalent of sort.Sort(sort.Reverse(Float64Slice)).
+// Vectors are one entity group's label count long, so insertion sort wins.
+func sortDescending(v []float64) {
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] < x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
+}
+
+// fillVec writes v's descending-sorted distance vector into out.
+func (st *state) fillVec(out []float64, v kg.NodeID) {
+	for i := range out {
+		out[i] = st.distOf(i, v)
+	}
+	sortDescending(out)
+}
+
+// best implements compactness sorting (Algorithm 1 line 14) and subgraph
+// reconstruction, returning nil when no candidate was collected. The two
+// comparison vectors live in pooled scratch buffers.
+func (st *state) best() *Subgraph {
+	if len(st.candidates) == 0 {
+		return nil
+	}
+	m := len(st.labels)
+	if cap(st.vecA) < m {
+		st.vecA = make([]float64, m)
+		st.vecB = make([]float64, m)
+	}
+	bestVec, cand := st.vecA[:m], st.vecB[:m]
+	bestV := st.candidates[0]
+	st.fillVec(bestVec, bestV)
+	for _, v := range st.candidates[1:] {
+		st.fillVec(cand, v)
+		var better bool
+		switch {
+		case st.opts.Model == ModelTree:
+			cs, bs := sumVec(cand), sumVec(bestVec)
+			better = cs < bs || cs == bs && CompareCompactness(cand, bestVec) < 0 ||
+				cs == bs && CompareCompactness(cand, bestVec) == 0 && v < bestV
+		case st.opts.DepthOnly:
+			// Ablation: plain depth minimization ignores the tie-breaking
+			// tail of the compactness order.
+			cd, bd := cand[0], bestVec[0]
+			better = cd < bd || cd == bd && v < bestV
+		default:
+			c := CompareCompactness(cand, bestVec)
+			better = c < 0 || c == 0 && v < bestV
+		}
+		if better {
+			bestV = v
+			bestVec, cand = cand, bestVec
+		}
+	}
+	return st.reconstruct(bestV)
+}
+
+// reconstruct builds the subgraph G_r(L) = union over labels of the
+// shortest paths from the label's sources to the root (Definition 3 /
+// Equation 1). For ModelTree only the first recorded parent is followed,
+// yielding a single path per label. The visited tracking uses the pooled
+// sparse-reset bitsets; only the returned Subgraph allocates.
+func (st *state) reconstruct(root kg.NodeID) *Subgraph {
+	m := len(st.labels)
+	sg := &Subgraph{
+		Root:       root,
+		Labels:     append([]string(nil), st.labels...),
+		Dists:      make([]float64, m),
+		Expansions: st.expansions,
+	}
+	sg.LabelArcs = make([][]PathArc, m)
+	st.nodeSeen.Reset()
+	st.nodeSeen.Set(int(root))
+	st.nodeBuf = append(st.nodeBuf[:0], root)
+	arcSet := map[PathArc]bool{}
+	for i := 0; i < m; i++ {
+		ls := &st.ls[i]
+		sg.Dists[i] = st.distOf(i, root)
+		// Walk the shortest-path DAG backwards from the root. Arcs are
+		// oriented From(parent, closer to the label) -> To(closer to root).
+		st.visitSeen.Reset()
+		st.visitSeen.Set(int(root))
+		labelSeen := map[PathArc]bool{}
+		st.stack = append(st.stack[:0], root)
+		for len(st.stack) > 0 {
+			v := st.stack[len(st.stack)-1]
+			st.stack = st.stack[:len(st.stack)-1]
+			pi, off := pageOf(v)
+			parents := ls.pages[pi].parents[off]
+			if st.opts.Model == ModelTree && len(parents) > 1 {
+				parents = parents[:1]
+			}
+			for _, p := range parents {
+				arcSet[p] = true
+				if !labelSeen[p] {
+					labelSeen[p] = true
+					sg.LabelArcs[i] = append(sg.LabelArcs[i], p)
+				}
+				if !st.nodeSeen.TestSet(int(p.From)) {
+					st.nodeBuf = append(st.nodeBuf, p.From)
+				}
+				if !st.visitSeen.TestSet(int(p.From)) {
+					st.stack = append(st.stack, p.From)
+				}
+			}
+		}
+		sortArcs(sg.LabelArcs[i])
+	}
+	sg.Nodes = append([]kg.NodeID(nil), st.nodeBuf...)
+	slices.Sort(sg.Nodes)
+	sg.Arcs = make([]PathArc, 0, len(arcSet))
+	for a := range arcSet {
+		sg.Arcs = append(sg.Arcs, a)
+	}
+	sortArcs(sg.Arcs)
+	return sg
+}
+
+// sortArcs orders arcs by (From, To, Rel) for deterministic output.
+func sortArcs(arcs []PathArc) {
+	sort.Slice(arcs, func(i, j int) bool {
+		a, b := arcs[i], arcs[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Rel < b.Rel
+	})
+}

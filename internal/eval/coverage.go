@@ -29,7 +29,7 @@ func (c CoverageResult) Fraction() float64 {
 
 // Coverage embeds every document of the dataset and counts coverage.
 func Coverage(d *Dataset) CoverageResult {
-	emb := core.NewEmbedder(core.NewSearcher(d.World.Graph, core.Options{MaxDepth: 6}))
+	emb := core.NewEmbedder(d.World.Graph, core.Options{MaxDepth: 6})
 	var r CoverageResult
 	for _, a := range d.Articles {
 		doc := d.Pipeline.Process(a.Text)

@@ -59,9 +59,9 @@ func (r Figure7Result) Render() string {
 func RunFigure7(scale Scale) Figure7Result {
 	d := BuildDataset(CNNSpec(scale))
 	g := d.World.Graph
-	gstar := core.NewEmbedder(core.NewSearcher(g, core.Options{Model: core.ModelLCAG, MaxDepth: 6}))
-	tree := core.NewEmbedder(core.NewSearcher(g, core.Options{Model: core.ModelTree, MaxDepth: 6, NoEarlyStop: true}))
-	treeBound := core.NewEmbedder(core.NewSearcher(g, core.Options{Model: core.ModelTree, MaxDepth: 6}))
+	gstar := core.NewEmbedder(g, core.Options{Model: core.ModelLCAG, MaxDepth: 6})
+	tree := core.NewEmbedder(g, core.Options{Model: core.ModelTree, MaxDepth: 6, NoEarlyStop: true})
+	treeBound := core.NewEmbedder(g, core.Options{Model: core.ModelTree, MaxDepth: 6})
 
 	var r Figure7Result
 	r.Docs = len(d.Articles)
@@ -140,7 +140,7 @@ func (r Table8Result) Render() string {
 func RunTable8(scale Scale) Table8Result {
 	d := BuildDataset(CNNSpec(scale))
 	g := d.World.Graph
-	embedder := core.NewEmbedder(core.NewSearcher(g, core.Options{Model: core.ModelLCAG, MaxDepth: 6}))
+	embedder := core.NewEmbedder(g, core.Options{Model: core.ModelLCAG, MaxDepth: 6})
 	// Build the two indexes once, as the engine does.
 	textB, nodeB := index.NewBuilder(), index.NewBuilder()
 	for _, a := range d.Articles {

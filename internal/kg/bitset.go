@@ -1,0 +1,73 @@
+package kg
+
+// Bitset is a flat-word bit set over a fixed universe of node IDs with
+// sparse O(touched) reset: Set records which 64-bit words it dirtied, and
+// Reset zeroes only those, so a graph-sized bitset can be recycled across
+// queries at a cost proportional to the visited set rather than the graph.
+// It is the visited/candidate tracking structure of core's flat G* search
+// state (the words-of-uint64 layout index.Bitmap uses for tombstones,
+// without the serialization or immutability contract). Not safe for
+// concurrent use; each traversal owns its own Bitset.
+type Bitset struct {
+	words []uint64
+	dirty []int32 // indices of words with at least one bit ever set since Reset
+}
+
+// NewBitset returns an all-zero bitset over n bits.
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitset{words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of addressable bits.
+func (b *Bitset) Len() int { return len(b.words) * 64 }
+
+// Grow extends the universe to at least n bits, preserving set bits.
+func (b *Bitset) Grow(n int) {
+	need := (n + 63) / 64
+	if need <= len(b.words) {
+		return
+	}
+	words := make([]uint64, need)
+	copy(words, b.words)
+	b.words = words
+}
+
+// Test reports bit i. Out-of-range positions read as unset.
+func (b *Bitset) Test(i int) bool {
+	w := i >> 6
+	if i < 0 || w >= len(b.words) {
+		return false
+	}
+	return b.words[w]&(1<<(i&63)) != 0
+}
+
+// TestSet sets bit i and reports whether it was already set. The position
+// must be within the universe.
+func (b *Bitset) TestSet(i int) bool {
+	w, m := i>>6, uint64(1)<<(i&63)
+	old := b.words[w]
+	if old&m != 0 {
+		return true
+	}
+	if old == 0 {
+		b.dirty = append(b.dirty, int32(w))
+	}
+	b.words[w] = old | m
+	return false
+}
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) { b.TestSet(i) }
+
+// Reset clears every set bit in time proportional to the number of words
+// touched since the previous Reset, keeping a pooled graph-sized bitset
+// cheap to recycle between traversals.
+func (b *Bitset) Reset() {
+	for _, w := range b.dirty {
+		b.words[w] = 0
+	}
+	b.dirty = b.dirty[:0]
+}

@@ -1,0 +1,89 @@
+package kg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitsetSetTestReset(t *testing.T) {
+	b := NewBitset(300)
+	if b.Len() < 300 {
+		t.Fatalf("Len = %d, want >= 300", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 299} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set on a fresh bitset", i)
+		}
+		if b.TestSet(i) {
+			t.Fatalf("TestSet(%d) reported already-set on first set", i)
+		}
+		if !b.Test(i) || !b.TestSet(i) {
+			t.Fatalf("bit %d not set after TestSet", i)
+		}
+	}
+	b.Reset()
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 299} {
+		if b.Test(i) {
+			t.Fatalf("bit %d survived Reset", i)
+		}
+	}
+	// Sparse reset must not leave stale dirty-word bookkeeping: setting the
+	// same bits again after Reset behaves like a fresh bitset.
+	b.Set(64)
+	if b.TestSet(64) != true || b.Test(65) {
+		t.Fatal("re-set after Reset misbehaved")
+	}
+}
+
+func TestBitsetOutOfRangeReadsUnset(t *testing.T) {
+	b := NewBitset(64)
+	if b.Test(-1) || b.Test(64) || b.Test(1<<20) {
+		t.Fatal("out-of-range Test returned set")
+	}
+}
+
+func TestBitsetGrow(t *testing.T) {
+	b := NewBitset(10)
+	b.Set(3)
+	b.Grow(1000)
+	if !b.Test(3) {
+		t.Fatal("Grow dropped an existing bit")
+	}
+	b.Set(999)
+	if !b.Test(999) {
+		t.Fatal("bit in grown region not set")
+	}
+	b.Reset()
+	if b.Test(3) || b.Test(999) {
+		t.Fatal("Reset after Grow left bits set")
+	}
+	b.Grow(5) // shrinking request is a no-op
+	if b.Len() < 1000 {
+		t.Fatalf("Grow shrank the universe to %d bits", b.Len())
+	}
+}
+
+// TestBitsetMatchesMap cross-checks the dirty-word machinery against a
+// plain map over random set/reset cycles.
+func TestBitsetMatchesMap(t *testing.T) {
+	const n = 4096
+	rng := rand.New(rand.NewSource(1))
+	b := NewBitset(n)
+	ref := map[int]bool{}
+	for cycle := 0; cycle < 20; cycle++ {
+		for op := 0; op < 500; op++ {
+			i := rng.Intn(n)
+			if b.TestSet(i) != ref[i] {
+				t.Fatalf("cycle %d: TestSet(%d) disagreed with reference", cycle, i)
+			}
+			ref[i] = true
+		}
+		for i := 0; i < n; i++ {
+			if b.Test(i) != ref[i] {
+				t.Fatalf("cycle %d: Test(%d) = %v, want %v", cycle, i, b.Test(i), ref[i])
+			}
+		}
+		b.Reset()
+		ref = map[int]bool{}
+	}
+}

@@ -1,0 +1,103 @@
+package kg
+
+import (
+	"sort"
+	"sync"
+)
+
+// HotLabels tracks the most frequently resolved entity labels with the
+// Space-Saving algorithm: a bounded counter table where, once full, the
+// minimum-count entry is evicted to admit a new label at count min+1. The
+// classic guarantee holds — any label whose true frequency exceeds total/k
+// is present — which is exactly what the engine needs to know which
+// entities dominate the query stream (and therefore which label→distance
+// work the embedder's memoization is amortizing). Safe for concurrent use;
+// Touch is a short critical section over a small fixed-capacity table.
+type HotLabels struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*labelCounter
+}
+
+type labelCounter struct {
+	label string
+	count int64
+	// err is the Space-Saving overestimation bound: the count the entry
+	// inherited from the evicted minimum when it was admitted.
+	err int64
+}
+
+// LabelCount is one entry of a HotLabels report.
+type LabelCount struct {
+	Label string
+	// Count is the estimated frequency (an overestimate by at most Err).
+	Count int64
+	// Err bounds the overestimation; Count-Err is a guaranteed lower bound
+	// on the true frequency.
+	Err int64
+}
+
+// NewHotLabels returns a tracker keeping at most capacity labels
+// (capacity <= 0 selects 256).
+func NewHotLabels(capacity int) *HotLabels {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &HotLabels{cap: capacity, m: make(map[string]*labelCounter, capacity)}
+}
+
+// Touch records one occurrence of a (folded) label.
+func (h *HotLabels) Touch(label string) {
+	if label == "" {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if c, ok := h.m[label]; ok {
+		c.count++
+		return
+	}
+	if len(h.m) < h.cap {
+		h.m[label] = &labelCounter{label: label, count: 1}
+		return
+	}
+	// Evict the minimum-count entry; the newcomer inherits its count so the
+	// table's counts stay monotone (Space-Saving).
+	var min *labelCounter
+	for _, c := range h.m {
+		if min == nil || c.count < min.count || (c.count == min.count && c.label < min.label) {
+			min = c
+		}
+	}
+	delete(h.m, min.label)
+	h.m[label] = &labelCounter{label: label, count: min.count + 1, err: min.count}
+}
+
+// Top returns the k highest-count labels, count-descending with
+// lexicographic ties, so the report is deterministic for a quiesced
+// tracker. k <= 0 or k beyond the table size returns everything tracked.
+func (h *HotLabels) Top(k int) []LabelCount {
+	h.mu.Lock()
+	out := make([]LabelCount, 0, len(h.m))
+	for _, c := range h.m {
+		out = append(out, LabelCount{Label: c.label, Count: c.count, Err: c.err})
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Label < out[j].Label
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Len returns the number of labels currently tracked.
+func (h *HotLabels) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.m)
+}

@@ -1,0 +1,88 @@
+package kg
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHotLabelsTopOrdering(t *testing.T) {
+	h := NewHotLabels(10)
+	for i := 0; i < 5; i++ {
+		h.Touch("pakistan")
+	}
+	for i := 0; i < 3; i++ {
+		h.Touch("taliban")
+	}
+	h.Touch("zurich")
+	h.Touch("ankara") // same count as zurich: lexicographic tie-break
+	h.Touch("")       // ignored
+
+	top := h.Top(0)
+	wantOrder := []string{"pakistan", "taliban", "ankara", "zurich"}
+	if len(top) != len(wantOrder) {
+		t.Fatalf("Top returned %d entries, want %d", len(top), len(wantOrder))
+	}
+	for i, want := range wantOrder {
+		if top[i].Label != want {
+			t.Fatalf("Top[%d] = %q, want %q", i, top[i].Label, want)
+		}
+	}
+	if top[0].Count != 5 || top[0].Err != 0 {
+		t.Fatalf("pakistan count/err = %d/%d, want 5/0", top[0].Count, top[0].Err)
+	}
+	if got := h.Top(2); len(got) != 2 || got[0].Label != "pakistan" || got[1].Label != "taliban" {
+		t.Fatalf("Top(2) = %v", got)
+	}
+}
+
+// TestHotLabelsEviction pins the Space-Saving guarantees: the table never
+// exceeds capacity, a newcomer inherits the evicted minimum's count, and a
+// label with frequency far above everything else is never evicted.
+func TestHotLabelsEviction(t *testing.T) {
+	h := NewHotLabels(4)
+	for i := 0; i < 100; i++ {
+		h.Touch("heavy")
+	}
+	for i := 0; i < 40; i++ {
+		h.Touch(fmt.Sprintf("noise-%d", i))
+	}
+	if h.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", h.Len())
+	}
+	top := h.Top(1)
+	if top[0].Label != "heavy" {
+		t.Fatalf("heavy hitter evicted; top = %v", top)
+	}
+	if got := top[0].Count - top[0].Err; got < 100 {
+		t.Fatalf("heavy's guaranteed lower bound = %d, want >= 100", got)
+	}
+	// Every surviving noise entry must report its overestimation: count was
+	// inherited, so err > 0.
+	for _, lc := range h.Top(0)[1:] {
+		if lc.Err == 0 {
+			t.Fatalf("entry %q admitted by eviction has err = 0", lc.Label)
+		}
+	}
+}
+
+func TestHotLabelsConcurrent(t *testing.T) {
+	h := NewHotLabels(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.Touch(fmt.Sprintf("label-%d", (w+i)%20))
+				if i%50 == 0 {
+					h.Top(5)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Len() == 0 || h.Len() > 16 {
+		t.Fatalf("Len = %d, want within (0, 16]", h.Len())
+	}
+}

@@ -14,6 +14,7 @@ import (
 // five; Explain records analyze and path-enumeration.
 const (
 	StageAnalyze = "analyze"          // NLP + NE on the query text (or cache hit)
+	StageEmbed   = "embed"            // G* subgraph embedding of the entity groups
 	StageBOW     = "bow-retrieve"     // BM25 top-k over the text index
 	StageBON     = "bon-retrieve"     // BM25 top-k over the node index
 	StageFuse    = "fuse"             // Equation 3 score fusion

@@ -32,7 +32,9 @@ package newslink
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -172,11 +174,14 @@ type Explanation struct {
 // writes of any kind interleave freely with in-flight queries and a long
 // query never blocks indexing.
 type Engine struct {
-	cfg      Config
-	g        *kg.Graph
-	pipe     *nlp.Pipeline
-	searcher *core.Searcher
-	embedder *core.Embedder
+	cfg  Config
+	opts engineOptions
+
+	// gs is the atomically-published graph-side state: the knowledge graph
+	// with its NLP pipeline and embedder. Queries load it once per request
+	// and work against that immutable view; SwapGraph publishes a fresh one
+	// and purges the embedding caches.
+	gs atomic.Pointer[graphState]
 
 	// set is the published, immutable segment set (segment.go); nil until
 	// Build. Readers load it atomically; writers rebuild and swap it under
@@ -197,6 +202,8 @@ type Engine struct {
 	nodeB    *index.Builder
 
 	queries *queryCache
+	embeds  *embedCache
+	hot     *kg.HotLabels
 
 	// metrics is the engine's observability registry; met caches the
 	// pre-registered handles the pipeline updates. Both are created in New
@@ -221,35 +228,93 @@ func (e *Engine) SetBONTimeout(d time.Duration) { e.bonTimeout.Store(int64(d)) }
 // fan-out/merge overhead exceeds the traversal cost).
 const shardedSearchMinDocs = 4096
 
-// New returns an Engine over the knowledge graph g.
-func New(g *kg.Graph, cfg Config) *Engine {
+// graphState bundles the knowledge graph with the components derived from
+// it — the NLP pipeline (entity recognition against the graph's label
+// index) and the subgraph embedder (with its pooled traversal states and
+// per-group cache). It is immutable once published; SwapGraph replaces the
+// whole bundle atomically, so a request that loaded one graphState keeps a
+// consistent graph view for its entire lifetime.
+type graphState struct {
+	g        *kg.Graph
+	pipe     *nlp.Pipeline
+	embedder *core.Embedder
+}
+
+// New returns an Engine over the knowledge graph g. Options configure the
+// engine beyond the base Config; because Config is itself an Option, both
+// New(g, cfg) and New(g, cfg, WithEmbedCache(256), ...) work, and New(g)
+// selects DefaultConfig.
+func New(g *kg.Graph, opts ...Option) *Engine {
+	o := defaultEngineOptions()
+	for _, op := range opts {
+		op.apply(&o)
+	}
+	cfg := o.cfg
 	if cfg.PoolDepth <= 0 {
 		cfg.PoolDepth = 100
 	}
-	s := core.NewSearcher(g, core.Options{
-		Model:         cfg.Model,
-		MaxDepth:      cfg.MaxDepth,
-		MaxExpansions: cfg.MaxExpansions,
-	})
 	registry := obs.NewRegistry()
 	met := newEngineMetrics(registry)
-	return &Engine{
-		cfg:      cfg,
-		g:        g,
-		pipe:     nlp.NewPipeline(g.Index()),
-		searcher: s,
-		embedder: core.NewEmbedder(s),
-		pendPos:  make(map[int]int),
-		textB:    index.NewBuilder(),
-		nodeB:    index.NewBuilder(),
-		queries:  newQueryCache(64, met.cacheHits, met.cacheMisses),
-		metrics:  registry,
-		met:      met,
+	e := &Engine{
+		cfg:     cfg,
+		opts:    o,
+		pendPos: make(map[int]int),
+		textB:   index.NewBuilder(),
+		nodeB:   index.NewBuilder(),
+		queries: newQueryCache(o.queryCacheSize, met.cacheHits, met.cacheMisses),
+		embeds:  newEmbedCache(o.embedCacheSize, met.embedCacheHits, met.embedCacheMisses),
+		hot:     kg.NewHotLabels(o.hotLabelCap),
+		metrics: registry,
+		met:     met,
+	}
+	e.gs.Store(e.newGraphState(g))
+	e.bonTimeout.Store(int64(o.bonTimeout))
+	return e
+}
+
+// newGraphState derives the graph-side components from g under the
+// engine's configuration.
+func (e *Engine) newGraphState(g *kg.Graph) *graphState {
+	return &graphState{
+		g:    g,
+		pipe: nlp.NewPipeline(g.Index()),
+		embedder: core.NewEmbedder(g, core.Options{
+			Model:          e.cfg.Model,
+			MaxDepth:       e.cfg.MaxDepth,
+			MaxExpansions:  e.cfg.MaxExpansions,
+			EmbedWorkers:   e.opts.embedWorkers,
+			GroupCacheSize: e.opts.groupCacheSize,
+		}),
 	}
 }
 
 // Graph returns the underlying knowledge graph.
-func (e *Engine) Graph() *kg.Graph { return e.g }
+func (e *Engine) Graph() *kg.Graph { return e.gs.Load().g }
+
+// SwapGraph atomically replaces the knowledge graph with an updated
+// snapshot — a re-weighted or extended export of the same entity universe.
+// Every embedding cache derived from the old graph dies with it: the
+// text-keyed query cache, the entity-set embedding cache and the
+// embedder's per-group cache (the new embedder starts cold), so no query
+// can ever be served a subgraph of a graph that is no longer published.
+//
+// Document embeddings indexed in sealed segments are NOT recomputed; they
+// keep describing the graph they were built against. Swapping in a graph
+// whose node IDs are incompatible with the indexed corpus calls for
+// re-indexing (or persist.Load of a matching snapshot) instead.
+func (e *Engine) SwapGraph(g *kg.Graph) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.gs.Store(e.newGraphState(g))
+	e.queries.purge()
+	e.embeds.purge()
+}
+
+// HotLabels returns the k most frequently embedded entity labels of the
+// query stream (Space-Saving estimates; see kg.HotLabels). It identifies
+// the entities whose label → distance work the embedder's group cache is
+// amortizing. k <= 0 returns every tracked label.
+func (e *Engine) HotLabels(k int) []kg.LabelCount { return e.hot.Top(k) }
 
 // NumDocs returns the number of live documents: everything added (sealed
 // or still pending) minus tombstoned deletes.
@@ -382,32 +447,141 @@ func (e *Engine) sealPendingLocked() *segment {
 	return seg
 }
 
-// analyzeQuery is analyze with LRU memoization; Search, Explain and
-// ExplainDOT on the same query text share one NLP + NE pass. It records the
-// "analyze" stage span into the request trace (cache hits included: a hit
-// still shows up in the breakdown, just with a near-zero duration).
-func (e *Engine) analyzeQuery(ctx context.Context, text string) (*core.DocEmbedding, []string) {
+// analyzeQuery is query analysis with two-tier LRU memoization; Search,
+// Explain and ExplainDOT on the same query text share one NLP + NE pass.
+// Tier one keys on the folded query text (lowercased, whitespace
+// collapsed — "Trump  Putin" and "trump putin" are one entry); tier two,
+// consulted on a text miss, keys on the canonicalized resolved entity set,
+// so differently-phrased queries naming the same entities share one G*
+// computation. It records the "analyze" stage span into the request trace
+// (cache hits included: a hit still shows up in the breakdown, just with a
+// near-zero duration). A non-nil error is ctx's: nothing is cached then.
+func (e *Engine) analyzeQuery(ctx context.Context, text string) (*core.DocEmbedding, []string, error) {
 	sp := obs.FromContext(ctx).Start(obs.StageAnalyze)
-	emb, terms, hit := e.queries.get(text)
+	key := kg.Fold(text)
+	emb, terms, hit := e.queries.get(key)
+	var err error
 	if !hit {
-		emb, terms = e.analyze(text)
-		e.queries.put(text, emb, terms)
+		emb, terms, err = e.analyzeQueryMiss(ctx, text)
+		if err == nil {
+			e.queries.put(key, emb, terms)
+		}
 	}
 	d := sp.End(obs.Bool("cache_hit", hit), obs.Int("terms", len(terms)))
 	e.met.stageObserve(obs.StageAnalyze, d)
-	return emb, terms
+	return emb, terms, err
 }
 
-// analyze runs the NLP and NE components on a text. It reads only immutable
-// engine state and is safe to call without holding e.mu.
-func (e *Engine) analyze(text string) (*core.DocEmbedding, []string) {
-	doc := e.pipe.Process(text)
+// analyzeQueryMiss runs the NLP component, then resolves the embedding
+// through the entity-set cache, embedding the groups only on a full miss.
+// The embed stage span and the newslink_embed_* counters record what
+// happened either way.
+func (e *Engine) analyzeQueryMiss(ctx context.Context, text string) (*core.DocEmbedding, []string, error) {
+	gs := e.gs.Load()
+	doc := gs.pipe.Process(text)
 	var terms []string
 	for _, s := range doc.Sentences {
 		terms = append(terms, s.Terms...)
 	}
 	groups := nlp.MaximalSets(doc.EntityGroups())
-	return e.embedder.EmbedGroups(groups), terms
+	sp := obs.FromContext(ctx).Start(obs.StageEmbed)
+	var stats core.EmbedStats
+	var emb *core.DocEmbedding
+	key := entitySetKey(gs.g, groups)
+	hit := false
+	if key != "" {
+		emb, hit = e.embeds.get(key)
+	}
+	if hit {
+		stats.Groups = len(groups)
+		stats.CacheHit = true
+	} else {
+		var err error
+		emb, stats, err = gs.embedder.EmbedGroupsContext(ctx, groups)
+		if err != nil {
+			sp.End(obs.Int("groups", len(groups)))
+			return nil, nil, err
+		}
+		if key != "" {
+			e.embeds.put(key, emb)
+		}
+	}
+	d := sp.End(
+		obs.Int("groups", stats.Groups),
+		obs.Int("embedded", stats.Embedded),
+		obs.Int("expansions", stats.Expansions),
+		obs.Bool("cache_hit", stats.CacheHit),
+		obs.Int("group_cache_hits", stats.GroupCacheHits),
+	)
+	e.met.stageObserve(obs.StageEmbed, d)
+	e.met.embedObserve(stats)
+	e.touchHotLabels(emb)
+	return emb, terms, nil
+}
+
+// touchHotLabels feeds the resolved labels of a query embedding into the
+// hot-label tracker.
+func (e *Engine) touchHotLabels(emb *core.DocEmbedding) {
+	if emb == nil {
+		return
+	}
+	for _, sg := range emb.Subgraphs {
+		for _, l := range sg.Labels {
+			e.hot.Touch(l)
+		}
+	}
+}
+
+// analyze runs the NLP and NE components on a document text (the indexing
+// path: no query-side caches, so paper-faithful per-document embedding
+// cost measurements stay meaningful). It reads only immutable engine state
+// and is safe to call without holding e.mu.
+func (e *Engine) analyze(text string) (*core.DocEmbedding, []string) {
+	gs := e.gs.Load()
+	doc := gs.pipe.Process(text)
+	var terms []string
+	for _, s := range doc.Sentences {
+		terms = append(terms, s.Terms...)
+	}
+	groups := nlp.MaximalSets(doc.EntityGroups())
+	return gs.embedder.EmbedGroups(groups), terms
+}
+
+// entitySetKey canonicalizes a document's entity groups into the tier-two
+// cache key: within each group the labels are folded, deduplicated and
+// kept only when they resolve to a KG node, then sorted; group keys are
+// themselves sorted (duplicates kept — two equal groups contribute twice
+// to node counts). Queries that differ only in phrasing, label order, case
+// or unresolvable mentions therefore share one key. Returns "" when no
+// group has a resolvable label, which callers treat as "don't cache".
+func entitySetKey(g *kg.Graph, groups [][]string) string {
+	gkeys := make([]string, 0, len(groups))
+	for _, grp := range groups {
+		resolved := make([]string, 0, len(grp))
+	labels:
+		for _, l := range grp {
+			key := kg.Fold(l)
+			for _, r := range resolved {
+				if r == key {
+					continue labels
+				}
+			}
+			if len(g.Lookup(key)) == 0 {
+				continue
+			}
+			resolved = append(resolved, key)
+		}
+		if len(resolved) == 0 {
+			continue // the group cannot embed; it contributes nothing
+		}
+		sort.Strings(resolved)
+		gkeys = append(gkeys, strings.Join(resolved, "\x1f"))
+	}
+	if len(gkeys) == 0 {
+		return ""
+	}
+	sort.Strings(gkeys)
+	return strings.Join(gkeys, "\x1e")
 }
 
 // nodeWeights converts a document embedding into BON term weights.
@@ -646,7 +820,10 @@ func (e *Engine) searchContext(ctx context.Context, q Query) (SearchResponse, er
 	if n := snap.numLive(); pool > n {
 		pool = n
 	}
-	qEmb, qTerms := e.analyzeQuery(ctx, q.Text)
+	qEmb, qTerms, err := e.analyzeQuery(ctx, q.Text)
+	if err != nil {
+		return SearchResponse{}, err
+	}
 	if err := ctx.Err(); err != nil {
 		return SearchResponse{}, err
 	}
@@ -741,14 +918,18 @@ func (e *Engine) explainContext(ctx context.Context, query string, docID int, ma
 	if err != nil {
 		return Explanation{}, err
 	}
-	qEmb, _ := e.analyzeQuery(ctx, query)
+	qEmb, _, err := e.analyzeQuery(ctx, query)
+	if err != nil {
+		return Explanation{}, err
+	}
 	dEmb := snap.embedding(pos)
 	if qEmb == nil || dEmb == nil {
 		return Explanation{}, nil
 	}
+	g := e.Graph()
 	var exp Explanation
 	for _, n := range qEmb.Overlap(dEmb) {
-		exp.SharedEntities = append(exp.SharedEntities, e.g.Label(n))
+		exp.SharedEntities = append(exp.SharedEntities, g.Label(n))
 	}
 	sp := obs.FromContext(ctx).Start(obs.StagePaths)
 	paths, pairs, err := e.enumeratePaths(ctx, qEmb, dEmb, maxPaths)
@@ -765,6 +946,7 @@ func (e *Engine) explainContext(ctx context.Context, query string, docID int, ma
 // maxPaths relationship paths are collected, shortest pairs first. It
 // returns the paths and the number of label pairs actually explored.
 func (e *Engine) enumeratePaths(ctx context.Context, qEmb, dEmb *core.DocEmbedding, maxPaths int) ([]Path, int, error) {
+	g := e.Graph()
 	qLabels := embeddingLabels(qEmb)
 	dLabels := embeddingLabels(dEmb)
 	var out []Path
@@ -793,12 +975,12 @@ func (e *Engine) enumeratePaths(ctx context.Context, qEmb, dEmb *core.DocEmbeddi
 			}
 			seenPair[pairKey] = true
 			pairs++
-			paths, err := core.CrossPathsContext(ctx, e.g, qEmb, dEmb, ql, dl, 1)
+			paths, err := core.CrossPathsContext(ctx, g, qEmb, dEmb, ql, dl, 1)
 			if err != nil {
 				return nil, pairs, err
 			}
 			for _, p := range paths {
-				r := p.Render(e.g)
+				r := p.Render(g)
 				if r != "" && !seen[r] {
 					seen[r] = true
 					out = append(out, e.makePath(p, r))
@@ -818,10 +1000,11 @@ func (e *Engine) makePath(p core.RelPath, rendered string) Path {
 	if len(p.Hops) == 0 {
 		return out
 	}
-	out.Nodes = append(out.Nodes, e.g.Label(p.Hops[0].From))
+	g := e.Graph()
+	out.Nodes = append(out.Nodes, g.Label(p.Hops[0].From))
 	for _, h := range p.Hops {
-		out.Nodes = append(out.Nodes, e.g.Label(h.To))
-		out.Relations = append(out.Relations, e.g.RelName(h.Rel))
+		out.Nodes = append(out.Nodes, g.Label(h.To))
+		out.Relations = append(out.Relations, g.RelName(h.Rel))
 	}
 	return out
 }
@@ -848,12 +1031,15 @@ func (e *Engine) ExplainDOTContext(ctx context.Context, query string, docID int,
 	if err != nil {
 		return "", err
 	}
-	qEmb, _ := e.analyzeQuery(ctx, query)
+	qEmb, _, err := e.analyzeQuery(ctx, query)
+	if err != nil {
+		return "", err
+	}
 	dEmb := snap.embedding(pos)
 	if qEmb == nil || dEmb == nil {
 		return "", nil
 	}
-	return core.DOT(e.g, title, qEmb, dEmb), nil
+	return core.DOT(e.Graph(), title, qEmb, dEmb), nil
 }
 
 // embeddingLabels returns the distinct entity labels a document embedding

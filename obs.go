@@ -1,6 +1,7 @@
 package newslink
 
 import (
+	"newslink/internal/core"
 	"time"
 
 	"newslink/internal/obs"
@@ -18,15 +19,22 @@ type engineMetrics struct {
 	explainErrors *obs.Counter
 	cacheHits     *obs.Counter
 	cacheMisses   *obs.Counter
-	refreshes     *obs.Counter
-	segmentMerges *obs.Counter
-	blocksDecoded *obs.Counter
-	blocksSkipped *obs.Counter
-	docs          *obs.Gauge
-	segments      *obs.Gauge
-	liveDocs      *obs.Gauge
-	deletedDocs   *obs.Gauge
-	searchSeconds *obs.Histogram
+	// embed-path instrumentation: the entity-set cache tier plus the core
+	// embedder's per-stage counts (groups, expansions, group-cache hits).
+	embedCacheHits      *obs.Counter
+	embedCacheMisses    *obs.Counter
+	embedGroups         *obs.Counter
+	embedExpansions     *obs.Counter
+	embedGroupCacheHits *obs.Counter
+	refreshes           *obs.Counter
+	segmentMerges       *obs.Counter
+	blocksDecoded       *obs.Counter
+	blocksSkipped       *obs.Counter
+	docs                *obs.Gauge
+	segments            *obs.Gauge
+	liveDocs            *obs.Gauge
+	deletedDocs         *obs.Gauge
+	searchSeconds       *obs.Histogram
 	// degraded counts searches served BOW-only, keyed by degradation
 	// reason. Both reasons are pre-registered in New so the series appear
 	// in expositions before the first incident; the map is read-only after
@@ -50,6 +58,16 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		explainErrors: r.Counter("newslink_explain_errors_total", "Explain requests that returned an error (including cancellations)."),
 		cacheHits:     r.Counter("newslink_query_cache_hits_total", "Query analyses served from the LRU cache."),
 		cacheMisses:   r.Counter("newslink_query_cache_misses_total", "Query analyses that ran the NLP + NE components."),
+		embedCacheHits: r.Counter("newslink_embed_cache_hits_total",
+			"Query embeddings served from the entity-set cache (tier two: text differed, entities matched)."),
+		embedCacheMisses: r.Counter("newslink_embed_cache_misses_total",
+			"Query embeddings that ran the G* search."),
+		embedGroups: r.Counter("newslink_embed_groups_total",
+			"Entity groups submitted for query-side subgraph embedding."),
+		embedExpansions: r.Counter("newslink_embed_expansions_total",
+			"Path enumerations performed by query-side G* searches."),
+		embedGroupCacheHits: r.Counter("newslink_embed_group_cache_hits_total",
+			"Entity groups served from the embedder's per-group subgraph cache."),
 		refreshes:     r.Counter("newslink_refreshes_total", "Segment refreshes (explicit and search-triggered)."),
 		segmentMerges: r.Counter("newslink_segment_merges_total", "Segment merges performed by the tiered policy and Compact."),
 		blocksDecoded: r.Counter("newslink_blocks_decoded_total", "Postings blocks decoded by block-max retrieval."),
@@ -69,6 +87,7 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		},
 		stages: map[string]*obs.Histogram{
 			obs.StageAnalyze: stageHist(obs.StageAnalyze),
+			obs.StageEmbed:   stageHist(obs.StageEmbed),
 			obs.StageBOW:     stageHist(obs.StageBOW),
 			obs.StageBON:     stageHist(obs.StageBON),
 			obs.StageFuse:    stageHist(obs.StageFuse),
@@ -86,6 +105,21 @@ func (m *engineMetrics) blocksObserve(st search.RetrievalStats) {
 	}
 	if st.BlocksSkipped > 0 {
 		m.blocksSkipped.Add(int64(st.BlocksSkipped))
+	}
+}
+
+// embedObserve folds one query embedding's statistics into the engine-wide
+// totals. The entity-set cache counts its own hits and misses; this covers
+// the per-group counters a cache hit never generates.
+func (m *engineMetrics) embedObserve(st core.EmbedStats) {
+	if st.Groups > 0 {
+		m.embedGroups.Add(int64(st.Groups))
+	}
+	if st.Expansions > 0 {
+		m.embedExpansions.Add(int64(st.Expansions))
+	}
+	if st.GroupCacheHits > 0 {
+		m.embedGroupCacheHits.Add(int64(st.GroupCacheHits))
 	}
 }
 

@@ -258,7 +258,7 @@ func (e *Engine) Save(dir string) error {
 	meta := snapshotMeta{
 		Version:   snapshotVersion,
 		Config:    e.cfg,
-		Graph:     fingerprint(e.g),
+		Graph:     fingerprint(e.Graph()),
 		Segments:  segMetas,
 		Checksums: sums,
 	}

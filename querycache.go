@@ -87,3 +87,96 @@ func (c *queryCache) len() int {
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+// purge drops every cached analysis (graph swap invalidation).
+func (c *queryCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.byKey = make(map[string]*list.Element)
+}
+
+// embedCache is tier two of the query cache: document embeddings keyed by
+// the canonicalized resolved entity set (entitySetKey). The text-keyed
+// queryCache above it memoizes exact repeats of one query string; this
+// tier makes differently-phrased queries that name the same entities —
+// "Trump  Putin summit", "putin, trump" — share one G* computation, which
+// is the expensive part of analysis (Table VIII). A nil embedding is a
+// valid entry (the entity set resolved but nothing was embeddable). Safe
+// for concurrent use; hit/miss counters feed the metric registry.
+type embedCache struct {
+	hits, misses *obs.Counter // incremented outside mu; never nil
+
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recent; values are *embedEntry
+	byKey map[string]*list.Element
+}
+
+type embedEntry struct {
+	key string
+	emb *core.DocEmbedding
+}
+
+// newEmbedCache builds an entity-set embedding LRU of at most max entries
+// (max <= 0 stores nothing). Nil counters are replaced with unregistered
+// ones so callers never check.
+func newEmbedCache(max int, hits, misses *obs.Counter) *embedCache {
+	if hits == nil {
+		hits = &obs.Counter{}
+	}
+	if misses == nil {
+		misses = &obs.Counter{}
+	}
+	return &embedCache{hits: hits, misses: misses, max: max, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached embedding and whether the key was present.
+func (c *embedCache) get(key string) (*core.DocEmbedding, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.hits.Inc()
+	c.order.MoveToFront(el)
+	return el.Value.(*embedEntry).emb, true
+}
+
+// put stores an embedding, evicting the least recently used entry if full.
+func (c *embedCache) put(key string, emb *core.DocEmbedding) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*embedEntry).emb = emb
+		return
+	}
+	if c.order.Len() >= c.max {
+		if last := c.order.Back(); last != nil {
+			c.order.Remove(last)
+			delete(c.byKey, last.Value.(*embedEntry).key)
+		}
+	}
+	c.byKey[key] = c.order.PushFront(&embedEntry{key: key, emb: emb})
+}
+
+// len returns the number of cached embeddings.
+func (c *embedCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// purge drops every cached embedding (graph swap invalidation).
+func (c *embedCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.byKey = make(map[string]*list.Element)
+}
