@@ -1,24 +1,26 @@
 #!/bin/sh
-# Runs the key engine benchmarks and emits machine-readable BENCH_pr6.json:
+# Runs the key engine benchmarks and emits a machine-readable JSON file:
 # one record per benchmark variant with ns/op, B/op, allocs/op and any
 # custom metrics the benchmark reports (postings_scored/op,
-# blocks_skipped/op). The BenchmarkQueryEmbed band covers the KG side:
-# Table-8-style multi-entity query embedding at 100k and 1M synthetic
-# nodes — map-based reference vs flat-state cold vs parallel fan-out vs
-# entity-set-cache-warm. CI uploads the file as an artifact so the
-# performance trajectory has a reproducible, CI-generated source; run
-# locally as
+# blocks_skipped/op, p99-ns, ingested-docs/sec). The BenchmarkQueryEmbed
+# band covers the KG side: Table-8-style multi-entity query embedding at
+# 100k and 1M synthetic nodes; BenchmarkSustainedIngestServe covers the
+# write side: search p99 while the streaming pipeline absorbs ~1k docs/sec.
+# CI uploads the file as an artifact so the performance trajectory has a
+# reproducible, CI-generated source; run locally as
 #
 #     ./ci/bench.sh [benchtime] [outfile]
 #
 # with a real benchtime (e.g. 2s) for publishable numbers — CI uses a short
-# smoke time so the job stays fast.
+# smoke time so the job stays fast. The default outfile is the unversioned
+# BENCH.json; callers that archive a PR's numbers (ci.yml, reproduce.sh)
+# pass the versioned BENCH_prN.json name explicitly.
 set -eu
 cd "$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 
 BENCHTIME="${1:-1s}"
-OUT="${2:-BENCH_pr6.json}"
-BENCHES='BenchmarkTopKStrategies|BenchmarkParallelFusedSearch|BenchmarkSnapshotServing|BenchmarkSegmentChurn|BenchmarkQueryEmbed'
+OUT="${2:-BENCH.json}"
+BENCHES='BenchmarkTopKStrategies|BenchmarkParallelFusedSearch|BenchmarkSnapshotServing|BenchmarkSegmentChurn|BenchmarkQueryEmbed|BenchmarkSustainedIngestServe'
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

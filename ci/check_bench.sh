@@ -1,0 +1,101 @@
+#!/bin/sh
+# Benchmark-regression gate: runs ci/bench.sh and compares every variant's
+# ns/op and allocs/op against the committed baseline in
+# ci/bench_baseline.json, failing when either regresses past the
+# tolerance. The tolerance defaults to 30% (TOLERANCE_PCT overrides it) —
+# wide enough to absorb shared-runner noise on wall-clock numbers, tight
+# enough to catch a real regression; allocs/op is near-deterministic, so a
+# tolerance breach there is almost always a genuine change.
+#
+#	./ci/check_bench.sh [benchtime]
+#
+# Variants present on only one side are reported but do not fail the gate
+# (new benchmarks land before their baseline does; the baseline is updated
+# in the same PR or the next). CI runs this as a visible-but-not-required
+# job: wall-clock comparisons across heterogeneous runners advise, the
+# committed BENCH_prN.json artifacts decide.
+#
+# When a regression is real and intended (or an optimisation makes the
+# baseline stale), regenerate it and commit the change in the same PR:
+#
+#	./ci/bench.sh 1s ci/bench_baseline.json
+set -eu
+cd "$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+
+BENCHTIME="${1:-1s}"
+TOLERANCE_PCT="${TOLERANCE_PCT:-30}"
+BASELINE=ci/bench_baseline.json
+
+if [ ! -f "$BASELINE" ]; then
+    echo "no baseline at $BASELINE; generate one with: ./ci/bench.sh 1s $BASELINE" >&2
+    exit 1
+fi
+
+CURRENT="$(mktemp)"
+trap 'rm -f "$CURRENT"' EXIT
+
+./ci/bench.sh "$BENCHTIME" "$CURRENT"
+
+# Both files are emitted by ci/bench.sh's own awk: a JSON array with one
+# record per line, so line-oriented extraction of (name, ns/op, allocs/op)
+# is reliable without a JSON tool.
+extract() {
+    awk '
+    /"name"/ {
+        name = ""; ns = ""; allocs = ""
+        if (match($0, /"name": "[^"]*"/)) {
+            name = substr($0, RSTART + 9, RLENGTH - 10)
+        }
+        if (match($0, /"ns\/op": [0-9.e+]*/)) {
+            ns = substr($0, RSTART + 9, RLENGTH - 9)
+        }
+        if (match($0, /"allocs\/op": [0-9.e+]*/)) {
+            allocs = substr($0, RSTART + 13, RLENGTH - 13)
+        }
+        if (name != "") print name, ns, allocs
+    }' "$1"
+}
+
+BASE_TSV="$(mktemp)"
+CUR_TSV="$(mktemp)"
+trap 'rm -f "$CURRENT" "$BASE_TSV" "$CUR_TSV"' EXIT
+extract "$BASELINE" > "$BASE_TSV"
+extract "$CURRENT" > "$CUR_TSV"
+
+echo ">> comparing against $BASELINE (tolerance ${TOLERANCE_PCT}%)"
+fail=0
+while read -r name base_ns base_allocs; do
+    cur_line=$(grep -F -- "$name " "$CUR_TSV" | head -n1 || true)
+    if [ -z "$cur_line" ]; then
+        echo "   [skip] $name: not in current run"
+        continue
+    fi
+    cur_ns=$(printf '%s' "$cur_line" | awk '{print $2}')
+    cur_allocs=$(printf '%s' "$cur_line" | awk '{print $3}')
+    for metric in ns allocs; do
+        if [ "$metric" = ns ]; then b="$base_ns"; c="$cur_ns"; unit="ns/op"
+        else b="$base_allocs"; c="$cur_allocs"; unit="allocs/op"; fi
+        [ -n "$b" ] && [ -n "$c" ] || continue
+        if awk -v b="$b" -v c="$c" -v tol="$TOLERANCE_PCT" \
+            'BEGIN { exit !(c > b * (1 + tol / 100)) }'; then
+            echo "   [FAIL] $name: $unit $c vs baseline $b (>${TOLERANCE_PCT}% regression)"
+            fail=1
+        else
+            echo "   [ ok ] $name: $unit $c vs baseline $b"
+        fi
+    done
+done < "$BASE_TSV"
+
+# Surface benchmarks that exist only in the current run, for visibility.
+while read -r name _ _; do
+    if ! grep -qF -- "$name " "$BASE_TSV"; then
+        echo "   [new ] $name: no baseline yet"
+    fi
+done < "$CUR_TSV"
+
+if [ "$fail" -ne 0 ]; then
+    echo "benchmark gate FAILED: regression past ${TOLERANCE_PCT}% tolerance" >&2
+    echo "(if the regression is intended, regenerate: ./ci/bench.sh 1s $BASELINE)" >&2
+    exit 1
+fi
+echo '>> benchmark gate passed'

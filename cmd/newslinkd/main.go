@@ -3,6 +3,7 @@
 //	newslinkd [-addr :8080] [-kg kg.tsv -corpus corpus.jsonl]
 //	          [-beta 0.2] [-snapshot dir] [-workers 0] [-querytimeout 20s]
 //	          [-max-inflight 256] [-admission-wait 100ms] [-bon-timeout 0]
+//	          [-wal dir] [-ingest-queue 0] [-ingest-batch 0]
 //	          [-drain-timeout 15s] [-drain-grace 0]
 //	          [-debug-addr :6060] [-log-level info]
 //
@@ -21,8 +22,13 @@
 // degrade to BOW-only ranking instead of blocking. On SIGINT/SIGTERM the
 // process drains: /v1/readyz flips to 503 (liveness /v1/healthz stays
 // 200), -drain-grace lets load balancers observe the flip, in-flight
-// requests run to completion within -drain-timeout, and the process
-// exits 0.
+// requests run to completion within -drain-timeout, the ingest queue is
+// applied and the write-ahead log closed, and the process exits 0.
+//
+// Streaming ingestion: -ingest-queue arms the async write pipeline behind
+// POST /v1/docs:stream (a full queue sheds with 429 + Retry-After), and
+// -wal makes every acknowledged post-startup write durable — after a
+// crash the next start with the same -wal directory replays the log.
 //
 // Observability: every request gets an X-Request-Id and one structured
 // access-log line on stderr (-log-level debug additionally logs per-stage
@@ -67,6 +73,9 @@ func main() {
 	bonTimeout := flag.Duration("bon-timeout", 0, "BON stage deadline for fused search; past it results degrade to BOW-only (0 = unbounded)")
 	embedWorkers := flag.Int("embed-workers", 0, "per-document entity-group embedding fan-out (0 = GOMAXPROCS, 1 = sequential)")
 	embedCache := flag.Int("embed-cache", 128, "entity-set embedding cache capacity (0 disables the tier)")
+	walDir := flag.String("wal", "", "write-ahead log directory: post-startup writes are durably logged and replayed after a crash (empty = disabled)")
+	ingestQueue := flag.Int("ingest-queue", 0, "bounded async ingest queue for POST /v1/docs:stream; a full queue sheds with 429 (0 = synchronous ingestion)")
+	ingestBatch := flag.Int("ingest-batch", 0, "documents per ingest micro-batch (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "shutdown deadline for in-flight requests after SIGINT/SIGTERM")
 	drainGrace := flag.Duration("drain-grace", 0, "pause between flipping /v1/readyz to 503 and closing listeners, for load balancers to observe the flip")
 	debugAddr := flag.String("debug-addr", "", "optional private listen address for net/http/pprof and metrics (empty = disabled)")
@@ -82,6 +91,15 @@ func main() {
 	engineOpts = []newslink.Option{
 		newslink.WithParallelEmbed(*embedWorkers),
 		newslink.WithEmbedCache(*embedCache),
+	}
+	if *walDir != "" {
+		engineOpts = append(engineOpts, newslink.WithWAL(*walDir))
+	}
+	if *ingestQueue > 0 {
+		engineOpts = append(engineOpts, newslink.WithIngestQueue(*ingestQueue))
+	}
+	if *ingestBatch > 0 {
+		engineOpts = append(engineOpts, newslink.WithIngestBatch(*ingestBatch))
 	}
 	engine, err := buildEngineMode(*kgPath, *corpusPath, *beta, *snapshot, *workers, *onDisk)
 	if err != nil {
@@ -129,6 +147,7 @@ type daemonConfig struct {
 // main.
 type daemon struct {
 	api     *server.Server
+	engine  *newslink.Engine
 	main    *http.Server
 	mainLn  net.Listener
 	debug   *http.Server // nil when the debug listener is disabled
@@ -146,9 +165,10 @@ func newDaemon(engine *newslink.Engine, cfg daemonConfig) (*daemon, error) {
 		server.WithAdmissionWait(cfg.admissionWait),
 		server.WithLogger(cfg.logger))
 	d := &daemon{
-		api:  api,
-		main: hardenServer(&http.Server{Handler: api.Handler()}),
-		cfg:  cfg,
+		api:    api,
+		engine: engine,
+		main:   hardenServer(&http.Server{Handler: api.Handler()}),
+		cfg:    cfg,
 	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -235,6 +255,12 @@ func (d *daemon) run(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
+	// HTTP is quiet; now drain the engine itself — apply everything the
+	// ingest queue accepted and fsync/close the write-ahead log, so a
+	// clean shutdown leaves nothing for the next start to replay-repair.
+	if err := d.engine.Close(); err != nil {
+		return fmt.Errorf("closing engine: %w", err)
+	}
 	d.cfg.logger.Info("drain complete")
 	return nil
 }
@@ -269,8 +295,9 @@ func debugHandler(engine *newslink.Engine) http.Handler {
 }
 
 // engineOpts carries the flag-derived construction options into
-// buildEngineMode (snapshot loads construct from persisted metadata and
-// ignore them).
+// buildEngineMode. Snapshot loads use the persisted Config as the base and
+// layer these on top — runtime choices like the WAL directory and the
+// ingest queue are per-deployment, not part of the snapshot.
 var engineOpts []newslink.Option
 
 func buildEngine(kgPath, corpusPath string, beta float64, snapshot string, workers int) (*newslink.Engine, error) {
@@ -309,9 +336,9 @@ func buildEngineMode(kgPath, corpusPath string, beta float64, snapshot string, w
 		if _, err := os.Stat(snapshot); err == nil {
 			log.Printf("loading snapshot from %s (ondisk=%v)", snapshot, onDisk)
 			if onDisk {
-				return newslink.LoadOnDisk(snapshot, g)
+				return newslink.LoadOnDisk(snapshot, g, engineOpts...)
 			}
-			return newslink.Load(snapshot, g)
+			return newslink.Load(snapshot, g, engineOpts...)
 		}
 	}
 	cfg := newslink.DefaultConfig()

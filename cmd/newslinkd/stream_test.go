@@ -1,0 +1,80 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"newslink"
+)
+
+// TestDaemonStreamingIngestAcrossRestarts: the -wal/-ingest-queue flags
+// wire up POST /v1/docs:stream end to end — documents streamed into one
+// daemon are acknowledged with 202, survive its drain, and are served by
+// the next daemon started over the same WAL directory.
+func TestDaemonStreamingIngestAcrossRestarts(t *testing.T) {
+	walDir := t.TempDir()
+	saved := engineOpts
+	engineOpts = []newslink.Option{
+		newslink.WithWAL(walDir),
+		newslink.WithIngestQueue(32),
+	}
+	defer func() { engineOpts = saved }()
+
+	run := func(fn func(base string)) {
+		d := testDaemon(t, daemonConfig{drainTimeout: 5 * time.Second})
+		ctx, cancel := context.WithCancel(context.Background())
+		runErr := make(chan error, 1)
+		go func() { runErr <- d.run(ctx) }()
+		fn("http://" + d.Addr())
+		cancel()
+		if err := <-runErr; err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	}
+
+	const n = 5
+	run(func(base string) {
+		for i := 0; i < n; i++ {
+			body := fmt.Sprintf(`{"id": %d, "title": "wire %d", "text": "A streamed bulletin about floods in Karachi."}`, 8000+i, i)
+			resp, err := http.Post(base+"/v1/docs:stream", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("stream %d: status %d, want 202", i, resp.StatusCode)
+			}
+		}
+	})
+
+	// Second daemon, same WAL: replay restores every acknowledged write.
+	run(func(base string) {
+		resp, err := http.Get(base + "/v1/search?q=streamed+bulletin+floods+Karachi&k=10")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sr struct {
+			Results []struct {
+				ID int `json:"id"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		got := map[int]bool{}
+		for _, r := range sr.Results {
+			got[r.ID] = true
+		}
+		for i := 0; i < n; i++ {
+			if !got[8000+i] {
+				t.Fatalf("streamed doc %d lost across restart; served %v", 8000+i, got)
+			}
+		}
+	})
+}

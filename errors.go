@@ -29,4 +29,19 @@ var (
 	// ErrSnapshotVersion is returned by Load/LoadOnDisk when the snapshot
 	// was written by an incompatible format version.
 	ErrSnapshotVersion = errors.New("newslink: snapshot version mismatch")
+	// ErrIngestOverload is returned by writes when the bounded ingest
+	// queue (WithIngestQueue) is full. The write was not logged, not
+	// queued and will not be applied; callers should retry after a
+	// backoff — the HTTP layer maps it to 429 + Retry-After.
+	ErrIngestOverload = errors.New("newslink: ingest queue full")
+	// ErrWALCorrupt is returned by Build/Load when the write-ahead log
+	// fails validation: a fully-written record with a checksum mismatch,
+	// or impossible framing that a torn tail cannot explain. The log may
+	// hold acknowledged writes, so the engine refuses to start rather
+	// than silently dropping them; the operator decides whether to
+	// restore a snapshot or discard the log.
+	ErrWALCorrupt = errors.New("newslink: write-ahead log corrupt")
+	// ErrClosed is returned by writes after Close released the ingest
+	// pipeline and the write-ahead log.
+	ErrClosed = errors.New("newslink: engine closed")
 )

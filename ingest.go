@@ -1,0 +1,496 @@
+package newslink
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"newslink/internal/core"
+	"newslink/internal/faults"
+	"newslink/internal/wal"
+)
+
+// Streaming ingestion (DESIGN.md §13). Two independent options turn the
+// batch-indexed engine into one that is safe and fast under a sustained
+// news firehose:
+//
+//   - WithWAL(dir) arms a crash-safe write-ahead log: every post-Build
+//     write is encoded as one record and group-commit fsynced before it is
+//     acknowledged; Build and Load replay the log so acknowledged writes
+//     survive a crash between snapshots, and Save rotates + prunes it so
+//     the log never grows past one snapshot interval.
+//
+//   - WithIngestQueue(n) arms the async pipeline: Ingest acknowledges
+//     after durability and queueing, and a single applier goroutine folds
+//     queued writes into micro-batches — NLP/NER analysis fans out across
+//     cores outside the engine lock, then the whole batch is indexed under
+//     one lock acquisition and sealed as one segment, which the PR 5
+//     tiered merge policy keeps compacted. A full queue sheds writes with
+//     ErrIngestOverload instead of building an unbounded backlog.
+//
+// Lock order: walMu strictly before e.mu, everywhere. Every write path
+// assigns its WAL record and its queue slot (or its direct apply) under
+// walMu, so WAL order, queue order and apply order are one total order —
+// replaying the log over the same starting state converges to the same
+// searchable state as the original run.
+
+// WAL record ops. A record is [op byte][zigzag-varint doc ID] followed,
+// for document-carrying ops, by two length-prefixed strings (title, text).
+const (
+	walOpAdd    byte = 1 // strict add: replay skips duplicates, as Add errors on them
+	walOpUpsert byte = 2 // tombstone any previous version, then add
+	walOpDelete byte = 3 // tombstone: replay skips unknown IDs, as Delete errors on them
+)
+
+// encodeWALOp renders one write as a WAL record payload.
+func encodeWALOp(op byte, doc Document) []byte {
+	n := 1 + binary.MaxVarintLen64
+	if op != walOpDelete {
+		n += 2*binary.MaxVarintLen64 + len(doc.Title) + len(doc.Text)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, op)
+	buf = binary.AppendVarint(buf, int64(doc.ID))
+	if op != walOpDelete {
+		buf = binary.AppendUvarint(buf, uint64(len(doc.Title)))
+		buf = append(buf, doc.Title...)
+		buf = binary.AppendUvarint(buf, uint64(len(doc.Text)))
+		buf = append(buf, doc.Text...)
+	}
+	return buf
+}
+
+// decodeWALOp parses one WAL record payload. The record already passed
+// the log's CRC, so a malformed payload means a codec bug or version
+// skew — surfaced as ErrWALCorrupt, never applied half-parsed.
+func decodeWALOp(p []byte) (byte, Document, error) {
+	fail := func(what string) (byte, Document, error) {
+		return 0, Document{}, fmt.Errorf("%w: %s", ErrWALCorrupt, what)
+	}
+	if len(p) == 0 {
+		return fail("empty record")
+	}
+	op := p[0]
+	p = p[1:]
+	id, n := binary.Varint(p)
+	if n <= 0 {
+		return fail("truncated document id")
+	}
+	p = p[n:]
+	doc := Document{ID: int(id)}
+	if op == walOpDelete {
+		if len(p) != 0 {
+			return fail("trailing bytes after delete")
+		}
+		return op, doc, nil
+	}
+	readString := func() (string, bool) {
+		l, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p)-n) < l {
+			return "", false
+		}
+		s := string(p[n : n+int(l)])
+		p = p[n+int(l):]
+		return s, true
+	}
+	var ok bool
+	if doc.Title, ok = readString(); !ok {
+		return fail("truncated title")
+	}
+	if doc.Text, ok = readString(); !ok {
+		return fail("truncated text")
+	}
+	if len(p) != 0 {
+		return fail("trailing bytes after document")
+	}
+	return op, doc, nil
+}
+
+// ingestItem is one queued write.
+type ingestItem struct {
+	op  byte
+	doc Document
+	// res, when non-nil, receives the apply result: the synchronous APIs
+	// (Add, Update, Delete) route through the queue while the pipeline is
+	// armed — preserving the single total order — and wait here for their
+	// documented return value. Ingest leaves it nil and acknowledges at
+	// durability instead.
+	res chan error
+}
+
+// ingestPipeline is the armed async ingest machinery: the bounded queue
+// and its single applier goroutine. Queue admission (and WAL logging)
+// happens under e.walMu; the applier applies under e.mu only, so Save can
+// block admissions and wait for the queue to drain without deadlock.
+type ingestPipeline struct {
+	e     *Engine
+	ch    chan ingestItem
+	batch int
+
+	// closed and enqueued are guarded by e.walMu (admission order is WAL
+	// order); applied is guarded by mu, with cond broadcast per batch so
+	// FlushIngest and Save's drain can wait for applied == enqueued.
+	closed   bool
+	enqueued int64
+	mu       sync.Mutex
+	applied  int64
+	cond     *sync.Cond
+
+	// done closes when the applier goroutine exits.
+	done chan struct{}
+}
+
+func newIngestPipeline(e *Engine, queue, batch int) *ingestPipeline {
+	p := &ingestPipeline{
+		e:     e,
+		ch:    make(chan ingestItem, queue),
+		batch: batch,
+		done:  make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// submit is the single entry of every write while the pipeline is armed:
+// admission check, WAL logging and queueing under one walMu critical
+// section (one total order), then — outside the lock — the durability
+// wait (group commit batches it with concurrent submitters) and, for
+// synchronous callers, the apply result.
+func (p *ingestPipeline) submit(op byte, doc Document, wait bool) error {
+	var res chan error
+	if wait {
+		res = make(chan error, 1)
+	}
+	e := p.e
+	e.walMu.Lock()
+	if p.closed {
+		e.walMu.Unlock()
+		return ErrClosed
+	}
+	if len(p.ch) == cap(p.ch) {
+		e.walMu.Unlock()
+		e.met.ingestShed.Inc()
+		return ErrIngestOverload
+	}
+	var pos wal.Pos
+	logged := false
+	if e.wal != nil {
+		var err error
+		if pos, err = e.wal.Write(encodeWALOp(op, doc)); err != nil {
+			e.walMu.Unlock()
+			return err
+		}
+		logged = true
+	}
+	p.enqueued++
+	// Cannot block: capacity was checked above and walMu serializes senders.
+	p.ch <- ingestItem{op: op, doc: doc, res: res}
+	e.met.ingestQueued.Inc()
+	e.met.ingestDepth.Set(int64(len(p.ch)))
+	e.walMu.Unlock()
+	if logged {
+		if err := e.wal.WaitDurable(pos); err != nil {
+			return err
+		}
+	}
+	if res != nil {
+		return <-res
+	}
+	return nil
+}
+
+// run is the applier goroutine: collect up to batch queued writes, apply
+// them as one micro-batch, repeat until the queue is closed (Close drains
+// it first, so a closed channel is an empty one).
+func (p *ingestPipeline) run() {
+	defer close(p.done)
+	for {
+		first, ok := <-p.ch
+		if !ok {
+			return
+		}
+		batch := make([]ingestItem, 1, p.batch)
+		batch[0] = first
+	collect:
+		for len(batch) < p.batch {
+			select {
+			case it, ok := <-p.ch:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, it)
+			default:
+				break collect
+			}
+		}
+		p.apply(batch)
+	}
+}
+
+// apply indexes one micro-batch: analysis fans out across cores against
+// immutable engine state, then every write lands under a single e.mu
+// acquisition and the batch is sealed as one segment (refreshLocked runs
+// the tiered merge policy, bounding the segment count under sustained
+// ingest). The IngestApply fault point models a crash in the
+// acknowledged-but-unapplied window: an injected error drops the batch
+// from memory — exactly what a real crash does — and the crash-recovery
+// tests prove the WAL replays it.
+func (p *ingestPipeline) apply(batch []ingestItem) {
+	e := p.e
+	if err := faults.Fire(faults.IngestApply); err != nil {
+		for _, it := range batch {
+			if it.res != nil {
+				it.res <- err
+			}
+		}
+	} else {
+		analyzed := e.analyzeBatch(batch)
+		e.mu.Lock()
+		for i, it := range batch {
+			var ierr error
+			switch it.op {
+			case walOpAdd:
+				ierr = e.addLocked(it.doc, analyzed[i].emb, analyzed[i].terms)
+			case walOpUpsert:
+				ierr = e.upsertLocked(it.doc, analyzed[i].emb, analyzed[i].terms)
+			case walOpDelete:
+				ierr = e.deleteLocked(it.doc.ID)
+			}
+			if it.res != nil {
+				it.res <- ierr
+			}
+		}
+		e.refreshLocked()
+		e.mu.Unlock()
+	}
+	e.met.ingestApplied.Add(int64(len(batch)))
+	e.met.ingestDepth.Set(int64(len(p.ch)))
+	p.mu.Lock()
+	p.applied += int64(len(batch))
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// analyzedDoc is one batch item's NLP/NER output.
+type analyzedDoc struct {
+	emb   *core.DocEmbedding
+	terms []string
+}
+
+// analyzeBatch runs the NLP and NE components over a micro-batch,
+// fanning out across GOMAXPROCS workers (deletes need no analysis).
+// Analysis reads only immutable engine state, so searches and queue
+// admissions proceed concurrently.
+func (e *Engine) analyzeBatch(batch []ingestItem) []analyzedDoc {
+	out := make([]analyzedDoc, len(batch))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	if workers <= 1 {
+		for i, it := range batch {
+			if it.op != walOpDelete {
+				out[i].emb, out[i].terms = e.analyze(it.doc.Text)
+			}
+		}
+		return out
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i].emb, out[i].terms = e.analyze(batch[i].doc.Text)
+			}
+		}()
+	}
+	for i, it := range batch {
+		if it.op != walOpDelete {
+			next <- i
+		}
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// waitApplied blocks until the applier has applied at least target writes.
+func (p *ingestPipeline) waitApplied(target int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.applied < target {
+		p.cond.Wait()
+	}
+}
+
+// drainLocked waits until every admitted write is applied. Callers hold
+// e.walMu, which blocks new admissions — the applier needs only e.mu, so
+// it keeps draining. Save runs this before capturing the segment set and
+// rotating the log: anything admitted (and logged to the old generation)
+// must be in the capture, or pruning the old generation would lose it.
+func (p *ingestPipeline) drainLocked() {
+	p.waitApplied(p.enqueued)
+}
+
+// Ingest enqueues one document upsert for asynchronous indexing and
+// returns once the write is acknowledged: durably logged (when WithWAL is
+// armed) and admitted to the bounded queue. The document becomes
+// searchable when its micro-batch is applied — typically milliseconds;
+// FlushIngest waits for everything admitted so far. A full queue returns
+// ErrIngestOverload without logging or queueing anything.
+//
+// Without WithIngestQueue, Ingest is a synchronous upsert (Update), so
+// callers can treat it as the streaming write API at either setting.
+// Like Update it requires a built engine.
+func (e *Engine) Ingest(doc Document) error {
+	if p := e.ingest.Load(); p != nil {
+		return p.submit(walOpUpsert, doc, false)
+	}
+	return e.Update(doc)
+}
+
+// FlushIngest blocks until every write admitted before the call is
+// applied and searchable. A no-op without WithIngestQueue.
+func (e *Engine) FlushIngest() {
+	p := e.ingest.Load()
+	if p == nil {
+		return
+	}
+	e.walMu.Lock()
+	target := p.enqueued
+	e.walMu.Unlock()
+	p.waitApplied(target)
+}
+
+// startDurabilityLocked opens the write-ahead log (replaying whatever a
+// previous run left) and arms the ingest pipeline, per the engine's
+// options. Build and Load call it once the initial segment set is
+// published; callers hold e.walMu (but not e.mu — replay applies records
+// under e.mu itself).
+func (e *Engine) startDurabilityLocked() error {
+	if e.opts.walDir != "" {
+		l, err := wal.Open(e.opts.walDir, wal.Options{
+			OnFsync: func(d time.Duration) { e.met.walFsyncSeconds.Observe(d.Seconds()) },
+			OnAppend: func(n int) {
+				e.met.walAppends.Inc()
+				e.met.walBytes.Add(int64(n))
+			},
+		})
+		if err != nil {
+			return walErr(err)
+		}
+		if err := e.replayWAL(l); err != nil {
+			l.Close()
+			return err
+		}
+		e.wal = l
+	}
+	if e.opts.ingestQueue > 0 {
+		p := newIngestPipeline(e, e.opts.ingestQueue, e.opts.ingestBatch)
+		e.ingest.Store(p)
+		go p.run()
+	}
+	return nil
+}
+
+// walErr maps the wal package's corruption sentinel to the public one.
+func walErr(err error) error {
+	if errors.Is(err, wal.ErrCorrupt) {
+		return fmt.Errorf("%w: %v", ErrWALCorrupt, err)
+	}
+	return err
+}
+
+// replayWAL applies every logged write, in log order, with the semantics
+// of the original call: strict adds skip duplicates, deletes skip unknown
+// IDs (both mirror an original call that returned an error without
+// changing state), upserts replace. Same starting state + same record
+// sequence therefore converges to the same searchable state the original
+// run had — the crash-recovery tests assert it down to search results.
+func (e *Engine) replayWAL(l *wal.Log) error {
+	n, err := l.Replay(func(payload []byte) error {
+		op, doc, err := decodeWALOp(payload)
+		if err != nil {
+			return err
+		}
+		var an analyzedDoc
+		if op != walOpDelete {
+			an.emb, an.terms = e.analyze(doc.Text)
+		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		switch op {
+		case walOpAdd:
+			if err := e.addLocked(doc, an.emb, an.terms); err != nil && !errors.Is(err, ErrDuplicateID) {
+				return err
+			}
+		case walOpUpsert:
+			return e.upsertLocked(doc, an.emb, an.terms)
+		case walOpDelete:
+			if err := e.deleteLocked(doc.ID); err != nil && !errors.Is(err, ErrUnknownDoc) {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unknown op %d", ErrWALCorrupt, op)
+		}
+		return nil
+	})
+	if err != nil {
+		return walErr(err)
+	}
+	if n > 0 {
+		e.met.walReplayed.Add(int64(n))
+		e.mu.Lock()
+		e.refreshLocked()
+		e.mu.Unlock()
+	}
+	return nil
+}
+
+// logSyncLocked appends one write to the WAL and waits for durability —
+// the synchronous write path used when no ingest queue is armed. Callers
+// hold e.walMu (so log order is apply order) but not e.mu. Pre-Build
+// writes are not logged: the initial corpus is covered by Build/Save, not
+// the log.
+func (e *Engine) logSyncLocked(op byte, doc Document) error {
+	if e.walClosed {
+		// A closed log can no longer make the write durable; failing is
+		// honest, silently-not-logging is not. Engines that never armed a
+		// WAL keep accepting writes after Close as before.
+		return ErrClosed
+	}
+	if e.wal == nil || e.set.Load() == nil {
+		return nil
+	}
+	return e.wal.Append(encodeWALOp(op, doc))
+}
+
+// stopIngest shuts the pipeline and the log down: drain the queue, stop
+// the applier, close the log. Called by Close; further writes return
+// ErrClosed.
+func (e *Engine) stopIngest() error {
+	if p := e.ingest.Load(); p != nil {
+		e.FlushIngest()
+		e.walMu.Lock()
+		if !p.closed {
+			p.closed = true
+			close(p.ch)
+		}
+		e.walMu.Unlock()
+		<-p.done
+	}
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	if e.wal != nil {
+		err := e.wal.Close()
+		e.wal = nil
+		e.walClosed = true
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,611 @@
+package newslink
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"newslink/internal/corpus"
+	"newslink/internal/faults"
+)
+
+// Crash-recovery and backpressure tests for the streaming ingest pipeline
+// (WithWAL / WithIngestQueue). "Crash" means abandoning an engine without
+// Close — goroutines and file handles die with the process in reality; in
+// tests the abandoned applier idles harmlessly on an empty queue — and
+// recovery means constructing a fresh engine over the same WAL directory
+// and the same starting corpus, exactly what a restarted process does.
+
+// streamDoc derives the i-th streamed document from the sample corpus:
+// real entity-bearing text under a fresh ID, so every ingested document
+// exercises NER and embedding like a live article would.
+func streamDoc(arts []corpus.Article, i int) Document {
+	a := arts[i%len(arts)]
+	return Document{
+		ID:    1000 + i,
+		Title: fmt.Sprintf("stream %d: %s", i, a.Title),
+		Text:  a.Text,
+	}
+}
+
+// walEngine builds an engine over the sample corpus with the WAL (and
+// optionally the ingest queue) armed at dir.
+func walEngine(t *testing.T, dir string, extra ...Option) *Engine {
+	t.Helper()
+	g, arts := corpus.Sample()
+	e := New(g, append([]Option{Option(DefaultConfig()), WithWAL(dir)}, extra...)...)
+	for _, a := range arts {
+		if err := e.Add(Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// liveDocSet reads back every live document (ID -> title) through the
+// public state of the engine.
+func liveDocSet(t *testing.T, e *Engine) map[int]string {
+	t.Helper()
+	e.Refresh()
+	s := e.set.Load()
+	if s == nil {
+		t.Fatal("engine not built")
+	}
+	out := make(map[int]string)
+	for id, pos := range s.docPos {
+		out[id] = s.doc(pos).Title
+	}
+	return out
+}
+
+// assertConverged asserts two engines hold identical live corpora and
+// rank identically on a set of probe queries after compaction (Compact
+// normalizes DF/segment history, so any divergence left is real state
+// divergence, not merge-timing noise).
+func assertConverged(t *testing.T, got, want *Engine) {
+	t.Helper()
+	if err := got.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	gd, wd := liveDocSet(t, got), liveDocSet(t, want)
+	if len(gd) != len(wd) {
+		t.Fatalf("live docs diverged: got %d, want %d", len(gd), len(wd))
+	}
+	for id, title := range wd {
+		if gd[id] != title {
+			t.Fatalf("doc %d diverged: got %q, want %q", id, gd[id], title)
+		}
+	}
+	for _, q := range []string{
+		"Military conflicts between Pakistan and Taliban in Upper Dir",
+		"Clinton and Trump in the US presidential election",
+		"bombing in Lahore",
+	} {
+		gr, err := got.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, err := want.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gr) != len(wr) {
+			t.Fatalf("query %q: %d vs %d results", q, len(gr), len(wr))
+		}
+		for i := range wr {
+			if gr[i].ID != wr[i].ID || gr[i].Score != wr[i].Score {
+				t.Fatalf("query %q rank %d diverged: got (%d, %g), want (%d, %g)",
+					q, i, gr[i].ID, gr[i].Score, wr[i].ID, wr[i].Score)
+			}
+		}
+	}
+}
+
+// walSegments lists the wal-*.log files at dir.
+func walSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestIngestPipelineServes: the full pipeline path — Ingest acks, the
+// applier batches, seals and merges, searches see the documents after
+// FlushIngest, and the metrics account for every write.
+func TestIngestPipelineServes(t *testing.T) {
+	dir := t.TempDir()
+	e := walEngine(t, dir, WithIngestQueue(64), WithIngestBatch(8))
+	defer e.Close()
+	_, arts := corpus.Sample()
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := e.Ingest(streamDoc(arts, i)); err != nil {
+			t.Fatalf("Ingest %d: %v", i, err)
+		}
+	}
+	e.FlushIngest()
+	if got := e.NumDocs(); got != len(arts)+n {
+		t.Fatalf("NumDocs = %d, want %d", got, len(arts)+n)
+	}
+	res, err := e.Search("Taliban conflict in Upper Dir and Swat Valley", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundStream := false
+	for _, r := range res {
+		if r.ID >= 1000 {
+			foundStream = true
+		}
+	}
+	if !foundStream {
+		t.Fatalf("no streamed document ranked: %+v", res)
+	}
+	if got := e.met.ingestQueued.Value(); got != n {
+		t.Fatalf("ingest_queued = %d, want %d", got, n)
+	}
+	if got := e.met.ingestApplied.Value(); got != n {
+		t.Fatalf("ingest_applied = %d, want %d", got, n)
+	}
+	if got := e.met.walAppends.Value(); got != n {
+		t.Fatalf("wal_appends = %d, want %d", got, n)
+	}
+}
+
+// TestIngestCrashRecoveryConverges: every acknowledged Ingest survives an
+// abandon-without-Close crash, and the recovered engine converges to the
+// same searchable state as a clean run that never crashed.
+func TestIngestCrashRecoveryConverges(t *testing.T) {
+	dir := t.TempDir()
+	_, arts := corpus.Sample()
+	const n = 25
+
+	crashed := walEngine(t, dir, WithIngestQueue(64), WithIngestBatch(4))
+	for i := 0; i < n; i++ {
+		if err := crashed.Ingest(streamDoc(arts, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crashed.FlushIngest()
+	// Crash: no Close, no Save. The WAL is the only durable record.
+
+	recovered := walEngine(t, dir, WithIngestQueue(64))
+	defer recovered.Close()
+
+	clean := walEngine(t, t.TempDir())
+	defer clean.Close()
+	for i := 0; i < n; i++ {
+		if err := clean.Update(streamDoc(arts, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertConverged(t, recovered, clean)
+}
+
+// TestWALSyncPathRecovery: without an ingest queue the synchronous write
+// APIs log through the WAL directly; Add, Update and Delete all replay
+// with their original semantics.
+func TestWALSyncPathRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, arts := corpus.Sample()
+
+	crashed := walEngine(t, dir)
+	for i := 0; i < 6; i++ {
+		if err := crashed.Add(streamDoc(arts, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A duplicate add: rejected now, skipped at replay.
+	if err := crashed.Add(streamDoc(arts, 2)); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate Add: %v", err)
+	}
+	// An update and a delete, both logged.
+	upd := streamDoc(arts, 1)
+	upd.Title = "updated " + upd.Title
+	if err := crashed.Update(upd); err != nil {
+		t.Fatal(err)
+	}
+	if err := crashed.Delete(1003); err != nil {
+		t.Fatal(err)
+	}
+	// A delete of an unknown ID: rejected now, skipped at replay.
+	if err := crashed.Delete(99999); !errors.Is(err, ErrUnknownDoc) {
+		t.Fatalf("unknown Delete: %v", err)
+	}
+	// Crash.
+
+	recovered := walEngine(t, dir)
+	defer recovered.Close()
+	docs := liveDocSet(t, recovered)
+	if _, ok := docs[1003]; ok {
+		t.Fatal("deleted doc 1003 came back after replay")
+	}
+	if got := docs[1001]; got != upd.Title {
+		t.Fatalf("update lost: doc 1001 title %q, want %q", got, upd.Title)
+	}
+	clean := walEngine(t, t.TempDir())
+	defer clean.Close()
+	for i := 0; i < 6; i++ {
+		if err := clean.Add(streamDoc(arts, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := clean.Update(upd); err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Delete(1003); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, recovered, clean)
+}
+
+// TestWALTornWriteRecovery: a write torn mid-record by a crash (simulated
+// by truncating the framed bytes of the final record on their way to
+// disk) is dropped at recovery — it was the unacknowledged tail — and
+// every earlier acknowledged write survives. The repaired log keeps
+// accepting writes.
+func TestWALTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, arts := corpus.Sample()
+
+	crashed := walEngine(t, dir)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := crashed.Add(streamDoc(arts, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The final record's bytes are cut in half in flight — the crash hits
+	// mid-write, after which the process is gone: nothing else appends.
+	inj := faults.New().MutateN(faults.WALAppend, 1, func(b []byte) []byte {
+		return b[:len(b)/2]
+	})
+	faults.Arm(inj)
+	_ = crashed.Add(streamDoc(arts, n)) // fate ambiguous: torn on disk
+	faults.Disarm()
+	if inj.Hits(faults.WALAppend) == 0 {
+		t.Fatal("WALAppend fault point not reached")
+	}
+
+	recovered := walEngine(t, dir)
+	defer recovered.Close()
+	docs := liveDocSet(t, recovered)
+	for i := 0; i < n; i++ {
+		want := streamDoc(arts, i)
+		if docs[want.ID] != want.Title {
+			t.Fatalf("acknowledged doc %d lost after torn-write recovery", want.ID)
+		}
+	}
+	if _, ok := docs[1000+n]; ok {
+		t.Fatal("torn (unacknowledged) doc present after recovery")
+	}
+	// The log must keep working at the repaired boundary.
+	late := streamDoc(arts, n+1)
+	if err := recovered.Add(late); err != nil {
+		t.Fatalf("Add after torn-tail repair: %v", err)
+	}
+	third := walEngine(t, dir)
+	defer third.Close()
+	if docs := liveDocSet(t, third); docs[late.ID] != late.Title {
+		t.Fatal("post-repair write lost")
+	}
+}
+
+// TestWALBitflipRefusesStart: a bit flipped under a fully-written,
+// acknowledged record must surface as ErrWALCorrupt at recovery — never
+// be dropped like a torn tail, which would silently lose the write.
+func TestWALBitflipRefusesStart(t *testing.T) {
+	dir := t.TempDir()
+	_, arts := corpus.Sample()
+
+	crashed := walEngine(t, dir)
+	for i := 0; i < 4; i++ {
+		if err := crashed.Add(streamDoc(arts, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := walSegments(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("wal segments: %v", segs)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the final (fully written) record. The record's
+	// bytes are all present, so replay must fail its checksum — unlike a
+	// flipped length header, which is indistinguishable from a torn tail.
+	data[len(data)-2] ^= 0x10
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := corpus.Sample()
+	e := New(g, DefaultConfig(), WithWAL(dir))
+	for _, a := range arts {
+		if err := e.Add(Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Build(); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("Build over bitflipped WAL: %v, want ErrWALCorrupt", err)
+	}
+}
+
+// TestWALPartialFsyncRecovery: a failing fsync refuses the ack (the
+// write's fate is ambiguous) and the log goes sticky-failed; a crash that
+// additionally tears the unacknowledged tail off the file still recovers
+// every acknowledged write.
+func TestWALPartialFsyncRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, arts := corpus.Sample()
+
+	crashed := walEngine(t, dir)
+	const n = 4
+	for i := 0; i < n; i++ {
+		if err := crashed.Add(streamDoc(arts, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errDisk := errors.New("injected: disk gone")
+	inj := faults.New().Fail(faults.WALSync, errDisk)
+	faults.Arm(inj)
+	if err := crashed.Add(streamDoc(arts, n)); !errors.Is(err, errDisk) {
+		faults.Disarm()
+		t.Fatalf("Add with failing fsync: %v, want injected error", err)
+	}
+	faults.Disarm()
+	// The log is poisoned: later writes fail too, rather than pretending
+	// durability recovered.
+	if err := crashed.Add(streamDoc(arts, n+1)); err == nil {
+		t.Fatal("write accepted on a poisoned log")
+	}
+	// Crash + partial write: the unsynced tail record half-reaches disk.
+	segs := walSegments(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("wal segments: %v", segs)
+	}
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := walEngine(t, dir)
+	defer recovered.Close()
+	docs := liveDocSet(t, recovered)
+	for i := 0; i < n; i++ {
+		want := streamDoc(arts, i)
+		if docs[want.ID] != want.Title {
+			t.Fatalf("acknowledged doc %d lost after partial-fsync crash", want.ID)
+		}
+	}
+	if _, ok := docs[1000+n]; ok {
+		t.Fatal("unacknowledged doc survived — it was never owed durability, and its tail was torn")
+	}
+}
+
+// TestIngestAckedNeverLost: the acknowledged-but-unapplied window — WAL
+// durable, ack returned, crash before the applier indexed the batch — is
+// exactly what the WAL exists for. The IngestApply fault drops the batch
+// from memory; recovery replays it.
+func TestIngestAckedNeverLost(t *testing.T) {
+	dir := t.TempDir()
+	_, arts := corpus.Sample()
+
+	crashed := walEngine(t, dir, WithIngestQueue(16), WithIngestBatch(4))
+	inj := faults.New().Fail(faults.IngestApply, errors.New("injected: crash before apply"))
+	faults.Arm(inj)
+	const n = 8
+	for i := 0; i < n; i++ {
+		// Ingest acks on durability; the applier then drops the batch.
+		if err := crashed.Ingest(streamDoc(arts, i)); err != nil {
+			faults.Disarm()
+			t.Fatalf("Ingest %d: %v", i, err)
+		}
+	}
+	crashed.FlushIngest()
+	faults.Disarm()
+	if inj.Hits(faults.IngestApply) == 0 {
+		t.Fatal("IngestApply fault point not reached")
+	}
+	// The crashed engine never indexed them.
+	if got := crashed.NumDocs(); got != len(arts) {
+		t.Fatalf("crashed engine indexed %d docs, want %d (batches dropped)", got, len(arts))
+	}
+
+	recovered := walEngine(t, dir)
+	defer recovered.Close()
+	docs := liveDocSet(t, recovered)
+	for i := 0; i < n; i++ {
+		want := streamDoc(arts, i)
+		if docs[want.ID] != want.Title {
+			t.Fatalf("acknowledged doc %d lost in the acked-but-unapplied window", want.ID)
+		}
+	}
+}
+
+// TestReplaySnapshotReplay: the full durability cycle — ingest, snapshot
+// (rotating and pruning the log), more ingest, crash, Load over the
+// snapshot (replaying only the post-snapshot generation), more ingest —
+// converges with a clean run of the same writes.
+func TestReplaySnapshotReplay(t *testing.T) {
+	walDir := t.TempDir()
+	snapDir := filepath.Join(t.TempDir(), "snap")
+	g, arts := corpus.Sample()
+
+	e1 := walEngine(t, walDir, WithIngestQueue(32), WithIngestBatch(4))
+	for i := 0; i < 10; i++ {
+		if err := e1.Ingest(streamDoc(arts, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Save(snapDir); err != nil {
+		t.Fatal(err)
+	}
+	// Save rotated and pruned: one fresh, empty-or-small segment remains.
+	if segs := walSegments(t, walDir); len(segs) != 1 {
+		t.Fatalf("wal segments after Save: %v", segs)
+	}
+	for i := 10; i < 20; i++ {
+		if err := e1.Ingest(streamDoc(arts, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e1.FlushIngest()
+	// Crash.
+
+	e2, err := Load(snapDir, g, WithWAL(walDir), WithIngestQueue(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	for i := 20; i < 25; i++ {
+		if err := e2.Ingest(streamDoc(arts, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e2.FlushIngest()
+
+	clean := walEngine(t, t.TempDir())
+	defer clean.Close()
+	for i := 0; i < 25; i++ {
+		if err := clean.Update(streamDoc(arts, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertConverged(t, e2, clean)
+}
+
+// TestIngestBackpressure: a full queue sheds with ErrIngestOverload
+// instead of queueing unboundedly, counts the sheds, and every
+// acknowledged write still lands.
+func TestIngestBackpressure(t *testing.T) {
+	dir := t.TempDir()
+	_, arts := corpus.Sample()
+	e := walEngine(t, dir, WithIngestQueue(2), WithIngestBatch(2))
+	defer e.Close()
+
+	// Stall the applier so the queue can only drain slowly.
+	inj := faults.New().Delay(faults.IngestApply, 30*time.Millisecond)
+	faults.Arm(inj)
+	defer faults.Disarm()
+
+	acked, shed := 0, 0
+	for i := 0; i < 40; i++ {
+		err := e.Ingest(streamDoc(arts, i))
+		switch {
+		case err == nil:
+			acked++
+		case errors.Is(err, ErrIngestOverload):
+			shed++
+		default:
+			t.Fatalf("Ingest %d: %v", i, err)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("queue of 2 with a stalled applier shed nothing across 40 writes")
+	}
+	if acked == 0 {
+		t.Fatal("every write shed — the queue never drained")
+	}
+	faults.Disarm()
+	e.FlushIngest()
+	docs := liveDocSet(t, e)
+	got := 0
+	for id := range docs {
+		if id >= 1000 {
+			got++
+		}
+	}
+	if got != acked {
+		t.Fatalf("%d acked writes, %d present after flush", acked, got)
+	}
+	if got := e.met.ingestShed.Value(); got != int64(shed) {
+		t.Fatalf("ingest_shed_total = %d, want %d", got, shed)
+	}
+}
+
+// TestIngestWithoutQueueIsSynchronousUpsert: Ingest without
+// WithIngestQueue behaves exactly like Update.
+func TestIngestWithoutQueueIsSynchronousUpsert(t *testing.T) {
+	e := sampleEngine(t, DefaultConfig())
+	doc := Document{ID: 500, Title: "t", Text: "Taliban attacked Peshawar."}
+	if err := e.Ingest(doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.NumDocs(); got == 0 {
+		t.Fatal("ingested doc not indexed")
+	}
+	doc.Title = "t2"
+	if err := e.Ingest(doc); err != nil {
+		t.Fatal(err)
+	}
+	if docs := liveDocSet(t, e); docs[500] != "t2" {
+		t.Fatalf("upsert semantics violated: %q", docs[500])
+	}
+}
+
+// TestWriteAfterCloseFails: once Close released the WAL, writes fail with
+// ErrClosed instead of silently losing durability.
+func TestWriteAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	_, arts := corpus.Sample()
+	e := walEngine(t, dir, WithIngestQueue(8))
+	if err := e.Ingest(streamDoc(arts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Ingest(streamDoc(arts, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ingest after Close: %v, want ErrClosed", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	// The flushed write is durable: a recovery sees it.
+	recovered := walEngine(t, dir)
+	defer recovered.Close()
+	if docs := liveDocSet(t, recovered); docs[1000] == "" {
+		t.Fatal("pre-Close write lost")
+	}
+}
+
+// TestLoadAppliesRuntimeOptions: Load now honors runtime options — the
+// historical bug was a snapshot-restored daemon silently dropping every
+// -wal/-embed-cache style flag.
+func TestLoadAppliesRuntimeOptions(t *testing.T) {
+	snapDir := filepath.Join(t.TempDir(), "snap")
+	g, _ := corpus.Sample()
+	e := sampleEngine(t, DefaultConfig())
+	if err := e.Save(snapDir); err != nil {
+		t.Fatal(err)
+	}
+	walDir := t.TempDir()
+	e2, err := Load(snapDir, g, WithWAL(walDir), WithIngestQueue(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if e2.ingest.Load() == nil {
+		t.Fatal("Load dropped WithIngestQueue")
+	}
+	if e2.wal == nil {
+		t.Fatal("Load dropped WithWAL")
+	}
+	if segs := walSegments(t, walDir); len(segs) != 1 {
+		t.Fatalf("wal not opened at %s: %v", walDir, segs)
+	}
+}

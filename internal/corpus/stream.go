@@ -1,0 +1,65 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"newslink/internal/kg"
+)
+
+// Stream produces n articles ordered as a live news wire would deliver
+// them: stories arrive one at a time, and instead of the round-robin
+// event schedule of Generate, coverage follows how real news develops —
+// a small set of stories is "hot" at any moment, each hot story keeps
+// producing follow-up articles that mention the same participants and
+// places, and new stories break while old ones fade. The same entities
+// therefore recur across articles that are far apart in arrival order,
+// which is exactly the workload that exercises a streaming indexer's
+// document-frequency and merge behaviour (fresh segments keep re-citing
+// terms and KG nodes the older segments already posted).
+//
+// The same (world, profile, n, seed) always yields identical articles;
+// IDs are assigned in arrival order starting at 0.
+func Stream(w *kg.World, p Profile, n int, seed int64) []Article {
+	rng := newRand(seed)
+	g := w.Graph
+	out := make([]Article, 0, n)
+	if len(w.Events) == 0 || n <= 0 {
+		return out
+	}
+	// hot holds the currently developing stories, oldest first. One story
+	// is hot at the start; a new one breaks roughly every DocsPerEvent
+	// articles, retiring the oldest once the window is full — so each
+	// event's coverage is spread over a stretch of the stream instead of
+	// being contiguous.
+	const hotWindow = 4
+	breakRate := 1 / float64(maxInt(p.DocsPerEvent, 1)*hotWindow)
+	hot := []int{0}
+	next := 1
+	for len(out) < n {
+		if rng.Float64() < p.NoEntityDocRate {
+			out = append(out, briefArticle(len(out), rng))
+			continue
+		}
+		if rng.Float64() < breakRate {
+			hot = append(hot, next%len(w.Events))
+			next++
+			if len(hot) > hotWindow {
+				hot = hot[1:]
+			}
+		}
+		ev := w.Events[pickHot(hot, rng)]
+		out = append(out, genArticle(g, ev, p, len(out), rng))
+	}
+	return out
+}
+
+// pickHot favours the most recently broken stories: fresh news gets the
+// densest coverage, older stories taper off.
+func pickHot(hot []int, rng *rand.Rand) int {
+	// Geometric-ish bias toward the end of the window.
+	i := len(hot) - 1
+	for i > 0 && rng.Float64() < 0.4 {
+		i--
+	}
+	return hot[i]
+}

@@ -44,6 +44,17 @@ const (
 	// Handler fires inside the HTTP middleware, before the route handler
 	// runs. A panic rule simulates a crashing handler.
 	Handler Point = "http.handler"
+	// WALAppend fires with the framed record bytes before each WAL append.
+	// A mutate rule simulates a torn write (truncate the record) or a bit
+	// flip on the way to disk; an error rule simulates a failing write.
+	WALAppend Point = "wal.append"
+	// WALSync fires before each WAL fsync. An error rule simulates a disk
+	// that stops accepting syncs; a delay rule simulates a slow one.
+	WALSync Point = "wal.sync"
+	// IngestApply fires before an ingest micro-batch is applied to the
+	// engine, after its records are durable in the WAL. An error or panic
+	// rule simulates a crash in the acknowledged-but-unapplied window.
+	IngestApply Point = "engine.ingest-apply"
 )
 
 // rule is the configured behaviour of one point.
@@ -51,6 +62,7 @@ type rule struct {
 	delay     time.Duration
 	err       error
 	panicVal  any
+	mutate    func([]byte) []byte
 	remaining int // shots left; -1 = unlimited
 }
 
@@ -100,6 +112,28 @@ func (i *Injector) Delay(p Point, d time.Duration) *Injector {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.rule(p).delay = d
+	return i
+}
+
+// Mutate makes every FireData of p pass its data through fn, simulating
+// payload damage (torn writes, bit flips) on the way to a sink. fn must
+// not retain or modify the input slice; it returns the bytes to use
+// instead.
+func (i *Injector) Mutate(p Point, fn func([]byte) []byte) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rule(p).mutate = fn
+	return i
+}
+
+// MutateN applies fn to the first n FireData calls of p; later calls pass
+// the data through unchanged.
+func (i *Injector) MutateN(p Point, n int, fn func([]byte) []byte) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	r := i.rule(p)
+	r.mutate = fn
+	r.remaining = n
 	return i
 }
 
@@ -163,6 +197,33 @@ func Fire(p Point) error {
 		panic(r.panicVal)
 	}
 	return r.err
+}
+
+// FireData is Fire for points that carry a payload toward a sink (e.g. a
+// WAL record about to be written). With no injector armed it returns data
+// unchanged at the cost of one atomic load. A mutate rule replaces the
+// bytes — the caller writes the mutated form, simulating damage in
+// flight — and error/delay/panic rules behave as in Fire (an error
+// suppresses the write entirely).
+func FireData(p Point, data []byte) ([]byte, error) {
+	inj := armed.Load()
+	if inj == nil {
+		return data, nil
+	}
+	r := inj.take(p)
+	if r.delay > 0 {
+		time.Sleep(r.delay)
+	}
+	if r.panicVal != nil {
+		panic(r.panicVal)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.mutate != nil {
+		return r.mutate(data), nil
+	}
+	return data, nil
 }
 
 // FireCtx is Fire with a context-aware delay: a configured latency waits

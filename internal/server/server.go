@@ -7,6 +7,7 @@
 //	GET    /v1/explain?q=<text>&id=<doc>&paths=<n>[&trace=1]          overlap + relationship paths
 //	GET    /v1/dot?q=<text>&id=<doc>                                  Graphviz rendering of the pair
 //	POST   /v1/docs                                                   add or replace one document (upsert)
+//	POST   /v1/docs:stream                                            enqueue one document for async ingestion (202)
 //	DELETE /v1/docs/{id}                                              tombstone one document
 //	GET    /v1/healthz                                                liveness: 200 while the process serves at all
 //	GET    /v1/readyz                                                 readiness: 200, or 503 while draining
@@ -161,6 +162,7 @@ func (s *Server) Handler() http.Handler {
 		{"GET", "explain", "explain", s.handleExplain, 2},
 		{"GET", "dot", "dot", s.handleDOT, 2},
 		{"POST", "docs", "docs_upsert", s.handleDocUpsert, 1},
+		{"POST", "docs:stream", "docs_ingest", s.handleDocIngest, 1},
 		{"DELETE", "docs/{id}", "docs_delete", s.handleDocDelete, 1},
 		{"GET", "healthz", "healthz", s.handleHealth, 0},
 		{"GET", "readyz", "readyz", s.handleReady, 0},
@@ -280,6 +282,13 @@ func writeEngineError(w http.ResponseWriter, err error) {
 		badRequest(w, "%v", err)
 	case errors.Is(err, newslink.ErrNotBuilt):
 		writeError(w, http.StatusServiceUnavailable, "not_built", "%v", err)
+	case errors.Is(err, newslink.ErrIngestOverload):
+		// The bounded ingest queue is full: back-pressure, not failure.
+		// Retry-After names a queue-drain interval, not a precise ETA.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "ingest_overload", "%v", err)
+	case errors.Is(err, newslink.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", "%v", err)
 	default:
 		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 	}
@@ -451,6 +460,37 @@ func (s *Server) handleDocUpsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, DocResponse{ID: *p.ID, Docs: s.engine.NumDocs(), Op: "upsert"})
+}
+
+// handleDocIngest is the streaming write path: the document is durably
+// logged (when the engine runs with a WAL) and enqueued for asynchronous
+// indexing, and the request is acknowledged with 202 before the document
+// is searchable. A full ingest queue sheds the request with 429 and a
+// Retry-After hint — the bounded queue is the back-pressure mechanism
+// that keeps a sustained firehose from growing an unbounded backlog.
+// Engines without WithIngestQueue fall back to a synchronous upsert, so
+// the route works (with synchronous latency) at either setting.
+func (s *Server) handleDocIngest(w http.ResponseWriter, r *http.Request) {
+	var p DocPayload
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxDocBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		badRequest(w, "invalid JSON body: %v", err)
+		return
+	}
+	if p.ID == nil || *p.ID < 0 {
+		badRequest(w, "missing or negative field id")
+		return
+	}
+	if p.Text == "" {
+		badRequest(w, "missing field text")
+		return
+	}
+	if err := s.engine.Ingest(newslink.Document{ID: *p.ID, Title: p.Title, Text: p.Text}); err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, DocResponse{ID: *p.ID, Docs: s.engine.NumDocs(), Op: "ingest"})
 }
 
 // handleDocDelete tombstones one document by ID; it disappears from

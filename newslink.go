@@ -45,6 +45,7 @@ import (
 	"newslink/internal/nlp"
 	"newslink/internal/obs"
 	"newslink/internal/search"
+	"newslink/internal/wal"
 )
 
 // EmbeddingModel selects the subgraph embedding model of the NE component.
@@ -190,6 +191,19 @@ type Engine struct {
 	// pending counts documents in the open (un-searchable) segment, read
 	// lock-free by acquire to decide whether a search must refresh first.
 	pending atomic.Int64
+
+	// walMu orders durability: it is taken strictly before mu, and every
+	// write path holds it while assigning its write-ahead-log record and
+	// its queue slot (or applying directly), so log order, queue order and
+	// apply order are one total order. It also guards wal/walClosed and
+	// the pipeline's admission state. Nil-WAL engines never contend on it
+	// beyond the uncontended lock word.
+	walMu     sync.Mutex
+	wal       *wal.Log
+	walClosed bool
+	// ingest is the armed async pipeline (WithIngestQueue), nil otherwise;
+	// published after Build/Load and read lock-free by the write APIs.
+	ingest atomic.Pointer[ingestPipeline]
 
 	// mu serializes writers and guards the open-segment accumulation state
 	// below. The NLP pipeline, embedder and searcher above are stateless
@@ -358,9 +372,20 @@ func (e *Engine) NumDeletedDocs() int {
 // next Search or an explicit Refresh. Add is safe to call concurrently with
 // searches and other Adds.
 func (e *Engine) Add(doc Document) error {
+	// While the ingest pipeline is armed, every write routes through it —
+	// one total order with the WAL — and waits for its apply result, so
+	// the documented synchronous semantics (ErrDuplicateID, ...) hold.
+	if p := e.ingest.Load(); p != nil {
+		return p.submit(walOpAdd, doc, true)
+	}
 	// Analysis touches only immutable state; run it before taking the lock
 	// so concurrent Adds embed in parallel and searches are not blocked.
 	emb, terms := e.analyze(doc.Text)
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	if err := e.logSyncLocked(walOpAdd, doc); err != nil {
+		return err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.addLocked(doc, emb, terms)
@@ -601,17 +626,28 @@ func nodeTerm(n kg.NodeID) string { return strconv.FormatUint(uint64(n), 36) }
 
 // Build finalizes the inverted indexes. It must be called once, after the
 // initial Add calls and before Search.
+//
+// With WithWAL configured, Build also opens the write-ahead log and
+// replays any records a crashed previous run left there — the initial
+// corpus plus the replayed writes become the starting state — and with
+// WithIngestQueue it arms the async ingest pipeline. A corrupt log fails
+// Build with ErrWALCorrupt rather than silently dropping acknowledged
+// writes.
 func (e *Engine) Build() error {
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.set.Load() != nil {
+		e.mu.Unlock()
 		return ErrAlreadyBuilt
 	}
 	if len(e.pendDocs) == 0 {
+		e.mu.Unlock()
 		return ErrNoDocuments
 	}
 	e.publishLocked([]*segment{e.sealPendingLocked()})
-	return nil
+	e.mu.Unlock()
+	return e.startDurabilityLocked()
 }
 
 // Delete tombstones a document by ID: it disappears from Search, Explain
@@ -622,8 +658,25 @@ func (e *Engine) Build() error {
 // returns ErrNotBuilt. Safe to call concurrently with searches — the
 // tombstone is a copy-on-write swap of the published segment set.
 func (e *Engine) Delete(id int) error {
+	if p := e.ingest.Load(); p != nil {
+		return p.submit(walOpDelete, Document{ID: id}, true)
+	}
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	if e.set.Load() == nil {
+		return ErrNotBuilt
+	}
+	if err := e.logSyncLocked(walOpDelete, Document{ID: id}); err != nil {
+		return err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.deleteLocked(id)
+}
+
+// deleteLocked tombstones one document by public ID (the body of Delete;
+// also the replay and ingest-applier delete path). Callers hold e.mu.
+func (e *Engine) deleteLocked(id int) error {
 	s := e.set.Load()
 	if s == nil {
 		return ErrNotBuilt
@@ -671,10 +724,28 @@ func (e *Engine) deleteAtLocked(s *segmentSet, pos int) {
 // view: any search sees either the old version or the new one, never both.
 // Returns ErrNotBuilt before Build; use Add for initial corpus loading.
 func (e *Engine) Update(doc Document) error {
+	if p := e.ingest.Load(); p != nil {
+		return p.submit(walOpUpsert, doc, true)
+	}
 	// Analysis reads only immutable state; do it before taking the lock.
 	emb, terms := e.analyze(doc.Text)
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	if e.set.Load() == nil {
+		return ErrNotBuilt
+	}
+	if err := e.logSyncLocked(walOpUpsert, doc); err != nil {
+		return err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.upsertLocked(doc, emb, terms)
+}
+
+// upsertLocked replaces (or adds) one analyzed document: tombstone any
+// previous version, then add the new one — the body of Update and the
+// replay/ingest-applier upsert path. Callers hold e.mu.
+func (e *Engine) upsertLocked(doc Document, emb *core.DocEmbedding, terms []string) error {
 	s := e.set.Load()
 	if s == nil {
 		return ErrNotBuilt

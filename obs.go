@@ -30,11 +30,21 @@ type engineMetrics struct {
 	segmentMerges       *obs.Counter
 	blocksDecoded       *obs.Counter
 	blocksSkipped       *obs.Counter
-	docs                *obs.Gauge
-	segments            *obs.Gauge
-	liveDocs            *obs.Gauge
-	deletedDocs         *obs.Gauge
-	searchSeconds       *obs.Histogram
+	// ingest/WAL instrumentation: queue admissions and sheds, applied
+	// writes, the live queue depth, and the durability cost of the log.
+	ingestQueued    *obs.Counter
+	ingestApplied   *obs.Counter
+	ingestShed      *obs.Counter
+	ingestDepth     *obs.Gauge
+	walAppends      *obs.Counter
+	walBytes        *obs.Counter
+	walReplayed     *obs.Counter
+	walFsyncSeconds *obs.Histogram
+	docs            *obs.Gauge
+	segments        *obs.Gauge
+	liveDocs        *obs.Gauge
+	deletedDocs     *obs.Gauge
+	searchSeconds   *obs.Histogram
 	// degraded counts searches served BOW-only, keyed by degradation
 	// reason. Both reasons are pre-registered in New so the series appear
 	// in expositions before the first incident; the map is read-only after
@@ -72,6 +82,15 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		segmentMerges: r.Counter("newslink_segment_merges_total", "Segment merges performed by the tiered policy and Compact."),
 		blocksDecoded: r.Counter("newslink_blocks_decoded_total", "Postings blocks decoded by block-max retrieval."),
 		blocksSkipped: r.Counter("newslink_blocks_skipped_total", "Postings blocks pruned undecoded by the block-max bound."),
+		ingestQueued:  r.Counter("newslink_ingest_queued_total", "Writes admitted into the async ingest queue."),
+		ingestApplied: r.Counter("newslink_ingest_applied_total", "Queued writes applied to the engine by the ingest applier."),
+		ingestShed:    r.Counter("newslink_ingest_shed_total", "Writes rejected with ErrIngestOverload because the ingest queue was full."),
+		ingestDepth:   r.Gauge("newslink_ingest_queue_depth", "Writes currently queued and not yet applied."),
+		walAppends:    r.Counter("newslink_wal_appends_total", "Records appended to the write-ahead log."),
+		walBytes:      r.Counter("newslink_wal_appended_bytes_total", "Framed bytes appended to the write-ahead log."),
+		walReplayed:   r.Counter("newslink_wal_replayed_total", "Records replayed from the write-ahead log at startup."),
+		walFsyncSeconds: r.Histogram("newslink_wal_fsync_seconds",
+			"Latency of one group-commit fsync of the write-ahead log.", nil),
 		docs:          r.Gauge("newslink_docs", "Documents currently indexed (live plus pending, excluding tombstoned)."),
 		segments:      r.Gauge("newslink_segments", "Sealed segments currently serving searches."),
 		liveDocs:      r.Gauge("newslink_live_docs", "Live (searchable, non-tombstoned) documents in sealed segments."),

@@ -35,6 +35,17 @@ type engineOptions struct {
 	hotLabelCap int
 	// bonTimeout is the initial BON stage deadline (0 = none).
 	bonTimeout time.Duration
+	// walDir, when non-empty, arms the write-ahead log there: every
+	// post-Build write is logged and fsynced (group commit) before it is
+	// acknowledged, and Build/Load replay the log so acknowledged writes
+	// survive a crash between snapshots.
+	walDir string
+	// ingestQueue bounds the async ingest queue (Ingest); 0 disables the
+	// pipeline and Ingest degrades to a synchronous upsert.
+	ingestQueue int
+	// ingestBatch bounds how many queued writes one applier pass analyzes,
+	// indexes and seals as a single segment.
+	ingestBatch int
 }
 
 func defaultEngineOptions() engineOptions {
@@ -45,6 +56,7 @@ func defaultEngineOptions() engineOptions {
 		groupCacheSize: 256,
 		embedWorkers:   0, // GOMAXPROCS
 		hotLabelCap:    256,
+		ingestBatch:    256,
 	}
 }
 
@@ -104,4 +116,42 @@ func WithHotLabels(n int) Option {
 // the runtime-safe way to adjust it afterwards.
 func WithBONTimeout(d time.Duration) Option {
 	return optionFunc(func(o *engineOptions) { o.bonTimeout = d })
+}
+
+// WithWAL arms the write-ahead log at dir. Build (and Load) open the log,
+// replay any records a crash left behind, and from then on append every
+// post-Build write — Add, Update, Delete, Ingest — before acknowledging
+// it, with fsyncs batched across concurrent writers (group commit). Save
+// rotates the log inside its capture critical section and prunes the old
+// generation once the snapshot is durably installed, so dir never grows
+// past one snapshot interval of writes. An empty dir disables the log.
+func WithWAL(dir string) Option {
+	return optionFunc(func(o *engineOptions) { o.walDir = dir })
+}
+
+// WithIngestQueue arms the async ingest pipeline with a queue of n
+// pending writes. Ingest acknowledges a document once it is durably
+// logged (when WithWAL is set) and queued; a single applier goroutine
+// then batch-analyzes and indexes queued writes outside callers' critical
+// paths. When the queue is full, writes are shed with ErrIngestOverload —
+// the HTTP layer turns that into 429 + Retry-After. While the pipeline is
+// armed, the synchronous write APIs route through the same queue (waiting
+// for their result), so the log order and apply order stay identical.
+// n <= 0 disables the pipeline.
+func WithIngestQueue(n int) Option {
+	return optionFunc(func(o *engineOptions) { o.ingestQueue = n })
+}
+
+// WithIngestBatch bounds how many queued writes the ingest applier folds
+// into one micro-batch (default 256): each batch is analyzed in parallel,
+// indexed under one lock acquisition and sealed as one segment, sized so
+// the tiered merge policy (mergeFactor 8) keeps segment counts — and
+// search fan-out — bounded under sustained ingest. n <= 0 keeps the
+// default.
+func WithIngestBatch(n int) Option {
+	return optionFunc(func(o *engineOptions) {
+		if n > 0 {
+			o.ingestBatch = n
+		}
+	})
 }

@@ -12,6 +12,7 @@ import (
 	"newslink/internal/index"
 	"newslink/internal/obs"
 	"newslink/internal/search"
+	"newslink/internal/wal"
 )
 
 // retrieval is the outcome of the parallel BOW/BON fan-out of one search:
@@ -149,6 +150,19 @@ func topKAuto(ctx context.Context, idx index.Source, s search.Scorer, q search.Q
 // the open segment like individual Adds. A duplicate document ID aborts the
 // batch at the offending document; documents before it stay indexed.
 func (e *Engine) AddAll(docs []Document, workers int) error {
+	// While the async ingest pipeline is armed (post-Build, WithIngestQueue)
+	// the batch routes through it document by document, preserving the
+	// single WAL/apply total order; the pipeline's applier does its own
+	// parallel analysis per micro-batch. The fan-out below covers the main
+	// AddAll use — initial corpus loading before Build.
+	if e.ingest.Load() != nil {
+		for _, doc := range docs {
+			if err := e.Add(doc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -181,6 +195,27 @@ func (e *Engine) AddAll(docs []Document, workers int) error {
 	wg.Wait()
 	// Indexing is order-dependent (DocIDs are positional), so it stays
 	// sequential; it is a tiny fraction of the embedding cost (Figure 7).
+	// Post-Build batches are WAL-logged first (one group-commit fsync for
+	// the whole batch), so every document of an acknowledged batch
+	// survives a crash; replay skips the duplicates of a batch that
+	// failed midway, converging to the same state this call left behind.
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	if e.wal != nil && !e.walClosed && e.set.Load() != nil {
+		var last wal.Pos
+		for _, doc := range docs {
+			pos, err := e.wal.Write(encodeWALOp(walOpAdd, doc))
+			if err != nil {
+				return err
+			}
+			last = pos
+		}
+		if err := e.wal.WaitDurable(last); err != nil {
+			return err
+		}
+	} else if e.walClosed {
+		return ErrClosed
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for i, doc := range docs {

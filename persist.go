@@ -188,12 +188,34 @@ func (e *Engine) Save(dir string) error {
 	// separate Refresh and the capture would leave documents behind that
 	// are absent from the serialized segments, silently losing them on
 	// Load.
+	//
+	// With the WAL armed the critical section also rotates the log, under
+	// walMu so no write can slip between capture and rotation: everything
+	// logged before it is in the capture (the ingest queue is drained
+	// first — admitted writes were logged to the old generation, so they
+	// must be captured before that generation becomes prunable), and
+	// everything after lands in the new generation, which a crash replays
+	// over this snapshot. Pruning happens only after the snapshot is
+	// durably installed; a crash before that replays both generations over
+	// the previous snapshot, which the old generation's records belong to.
+	e.walMu.Lock()
+	if p := e.ingest.Load(); p != nil && !p.closed {
+		p.drainLocked()
+	}
 	e.mu.Lock()
 	e.refreshLocked()
 	set := e.set.Load()
+	var rotErr error
+	if e.wal != nil && set != nil {
+		rotErr = e.wal.Rotate()
+	}
 	e.mu.Unlock()
+	e.walMu.Unlock()
 	if set == nil {
 		return ErrNotBuilt
+	}
+	if rotErr != nil {
+		return rotErr
 	}
 	old := readOldSnapshot(dir)
 	parent := filepath.Dir(filepath.Clean(dir))
@@ -282,6 +304,18 @@ func (e *Engine) Save(dir string) error {
 		return err
 	}
 	committed = true
+	// The snapshot is durable and reachable; the pre-rotation WAL
+	// generation is now redundant and can go. (A failure here leaves the
+	// old segments behind — replaying them over this snapshot re-applies
+	// writes the snapshot already holds, which is idempotent: adds skip as
+	// duplicates, upserts re-install identical content, deletes of absent
+	// docs skip. Correctness never depends on Prune succeeding.)
+	e.walMu.Lock()
+	l := e.wal
+	e.walMu.Unlock()
+	if l != nil {
+		return l.Prune()
+	}
 	return nil
 }
 
@@ -405,8 +439,14 @@ func installSnapshot(tmp, dir string) error {
 // bitmap, or inconsistent document counts return ErrSnapshotCorrupt
 // (match both with errors.Is). On any error no engine is returned — never
 // a partially loaded one.
-func Load(dir string, g *kg.Graph) (*Engine, error) {
-	return load(dir, g, false)
+//
+// Runtime options (cache sizes, WithWAL, WithIngestQueue, ...) apply on
+// top of the snapshot's persisted Config. With WithWAL set, Load replays
+// the write-ahead log over the restored state — recovering every write
+// acknowledged after the snapshot was taken — before arming the ingest
+// pipeline; a corrupt log fails with ErrWALCorrupt.
+func Load(dir string, g *kg.Graph, opts ...Option) (*Engine, error) {
+	return load(dir, g, false, opts)
 }
 
 // LoadOnDisk restores a snapshot but serves the inverted indexes directly
@@ -414,31 +454,36 @@ func Load(dir string, g *kg.Graph) (*Engine, error) {
 // and resident memory stay flat as the corpus grows. The engine holds the
 // files open until Close. Integrity verification streams each artifact
 // once at open time (sequential IO, no resident memory); the same typed
-// errors as Load apply.
-func LoadOnDisk(dir string, g *kg.Graph) (*Engine, error) {
-	return load(dir, g, true)
+// errors and option semantics as Load apply.
+func LoadOnDisk(dir string, g *kg.Graph, opts ...Option) (*Engine, error) {
+	return load(dir, g, true, opts)
 }
 
-// Close releases the snapshot files of an engine opened with LoadOnDisk
-// (a no-op for in-memory engines).
+// Close shuts the engine's owned resources down: the ingest pipeline is
+// drained and stopped, the write-ahead log is fsynced and closed, and any
+// snapshot files held open by LoadOnDisk are released. After Close,
+// writes on a WAL-armed engine fail with ErrClosed; searches keep working
+// against the in-memory state (in-memory engines) or fail on file access
+// (on-disk ones).
 func (e *Engine) Close() error {
+	werr := e.stopIngest()
 	s := e.set.Load()
 	if s == nil {
-		return nil
+		return werr
 	}
 	for _, seg := range s.segs {
 		for _, src := range []index.Source{seg.text, seg.node} {
 			if c, ok := src.(*index.DiskIndex); ok {
 				if err := c.Close(); err != nil {
-					return err
+					return errors.Join(werr, err)
 				}
 			}
 		}
 	}
-	return nil
+	return werr
 }
 
-func load(dir string, g *kg.Graph, onDisk bool) (*Engine, error) {
+func load(dir string, g *kg.Graph, onDisk bool, opts []Option) (*Engine, error) {
 	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.json"))
 	if err != nil {
 		return nil, err
@@ -478,7 +523,10 @@ func load(dir string, g *kg.Graph, onDisk bool) (*Engine, error) {
 			verified[name] = true
 		}
 	}
-	e := New(g, meta.Config)
+	// The snapshot's Config is the base; caller options layer on top, so
+	// runtime knobs (caches, WAL, ingest queue) configure the restored
+	// engine exactly as they would a fresh one.
+	e := New(g, append([]Option{meta.Config}, opts...)...)
 	segs := make([]*segment, 0, len(meta.Segments))
 	fail := func(err error) (*Engine, error) {
 		closeSegments(segs)
@@ -494,6 +542,14 @@ func load(dir string, g *kg.Graph, onDisk bool) (*Engine, error) {
 	e.mu.Lock()
 	e.publishLocked(segs)
 	e.mu.Unlock()
+	// With the segment set published, recover post-snapshot writes from
+	// the WAL and arm the ingest pipeline (per the caller's options).
+	e.walMu.Lock()
+	err = e.startDurabilityLocked()
+	e.walMu.Unlock()
+	if err != nil {
+		return fail(err)
+	}
 	return e, nil
 }
 
