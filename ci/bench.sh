@@ -5,7 +5,10 @@
 # blocks_skipped/op, p99-ns, ingested-docs/sec). The BenchmarkQueryEmbed
 # band covers the KG side: Table-8-style multi-entity query embedding at
 # 100k and 1M synthetic nodes; BenchmarkSustainedIngestServe covers the
-# write side: search p99 while the streaming pipeline absorbs ~1k docs/sec.
+# write side: search p99 while the streaming pipeline absorbs ~1k docs/sec;
+# BenchmarkClusterScatterGather covers the serving tier: one warm search
+# through the cluster router and three local shard workers (scatter, merge,
+# document gather).
 # CI uploads the file as an artifact so the performance trajectory has a
 # reproducible, CI-generated source; run locally as
 #
@@ -20,11 +23,11 @@ cd "$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 
 BENCHTIME="${1:-1s}"
 OUT="${2:-BENCH.json}"
-BENCHES='BenchmarkTopKStrategies|BenchmarkParallelFusedSearch|BenchmarkSnapshotServing|BenchmarkSegmentChurn|BenchmarkQueryEmbed|BenchmarkSustainedIngestServe'
+BENCHES='BenchmarkTopKStrategies|BenchmarkParallelFusedSearch|BenchmarkSnapshotServing|BenchmarkSegmentChurn|BenchmarkQueryEmbed|BenchmarkSustainedIngestServe|BenchmarkClusterScatterGather'
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
+go test -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" -benchmem . ./internal/cluster | tee "$RAW"
 
 # Parse `go test -bench` lines into a JSON array. A line looks like:
 #   BenchmarkName/sub-8  100  12345 ns/op  67 B/op  8 allocs/op  9.0 extra/op

@@ -9,11 +9,14 @@
 #
 #	./ci/check_bench.sh [benchtime]
 #
-# Variants present on only one side are reported but do not fail the gate
-# (new benchmarks land before their baseline does; the baseline is updated
-# in the same PR or the next). CI runs this as a visible-but-not-required
-# job: wall-clock comparisons across heterogeneous runners advise, the
-# committed BENCH_prN.json artifacts decide.
+# A baseline variant missing from the fresh run FAILS the gate: a renamed
+# or deleted benchmark would otherwise pass vacuously forever, silently
+# retiring its regression coverage. Variants present only in the current
+# run are reported but do not fail (new benchmarks land before their
+# baseline does; the baseline is updated in the same PR or the next). CI
+# runs this as a visible-but-not-required job: wall-clock comparisons
+# across heterogeneous runners advise, the committed BENCH_prN.json
+# artifacts decide.
 #
 # When a regression is real and intended (or an optimisation makes the
 # baseline stale), regenerate it and commit the change in the same PR:
@@ -67,7 +70,9 @@ fail=0
 while read -r name base_ns base_allocs; do
     cur_line=$(grep -F -- "$name " "$CUR_TSV" | head -n1 || true)
     if [ -z "$cur_line" ]; then
-        echo "   [skip] $name: not in current run"
+        echo "   [FAIL] $name: in baseline but missing from current run (renamed or deleted?)"
+        echo "          update $BASELINE in the same PR if the change is intended"
+        fail=1
         continue
     fi
     cur_ns=$(printf '%s' "$cur_line" | awk '{print $2}')

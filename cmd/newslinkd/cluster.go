@@ -1,0 +1,201 @@
+// Cluster modes of newslinkd: -shard runs the process as a scatter-gather
+// shard worker, -router as the router that partitions a snapshot across
+// workers and serves the public API over them. See DESIGN.md §14 and the
+// README's Operations section for the full topology.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"newslink/internal/cluster"
+	"newslink/internal/corpus"
+	"newslink/internal/kg"
+)
+
+// loadGraph reads the knowledge graph the cluster roles share; without
+// -kg the built-in sample graph is used (matching the single-process
+// default).
+func loadGraph(kgPath string) (*kg.Graph, error) {
+	if kgPath == "" {
+		g, _ := corpus.Sample()
+		return g, nil
+	}
+	f, err := os.Open(kgPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return kg.Read(f)
+}
+
+// runShard serves one shard worker until SIGINT/SIGTERM. The worker
+// starts empty (readyz answers 503) and becomes ready when a router
+// assigns it a segment slice.
+func runShard(addr, id, dir, kgPath string, logger *slog.Logger) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return shardMain(ctx, addr, id, dir, kgPath, logger, nil)
+}
+
+// shardMain is runShard's context-driven body; bound, when non-nil,
+// receives the listener's address once serving (tests use it to learn
+// the ephemeral port).
+func shardMain(ctx context.Context, addr, id, dir, kgPath string, logger *slog.Logger, bound chan<- string) error {
+	g, err := loadGraph(kgPath)
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		if dir, err = os.MkdirTemp("", "newslink-shard-*"); err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("binding %s: %w", addr, err)
+	}
+	if id == "" {
+		id = ln.Addr().String()
+	}
+	w := cluster.NewWorker(id, dir, g, logger)
+	srv := hardenServer(&http.Server{Handler: w.Handler()})
+	// Assignments stream segment artifacts from a peer before answering;
+	// give them more room than an interactive query response.
+	srv.WriteTimeout = 2 * time.Minute
+	log.Printf("shard worker %s serving on %s (artifacts in %s)", id, ln.Addr(), dir)
+	if bound != nil {
+		bound <- ln.Addr().String()
+	}
+	return serveUntilDone(ctx, srv, ln, logger, nil)
+}
+
+// routerConfig carries the router-mode flags.
+type routerConfig struct {
+	addr          string
+	snapshot      string
+	kgPath        string
+	shardAddrs    string
+	selfURL       string
+	hedge         bool
+	probeInterval time.Duration
+	queryTimeout  time.Duration
+	logger        *slog.Logger
+}
+
+// runRouter serves the cluster router until SIGINT/SIGTERM. The HTTP
+// listener (which includes the blob endpoint workers fetch segments
+// from) comes up before the initial shard assignment, so workers with
+// empty directories can be seeded immediately.
+func runRouter(cfg routerConfig) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return routerMain(ctx, cfg, nil)
+}
+
+// routerMain is runRouter's context-driven body; bound, when non-nil,
+// receives the listener's address once serving.
+func routerMain(ctx context.Context, cfg routerConfig, bound chan<- string) error {
+	if cfg.snapshot == "" {
+		return fmt.Errorf("-router requires -snapshot (the partitioned corpus)")
+	}
+	endpoints := parseShardAddrs(cfg.shardAddrs)
+	if len(endpoints) == 0 {
+		return fmt.Errorf("-router requires -shard-addrs")
+	}
+	g, err := loadGraph(cfg.kgPath)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("binding %s: %w", cfg.addr, err)
+	}
+	selfURL := cfg.selfURL
+	if selfURL == "" {
+		selfURL = "http://" + ln.Addr().String()
+	}
+	rt, err := cluster.NewRouter(cfg.snapshot, g, cluster.Config{
+		Endpoints:      endpoints,
+		SelfURL:        selfURL,
+		Hedge:          cfg.hedge,
+		ProbeInterval:  cfg.probeInterval,
+		RequestTimeout: cfg.queryTimeout,
+		Logger:         cfg.logger,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer rt.Close()
+	srv := hardenServer(&http.Server{Handler: rt.Handler()})
+	log.Printf("cluster router serving %d shards on %s (plan %s)",
+		len(rt.Plan().Shards), ln.Addr(), rt.Plan().ID)
+	if bound != nil {
+		bound <- ln.Addr().String()
+	}
+	return serveUntilDone(ctx, srv, ln, cfg.logger, func(ctx context.Context) {
+		// Assignment needs the blob endpoint above to be live, so it runs
+		// after Serve starts. A failed initial assignment is not fatal —
+		// the probe loop keeps admitting workers as they appear.
+		if err := rt.Start(ctx); err != nil {
+			cfg.logger.Warn("initial cluster assignment incomplete", "err", err)
+		}
+	})
+}
+
+// parseShardAddrs splits the -shard-addrs grammar: groups by comma, one
+// slot each; replicas within a group by '|'.
+func parseShardAddrs(s string) [][]string {
+	var out [][]string
+	for _, group := range strings.Split(s, ",") {
+		var eps []string
+		for _, ep := range strings.Split(group, "|") {
+			if ep = strings.TrimSpace(ep); ep != "" {
+				eps = append(eps, strings.TrimRight(ep, "/"))
+			}
+		}
+		if len(eps) > 0 {
+			out = append(out, eps)
+		}
+	}
+	return out
+}
+
+// serveUntilDone runs srv on ln until ctx ends (SIGINT/SIGTERM in
+// production), then shuts down gracefully. after, when non-nil, runs in
+// a goroutine once serving has begun (used for the router's initial
+// assignment).
+func serveUntilDone(ctx context.Context, srv *http.Server, ln net.Listener, logger *slog.Logger, after func(ctx context.Context)) error {
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	if after != nil {
+		go after(ctx)
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	return srv.Shutdown(sctx)
+}

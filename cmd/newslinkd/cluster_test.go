@@ -1,0 +1,259 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"newslink"
+	"newslink/internal/corpus"
+	"newslink/internal/kg"
+)
+
+func TestParseShardAddrs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want [][]string
+	}{
+		{"", nil},
+		{" , ,", nil},
+		{"http://a:1", [][]string{{"http://a:1"}}},
+		{"http://a:1,http://b:2", [][]string{{"http://a:1"}, {"http://b:2"}}},
+		{"http://a:1|http://a2:1,http://b:2", [][]string{{"http://a:1", "http://a2:1"}, {"http://b:2"}}},
+		{" http://a:1/ | http://a2:1 ", [][]string{{"http://a:1", "http://a2:1"}}},
+	}
+	for _, tc := range cases {
+		if got := parseShardAddrs(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseShardAddrs(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLoadGraph(t *testing.T) {
+	g, err := loadGraph("")
+	if err != nil || g == nil {
+		t.Fatalf("loadGraph(\"\") = %v, %v; want the sample graph", g, err)
+	}
+	path := filepath.Join(t.TempDir(), "graph.tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kg.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := loadGraph(path)
+	if err != nil {
+		t.Fatalf("loadGraph(%q): %v", path, err)
+	}
+	if g2.NumNodes() != g.NumNodes() {
+		t.Fatalf("round-tripped graph has %d nodes, want %d", g2.NumNodes(), g.NumNodes())
+	}
+	if _, err := loadGraph(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("loadGraph on a missing file succeeded")
+	}
+}
+
+// TestClusterDaemonEndToEnd drives the real -shard/-router mains: two
+// empty shard workers come up, the router seeds them from its snapshot
+// over the blob endpoint, and a public search answers with full (non-
+// degraded) results. Shutdown is the production path (context end →
+// graceful drain).
+func TestClusterDaemonEndToEnd(t *testing.T) {
+	// Snapshot of the sample corpus.
+	g, arts := corpus.Sample()
+	e := newslink.New(g, newslink.DefaultConfig())
+	for _, a := range arts {
+		if err := e.Add(newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	snap := t.TempDir()
+	if err := e.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Search("Taliban bombing in Lahore", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	// Two shard workers on ephemeral ports, empty artifact dirs.
+	shardErrs := make(chan error, 2)
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		bound := make(chan string, 1)
+		id := "shard" + string(rune('0'+i))
+		dir := t.TempDir()
+		go func() {
+			shardErrs <- shardMain(ctx, "127.0.0.1:0", id, dir, "", logger, bound)
+		}()
+		select {
+		case a := <-bound:
+			addrs = append(addrs, "http://"+a)
+		case err := <-shardErrs:
+			t.Fatalf("shard %d exited before binding: %v", i, err)
+		}
+	}
+
+	routerBound := make(chan string, 1)
+	routerErr := make(chan error, 1)
+	go func() {
+		routerErr <- routerMain(ctx, routerConfig{
+			addr:          "127.0.0.1:0",
+			snapshot:      snap,
+			shardAddrs:    strings.Join(addrs, ","),
+			probeInterval: 50 * time.Millisecond,
+			queryTimeout:  5 * time.Second,
+			logger:        logger,
+		}, routerBound)
+	}()
+	var base string
+	select {
+	case a := <-routerBound:
+		base = "http://" + a
+	case err := <-routerErr:
+		t.Fatalf("router exited before binding: %v", err)
+	}
+
+	// The sample corpus is a single segment, so both workers serve slot 0
+	// as replicas; poll until assignment completes and results match the
+	// single-process engine.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/search?q=Taliban+bombing+in+Lahore&k=3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			var sr struct {
+				Degraded bool              `json:"degraded"`
+				Results  []newslink.Result `json:"results"`
+			}
+			if err := json.Unmarshal(body, &sr); err != nil {
+				t.Fatalf("decoding search reply: %v\n%s", err, body)
+			}
+			if !sr.Degraded && reflect.DeepEqual(sr.Results, want) {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never served full results; last status %d body %s", resp.StatusCode, body)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Production shutdown path: context end drains both roles cleanly.
+	cancel()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-shardErrs:
+			if err != nil {
+				t.Fatalf("shard exited with %v", err)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("shard did not shut down")
+		}
+	}
+	select {
+	case err := <-routerErr:
+		if err != nil {
+			t.Fatalf("router exited with %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("router did not shut down")
+	}
+}
+
+// TestRouterMainValidatesFlags pins the required-flag errors.
+func TestRouterMainValidatesFlags(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	if err := routerMain(context.Background(), routerConfig{shardAddrs: "http://x"}, nil); err == nil {
+		t.Fatal("router without -snapshot started")
+	}
+	if err := routerMain(context.Background(), routerConfig{snapshot: t.TempDir(), logger: logger}, nil); err == nil {
+		t.Fatal("router without -shard-addrs started")
+	}
+}
+
+// TestClusterMainErrorPaths pins the startup failures: a bad graph
+// path, an unbindable address, and a snapshot the router cannot load
+// all surface as errors rather than hung processes.
+func TestClusterMainErrorPaths(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ctx := context.Background()
+
+	if err := shardMain(ctx, "127.0.0.1:0", "w", t.TempDir(), filepath.Join(t.TempDir(), "no-such-kg"), logger, nil); err == nil {
+		t.Fatal("shardMain with a missing -kg started")
+	}
+	if err := shardMain(ctx, "256.256.256.256:1", "w", t.TempDir(), "", logger, nil); err == nil {
+		t.Fatal("shardMain bound an impossible address")
+	}
+	if err := routerMain(ctx, routerConfig{
+		addr: "127.0.0.1:0", snapshot: t.TempDir(), shardAddrs: "http://x", logger: logger,
+	}, nil); err == nil {
+		t.Fatal("routerMain loaded an empty snapshot directory")
+	}
+	if err := routerMain(ctx, routerConfig{
+		addr: "127.0.0.1:0", snapshot: t.TempDir(), shardAddrs: "http://x",
+		kgPath: filepath.Join(t.TempDir(), "no-such-kg"), logger: logger,
+	}, nil); err == nil {
+		t.Fatal("routerMain with a missing -kg started")
+	}
+	if err := routerMain(ctx, routerConfig{
+		addr: "256.256.256.256:1", snapshot: t.TempDir(), shardAddrs: "http://x", logger: logger,
+	}, nil); err == nil {
+		t.Fatal("routerMain bound an impossible address")
+	}
+}
+
+// TestRunShardSignalShutdown drives the production wrapper end to end:
+// runShard installs its own SIGTERM context, so a signal to the test
+// process must bring the worker down cleanly.
+func TestRunShardSignalShutdown(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	done := make(chan error, 1)
+	go func() {
+		done <- runShard("127.0.0.1:0", "sig-test", t.TempDir(), "", logger)
+	}()
+	// Give the worker a moment to install its signal handler and bind.
+	time.Sleep(200 * time.Millisecond)
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runShard exited with %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("runShard did not shut down on SIGTERM")
+	}
+}

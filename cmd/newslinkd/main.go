@@ -80,6 +80,14 @@ func main() {
 	drainGrace := flag.Duration("drain-grace", 0, "pause between flipping /v1/readyz to 503 and closing listeners, for load balancers to observe the flip")
 	debugAddr := flag.String("debug-addr", "", "optional private listen address for net/http/pprof and metrics (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+	shardMode := flag.Bool("shard", false, "run as a cluster shard worker: serve the /v1/shard/ RPC surface and wait for a router assignment")
+	shardID := flag.String("shard-id", "", "shard worker identity (default: the bound listen address)")
+	shardDir := flag.String("shard-dir", "", "shard worker artifact directory (default: a fresh temp directory)")
+	routerMode := flag.Bool("router", false, "run as a cluster router: partition the -snapshot across -shard-addrs workers and serve search/explain by scatter-gather")
+	shardAddrs := flag.String("shard-addrs", "", "router: comma-separated shard endpoint groups, replicas within a group separated by '|' (e.g. http://a,http://b1|http://b2)")
+	selfURL := flag.String("self-url", "", "router: externally reachable base URL of this router; workers fetch missing segment artifacts from it (default: the bound listen address)")
+	hedge := flag.Bool("hedge", false, "router: hedge slow shard requests to a second replica after the shard's p99 latency")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "router: health-probe interval for ejected shard endpoints")
 	flag.Parse()
 
 	level, err := parseLogLevel(*logLevel)
@@ -87,6 +95,32 @@ func main() {
 		log.Fatal(err)
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	if *shardMode && *routerMode {
+		log.Fatal("-shard and -router are mutually exclusive")
+	}
+	if *shardMode {
+		if err := runShard(*addr, *shardID, *shardDir, *kgPath, logger); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *routerMode {
+		if err := runRouter(routerConfig{
+			addr:          *addr,
+			snapshot:      *snapshot,
+			kgPath:        *kgPath,
+			shardAddrs:    *shardAddrs,
+			selfURL:       *selfURL,
+			hedge:         *hedge,
+			probeInterval: *probeInterval,
+			queryTimeout:  *queryTimeout,
+			logger:        logger,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	engineOpts = []newslink.Option{
 		newslink.WithParallelEmbed(*embedWorkers),

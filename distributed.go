@@ -1,0 +1,78 @@
+package newslink
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"newslink/internal/index"
+)
+
+// Engine surface for the cluster tier (internal/cluster).
+//
+// A scatter-gather router reproduces searchContext's pipeline across
+// shard-worker processes: it analyzes the query once (the router holds
+// the knowledge graph, exactly like a single-process engine), aggregates
+// global term statistics over the shards, ships globally ordered terms
+// back for local block-max evaluation, and merges. Workers evaluate
+// against their engine's published index sources and materialize result
+// documents by local position. These exports expose just those seams —
+// analysis, index sources, positional document access and the snippet —
+// without opening the engine's internals.
+
+// AnalyzeQuery runs the engine's cache-backed query analysis and returns
+// the analyzed text terms plus the node-term weights of the query's
+// subgraph embedding — the same inputs searchContext feeds BOW and BON
+// retrieval. A nil node map means the query embedded to nothing and BON
+// retrieval does not apply. Analysis needs only the knowledge graph, so
+// it works on an engine that indexed no documents (a router).
+func (e *Engine) AnalyzeQuery(ctx context.Context, text string) (terms []string, nodeWeights map[string]float64, err error) {
+	emb, terms, err := e.analyzeQuery(ctx, text)
+	if err != nil {
+		return nil, nil, err
+	}
+	if emb != nil {
+		nodeWeights = make(map[string]float64, len(emb.Counts))
+		for n, c := range emb.Counts {
+			nodeWeights[NodeTerm(uint64(n))] = float64(c)
+		}
+	}
+	return terms, nodeWeights, nil
+}
+
+// NodeTerm converts a knowledge-graph node ID to the synthetic term under
+// which the node index posts it (base-36, as nodeTerm). Router and
+// workers must agree on this encoding, so it is part of the public
+// surface.
+func NodeTerm(id uint64) string { return strconv.FormatUint(id, 36) }
+
+// Sources returns the engine's published text and node index sources for
+// one read operation. The sources are immutable snapshots — refreshes
+// and merges publish new sets rather than mutating these — so a caller
+// may traverse them lock-free for the duration of a request.
+func (e *Engine) Sources() (text, node index.Source, err error) {
+	snap, err := e.acquire()
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap.text, snap.node, nil
+}
+
+// DocAt returns the document at a global position within the engine's
+// published set, tombstoned or not. Position is the coordinate the index
+// sources use (search.Hit.Doc), which is what a worker reports to the
+// router and the router echoes back to fetch result documents.
+func (e *Engine) DocAt(pos int) (Document, error) {
+	snap, err := e.acquire()
+	if err != nil {
+		return Document{}, err
+	}
+	if pos < 0 || pos >= snap.numDocs {
+		return Document{}, fmt.Errorf("%w: position %d of %d", ErrUnknownDoc, pos, snap.numDocs)
+	}
+	return snap.doc(pos), nil
+}
+
+// Snippet picks the sentence of text with the highest query-term overlap,
+// exactly as the engine's own result materialization does.
+func Snippet(text string, qTerms []string) string { return snippet(text, qTerms) }

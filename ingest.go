@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -139,6 +140,13 @@ type ingestPipeline struct {
 	applied  int64
 	cond     *sync.Cond
 
+	// drainRate is an exponentially weighted moving average of applied
+	// documents per second, and lastApply the previous batch's completion
+	// time; both guarded by mu. The rate feeds the HTTP layer's
+	// Retry-After hint when the queue sheds (IngestRetryAfter).
+	drainRate float64
+	lastApply time.Time
+
 	// done closes when the applier goroutine exits.
 	done chan struct{}
 }
@@ -268,10 +276,56 @@ func (p *ingestPipeline) apply(batch []ingestItem) {
 	}
 	e.met.ingestApplied.Add(int64(len(batch)))
 	e.met.ingestDepth.Set(int64(len(p.ch)))
+	now := time.Now()
 	p.mu.Lock()
 	p.applied += int64(len(batch))
+	if !p.lastApply.IsZero() {
+		// The inter-batch gap covers apply plus collection time, so
+		// batch/gap is end-to-end drain throughput, not raw apply speed.
+		if dt := now.Sub(p.lastApply).Seconds(); dt > 0 {
+			rate := float64(len(batch)) / dt
+			if p.drainRate == 0 {
+				p.drainRate = rate
+			} else {
+				p.drainRate = 0.8*p.drainRate + 0.2*rate
+			}
+		}
+	}
+	p.lastApply = now
 	p.mu.Unlock()
 	p.cond.Broadcast()
+}
+
+// IngestRetryAfter estimates how long a shed writer should back off, in
+// whole seconds: current queue depth over the observed drain rate,
+// clamped to [1, 60]. It returns 0 while the pipeline is unarmed or has
+// not applied enough batches to know its rate — callers should then fall
+// back to a fixed hint.
+func (e *Engine) IngestRetryAfter() int {
+	p := e.ingest.Load()
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	rate := p.drainRate
+	p.mu.Unlock()
+	return retryAfterSeconds(len(p.ch), rate)
+}
+
+// retryAfterSeconds converts a queue depth and a drain rate (docs/sec)
+// into a bounded whole-second backoff hint; 0 means "no estimate".
+func retryAfterSeconds(depth int, rate float64) int {
+	if rate <= 0 {
+		return 0
+	}
+	secs := int(math.Ceil(float64(depth) / rate))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
 }
 
 // analyzedDoc is one batch item's NLP/NER output.

@@ -1,0 +1,340 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"newslink"
+	"newslink/internal/corpus"
+	"newslink/internal/kg"
+	"newslink/internal/server"
+)
+
+// buildSnapshot writes a v4 snapshot with at least three segments and
+// two tombstoned documents (one per distinct segment), the corpus shape
+// the cluster partitions. Returns the snapshot directory and the graph.
+func buildSnapshot(t testing.TB) (string, *kg.Graph) {
+	t.Helper()
+	w := kg.Generate(kg.DefaultConfig(19))
+	arts := corpus.Generate(w, corpus.CNNLike(), 48, 19)
+	e := newslink.New(w.Graph, newslink.DefaultConfig())
+	for i, a := range arts {
+		if err := e.Add(newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+			t.Fatal(err)
+		}
+		switch i + 1 {
+		case 16:
+			if err := e.Build(); err != nil {
+				t.Fatal(err)
+			}
+		case 32, 48:
+			e.Refresh()
+		}
+	}
+	for _, id := range []int{arts[3].ID, arts[20].ID} {
+		if err := e.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := e.NumSegments(); n < 3 {
+		t.Fatalf("fixture produced %d segments, want >= 3", n)
+	}
+	dir := t.TempDir()
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, w.Graph
+}
+
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// startWorkers launches n shard workers over httptest servers, returning
+// both the workers (for fault-point IDs) and their endpoint groups in
+// slot order: worker i serves slot i.
+func startWorkers(t testing.TB, g *kg.Graph, n int) ([]*Worker, [][]string) {
+	t.Helper()
+	workers := make([]*Worker, n)
+	endpoints := make([][]string, n)
+	for i := range workers {
+		w := NewWorker(fmt.Sprintf("w%d", i), t.TempDir(), g, testLogger())
+		ts := httptest.NewServer(w.Handler())
+		t.Cleanup(ts.Close)
+		workers[i] = w
+		endpoints[i] = []string{ts.URL}
+	}
+	return workers, endpoints
+}
+
+// startRouter serves a router over an httptest server. The handler is
+// installed through an indirection so the server's URL (the router's
+// SelfURL, which workers fetch artifacts from) exists before NewRouter.
+func startRouter(t testing.TB, dir string, g *kg.Graph, cfg Config) (*Router, *httptest.Server) {
+	t.Helper()
+	type handlerBox struct{ h http.Handler }
+	var h atomic.Value
+	h.Store(handlerBox{http.NotFoundHandler()})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.Load().(handlerBox).h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	cfg.SelfURL = ts.URL
+	if cfg.Logger == nil {
+		cfg.Logger = testLogger()
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 50 * time.Millisecond
+	}
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = time.Millisecond
+	}
+	rt, err := NewRouter(dir, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	h.Store(handlerBox{rt.Handler()})
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	if err := rt.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return rt, ts
+}
+
+// startCluster is the full three-worker harness most tests use.
+func startCluster(t testing.TB, cfg Config) (string, *kg.Graph, []*Worker, *Router, *httptest.Server) {
+	t.Helper()
+	dir, g := buildSnapshot(t)
+	workers, endpoints := startWorkers(t, g, 3)
+	cfg.Endpoints = endpoints
+	rt, ts := startRouter(t, dir, g, cfg)
+	return dir, g, workers, rt, ts
+}
+
+// getJSON asserts the status and decodes the body.
+func getJSON(t testing.TB, rawurl string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(rawurl)
+	if err != nil {
+		t.Fatalf("GET %s: %v", rawurl, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", rawurl, err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d\nbody: %s", rawurl, resp.StatusCode, wantStatus, body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: decoding: %v\nbody: %s", rawurl, err, body)
+		}
+	}
+}
+
+// referenceServer serves the same snapshot through a single-process
+// engine, the identity oracle for scatter-gather results.
+func referenceServer(t testing.TB, dir string, g *kg.Graph) *httptest.Server {
+	t.Helper()
+	eng, err := newslink.Load(dir, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	ts := httptest.NewServer(server.New(eng).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+var identityQueries = []string{
+	"clashes near the border",
+	"ceasefire talks resume",
+	"markets rally on earnings",
+	"championship final",
+	"minister parliament vote",
+	"xyzzy nosuchterm anywhere",
+}
+
+// TestRouterMatchesSingleProcess is the merge-identity property: the
+// router's scatter-gather over three shard workers returns results
+// rank- and score-identical to a single-process engine over the same
+// snapshot — tombstones included — across queries, k, pool and beta.
+func TestRouterMatchesSingleProcess(t *testing.T) {
+	dir, g, _, _, ts := startCluster(t, Config{})
+	ref := referenceServer(t, dir, g)
+
+	for _, q := range identityQueries {
+		for _, params := range []string{"", "&k=3", "&k=25", "&pool=12", "&beta=0", "&beta=1", "&beta=0.5"} {
+			path := "/v1/search?q=" + url.QueryEscape(q) + params
+			var got, want server.SearchResponse
+			getJSON(t, ts.URL+path, http.StatusOK, &got)
+			getJSON(t, ref.URL+path, http.StatusOK, &want)
+			if got.Degraded {
+				t.Fatalf("%s: degraded response with all shards live: %+v", path, got)
+			}
+			if got.ShardsTotal != 3 || got.ShardsOK != 3 {
+				t.Fatalf("%s: shards %d/%d, want 3/3", path, got.ShardsOK, got.ShardsTotal)
+			}
+			if !reflect.DeepEqual(got.Results, want.Results) {
+				t.Fatalf("%s: cluster and single-process results diverge\ncluster: %+v\nsingle:  %+v",
+					path, got.Results, want.Results)
+			}
+		}
+	}
+}
+
+// TestRouterExplainMatchesSingleProcess routes /v1/explain to the shard
+// owning the document and must reproduce the single-process explanation.
+func TestRouterExplainMatchesSingleProcess(t *testing.T) {
+	dir, g, _, _, ts := startCluster(t, Config{})
+	ref := referenceServer(t, dir, g)
+
+	var res server.SearchResponse
+	getJSON(t, ts.URL+"/v1/search?q="+url.QueryEscape(identityQueries[0])+"&k=5", http.StatusOK, &res)
+	if len(res.Results) == 0 {
+		t.Fatal("no results to explain")
+	}
+	for _, r := range res.Results {
+		path := fmt.Sprintf("/v1/explain?q=%s&id=%d&paths=3", url.QueryEscape(identityQueries[0]), r.ID)
+		var got, want server.ExplainResponse
+		getJSON(t, ts.URL+path, http.StatusOK, &got)
+		getJSON(t, ref.URL+path, http.StatusOK, &want)
+		if !reflect.DeepEqual(got.Explanation, want.Explanation) {
+			t.Fatalf("%s: explanations diverge\ncluster: %+v\nsingle:  %+v", path, got.Explanation, want.Explanation)
+		}
+	}
+
+	// A tombstoned document is unknown cluster-wide, as on one process.
+	getJSON(t, ts.URL+"/v1/explain?q=x&id=3", http.StatusNotFound, nil)
+	getJSON(t, ref.URL+"/v1/explain?q=x&id=3", http.StatusNotFound, nil)
+}
+
+// TestRouterTraceSpans asserts the scatter/shard/gather span structure
+// on a traced request.
+func TestRouterTraceSpans(t *testing.T) {
+	_, _, _, _, ts := startCluster(t, Config{})
+	var res server.SearchResponse
+	getJSON(t, ts.URL+"/v1/search?q="+url.QueryEscape("border clashes")+"&trace=1", http.StatusOK, &res)
+	stages := map[string]bool{}
+	for _, sp := range res.Trace {
+		stages[sp.Stage] = true
+	}
+	for _, want := range []string{"scatter", "gather", "shard[0]", "shard[1]", "shard[2]"} {
+		if !stages[want] {
+			t.Fatalf("trace missing stage %q; got %v", want, stages)
+		}
+	}
+}
+
+// TestRouterReadyAndStats exercises the operational surfaces.
+func TestRouterReadyAndStats(t *testing.T) {
+	_, _, _, rt, ts := startCluster(t, Config{})
+	getJSON(t, ts.URL+"/v1/readyz", http.StatusOK, nil)
+	getJSON(t, ts.URL+"/v1/healthz", http.StatusOK, nil)
+	var st ClusterStatus
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &st)
+	if st.Plan != rt.Plan().ID {
+		t.Fatalf("stats plan %s, want %s", st.Plan, rt.Plan().ID)
+	}
+	if len(st.Shards) != 3 {
+		t.Fatalf("stats has %d shards, want 3", len(st.Shards))
+	}
+	for _, sh := range st.Shards {
+		for _, ep := range sh.Endpoints {
+			if !ep.Healthy {
+				t.Fatalf("endpoint %s of slot %d not healthy after start", ep.URL, sh.Slot)
+			}
+		}
+	}
+}
+
+// TestBuildPlanPartition checks the plan invariants the router relies
+// on: contiguous bases, exhaustive segment coverage, live counts net of
+// tombstones, and ShardOf/slotOfPos agreement.
+func TestBuildPlanPartition(t *testing.T) {
+	dir, _ := buildSnapshot(t)
+	m, err := newslink.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 7} {
+		plan, err := BuildPlan(m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, segs, live := 0, 0, 0
+		for i, sp := range plan.Shards {
+			if sp.Base != base {
+				t.Fatalf("n=%d slot %d base %d, want %d", n, i, sp.Base, base)
+			}
+			if len(sp.Segments) == 0 {
+				t.Fatalf("n=%d slot %d has no segments", n, i)
+			}
+			base += sp.Docs
+			segs += len(sp.Segments)
+			live += sp.Live
+			for pos := sp.Base; pos < sp.Base+sp.Docs; pos++ {
+				if got := plan.slotOfPos(pos); got != i {
+					t.Fatalf("n=%d slotOfPos(%d) = %d, want %d", n, pos, got, i)
+				}
+			}
+		}
+		if segs != 3 {
+			t.Fatalf("n=%d covers %d segments, want 3", n, segs)
+		}
+		if live != 46 { // 48 docs, 2 tombstones
+			t.Fatalf("n=%d live docs %d, want 46", n, live)
+		}
+		for _, dead := range []int{3, 20} {
+			if _, ok := plan.ShardOf(dead); ok {
+				t.Fatalf("n=%d ShardOf(%d) found a tombstoned doc", n, dead)
+			}
+		}
+		if idx, ok := plan.ShardOf(40); !ok || idx != len(plan.Shards)-1 {
+			t.Fatalf("n=%d ShardOf(40) = %d,%v, want last slot %d", n, idx, ok, len(plan.Shards)-1)
+		}
+	}
+	if _, err := BuildPlan(m, 0); err == nil {
+		t.Fatal("BuildPlan(0) succeeded")
+	}
+}
+
+// BenchmarkClusterScatterGather measures a warm end-to-end search
+// through the router and three local shard workers: stats cache hot, so
+// each iteration is one scatter (search) plus gather (merge + docs).
+func BenchmarkClusterScatterGather(b *testing.B) {
+	_, _, _, rt, _ := startCluster(b, Config{})
+	h := rt.Handler()
+	req := httptest.NewRequest(http.MethodGet, "/v1/search?q="+url.QueryEscape("clashes near the border")+"&k=10", nil)
+	// Warm the per-slot stats cache so steady-state cost is measured.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", rec.Code, rec.Body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"newslink/internal/server"
+)
+
+// postForCode posts a JSON body to a worker RPC endpoint and asserts the
+// status and error-envelope code of the reply.
+func postForCode(t *testing.T, url, body string, wantStatus int, wantCode string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d\nbody: %s", url, resp.StatusCode, wantStatus, raw)
+	}
+	var env server.ErrorResponse
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("POST %s: decoding envelope: %v\nbody: %s", url, err, raw)
+	}
+	if env.Error.Code != wantCode {
+		t.Fatalf("POST %s: error code %q, want %q", url, env.Error.Code, wantCode)
+	}
+}
+
+func mustMarshal(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestWorkerUnassignedErrorPaths pins the RPC error contract of a
+// worker that has no assignment yet: malformed bodies are 400s with a
+// typed code, well-formed requests are 503 unassigned (the router's
+// signal to re-assign), and the read-only endpoints stay serviceable.
+func TestWorkerUnassignedErrorPaths(t *testing.T) {
+	_, g := buildSnapshot(t)
+	_, endpoints := startWorkers(t, g, 1)
+	base := endpoints[0][0]
+
+	// Decode errors on every RPC: each handler rejects junk with 400.
+	for _, ep := range []string{"assign", "stats", "search", "docs", "explain"} {
+		postForCode(t, base+"/v1/shard/"+ep, "{junk", http.StatusBadRequest, "bad_request")
+	}
+
+	// Valid messages against an unassigned worker: 503 unassigned.
+	postForCode(t, base+"/v1/shard/stats", mustMarshal(t, &StatsRequest{Plan: "p"}),
+		http.StatusServiceUnavailable, "unassigned")
+	postForCode(t, base+"/v1/shard/search", mustMarshal(t, &SearchRequest{Plan: "p", K: 5}),
+		http.StatusServiceUnavailable, "unassigned")
+	postForCode(t, base+"/v1/shard/docs", mustMarshal(t, &DocsRequest{Plan: "p", Positions: []int{0}}),
+		http.StatusServiceUnavailable, "unassigned")
+	postForCode(t, base+"/v1/shard/explain", mustMarshal(t, &ExplainRequest{Plan: "p", Query: "q"}),
+		http.StatusServiceUnavailable, "unassigned")
+
+	// readyz says not ready; healthz and metrics answer regardless.
+	getJSON(t, base+"/v1/readyz", http.StatusServiceUnavailable, nil)
+	getJSON(t, base+"/v1/healthz", http.StatusOK, nil)
+	var metrics map[string]any
+	getJSON(t, base+"/v1/metrics", http.StatusOK, &metrics)
+	if len(metrics) != 0 {
+		t.Fatalf("unassigned worker reported metrics %v, want none", metrics)
+	}
+
+	// Blob endpoint: names outside the artifact grammar are rejected
+	// before touching the filesystem; well-formed but absent names 404.
+	getJSON(t, base+"/v1/shard/blob/manifest.json", http.StatusBadRequest, nil)
+	getJSON(t, base+"/v1/shard/blob/seg-0123456789abcdef.text.idx", http.StatusNotFound, nil)
+}
+
+// TestWorkerAssignedErrorPaths exercises the post-assignment error
+// contract: plan mismatches are 409 (re-assign, don't retry), unknown
+// documents are 404, and the metrics endpoint reflects the live engine.
+func TestWorkerAssignedErrorPaths(t *testing.T) {
+	dir, g := buildSnapshot(t)
+	_, endpoints := startWorkers(t, g, 3)
+	rt, _ := startRouter(t, dir, g, Config{Endpoints: endpoints})
+	plan := rt.Plan().ID
+	base := endpoints[0][0]
+
+	postForCode(t, base+"/v1/shard/stats", mustMarshal(t, &StatsRequest{Plan: "bogus"}),
+		http.StatusConflict, "plan_mismatch")
+	postForCode(t, base+"/v1/shard/docs",
+		mustMarshal(t, &DocsRequest{Plan: plan, Positions: []int{999999}}),
+		http.StatusNotFound, "unknown_document")
+	postForCode(t, base+"/v1/shard/explain",
+		mustMarshal(t, &ExplainRequest{Plan: plan, Query: "border", DocID: 999999, MaxPaths: 2}),
+		http.StatusNotFound, "unknown_document")
+
+	getJSON(t, base+"/v1/readyz", http.StatusOK, nil)
+	var metrics map[string]any
+	getJSON(t, base+"/v1/metrics", http.StatusOK, &metrics)
+	if len(metrics) == 0 {
+		t.Fatal("assigned worker reported no metrics")
+	}
+}
+
+// TestRouterParamValidation pins the public-facing 400s: they must fire
+// before any shard RPC, with the same envelope the single-process server
+// uses.
+func TestRouterParamValidation(t *testing.T) {
+	_, _, _, rt, ts := startCluster(t, Config{})
+
+	for _, bad := range []string{
+		"/v1/search",
+		"/v1/search?q=x&k=0",
+		"/v1/search?q=x&k=abc",
+		"/v1/search?q=x&k=5000",
+		"/v1/search?q=x&pool=-1",
+		"/v1/search?q=x&pool=abc",
+		"/v1/search?q=x&beta=2",
+		"/v1/search?q=x&beta=abc",
+		"/v1/explain",
+		"/v1/explain?q=x",
+		"/v1/explain?q=x&id=abc",
+		"/v1/explain?q=x&id=0&paths=5000",
+	} {
+		getJSON(t, ts.URL+bad, http.StatusBadRequest, nil)
+	}
+	// A document id outside the plan (or tombstoned) is 404 without any
+	// shard round-trip.
+	getJSON(t, ts.URL+"/v1/explain?q=x&id=999999", http.StatusNotFound, nil)
+
+	var metrics map[string]any
+	getJSON(t, ts.URL+"/v1/metrics", http.StatusOK, &metrics)
+	if len(metrics) == 0 {
+		t.Fatal("router reported no metrics")
+	}
+
+	// The router's blob endpoint serves every plan artifact by its
+	// content-addressed name and rejects everything else.
+	var served bool
+	for name := range rt.Plan().Checksums {
+		getJSON(t, ts.URL+"/v1/shard/blob/"+name, http.StatusOK, nil)
+		served = true
+		break
+	}
+	if !served {
+		t.Fatal("plan has no checksummed artifacts")
+	}
+	getJSON(t, ts.URL+"/v1/shard/blob/..%2Fmanifest.json", http.StatusBadRequest, nil)
+}
+
+// TestRouterDeadlineExceeded pins the 504 mapping: a request budget too
+// small for even one scatter pass surfaces as deadline_exceeded, not as
+// a 500 or a degraded 200.
+func TestRouterDeadlineExceeded(t *testing.T) {
+	_, _, _, _, ts := startCluster(t, Config{RequestTimeout: time.Nanosecond})
+
+	resp, err := http.Get(ts.URL + "/v1/search?q=border")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504\nbody: %s", resp.StatusCode, raw)
+	}
+	var env server.ErrorResponse
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "deadline_exceeded" {
+		t.Fatalf("error code %q, want deadline_exceeded", env.Error.Code)
+	}
+}
+
+// TestNewWorkerDefaultLogger covers the nil-logger construction path
+// used when the worker is embedded without explicit logging.
+func TestNewWorkerDefaultLogger(t *testing.T) {
+	_, g := buildSnapshot(t)
+	w := NewWorker("solo", t.TempDir(), g, nil)
+	if w.ID() != "solo" {
+		t.Fatalf("worker id %q, want solo", w.ID())
+	}
+}

@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"testing"
+	"time"
+
+	"newslink"
+	"newslink/internal/faults"
+	"newslink/internal/kg"
+	"newslink/internal/server"
+)
+
+// liveSlotReference serves the corpus of every slot except the excluded
+// one through a single-process engine: the oracle for degraded results.
+// The excluded slot's documents simply do not exist in this engine, so
+// its ranking is exactly what "merge the live shards" must produce.
+func liveSlotReference(t *testing.T, dir string, g *kg.Graph, plan *Plan, exclude int) *httptest.Server {
+	t.Helper()
+	var segs []newslink.ManifestSegment
+	for i, sp := range plan.Shards {
+		if i != exclude {
+			segs = append(segs, sp.Segments...)
+		}
+	}
+	eng, err := newslink.LoadSegments(dir, g, plan.Graph, plan.Config, segs, plan.Checksums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	ts := httptest.NewServer(server.New(eng).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// assertDegradedMatches asserts one degraded search against the
+// live-slot oracle: 200, Degraded, 2/3 shards, identical results.
+func assertDegradedMatches(t *testing.T, routerURL, refURL, q string) {
+	t.Helper()
+	path := "/v1/search?q=" + url.QueryEscape(q) + "&k=10"
+	var got, want server.SearchResponse
+	getJSON(t, routerURL+path, http.StatusOK, &got)
+	getJSON(t, refURL+path, http.StatusOK, &want)
+	if !got.Degraded || got.DegradedReason != "shard_unavailable" {
+		t.Fatalf("%s: want degraded shard_unavailable, got %+v", path, got)
+	}
+	if got.ShardsTotal != 3 || got.ShardsOK != 2 {
+		t.Fatalf("%s: shards %d/%d, want 2/3", path, got.ShardsOK, got.ShardsTotal)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatalf("%s: degraded results diverge from live-slot merge\ncluster: %+v\noracle:  %+v",
+			path, got.Results, want.Results)
+	}
+}
+
+// waitRecovered polls until the router serves full, non-degraded results
+// again (the probe loop re-admitted the shard) and then checks identity
+// against the full-snapshot oracle.
+func waitRecovered(t *testing.T, routerURL, refURL, q string) {
+	t.Helper()
+	path := "/v1/search?q=" + url.QueryEscape(q) + "&k=10"
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var got server.SearchResponse
+		getJSON(t, routerURL+path, http.StatusOK, &got)
+		if !got.Degraded && got.ShardsOK == 3 {
+			var want server.SearchResponse
+			getJSON(t, refURL+path, http.StatusOK, &want)
+			if !reflect.DeepEqual(got.Results, want.Results) {
+				t.Fatalf("%s: post-recovery results diverge\ncluster: %+v\nsingle:  %+v",
+					path, got.Results, want.Results)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: still degraded (%d/%d) after 10s", path, got.ShardsOK, got.ShardsTotal)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDegradedOnShardError injects a persistent RPC error into one
+// worker: every search must still answer 200 with Degraded=true and
+// results identical to merging the two live shards. Disarming the fault
+// must lead to automatic re-admission with full results — no router
+// restart.
+func TestDegradedOnShardError(t *testing.T) {
+	dir, g, workers, rt, ts := startCluster(t, Config{})
+	ref := liveSlotReference(t, dir, g, rt.Plan(), 1)
+	full := referenceServer(t, dir, g)
+	q := "clashes near the border"
+
+	partialBefore := rt.mPartial.Value()
+	faults.Arm(faults.New().Fail(faults.ClusterShard(workers[1].ID()), errors.New("injected shard error")))
+	defer faults.Disarm()
+
+	assertDegradedMatches(t, ts.URL, ref.URL, q)
+	assertDegradedMatches(t, ts.URL, ref.URL, "minister parliament vote")
+	if got := rt.mPartial.Value(); got <= partialBefore {
+		t.Fatalf("partial-results counter did not move: %d", got)
+	}
+
+	// Explain for a document on the dead shard degrades to 503; a live
+	// shard's document still answers.
+	sp := rt.Plan().Shards[1]
+	getJSON(t, ts.URL+fmt.Sprintf("/v1/explain?q=x&id=%d", sp.Base), http.StatusServiceUnavailable, nil)
+	getJSON(t, ts.URL+"/v1/explain?q=border&id=0", http.StatusOK, nil)
+
+	faults.Disarm()
+	waitRecovered(t, ts.URL, full.URL, q)
+}
+
+// TestDegradedOnShardTimeout delays one worker past the request budget:
+// the router must abandon it and still answer degraded within the
+// original deadline, not 504.
+func TestDegradedOnShardTimeout(t *testing.T) {
+	dir, g, workers, rt, ts := startCluster(t, Config{
+		RequestTimeout: 800 * time.Millisecond,
+		MaxAttempts:    2,
+	})
+	ref := liveSlotReference(t, dir, g, rt.Plan(), 1)
+	q := "ceasefire talks resume"
+
+	faults.Arm(faults.New().Delay(faults.ClusterShard(workers[1].ID()), 2*time.Second))
+	defer faults.Disarm()
+
+	assertDegradedMatches(t, ts.URL, ref.URL, q)
+}
+
+// TestDegradedOnShardCrashMidStream truncates one worker's response
+// mid-body (full Content-Length promised, connection aborted), the
+// wire shape of a worker crashing while streaming: the router must see
+// a transport error, not a short document, and degrade gracefully.
+func TestDegradedOnShardCrashMidStream(t *testing.T) {
+	dir, g, workers, rt, ts := startCluster(t, Config{MaxAttempts: 2})
+	ref := liveSlotReference(t, dir, g, rt.Plan(), 1)
+	q := "markets rally on earnings"
+
+	faults.Arm(faults.New().Mutate(faults.ClusterShardWrite(workers[1].ID()), func(b []byte) []byte {
+		return b[:len(b)/2]
+	}))
+	defer faults.Disarm()
+
+	assertDegradedMatches(t, ts.URL, ref.URL, q)
+}
+
+// TestWorkerCrashAndRecovery kills one worker process outright
+// (listener closed mid-operation), asserts degraded service, then
+// brings a replacement up on the same address with an empty artifact
+// directory: the probe loop must re-assign it, the worker must fetch
+// its segment files from the router's blob endpoint, and full results
+// must return without touching the router.
+func TestWorkerCrashAndRecovery(t *testing.T) {
+	dir, g := buildSnapshot(t)
+	_, endpoints := startWorkers(t, g, 2)
+
+	// Slot 2's worker is hand-managed so it can die and come back on the
+	// same address.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	w2 := NewWorker("w2", t.TempDir(), g, testLogger())
+	srv := &http.Server{Handler: w2.Handler()}
+	go srv.Serve(ln)
+	endpoints = append(endpoints, []string{"http://" + addr})
+
+	rt, ts := startRouter(t, dir, g, Config{Endpoints: endpoints, MaxAttempts: 2})
+	ref := liveSlotReference(t, dir, g, rt.Plan(), 2)
+	full := referenceServer(t, dir, g)
+	q := "championship final"
+
+	// Sanity: full service first.
+	var pre server.SearchResponse
+	getJSON(t, ts.URL+"/v1/search?q="+url.QueryEscape(q), http.StatusOK, &pre)
+	if pre.Degraded || pre.ShardsOK != 3 {
+		t.Fatalf("cluster not fully live before crash: %+v", pre)
+	}
+
+	// Crash: the worker vanishes mid-operation.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertDegradedMatches(t, ts.URL, ref.URL, q)
+
+	// Restart on the same address with a fresh, empty directory: the
+	// replacement holds no artifacts and must recover them from the
+	// router's blob endpoint during re-assignment.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshDir := t.TempDir()
+	w2b := NewWorker("w2", freshDir, g, testLogger())
+	srv2 := &http.Server{Handler: w2b.Handler()}
+	go srv2.Serve(ln2)
+	t.Cleanup(func() { srv2.Close() })
+
+	waitRecovered(t, ts.URL, full.URL, q)
+
+	// The replacement really was seeded over the wire.
+	var info InfoResponse
+	getJSON(t, "http://"+addr+"/v1/shard/info", http.StatusOK, &info)
+	if len(info.Artifacts) == 0 {
+		t.Fatalf("restarted worker advertises no artifacts after recovery")
+	}
+	if info.Plan != rt.Plan().ID {
+		t.Fatalf("restarted worker serves plan %s, want %s", info.Plan, rt.Plan().ID)
+	}
+}
+
+// TestRetryOnTransientFailure injects a single failure: the router must
+// retry within the same request, answer 200 non-degraded, and count the
+// retry.
+func TestRetryOnTransientFailure(t *testing.T) {
+	dir, g, workers, rt, ts := startCluster(t, Config{})
+	full := referenceServer(t, dir, g)
+	q := "minister parliament vote"
+
+	retriesBefore := rt.mRetries.Value()
+	faults.Arm(faults.New().FailN(faults.ClusterShard(workers[0].ID()), 1, errors.New("transient")))
+	defer faults.Disarm()
+
+	path := "/v1/search?q=" + url.QueryEscape(q) + "&k=10"
+	var got, want server.SearchResponse
+	getJSON(t, ts.URL+path, http.StatusOK, &got)
+	getJSON(t, full.URL+path, http.StatusOK, &want)
+	if got.Degraded || got.ShardsOK != 3 {
+		t.Fatalf("transient failure degraded the response: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatalf("results diverge after retry\ncluster: %+v\nsingle:  %+v", got.Results, want.Results)
+	}
+	if got := rt.mRetries.Value(); got <= retriesBefore {
+		t.Fatalf("retry counter did not move: %d", got)
+	}
+}
+
+// TestHedgedRequests runs a slot with two replicas, one persistently
+// slow: with hedging on, the duplicate request to the fast replica must
+// fire and win, keeping responses non-degraded.
+func TestHedgedRequests(t *testing.T) {
+	dir, g := buildSnapshot(t)
+	workers, endpoints := startWorkers(t, g, 4)
+	// Fold the fourth worker into slot 0 as a second replica.
+	endpoints[0] = append(endpoints[0], endpoints[3][0])
+	endpoints = endpoints[:3]
+	rt, ts := startRouter(t, dir, g, Config{
+		Endpoints: endpoints,
+		Hedge:     true,
+		HedgeMin:  2 * time.Millisecond,
+	})
+	full := referenceServer(t, dir, g)
+
+	// Slow down slot 0's first replica only after assignment/admission.
+	faults.Arm(faults.New().Delay(faults.ClusterShard(workers[0].ID()), 80*time.Millisecond))
+	defer faults.Disarm()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.mHedges.Value() == 0 {
+		path := "/v1/search?q=" + url.QueryEscape("clashes near the border") + "&k=10"
+		var got, want server.SearchResponse
+		getJSON(t, ts.URL+path, http.StatusOK, &got)
+		getJSON(t, full.URL+path, http.StatusOK, &want)
+		if got.Degraded {
+			t.Fatalf("hedged request degraded: %+v", got)
+		}
+		if !reflect.DeepEqual(got.Results, want.Results) {
+			t.Fatalf("hedged results diverge\ncluster: %+v\nsingle:  %+v", got.Results, want.Results)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no hedge fired within 10s against a persistently slow replica")
+		}
+	}
+}
+
+// TestAllShardsDown is the one legitimate failure: with every shard
+// unreachable the router answers 503 shard_unavailable, never a 500.
+func TestAllShardsDown(t *testing.T) {
+	_, _, workers, _, ts := startCluster(t, Config{MaxAttempts: 1})
+	inj := faults.New()
+	for _, w := range workers {
+		inj.Fail(faults.ClusterShard(w.ID()), errors.New("down"))
+	}
+	faults.Arm(inj)
+	defer faults.Disarm()
+
+	resp, err := http.Get(ts.URL + "/v1/search?q=border")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	var env server.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "shard_unavailable" {
+		t.Fatalf("error code %q, want shard_unavailable", env.Error.Code)
+	}
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"newslink"
+)
+
+// endpoint is one worker replica of a slot, with its circuit-breaker
+// state: consecutive request failures past the configured threshold
+// eject it (healthy=false), and only the probe loop re-admits it.
+// Endpoints start ejected — admission always flows through a successful
+// assignment or probe, so a replica is never scattered to before it has
+// proven it serves the right plan.
+type endpoint struct {
+	url     string
+	healthy atomic.Bool
+	fails   atomic.Int32
+}
+
+// ok resets the consecutive-failure count on any success.
+func (ep *endpoint) ok() { ep.fails.Store(0) }
+
+// fail counts one failure; it reports true exactly once per ejection,
+// when the consecutive count crosses the threshold on a healthy
+// endpoint.
+func (ep *endpoint) fail(threshold int) bool {
+	if threshold < 1 {
+		threshold = 1
+	}
+	n := ep.fails.Add(1)
+	return int(n) >= threshold && ep.healthy.CompareAndSwap(true, false)
+}
+
+// admit marks the endpoint live again; true when the state flipped.
+func (ep *endpoint) admit() bool {
+	ep.fails.Store(0)
+	return ep.healthy.CompareAndSwap(false, true)
+}
+
+// probeLoop periodically re-examines every ejected endpoint and
+// re-admits those that pass readiness and serve (or accept) the
+// router's plan. This is the sole re-admission path: request traffic
+// can only eject.
+func (rt *Router) probeLoop(ctx context.Context) {
+	ticker := time.NewTicker(rt.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			rt.probeAll(ctx)
+		}
+	}
+}
+
+// probeAll probes every ejected endpoint once.
+func (rt *Router) probeAll(ctx context.Context) {
+	for _, sl := range rt.slots {
+		for _, ep := range sl.eps {
+			if !ep.healthy.Load() {
+				rt.probeEndpoint(ctx, sl, ep)
+			}
+		}
+	}
+}
+
+// probeEndpoint runs the admission sequence against one ejected
+// endpoint: readiness probe, identity check, re-assignment when the
+// worker is unassigned or on another plan, then admission. Any step
+// failing leaves the endpoint ejected for the next probe round.
+func (rt *Router) probeEndpoint(ctx context.Context, sl *slot, ep *endpoint) {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	needAssign := false
+	if _, err := doRequest(pctx, rt.client, ep.url+"/v1/readyz", nil); err != nil {
+		var se *rpcStatusError
+		if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+			return // not reachable, or broken beyond "unassigned"
+		}
+		needAssign = true // alive but unassigned
+	}
+	if !needAssign {
+		var info InfoResponse
+		data, err := doRequest(pctx, rt.client, ep.url+"/v1/shard/info", nil)
+		if err != nil || DecodeRPC(data, &info) != nil {
+			return
+		}
+		if info.Plan != rt.plan.ID || info.Base != sl.plan.Base {
+			needAssign = true
+		} else {
+			sl.setStats(info.ShardStats)
+		}
+	}
+	if needAssign {
+		if err := rt.assignEndpoint(pctx, sl, ep); err != nil {
+			rt.log.Warn("probe re-assignment failed", "slot", sl.idx, "endpoint", ep.url, "err", err)
+			return
+		}
+	}
+	if ep.admit() {
+		rt.log.Info("re-admitting shard endpoint", "slot", sl.idx, "endpoint", ep.url)
+	}
+}
+
+// assignEndpoint installs the slot's segment slice on one worker,
+// pointing it at the router's own blob endpoint for missing artifacts,
+// and records the acknowledged shard statistics.
+func (rt *Router) assignEndpoint(ctx context.Context, sl *slot, ep *endpoint) error {
+	req := AssignRequest{
+		Plan:      rt.plan.ID,
+		Base:      sl.plan.Base,
+		Config:    rt.plan.Config,
+		Graph:     rt.plan.Graph,
+		Segments:  sl.plan.Segments,
+		Checksums: slotChecksums(rt.plan, sl.plan),
+		FetchFrom: rt.cfg.SelfURL,
+	}
+	payload, err := json.Marshal(&req)
+	if err != nil {
+		return err
+	}
+	data, err := doRequest(ctx, rt.client, ep.url+"/v1/shard/assign", payload)
+	if err != nil {
+		return err
+	}
+	var ack AssignResponse
+	if err := DecodeRPC(data, &ack); err != nil {
+		return err
+	}
+	if ack.Plan != rt.plan.ID {
+		return fmt.Errorf("worker acknowledged plan %s, want %s", ack.Plan, rt.plan.ID)
+	}
+	sl.setStats(ack.ShardStats)
+	return nil
+}
+
+// slotChecksums restricts the snapshot's checksum map to the slot's own
+// artifact files, so an assignment carries exactly what the worker needs
+// to verify.
+func slotChecksums(p *Plan, sp ShardPlan) map[string]string {
+	out := make(map[string]string, 3*len(sp.Segments))
+	for _, sm := range sp.Segments {
+		for _, name := range newslink.SegmentFileNames(sm.ID) {
+			if sum, ok := p.Checksums[name]; ok {
+				out[name] = sum
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,886 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"newslink"
+	"newslink/internal/index"
+	"newslink/internal/kg"
+	"newslink/internal/obs"
+	"newslink/internal/search"
+	"newslink/internal/server"
+)
+
+// Config tunes the router's robustness policy. Zero values select the
+// documented defaults.
+type Config struct {
+	// Endpoints lists, per shard slot, the base URLs of the worker
+	// replicas serving that slot. Required, one non-empty group per slot.
+	Endpoints [][]string
+	// SelfURL is the router's own externally reachable base URL; workers
+	// fetch missing segment artifacts from it. Empty disables peer
+	// fetching (workers must already hold their artifacts).
+	SelfURL string
+	// MaxAttempts bounds the tries of one idempotent RPC across a slot's
+	// replicas (default 3).
+	MaxAttempts int
+	// RetryBase is the first retry's backoff; later retries double it,
+	// jittered (default 10ms).
+	RetryBase time.Duration
+	// Hedge enables tail-latency hedging: a duplicate request to a second
+	// replica once the first has been quiet past the slot's p99.
+	Hedge bool
+	// HedgeMin floors the hedge delay while latency history is thin
+	// (default 20ms).
+	HedgeMin time.Duration
+	// ProbeInterval paces the health probe loop (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round-trip, including a re-assignment
+	// with blob fetches (default 15s).
+	ProbeTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that ejects an
+	// endpoint (default 3).
+	BreakerThreshold int
+	// RequestTimeout is the total budget of one client search/explain
+	// request; per-shard attempt deadlines are carved out of what
+	// remains of it (default 10s).
+	RequestTimeout time.Duration
+	// Logger receives structured ejection/re-admission and access events.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 10 * time.Millisecond
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 20 * time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 15 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// slot is one shard of the plan at runtime: its replicas, round-robin
+// cursor, latency history and (assignment-acknowledged) corpus stats.
+type slot struct {
+	idx  int
+	plan ShardPlan
+	eps  []*endpoint
+	next atomic.Int64
+	lat  *obs.Histogram
+	reqs map[string]*obs.Counter // outcome -> request counter
+
+	mu      sync.Mutex
+	stats   ShardStats
+	statsOK bool
+}
+
+// live returns the slot's currently admitted replicas.
+func (sl *slot) live() []*endpoint {
+	out := make([]*endpoint, 0, len(sl.eps))
+	for _, ep := range sl.eps {
+		if ep.healthy.Load() {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+func (sl *slot) setStats(s ShardStats) {
+	sl.mu.Lock()
+	sl.stats, sl.statsOK = s, true
+	sl.mu.Unlock()
+}
+
+func (sl *slot) getStats() (ShardStats, bool) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.stats, sl.statsOK
+}
+
+// statsKey caches one term's summary on one slot's index.
+type statsKey struct {
+	slot int
+	node bool
+	term string
+}
+
+// cachedSummary records presence too: a term absent from a shard is a
+// fact worth caching (found=false), not a miss.
+type cachedSummary struct {
+	sum   search.TermSummary
+	found bool
+}
+
+// maxStatsCache bounds the router's per-(slot, index, term) stats cache.
+const maxStatsCache = 1 << 16
+
+// latencyBounds bucket per-shard RPC latencies (seconds).
+var latencyBounds = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5}
+
+// Router serves the public search/explain API by scatter-gather over
+// shard workers. It holds the knowledge graph (for query analysis — the
+// same analysis a single-process engine runs) and the snapshot directory
+// (to seed workers over the blob endpoint), but never loads segment
+// indexes itself.
+type Router struct {
+	plan     *Plan
+	dir      string
+	cfg      Config
+	log      *slog.Logger
+	client   *http.Client
+	analyzer *newslink.Engine
+	registry *obs.Registry
+	slots    []*slot
+
+	mRetries *obs.Counter
+	mHedges  *obs.Counter
+	mPartial *obs.Counter
+
+	statsMu    sync.Mutex
+	statsCache map[statsKey]cachedSummary
+}
+
+// NewRouter builds a router over the v4 snapshot in dir: it reads the
+// manifest, partitions the segment set into len(cfg.Endpoints) slots
+// (fewer when the snapshot has fewer segments; surplus endpoint groups
+// fold into the existing slots as extra replicas), and prepares — but
+// does not start — the serving state. Call Start to assign workers and
+// begin health probing, and serve Handler over HTTP at cfg.SelfURL
+// before Start so workers can fetch artifacts.
+func NewRouter(dir string, g *kg.Graph, cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Endpoints) == 0 {
+		return nil, fmt.Errorf("cluster: no shard endpoints configured")
+	}
+	for i, group := range cfg.Endpoints {
+		if len(group) == 0 {
+			return nil, fmt.Errorf("cluster: endpoint group %d is empty", i)
+		}
+	}
+	m, err := newslink.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := BuildPlan(m, len(cfg.Endpoints))
+	if err != nil {
+		return nil, err
+	}
+	if got, want := plan.Graph, newslink.FingerprintGraph(g); got != want {
+		return nil, fmt.Errorf("cluster: graph fingerprint %+v does not match snapshot %+v", want, got)
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	analyzer := newslink.New(g, plan.Config)
+	rt := &Router{
+		plan:       plan,
+		dir:        dir,
+		cfg:        cfg,
+		log:        log,
+		client:     &http.Client{},
+		analyzer:   analyzer,
+		registry:   analyzer.Metrics(),
+		statsCache: make(map[statsKey]cachedSummary),
+	}
+	rt.mRetries = rt.registry.Counter("newslink_cluster_retries_total",
+		"Shard RPC retries after a failed attempt.")
+	rt.mHedges = rt.registry.Counter("newslink_cluster_hedges_total",
+		"Hedged (duplicate) shard requests fired against a second replica.")
+	rt.mPartial = rt.registry.Counter("newslink_cluster_partial_results_total",
+		"Search responses served degraded from a subset of shards.")
+	// Surplus endpoint groups (more groups than the snapshot has
+	// segments, hence slots) become extra replicas, round-robin.
+	groups := make([][]string, len(plan.Shards))
+	for i, group := range cfg.Endpoints {
+		groups[i%len(plan.Shards)] = append(groups[i%len(plan.Shards)], group...)
+	}
+	for i, sp := range plan.Shards {
+		shard := strconv.Itoa(i)
+		sl := &slot{
+			idx:  i,
+			plan: sp,
+			lat: rt.registry.Histogram("newslink_cluster_shard_seconds",
+				"Per-shard RPC latency.", latencyBounds, obs.L("shard", shard)),
+			reqs: make(map[string]*obs.Counter, 3),
+		}
+		for _, outcome := range []string{"ok", "error", "timeout"} {
+			sl.reqs[outcome] = rt.registry.Counter("newslink_cluster_shard_requests_total",
+				"Shard RPC attempts by outcome.", obs.L("shard", shard), obs.L("outcome", outcome))
+		}
+		for _, url := range groups[i] {
+			sl.eps = append(sl.eps, &endpoint{url: url})
+		}
+		rt.slots = append(rt.slots, sl)
+	}
+	return rt, nil
+}
+
+// Plan returns the router's partitioning (for tests and status surfaces).
+func (rt *Router) Plan() *Plan { return rt.plan }
+
+// Start performs the initial assignment of every replica and launches
+// the health probe loop. Replicas that cannot be assigned now stay
+// ejected; the probe loop keeps trying, so a late-starting worker is
+// admitted without intervention. Start returns an error only when no
+// replica of any slot could be assigned and the router would be
+// permanently useless until workers appear.
+func (rt *Router) Start(ctx context.Context) error {
+	admitted := 0
+	for _, sl := range rt.slots {
+		for _, ep := range sl.eps {
+			actx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+			err := rt.assignEndpoint(actx, sl, ep)
+			cancel()
+			if err != nil {
+				rt.log.Warn("initial assignment failed", "slot", sl.idx, "endpoint", ep.url, "err", err)
+				continue
+			}
+			ep.admit()
+			admitted++
+		}
+	}
+	go rt.probeLoop(ctx)
+	if admitted == 0 {
+		return fmt.Errorf("cluster: no worker accepted an assignment (probing continues)")
+	}
+	rt.log.Info("cluster router started", "plan", rt.plan.ID,
+		"slots", len(rt.slots), "replicas_admitted", admitted)
+	return nil
+}
+
+// Close releases idle transport connections.
+func (rt *Router) Close() { rt.client.CloseIdleConnections() }
+
+// Handler returns the router's public HTTP surface: the same /v1/search
+// and /v1/explain contract the single-process server exposes (plus the
+// unversioned aliases), the blob endpoint workers fetch artifacts from,
+// and health/metrics.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, prefix := range []string{"/v1", ""} {
+		mux.HandleFunc("GET "+prefix+"/search", rt.handleSearch)
+		mux.HandleFunc("GET "+prefix+"/explain", rt.handleExplain)
+		mux.HandleFunc("GET "+prefix+"/healthz", rt.handleHealth)
+		mux.HandleFunc("GET "+prefix+"/readyz", rt.handleReady)
+		mux.HandleFunc("GET "+prefix+"/stats", rt.handleStats)
+		mux.HandleFunc("GET "+prefix+"/metrics", rt.handleMetrics)
+	}
+	mux.HandleFunc("GET /v1/shard/blob/{name}", blobHandler(rt.dir))
+	return mux
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	server.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady answers ready while at least one shard can serve; a
+// router with zero live shards cannot produce any results.
+func (rt *Router) handleReady(w http.ResponseWriter, _ *http.Request) {
+	for _, sl := range rt.slots {
+		if len(sl.live()) > 0 {
+			server.WriteJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			return
+		}
+	}
+	server.WriteJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no_live_shards"})
+}
+
+// ClusterStatus is the router's /v1/stats reply: the plan and per-slot
+// replica health, the operational view of ejection and re-admission.
+type ClusterStatus struct {
+	Plan   string        `json:"plan"`
+	Shards []ShardStatus `json:"shards"`
+}
+
+// ShardStatus is one slot's health summary.
+type ShardStatus struct {
+	Slot      int              `json:"slot"`
+	Base      int              `json:"base"`
+	Docs      int              `json:"docs"`
+	Live      int              `json:"live"`
+	Endpoints []EndpointStatus `json:"endpoints"`
+}
+
+// EndpointStatus is one replica's breaker state.
+type EndpointStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := ClusterStatus{Plan: rt.plan.ID}
+	for _, sl := range rt.slots {
+		ss := ShardStatus{Slot: sl.idx, Base: sl.plan.Base, Docs: sl.plan.Docs, Live: sl.plan.Live}
+		for _, ep := range sl.eps {
+			ss.Endpoints = append(ss.Endpoints, EndpointStatus{URL: ep.url, Healthy: ep.healthy.Load()})
+		}
+		st.Shards = append(st.Shards, ss)
+	}
+	server.WriteJSON(w, http.StatusOK, st)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = rt.registry.WriteJSON(w)
+}
+
+// httpError carries a status/code pair from the scatter pipeline to the
+// handler's error envelope.
+type httpError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *httpError) Error() string { return e.Message }
+
+func httpErrorf(status int, code, format string, args ...any) *httpError {
+	return &httpError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// writeRouterError maps pipeline errors onto the uniform envelope.
+func (rt *Router) writeRouterError(w http.ResponseWriter, err error) {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		server.WriteError(w, he.Status, he.Code, "%s", he.Message)
+	case errors.Is(err, context.Canceled):
+		server.WriteError(w, server.StatusClientClosedRequest, "client_closed_request", "request cancelled")
+	case errors.Is(err, context.DeadlineExceeded):
+		server.WriteError(w, http.StatusGatewayTimeout, "deadline_exceeded", "query deadline exceeded")
+	default:
+		server.WriteError(w, http.StatusInternalServerError, "internal", "%v", err)
+	}
+}
+
+func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		server.WriteError(w, http.StatusBadRequest, "bad_request", "missing query parameter q")
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil || k <= 0 || k > 1000 {
+		server.WriteError(w, http.StatusBadRequest, "bad_request", "k must be in [1,1000]")
+		return
+	}
+	pool, err := intParam(r, "pool", 0)
+	if err != nil || pool < 0 || pool > 10000 {
+		server.WriteError(w, http.StatusBadRequest, "bad_request", "parameter \"pool\" must be an integer in [0,10000]")
+		return
+	}
+	var beta *float64
+	if raw := r.URL.Query().Get("beta"); raw != "" {
+		b, err := strconv.ParseFloat(raw, 64)
+		if err != nil || b < 0 || b > 1 {
+			server.WriteError(w, http.StatusBadRequest, "bad_request", "parameter \"beta\" must be a number in [0,1], got %q", raw)
+			return
+		}
+		beta = &b
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+	defer cancel()
+	var tr *obs.Trace
+	if r.URL.Query().Get("trace") == "1" {
+		ctx, tr = obs.WithTrace(ctx)
+	}
+	resp, err := rt.search(ctx, q, k, pool, beta)
+	if err != nil {
+		rt.writeRouterError(w, err)
+		return
+	}
+	resp.Trace = tr.Spans()
+	server.WriteJSON(w, http.StatusOK, resp)
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	return strconv.Atoi(raw)
+}
+
+// search runs the scatter-gather pipeline with graceful degradation:
+// shards that fail mid-request are dropped and the pipeline re-runs
+// over the survivors (global statistics re-aggregated, so the ranking
+// over the remaining corpus stays exact). Only zero live shards fail
+// the request.
+func (rt *Router) search(ctx context.Context, q string, k, pool int, betaOverride *float64) (*server.SearchResponse, error) {
+	beta := rt.plan.Config.Beta
+	if betaOverride != nil {
+		beta = *betaOverride
+	}
+	if pool <= 0 {
+		pool = rt.plan.Config.PoolDepth
+	}
+	if pool == 0 {
+		pool = 100
+	}
+	if pool < k {
+		pool = k
+	}
+	terms, nodeWeights, err := rt.analyzer.AnalyzeQuery(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	textQuery := search.NewQuery(terms)
+	nodeQuery := search.Query(nodeWeights)
+	runBOW := beta < 1
+	runBON := beta > 0 && nodeWeights != nil
+	// failed tracks slots lost during *this* request; each pipeline pass
+	// either completes or adds at least one slot to it, bounding the
+	// degradation loop by the slot count.
+	failed := make(map[int]bool)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		target := rt.liveSlots(failed)
+		if len(target) == 0 {
+			return nil, httpErrorf(http.StatusServiceUnavailable, "shard_unavailable",
+				"no live shard can serve the request")
+		}
+		resp, lost := rt.searchOnce(ctx, target, q, k, pool, beta, runBOW, runBON, terms, textQuery, nodeQuery)
+		if len(lost) > 0 {
+			for _, idx := range lost {
+				failed[idx] = true
+			}
+			rt.log.Warn("shards lost mid-request; re-aggregating", "lost", lost)
+			continue
+		}
+		if len(target) < len(rt.slots) {
+			resp.Degraded = true
+			resp.DegradedReason = "shard_unavailable"
+			rt.mPartial.Inc()
+		}
+		resp.ShardsTotal = len(rt.slots)
+		resp.ShardsOK = len(target)
+		return resp, nil
+	}
+}
+
+// liveSlots returns the slots that still have an admitted replica and
+// were not lost earlier in this request.
+func (rt *Router) liveSlots(failed map[int]bool) []*slot {
+	out := make([]*slot, 0, len(rt.slots))
+	for _, sl := range rt.slots {
+		if !failed[sl.idx] && len(sl.live()) > 0 {
+			out = append(out, sl)
+		}
+	}
+	return out
+}
+
+// searchOnce runs one pipeline pass over a fixed target set. It returns
+// the response, or the slots lost during the pass (the caller then
+// shrinks the target and re-aggregates).
+func (rt *Router) searchOnce(ctx context.Context, target []*slot, q string, k, pool int, beta float64, runBOW, runBON bool, terms []string, textQuery, nodeQuery search.Query) (*server.SearchResponse, []int) {
+	tr := obs.FromContext(ctx)
+
+	// Phase 1 — statistics. Cached (slot, index, term) summaries make
+	// this a no-op for warm query vocabulary.
+	var textTerms, nodeTerms []string
+	if runBOW {
+		textTerms = queryTerms(textQuery)
+	}
+	if runBON {
+		nodeTerms = queryTerms(nodeQuery)
+	}
+	if lost := rt.scatterStats(ctx, target, textTerms, nodeTerms); len(lost) > 0 {
+		return nil, lost
+	}
+
+	// Aggregate global collection + term statistics over the target set.
+	agg, ok := rt.aggregate(target, textTerms, nodeTerms)
+	if !ok {
+		// A slot without acknowledged stats cannot participate.
+		lost := []int{}
+		for _, sl := range target {
+			if _, ok := sl.getStats(); !ok {
+				lost = append(lost, sl.idx)
+			}
+		}
+		return nil, lost
+	}
+	// The candidate pool never usefully exceeds the live corpus in
+	// target, mirroring the engine's own clamp.
+	if agg.live < pool {
+		pool = agg.live
+	}
+
+	// Canonical global term order: identical to prepareBlockTerms over
+	// the merged index, so every shard accumulates in the same order.
+	var orderedText, orderedNode []search.OrderedTerm
+	if runBOW {
+		orderedText, _ = search.OrderTerms(agg.textScorer, textQuery, agg.textStats)
+	}
+	if runBON {
+		orderedNode, _ = search.OrderTerms(agg.nodeScorer, nodeQuery, agg.nodeStats)
+	}
+	if pool == 0 || len(orderedText)+len(orderedNode) == 0 {
+		// Nothing can match (empty live corpus or no query term posted
+		// anywhere); skip the scatter entirely.
+		return &server.SearchResponse{Query: q, K: k, Results: []newslink.Result{}}, nil
+	}
+
+	// Phase 2 — scatter the search.
+	sp := tr.Start(obs.StageScatter)
+	perSlot, lost := rt.scatterSearch(ctx, target, pool, orderedText, orderedNode, agg)
+	sp.End(obs.Int("shards", len(target)), obs.Int("lost", len(lost)))
+	if len(lost) > 0 {
+		return nil, lost
+	}
+
+	// Phase 3 — gather: rebase to global positions, merge with the
+	// sharded-merge comparator, fuse, and materialize documents.
+	gsp := tr.Start(obs.StageGather)
+	var bowLists, bonLists [][]search.Hit
+	for i, sl := range target {
+		bowLists = append(bowLists, rebase(perSlot[i].Text, sl.plan.Base))
+		bonLists = append(bonLists, rebase(perSlot[i].Node, sl.plan.Base))
+	}
+	bow := search.MergeTopK(pool, bowLists...)
+	bon := search.MergeTopK(pool, bonLists...)
+	fused := search.Fuse(bow, bon, beta, k)
+	results, lost := rt.gatherDocs(ctx, target, fused, terms)
+	gsp.End(obs.Int("bow_candidates", len(bow)), obs.Int("bon_candidates", len(bon)), obs.Int("fused", len(fused)))
+	if len(lost) > 0 {
+		return nil, lost
+	}
+	return &server.SearchResponse{Query: q, K: k, Results: results}, nil
+}
+
+// aggregated holds the globally aggregated statistics of one pass.
+type aggregated struct {
+	live       int
+	textScorer search.BM25
+	nodeScorer search.BM25
+	textStats  map[string]search.TermSummary
+	nodeStats  map[string]search.TermSummary
+}
+
+// queryTerms returns the query's distinct terms, sorted for stable RPC
+// payloads (and therefore stable logs and traces).
+func queryTerms(q search.Query) []string {
+	out := make([]string, 0, len(q))
+	for t := range q {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// aggregate folds per-slot statistics into the global BM25 parameters
+// and term summaries of the target corpus. Sums are exact (integer
+// counts and integer-valued float64 totals), so the parameters equal a
+// single-process engine's over the same documents.
+func (rt *Router) aggregate(target []*slot, textTerms, nodeTerms []string) (aggregated, bool) {
+	agg := aggregated{
+		textStats: make(map[string]search.TermSummary, len(textTerms)),
+		nodeStats: make(map[string]search.TermSummary, len(nodeTerms)),
+	}
+	numDocs := 0
+	textTotal, nodeTotal := 0.0, 0.0
+	for _, sl := range target {
+		st, ok := sl.getStats()
+		if !ok {
+			return agg, false
+		}
+		numDocs += st.NumDocs
+		agg.live += st.LiveDocs
+		textTotal += st.TextTotalLen
+		nodeTotal += st.NodeTotalLen
+	}
+	textAvg, nodeAvg := 0.0, 0.0
+	if numDocs > 0 {
+		textAvg = textTotal / float64(numDocs)
+		nodeAvg = nodeTotal / float64(numDocs)
+	}
+	// Text scoring uses Lucene's default BM25 parameters; node scoring
+	// uses the engine's BON parameterization (b=0, small k1) — see
+	// Engine.retrieve for the rationale. Both carry the aggregated
+	// corpus-level N and average length.
+	agg.textScorer = search.BM25{K1: 1.2, B: 0.75, N: numDocs, AvgLen: textAvg}
+	agg.nodeScorer = search.BM25{K1: 0.4, B: 0, N: numDocs, AvgLen: nodeAvg}
+	for _, term := range textTerms {
+		if sum, ok := rt.sumTerm(target, false, term); ok {
+			agg.textStats[term] = sum
+		}
+	}
+	for _, term := range nodeTerms {
+		if sum, ok := rt.sumTerm(target, true, term); ok {
+			agg.nodeStats[term] = sum
+		}
+	}
+	return agg, true
+}
+
+// sumTerm folds one term's cached per-slot summaries: DF sums, MaxTF
+// maxes. Absent everywhere -> not ok (the term has no postings in the
+// target corpus and is dropped, as on a merged index).
+func (rt *Router) sumTerm(target []*slot, node bool, term string) (search.TermSummary, bool) {
+	rt.statsMu.Lock()
+	defer rt.statsMu.Unlock()
+	var out search.TermSummary
+	found := false
+	for _, sl := range target {
+		c, ok := rt.statsCache[statsKey{slot: sl.idx, node: node, term: term}]
+		if !ok || !c.found {
+			continue
+		}
+		found = true
+		out.DF += c.sum.DF
+		if c.sum.MaxTF > out.MaxTF {
+			out.MaxTF = c.sum.MaxTF
+		}
+	}
+	return out, found
+}
+
+// missingTerms returns the subset of terms with no cache entry for the
+// slot's index.
+func (rt *Router) missingTerms(sl *slot, node bool, terms []string) []string {
+	rt.statsMu.Lock()
+	defer rt.statsMu.Unlock()
+	var out []string
+	for _, t := range terms {
+		if _, ok := rt.statsCache[statsKey{slot: sl.idx, node: node, term: t}]; !ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// cacheStats records a stats response, including negative entries for
+// requested terms the shard omitted (absent from that index). The cache
+// is bounded; at capacity an arbitrary chunk is evicted — summaries are
+// cheap to re-fetch.
+func (rt *Router) cacheStats(sl *slot, node bool, requested []string, got map[string]search.TermSummary) {
+	rt.statsMu.Lock()
+	defer rt.statsMu.Unlock()
+	if len(rt.statsCache)+len(requested) > maxStatsCache {
+		evict := maxStatsCache / 8
+		for key := range rt.statsCache {
+			delete(rt.statsCache, key)
+			if evict--; evict <= 0 {
+				break
+			}
+		}
+	}
+	for _, t := range requested {
+		sum, found := got[t]
+		rt.statsCache[statsKey{slot: sl.idx, node: node, term: t}] = cachedSummary{sum: sum, found: found}
+	}
+}
+
+// scatterStats fetches the uncached term summaries from every target
+// slot in parallel. Returns the slots that failed.
+func (rt *Router) scatterStats(ctx context.Context, target []*slot, textTerms, nodeTerms []string) []int {
+	var mu sync.Mutex
+	var lost []int
+	var wg sync.WaitGroup
+	for _, sl := range target {
+		missingText := rt.missingTerms(sl, false, textTerms)
+		missingNode := rt.missingTerms(sl, true, nodeTerms)
+		if len(missingText) == 0 && len(missingNode) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sl *slot, missingText, missingNode []string) {
+			defer wg.Done()
+			req := StatsRequest{Plan: rt.plan.ID, Text: missingText, Node: missingNode}
+			var resp StatsResponse
+			if err := rt.callSlot(ctx, sl, "/v1/shard/stats", &req, &resp); err != nil {
+				mu.Lock()
+				lost = append(lost, sl.idx)
+				mu.Unlock()
+				return
+			}
+			rt.cacheStats(sl, false, missingText, resp.Text)
+			rt.cacheStats(sl, true, missingNode, resp.Node)
+		}(sl, missingText, missingNode)
+	}
+	wg.Wait()
+	return lost
+}
+
+// scatterSearch fans the ordered-term evaluation out to every target
+// slot, one span per shard leg. Results are indexed like target; lost
+// slots are reported instead of partial lists.
+func (rt *Router) scatterSearch(ctx context.Context, target []*slot, pool int, orderedText, orderedNode []search.OrderedTerm, agg aggregated) ([]SearchResponse, []int) {
+	tr := obs.FromContext(ctx)
+	perSlot := make([]SearchResponse, len(target))
+	errs := make([]error, len(target))
+	var wg sync.WaitGroup
+	for i, sl := range target {
+		wg.Add(1)
+		go func(i int, sl *slot) {
+			defer wg.Done()
+			sp := tr.Start(obs.StageShard(sl.idx))
+			req := SearchRequest{
+				Plan:       rt.plan.ID,
+				K:          pool,
+				Text:       orderedText,
+				Node:       orderedNode,
+				TextScorer: scorerParams(agg.textScorer),
+				NodeScorer: scorerParams(agg.nodeScorer),
+			}
+			errs[i] = rt.callSlot(ctx, sl, "/v1/shard/search", &req, &perSlot[i])
+			sp.End(obs.Int("text_hits", len(perSlot[i].Text)), obs.Int("node_hits", len(perSlot[i].Node)),
+				obs.Bool("failed", errs[i] != nil))
+		}(i, sl)
+	}
+	wg.Wait()
+	var lost []int
+	for i, err := range errs {
+		if err != nil {
+			lost = append(lost, target[i].idx)
+		}
+	}
+	return perSlot, lost
+}
+
+func scorerParams(s search.BM25) ScorerParams {
+	return ScorerParams{K1: s.K1, B: s.B, N: s.N, AvgLen: s.AvgLen}
+}
+
+// rebase converts worker-local hit positions to global positions by the
+// slot's base offset.
+func rebase(hits []WireHit, base int) []search.Hit {
+	out := make([]search.Hit, len(hits))
+	for i, h := range hits {
+		out[i] = search.Hit{Doc: index.DocID(base + h.Pos), Score: h.Score}
+	}
+	return out
+}
+
+// gatherDocs materializes the fused ranking: positions are grouped by
+// owning slot, fetched in parallel, and reassembled in rank order.
+func (rt *Router) gatherDocs(ctx context.Context, target []*slot, fused []search.Hit, terms []string) ([]newslink.Result, []int) {
+	results := make([]newslink.Result, len(fused))
+	if len(fused) == 0 {
+		return results, nil
+	}
+	bySlot := make(map[int][]int) // slot idx -> ranks served there
+	slotByIdx := make(map[int]*slot, len(target))
+	for _, sl := range target {
+		slotByIdx[sl.idx] = sl
+	}
+	for rank, h := range fused {
+		bySlot[rt.plan.slotOfPos(int(h.Doc))] = append(bySlot[rt.plan.slotOfPos(int(h.Doc))], rank)
+	}
+	var mu sync.Mutex
+	var lost []int
+	var wg sync.WaitGroup
+	for idx, ranks := range bySlot {
+		sl, ok := slotByIdx[idx]
+		if !ok {
+			// A merged hit can only come from a target slot; this is a
+			// plan/merge invariant violation, treat the slot as lost.
+			mu.Lock()
+			lost = append(lost, idx)
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(sl *slot, ranks []int) {
+			defer wg.Done()
+			req := DocsRequest{Plan: rt.plan.ID, Positions: make([]int, len(ranks)), Terms: terms}
+			for i, rank := range ranks {
+				req.Positions[i] = int(fused[rank].Doc) - sl.plan.Base
+			}
+			var resp DocsResponse
+			if err := rt.callSlot(ctx, sl, "/v1/shard/docs", &req, &resp); err != nil || len(resp.Docs) != len(ranks) {
+				mu.Lock()
+				lost = append(lost, sl.idx)
+				mu.Unlock()
+				return
+			}
+			for i, rank := range ranks {
+				results[rank] = newslink.Result{
+					ID:      resp.Docs[i].ID,
+					Title:   resp.Docs[i].Title,
+					Score:   fused[rank].Score,
+					Snippet: resp.Docs[i].Snippet,
+				}
+			}
+		}(sl, ranks)
+	}
+	wg.Wait()
+	return results, lost
+}
+
+func (rt *Router) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		server.WriteError(w, http.StatusBadRequest, "bad_request", "missing query parameter q")
+		return
+	}
+	id, err := intParam(r, "id", -1)
+	if err != nil || id < 0 {
+		server.WriteError(w, http.StatusBadRequest, "bad_request", "missing or negative parameter id")
+		return
+	}
+	paths, err := intParam(r, "paths", 5)
+	if err != nil || paths < 0 || paths > 1000 {
+		server.WriteError(w, http.StatusBadRequest, "bad_request", "parameter \"paths\" must be in [0,1000]")
+		return
+	}
+	idx, ok := rt.plan.ShardOf(id)
+	if !ok {
+		server.WriteError(w, http.StatusNotFound, "unknown_document", "no live document %d", id)
+		return
+	}
+	sl := rt.slots[idx]
+	if len(sl.live()) == 0 {
+		server.WriteError(w, http.StatusServiceUnavailable, "shard_unavailable",
+			"the shard holding document %d is unavailable", id)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+	defer cancel()
+	req := ExplainRequest{Plan: rt.plan.ID, Query: q, DocID: id, MaxPaths: paths}
+	var resp ExplainResponse
+	if err := rt.callSlot(ctx, sl, "/v1/shard/explain", &req, &resp); err != nil {
+		var se *rpcStatusError
+		switch {
+		case errors.As(err, &se) && se.Status == http.StatusNotFound:
+			server.WriteError(w, http.StatusNotFound, "unknown_document", "%s", se.Message)
+		case errors.Is(err, context.DeadlineExceeded):
+			server.WriteError(w, http.StatusGatewayTimeout, "deadline_exceeded", "query deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			server.WriteError(w, server.StatusClientClosedRequest, "client_closed_request", "request cancelled")
+		default:
+			server.WriteError(w, http.StatusServiceUnavailable, "shard_unavailable", "%v", err)
+		}
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, server.ExplainResponse{Query: q, DocID: id, Explanation: resp.Explanation})
+}

@@ -1,0 +1,397 @@
+// Package cluster distributes a NewsLink engine across processes: a
+// Router partitions a v4 snapshot's segment set over N shard Workers
+// (newslinkd -shard) and serves search/explain by scatter-gather with
+// the exact partial top-k merge semantics of internal/search.
+//
+// The RPC surface is a small HTTP/JSON protocol under the same /v1/
+// envelope the public API uses:
+//
+//	GET  /v1/shard/info         identity, current plan, held artifacts
+//	POST /v1/shard/assign       install a segment slice (fetching blobs)
+//	POST /v1/shard/stats        per-term cursor summaries + corpus stats
+//	POST /v1/shard/search       ordered-term block-max top-k (BOW + BON)
+//	POST /v1/shard/docs         materialize result documents by position
+//	POST /v1/shard/explain      engine Explain for a locally held doc
+//	GET  /v1/shard/blob/{name}  one content-addressed segment artifact
+//
+// Every stateful request and response carries the plan ID — the version
+// of the conversation. A worker serving a different plan answers 409
+// (plan_mismatch) and the router re-assigns rather than merging results
+// computed over the wrong corpus slice.
+//
+// Robustness is the point of the layer: per-shard deadlines derived from
+// the request budget, bounded retries with jittered exponential backoff
+// across replicas, optional tail-latency hedging, a consecutive-failure
+// circuit breaker with readiness-probe re-admission, and graceful
+// partial results (Degraded=true, never a 500 while one shard answers).
+// See DESIGN.md §14.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"newslink"
+	"newslink/internal/search"
+)
+
+// Request caps: like the public API's parameter caps, these keep one
+// request from sizing worker allocations. They bound honest traffic
+// generously (the router never exceeds them) and malicious bodies hard.
+const (
+	maxRPCBody   = 8 << 20 // bytes per request/response body
+	maxRPCTerms  = 4096    // terms per stats/search request
+	maxPositions = 16384   // positions per docs request
+	maxSegments  = 1 << 16 // segments per assignment
+	maxRPCK      = 16384   // top-k per shard search
+)
+
+// InfoResponse answers GET /v1/shard/info: the worker's identity, the
+// plan it currently serves (empty while unassigned), and the
+// content-addressed artifacts present in its directory — what the worker
+// "advertises" for assignment and peer fetches.
+type InfoResponse struct {
+	ID        string   `json:"id"`
+	Plan      string   `json:"plan,omitempty"`
+	Base      int      `json:"base"`
+	Artifacts []string `json:"artifacts,omitempty"`
+	ShardStats
+}
+
+// ShardStats are the assignment-static collection statistics the router
+// aggregates into global BM25 parameters. Totals are exact: document
+// lengths are integer-valued, so float64 sums below 2^53 carry no
+// rounding and the aggregated average equals the merged index's own.
+type ShardStats struct {
+	NumDocs      int     `json:"num_docs"`  // including tombstoned documents
+	LiveDocs     int     `json:"live_docs"` // excluding tombstoned documents
+	TextTotalLen float64 `json:"text_total_len"`
+	NodeTotalLen float64 `json:"node_total_len"`
+}
+
+// AssignRequest installs a segment slice on a worker. Artifacts the
+// worker does not hold (by checksum) are fetched from FetchFrom's
+// /v1/shard/blob/ endpoint and verified before anything is loaded.
+type AssignRequest struct {
+	Plan      string                     `json:"plan"`
+	Base      int                        `json:"base"`
+	Config    newslink.Config            `json:"config"`
+	Graph     newslink.GraphFingerprint  `json:"graph"`
+	Segments  []newslink.ManifestSegment `json:"segments"`
+	Checksums map[string]string          `json:"checksums"`
+	FetchFrom string                     `json:"fetch_from,omitempty"`
+}
+
+// AssignResponse acknowledges an installed assignment.
+type AssignResponse struct {
+	Plan    string `json:"plan"`
+	Fetched int    `json:"fetched"` // artifact files fetched from the peer
+	ShardStats
+}
+
+// StatsRequest asks for cursor summaries of the given terms on the text
+// and node indexes.
+type StatsRequest struct {
+	Plan string   `json:"plan"`
+	Text []string `json:"text,omitempty"`
+	Node []string `json:"node,omitempty"`
+}
+
+// StatsResponse carries per-term summaries; terms absent from an index
+// are omitted (the router treats omission as df=0).
+type StatsResponse struct {
+	Plan string                        `json:"plan"`
+	Text map[string]search.TermSummary `json:"text,omitempty"`
+	Node map[string]search.TermSummary `json:"node,omitempty"`
+}
+
+// ScorerParams transports the global BM25 parameters the router computed
+// from aggregated shard stats. float64 survives JSON round-trips exactly
+// (shortest round-trip encoding), so worker-side scoring is bitwise
+// identical to single-process scoring.
+type ScorerParams struct {
+	K1     float64 `json:"k1"`
+	B      float64 `json:"b"`
+	N      int     `json:"n"`
+	AvgLen float64 `json:"avg_len"`
+}
+
+func (p ScorerParams) scorer() search.BM25 {
+	return search.BM25{K1: p.K1, B: p.B, N: p.N, AvgLen: p.AvgLen}
+}
+
+// SearchRequest evaluates globally ordered terms on a worker's slice.
+// Term order, DF and bounds are the router's global values; the worker
+// executes them verbatim (TopKBlockMaxOrderedStats), which is what makes
+// per-document scores identical to a single-process evaluation.
+type SearchRequest struct {
+	Plan       string               `json:"plan"`
+	K          int                  `json:"k"`
+	Text       []search.OrderedTerm `json:"text,omitempty"`
+	Node       []search.OrderedTerm `json:"node,omitempty"`
+	TextScorer ScorerParams         `json:"text_scorer"`
+	NodeScorer ScorerParams         `json:"node_scorer"`
+}
+
+// WireHit is one scored document in worker-local position coordinates;
+// the router rebases by the shard's plan base.
+type WireHit struct {
+	Pos   int     `json:"pos"`
+	Score float64 `json:"score"`
+}
+
+// SearchResponse carries the worker-local top k per index.
+type SearchResponse struct {
+	Plan string    `json:"plan"`
+	Text []WireHit `json:"text,omitempty"`
+	Node []WireHit `json:"node,omitempty"`
+}
+
+// DocsRequest materializes result documents by worker-local position.
+// Terms drive snippet selection, as in the engine's own topk stage.
+type DocsRequest struct {
+	Plan      string   `json:"plan"`
+	Positions []int    `json:"positions"`
+	Terms     []string `json:"terms,omitempty"`
+}
+
+// WireDoc is one materialized result document.
+type WireDoc struct {
+	ID      int    `json:"id"`
+	Title   string `json:"title"`
+	Snippet string `json:"snippet,omitempty"`
+}
+
+// DocsResponse answers positions in request order.
+type DocsResponse struct {
+	Plan string    `json:"plan"`
+	Docs []WireDoc `json:"docs"`
+}
+
+// ExplainRequest forwards an explain to the worker holding the document.
+type ExplainRequest struct {
+	Plan     string `json:"plan"`
+	Query    string `json:"query"`
+	DocID    int    `json:"doc_id"`
+	MaxPaths int    `json:"max_paths"`
+}
+
+// ExplainResponse wraps the engine's explanation.
+type ExplainResponse struct {
+	Plan        string               `json:"plan"`
+	Explanation newslink.Explanation `json:"explanation"`
+}
+
+// errDecode marks malformed or out-of-bounds RPC input; handlers map it
+// to 400 with the uniform error envelope.
+var errDecode = errors.New("cluster: invalid rpc payload")
+
+func decodeErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errDecode, fmt.Sprintf(format, args...))
+}
+
+// DecodeRPC strictly decodes one RPC message and validates its bounds:
+// unknown fields, trailing data, oversized payloads and out-of-range
+// parameters all fail with a typed error instead of reaching a handler.
+func DecodeRPC(data []byte, v Validator) error {
+	if len(data) > maxRPCBody {
+		return decodeErrf("body of %d bytes exceeds %d", len(data), maxRPCBody)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return decodeErrf("%v", err)
+	}
+	if dec.More() {
+		return decodeErrf("trailing data after message")
+	}
+	return v.Validate()
+}
+
+// decodeBody reads and decodes one request body.
+func decodeBody(r io.Reader, v Validator) error {
+	data, err := io.ReadAll(io.LimitReader(r, maxRPCBody+1))
+	if err != nil {
+		return decodeErrf("reading body: %v", err)
+	}
+	return DecodeRPC(data, v)
+}
+
+// Validator is an RPC message that can check its own bounds.
+type Validator interface{ Validate() error }
+
+func checkTerms(field string, terms []string) error {
+	if len(terms) > maxRPCTerms {
+		return decodeErrf("%s: %d terms exceed %d", field, len(terms), maxRPCTerms)
+	}
+	return nil
+}
+
+func checkOrdered(field string, terms []search.OrderedTerm) error {
+	if len(terms) > maxRPCTerms {
+		return decodeErrf("%s: %d terms exceed %d", field, len(terms), maxRPCTerms)
+	}
+	for _, t := range terms {
+		if t.Term == "" || t.DF < 0 {
+			return decodeErrf("%s: empty term or negative df", field)
+		}
+	}
+	return nil
+}
+
+// Validate bounds an assignment: segment count, artifact IDs (which name
+// files — a malformed ID must never reach the filesystem), and document
+// payload sanity.
+func (r *AssignRequest) Validate() error {
+	if r.Plan == "" {
+		return decodeErrf("assign: missing plan")
+	}
+	if r.Base < 0 {
+		return decodeErrf("assign: negative base")
+	}
+	if len(r.Segments) == 0 || len(r.Segments) > maxSegments {
+		return decodeErrf("assign: %d segments outside [1,%d]", len(r.Segments), maxSegments)
+	}
+	for _, sm := range r.Segments {
+		if !validArtifactID(sm.ID) {
+			return decodeErrf("assign: invalid segment id %q", sm.ID)
+		}
+	}
+	return nil
+}
+
+func (r *StatsRequest) Validate() error {
+	if r.Plan == "" {
+		return decodeErrf("stats: missing plan")
+	}
+	if err := checkTerms("stats.text", r.Text); err != nil {
+		return err
+	}
+	return checkTerms("stats.node", r.Node)
+}
+
+func (r *SearchRequest) Validate() error {
+	if r.Plan == "" {
+		return decodeErrf("search: missing plan")
+	}
+	if r.K <= 0 || r.K > maxRPCK {
+		return decodeErrf("search: k %d outside [1,%d]", r.K, maxRPCK)
+	}
+	if err := checkOrdered("search.text", r.Text); err != nil {
+		return err
+	}
+	return checkOrdered("search.node", r.Node)
+}
+
+func (r *DocsRequest) Validate() error {
+	if r.Plan == "" {
+		return decodeErrf("docs: missing plan")
+	}
+	if len(r.Positions) == 0 || len(r.Positions) > maxPositions {
+		return decodeErrf("docs: %d positions outside [1,%d]", len(r.Positions), maxPositions)
+	}
+	for _, p := range r.Positions {
+		if p < 0 {
+			return decodeErrf("docs: negative position")
+		}
+	}
+	return checkTerms("docs.terms", r.Terms)
+}
+
+func (r *ExplainRequest) Validate() error {
+	if r.Plan == "" {
+		return decodeErrf("explain: missing plan")
+	}
+	if r.Query == "" {
+		return decodeErrf("explain: missing query")
+	}
+	if r.DocID < 0 || r.MaxPaths < 0 || r.MaxPaths > 1000 {
+		return decodeErrf("explain: parameters out of range")
+	}
+	return nil
+}
+
+// Response validators: the router decodes worker responses through the
+// same strict path, so a corrupted or truncated body (a worker crashing
+// mid-response) surfaces as a typed decode error — a shard failure —
+// never as silently wrong results.
+func (r *InfoResponse) Validate() error {
+	if len(r.Artifacts) > 3*maxSegments {
+		return decodeErrf("info: artifact list too long")
+	}
+	return nil
+}
+
+func (r *AssignResponse) Validate() error {
+	if r.Plan == "" {
+		return decodeErrf("assign response: missing plan")
+	}
+	return nil
+}
+
+func (r *StatsResponse) Validate() error {
+	if len(r.Text) > maxRPCTerms || len(r.Node) > maxRPCTerms {
+		return decodeErrf("stats response: term map too large")
+	}
+	return nil
+}
+
+func (r *SearchResponse) Validate() error {
+	if len(r.Text) > maxRPCK || len(r.Node) > maxRPCK {
+		return decodeErrf("search response: hit list exceeds k cap")
+	}
+	for _, hits := range [][]WireHit{r.Text, r.Node} {
+		for _, h := range hits {
+			if h.Pos < 0 {
+				return decodeErrf("search response: negative position")
+			}
+		}
+	}
+	return nil
+}
+
+func (r *DocsResponse) Validate() error {
+	if len(r.Docs) > maxPositions {
+		return decodeErrf("docs response: too many documents")
+	}
+	return nil
+}
+
+func (r *ExplainResponse) Validate() error { return nil }
+
+// validArtifactID accepts the content-derived segment IDs Save produces:
+// 16 lowercase hex digits. Anything else could smuggle path separators
+// into artifact file names.
+func validArtifactID(id string) bool {
+	if len(id) != 16 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// validArtifactName accepts exactly the file names SegmentFileNames
+// produces for a valid artifact ID.
+func validArtifactName(name string) bool {
+	if len(name) < 5 || name[:4] != "seg-" {
+		return false
+	}
+	rest := name[4:]
+	dot := bytes.IndexByte([]byte(rest), '.')
+	if dot < 0 || !validArtifactID(rest[:dot]) {
+		return false
+	}
+	switch rest[dot+1:] {
+	case "text.idx", "node.idx", "emb.bin":
+		return true
+	}
+	return false
+}

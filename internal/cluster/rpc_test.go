@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// rpcMessages returns one fresh value of every wire type, indexed by the
+// selector the fuzzer mutates.
+func rpcMessages() []Validator {
+	return []Validator{
+		&InfoResponse{},
+		&AssignRequest{},
+		&AssignResponse{},
+		&StatsRequest{},
+		&StatsResponse{},
+		&SearchRequest{},
+		&SearchResponse{},
+		&DocsRequest{},
+		&DocsResponse{},
+		&ExplainRequest{},
+		&ExplainResponse{},
+	}
+}
+
+func TestDecodeRPCRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		into Validator
+	}{
+		{"empty", "", &StatsRequest{}},
+		{"junk", "not json", &StatsRequest{}},
+		{"unknown field", `{"plan":"p","bogus":1}`, &StatsRequest{}},
+		{"trailing data", `{"plan":"p"}{"plan":"q"}`, &StatsRequest{}},
+		{"zero k", `{"plan":"p","k":0}`, &SearchRequest{}},
+		{"huge k", `{"plan":"p","k":99999}`, &SearchRequest{}},
+		{"negative position", `{"plan":"p","positions":[-1]}`, &DocsRequest{}},
+		{"negative doc id", `{"plan":"p","query":"x","doc_id":-2}`, &ExplainRequest{}},
+		{"bad artifact id", `{"plan":"p","segments":[{"id":"../../etc"}]}`, &AssignRequest{}},
+	}
+	for _, tc := range cases {
+		if err := DecodeRPC([]byte(tc.data), tc.into); err == nil {
+			t.Errorf("%s: DecodeRPC accepted %q", tc.name, tc.data)
+		}
+	}
+	if err := DecodeRPC(bytes.Repeat([]byte(" "), maxRPCBody+1), &StatsRequest{}); err == nil {
+		t.Error("DecodeRPC accepted an oversized body")
+	}
+}
+
+func TestValidArtifactNames(t *testing.T) {
+	id := strings.Repeat("ab", 8)
+	for _, good := range []string{"seg-" + id + ".text.idx", "seg-" + id + ".node.idx", "seg-" + id + ".emb.bin"} {
+		if !validArtifactName(good) {
+			t.Errorf("rejected valid artifact name %q", good)
+		}
+	}
+	for _, bad := range []string{
+		"", "seg-" + id, "seg-" + id + ".text.IDX", "seg-../x.text.idx",
+		"seg-" + strings.ToUpper(id) + ".text.idx", "seg-" + id + ".wal", "manifest.json",
+		"seg-" + id[:15] + ".text.idx", "/etc/passwd", "seg-" + id + ".text.idx/..",
+	} {
+		if validArtifactName(bad) {
+			t.Errorf("accepted invalid artifact name %q", bad)
+		}
+	}
+}
+
+// FuzzClusterRPCDecode drives DecodeRPC — the boundary every byte from
+// the network crosses — over all wire types: it must never panic, and
+// whatever it accepts must itself validate (the handler can rely on it).
+func FuzzClusterRPCDecode(f *testing.F) {
+	seeds := []any{
+		&InfoResponse{ID: "w0", Plan: "abcd", Artifacts: []string{"seg-0123456789abcdef.text.idx"}},
+		&AssignRequest{Plan: "abcd", Segments: nil, FetchFrom: "http://peer"},
+		&AssignResponse{Plan: "abcd", Fetched: 2, ShardStats: ShardStats{NumDocs: 10, LiveDocs: 9}},
+		&StatsRequest{Plan: "abcd", Text: []string{"border"}, Node: []string{"n12"}},
+		&StatsResponse{Plan: "abcd"},
+		&SearchRequest{Plan: "abcd", K: 10},
+		&SearchResponse{Plan: "abcd", Text: []WireHit{{Pos: 3, Score: 1.5}}},
+		&DocsRequest{Plan: "abcd", Positions: []int{0, 1}, Terms: []string{"border"}},
+		&DocsResponse{Plan: "abcd", Docs: []WireDoc{{ID: 1, Title: "t"}}},
+		&ExplainRequest{Plan: "abcd", Query: "q", DocID: 1, MaxPaths: 3},
+		&ExplainResponse{Plan: "abcd"},
+	}
+	for i, s := range seeds {
+		data, err := json.Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(i, data)
+	}
+	f.Add(0, []byte(`{"unknown":true}`))
+	f.Add(5, []byte(`{"plan":"p","k":-1}`))
+	f.Fuzz(func(t *testing.T, which int, data []byte) {
+		msgs := rpcMessages()
+		if which < 0 {
+			which = -which
+		}
+		v := msgs[which%len(msgs)]
+		if err := DecodeRPC(data, v); err == nil {
+			if verr := v.Validate(); verr != nil {
+				t.Fatalf("DecodeRPC accepted a message that fails Validate: %v\ninput: %q", verr, data)
+			}
+		}
+	})
+}

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"newslink/internal/server"
+)
+
+// rpcStatusError is a non-2xx worker reply, carrying the uniform error
+// envelope's code for classification (plan_mismatch, unassigned, ...).
+type rpcStatusError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *rpcStatusError) Error() string {
+	return fmt.Sprintf("shard answered %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// retryable reports whether an attempt failure may be retried on a
+// replica: transport errors, timeouts, truncated/corrupt responses and
+// 5xx replies are transient; 4xx replies are ours to fix, and 503
+// (unassigned) or 409 (plan_mismatch) need the probe loop's
+// re-assignment, not another identical request.
+func retryable(err error) bool {
+	var se *rpcStatusError
+	if errors.As(err, &se) {
+		return se.Status >= 500 && se.Status != http.StatusServiceUnavailable
+	}
+	return true
+}
+
+// doRequest performs one HTTP exchange and returns the raw response
+// body. A nil payload sends GET, otherwise POST. Reading the full body
+// here is what turns a worker crash mid-response (short write against a
+// promised Content-Length) into an unexpected-EOF attempt failure.
+func doRequest(ctx context.Context, client *http.Client, url string, payload []byte) ([]byte, error) {
+	method, body := http.MethodGet, io.Reader(nil)
+	if payload != nil {
+		method, body = http.MethodPost, bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRPCBody+1))
+	if err != nil {
+		return nil, fmt.Errorf("reading shard response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		se := &rpcStatusError{Status: resp.StatusCode}
+		var env server.ErrorResponse
+		if json.Unmarshal(data, &env) == nil {
+			se.Code, se.Message = env.Error.Code, env.Error.Message
+		}
+		return nil, se
+	}
+	return data, nil
+}
+
+// attempt performs one request against one endpoint, recording latency,
+// the per-shard outcome counter, and the endpoint's breaker state.
+func (rt *Router) attempt(ctx context.Context, sl *slot, ep *endpoint, path string, payload []byte) ([]byte, error) {
+	t0 := time.Now()
+	data, err := doRequest(ctx, rt.client, ep.url+path, payload)
+	sl.lat.Observe(time.Since(t0).Seconds())
+	switch {
+	case err == nil:
+		ep.ok()
+		sl.reqs["ok"].Inc()
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+		sl.reqs["timeout"].Inc()
+		rt.noteFailure(sl, ep, err)
+	default:
+		sl.reqs["error"].Inc()
+		rt.noteFailure(sl, ep, err)
+	}
+	return data, err
+}
+
+// noteFailure feeds the endpoint's circuit breaker; crossing the
+// consecutive-failure threshold ejects the endpoint until the probe loop
+// re-admits it.
+func (rt *Router) noteFailure(sl *slot, ep *endpoint, err error) {
+	if ep.fail(rt.cfg.BreakerThreshold) {
+		rt.log.Warn("ejecting shard endpoint", "slot", sl.idx, "endpoint", ep.url, "err", err)
+	}
+}
+
+// hedgeDelay is the latency past which a second replica is tried: the
+// slot's observed p99, floored by the configured minimum.
+func (rt *Router) hedgeDelay(sl *slot) time.Duration {
+	d := time.Duration(sl.lat.Quantile(0.99) * float64(time.Second))
+	if d < rt.cfg.HedgeMin {
+		d = rt.cfg.HedgeMin
+	}
+	return d
+}
+
+// attemptHedged runs one logical attempt: a request to the chosen
+// endpoint, plus — when hedging is on and the slot has a second live
+// replica — a duplicate to the next replica once the primary has been
+// quiet past the hedge delay. The first success wins and cancels the
+// loser; requests are idempotent reads, so duplicates are harmless.
+func (rt *Router) attemptHedged(ctx context.Context, sl *slot, eps []*endpoint, idx int, path string, payload []byte) ([]byte, error) {
+	if !rt.cfg.Hedge || len(eps) < 2 {
+		return rt.attempt(ctx, sl, eps[idx], path, payload)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan result, 2)
+	launch := func(ep *endpoint) {
+		go func() {
+			data, err := rt.attempt(ctx, sl, ep, path, payload)
+			ch <- result{data, err}
+		}()
+	}
+	launch(eps[idx])
+	timer := time.NewTimer(rt.hedgeDelay(sl))
+	defer timer.Stop()
+	timerC := timer.C
+	pending := 1
+	var lastErr error
+	for {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				return r.data, nil
+			}
+			lastErr = r.err
+			if pending == 0 {
+				return nil, lastErr
+			}
+		case <-timerC:
+			timerC = nil
+			rt.mHedges.Inc()
+			launch(eps[(idx+1)%len(eps)])
+			pending++
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// callSlot performs one idempotent RPC against a slot with the full
+// robustness stack: live-replica rotation, per-attempt deadlines carved
+// from the remaining request budget, bounded retries with jittered
+// exponential backoff, hedging, and strict response decoding (a decoded
+// reply for the wrong plan is a failure, not a result).
+func (rt *Router) callSlot(ctx context.Context, sl *slot, path string, reqBody any, out Validator) error {
+	var payload []byte
+	if reqBody != nil {
+		var err error
+		if payload, err = json.Marshal(reqBody); err != nil {
+			return err
+		}
+	}
+	attempts := rt.cfg.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	start := int(sl.next.Add(1) - 1)
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		eps := sl.live()
+		if len(eps) == 0 {
+			return errJoin(errNoLiveEndpoints, lastErr)
+		}
+		idx := (start + a) % len(eps)
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if hasDeadline {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return errJoin(context.DeadlineExceeded, lastErr)
+			}
+			// The +1 reserves one share of the budget beyond the remaining
+			// attempts: even if every attempt times out, the request keeps
+			// enough headroom to re-aggregate over the surviving shards and
+			// answer degraded instead of timing out outright.
+			actx, cancel = context.WithTimeout(ctx, remaining/time.Duration(attempts-a+1))
+		}
+		data, err := rt.attemptHedged(actx, sl, eps, idx, path, payload)
+		cancel()
+		if err == nil {
+			if err = DecodeRPC(data, out); err == nil {
+				return nil
+			}
+			// A decodable-but-invalid body is as broken as a transport
+			// error: count it against the endpoint and retry elsewhere.
+			rt.noteFailure(sl, eps[idx], err)
+		}
+		lastErr = err
+		if !retryable(err) {
+			return err
+		}
+		if a < attempts-1 {
+			rt.mRetries.Inc()
+			if err := backoffSleep(ctx, rt.cfg.RetryBase, a); err != nil {
+				return errJoin(err, lastErr)
+			}
+		}
+	}
+	return lastErr
+}
+
+// errNoLiveEndpoints marks a slot with every replica ejected; the
+// scatter loop degrades around it.
+var errNoLiveEndpoints = errors.New("cluster: no live endpoints for shard")
+
+// errJoin keeps the primary error first and drops a nil secondary.
+func errJoin(primary, secondary error) error {
+	if secondary == nil {
+		return primary
+	}
+	return errors.Join(primary, secondary)
+}
+
+// backoffSleep waits base·2^attempt scaled by a uniform [0.5,1.5)
+// jitter, returning early if the context ends. Jitter decorrelates
+// retry storms: a burst of failures does not re-converge on the
+// recovering worker in lockstep.
+func backoffSleep(ctx context.Context, base time.Duration, attempt int) error {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,480 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"newslink"
+	"newslink/internal/faults"
+	"newslink/internal/index"
+	"newslink/internal/kg"
+	"newslink/internal/search"
+	"newslink/internal/server"
+)
+
+// shardedMinDocs mirrors the engine's own threshold for fanning a
+// traversal across cores (newslink.shardedSearchMinDocs).
+const shardedMinDocs = 4096
+
+// Worker serves one shard of a partitioned snapshot: it holds the slice
+// of segments a router assigned to it, answers stats/search/docs/explain
+// RPCs over that slice, and serves its content-addressed artifacts to
+// peers. A worker is stateless across assignments — the plan ID names
+// the state, and a new assignment atomically replaces the engine.
+type Worker struct {
+	id     string
+	dir    string
+	g      *kg.Graph
+	log    *slog.Logger
+	client *http.Client
+
+	mu     sync.Mutex
+	plan   string
+	base   int
+	engine *newslink.Engine
+	ack    AssignResponse // memoized assignment acknowledgment
+}
+
+// NewWorker returns a worker with identity id, storing and serving
+// artifacts under dir, over the knowledge graph g (which must match the
+// snapshot's fingerprint at assignment time).
+func NewWorker(id, dir string, g *kg.Graph, log *slog.Logger) *Worker {
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Worker{
+		id:     id,
+		dir:    dir,
+		g:      g,
+		log:    log,
+		client: &http.Client{Timeout: 2 * time.Minute},
+	}
+}
+
+// ID returns the worker's identity (the fault-point key of its handlers).
+func (w *Worker) ID() string { return w.id }
+
+// Handler returns the worker's HTTP surface: the shard RPC under
+// /v1/shard/, plus health, readiness and metrics probes.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/shard/info", w.handleInfo)
+	mux.HandleFunc("POST /v1/shard/assign", w.handleAssign)
+	mux.HandleFunc("POST /v1/shard/stats", w.handleStats)
+	mux.HandleFunc("POST /v1/shard/search", w.handleSearch)
+	mux.HandleFunc("POST /v1/shard/docs", w.handleDocs)
+	mux.HandleFunc("POST /v1/shard/explain", w.handleExplain)
+	mux.HandleFunc("GET /v1/shard/blob/{name}", blobHandler(w.dir))
+	mux.HandleFunc("GET /v1/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		server.WriteJSON(rw, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/readyz", w.handleReady)
+	mux.HandleFunc("GET /v1/metrics", w.handleMetrics)
+	return mux
+}
+
+// gate fires the worker's fault point at the top of every RPC handler.
+// An injected error answers 500 (a failing shard); an injected delay
+// simply sleeps inside Fire, modelling a slow one.
+func (w *Worker) gate(rw http.ResponseWriter) bool {
+	if err := faults.Fire(faults.ClusterShard(w.id)); err != nil {
+		server.WriteError(rw, http.StatusInternalServerError, "fault_injected", "%v", err)
+		return false
+	}
+	return true
+}
+
+// writeRPC marshals and writes one RPC response, routing the bytes
+// through the worker's response-write fault point first. A mutation rule
+// that truncates the payload models a worker crashing mid-response: the
+// full Content-Length is promised, a prefix is written, and the
+// connection is aborted — the router sees a transport error, never a
+// silently short document.
+func (w *Worker) writeRPC(rw http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		server.WriteError(rw, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	mutated, ferr := faults.FireData(faults.ClusterShardWrite(w.id), data)
+	if ferr != nil {
+		server.WriteError(rw, http.StatusInternalServerError, "fault_injected", "%v", ferr)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	if len(mutated) < len(data) {
+		rw.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		rw.WriteHeader(http.StatusOK)
+		_, _ = rw.Write(mutated)
+		panic(http.ErrAbortHandler)
+	}
+	rw.WriteHeader(http.StatusOK)
+	_, _ = rw.Write(mutated)
+}
+
+// snapshotState returns the worker's current engine, plan and base.
+func (w *Worker) snapshotState() (*newslink.Engine, string, int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.engine, w.plan, w.base
+}
+
+// requirePlan answers plan-mismatch (409) or unassigned (503) states;
+// the router reacts by re-assigning rather than retrying blindly.
+func (w *Worker) requirePlan(rw http.ResponseWriter, plan string) (*newslink.Engine, bool) {
+	e, cur, _ := w.snapshotState()
+	if e == nil {
+		server.WriteError(rw, http.StatusServiceUnavailable, "unassigned", "worker %s has no assignment", w.id)
+		return nil, false
+	}
+	if cur != plan {
+		server.WriteError(rw, http.StatusConflict, "plan_mismatch", "worker %s serves plan %s, not %s", w.id, cur, plan)
+		return nil, false
+	}
+	return e, true
+}
+
+func (w *Worker) handleInfo(rw http.ResponseWriter, _ *http.Request) {
+	if !w.gate(rw) {
+		return
+	}
+	w.mu.Lock()
+	info := InfoResponse{ID: w.id, Plan: w.plan, Base: w.base, ShardStats: w.ack.ShardStats}
+	w.mu.Unlock()
+	if entries, err := os.ReadDir(w.dir); err == nil {
+		for _, ent := range entries {
+			if validArtifactName(ent.Name()) {
+				info.Artifacts = append(info.Artifacts, ent.Name())
+			}
+		}
+		sort.Strings(info.Artifacts)
+	}
+	w.writeRPC(rw, &info)
+}
+
+func (w *Worker) handleReady(rw http.ResponseWriter, _ *http.Request) {
+	if e, _, _ := w.snapshotState(); e == nil {
+		server.WriteJSON(rw, http.StatusServiceUnavailable, map[string]string{"status": "unassigned"})
+		return
+	}
+	server.WriteJSON(rw, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (w *Worker) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
+	e, _, _ := w.snapshotState()
+	if e == nil {
+		server.WriteJSON(rw, http.StatusOK, map[string]string{})
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(http.StatusOK)
+	_ = e.Metrics().WriteJSON(rw)
+}
+
+func (w *Worker) handleAssign(rw http.ResponseWriter, r *http.Request) {
+	if !w.gate(rw) {
+		return
+	}
+	var req AssignRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		server.WriteError(rw, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	w.mu.Lock()
+	if w.engine != nil && w.plan == req.Plan {
+		// Idempotent re-assignment of the current plan: acknowledge the
+		// memoized stats without reloading anything.
+		ack := w.ack
+		w.mu.Unlock()
+		w.writeRPC(rw, &ack)
+		return
+	}
+	w.mu.Unlock()
+	fetched, err := w.ensureArtifacts(r.Context(), &req)
+	if err != nil {
+		server.WriteError(rw, http.StatusBadGateway, "fetch_failed", "%v", err)
+		return
+	}
+	engine, err := newslink.LoadSegments(w.dir, w.g, req.Graph, req.Config, req.Segments, req.Checksums)
+	if err != nil {
+		server.WriteError(rw, http.StatusInternalServerError, "load_failed", "%v", err)
+		return
+	}
+	text, node, err := engine.Sources()
+	if err != nil {
+		_ = engine.Close()
+		server.WriteError(rw, http.StatusInternalServerError, "load_failed", "%v", err)
+		return
+	}
+	ack := AssignResponse{
+		Plan:    req.Plan,
+		Fetched: fetched,
+		ShardStats: ShardStats{
+			NumDocs:      text.NumDocs(),
+			LiveDocs:     engine.NumDocs(),
+			TextTotalLen: totalDocLen(text),
+			NodeTotalLen: totalDocLen(node),
+		},
+	}
+	w.mu.Lock()
+	old := w.engine
+	w.engine = engine
+	w.plan = req.Plan
+	w.base = req.Base
+	w.ack = ack
+	w.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	w.log.Info("assignment installed", "worker", w.id, "plan", req.Plan,
+		"base", req.Base, "segments", len(req.Segments), "fetched", fetched)
+	w.writeRPC(rw, &ack)
+}
+
+// totalDocLen folds per-document lengths into an exact total. Lengths
+// are integer-valued float64s, so the sum is exact below 2^53 and the
+// router's aggregate average equals the merged index's AvgDocLen.
+func totalDocLen(src index.Source) float64 {
+	total := 0.0
+	for d := 0; d < src.NumDocs(); d++ {
+		total += src.DocLen(index.DocID(d))
+	}
+	return total
+}
+
+// ensureArtifacts makes every assigned artifact file present and
+// checksum-verified in the worker's directory, fetching missing or
+// mismatched ones from the assignment's peer. Returns how many files
+// were fetched.
+func (w *Worker) ensureArtifacts(ctx context.Context, req *AssignRequest) (int, error) {
+	fetched := 0
+	for _, sm := range req.Segments {
+		for _, name := range newslink.SegmentFileNames(sm.ID) {
+			want, ok := req.Checksums[name]
+			if !ok {
+				return fetched, fmt.Errorf("assignment has no checksum for %s", name)
+			}
+			path := filepath.Join(w.dir, name)
+			if got, err := newslink.ChecksumFile(path); err == nil && got == want {
+				continue
+			}
+			if req.FetchFrom == "" {
+				return fetched, fmt.Errorf("missing artifact %s and no fetch peer", name)
+			}
+			if err := w.fetchArtifact(ctx, req.FetchFrom, name, want); err != nil {
+				return fetched, err
+			}
+			fetched++
+		}
+	}
+	return fetched, nil
+}
+
+// fetchArtifact downloads one content-addressed artifact from a peer's
+// blob endpoint, verifies its checksum, and installs it atomically.
+func (w *Worker) fetchArtifact(ctx context.Context, peer, name, want string) error {
+	url := peer + "/v1/shard/blob/" + name
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("fetching %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetching %s: peer answered %d", name, resp.StatusCode)
+	}
+	tmp, err := os.CreateTemp(w.dir, ".fetch-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := io.Copy(tmp, resp.Body); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fetching %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	got, err := newslink.ChecksumFile(tmp.Name())
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("fetched %s has checksum %s, want %s", name, got, want)
+	}
+	return os.Rename(tmp.Name(), filepath.Join(w.dir, name))
+}
+
+func (w *Worker) handleStats(rw http.ResponseWriter, r *http.Request) {
+	if !w.gate(rw) {
+		return
+	}
+	var req StatsRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		server.WriteError(rw, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	engine, ok := w.requirePlan(rw, req.Plan)
+	if !ok {
+		return
+	}
+	text, node, err := engine.Sources()
+	if err != nil {
+		server.WriteError(rw, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	w.writeRPC(rw, &StatsResponse{
+		Plan: req.Plan,
+		Text: search.TermSummaries(text, req.Text),
+		Node: search.TermSummaries(node, req.Node),
+	})
+}
+
+func (w *Worker) handleSearch(rw http.ResponseWriter, r *http.Request) {
+	if !w.gate(rw) {
+		return
+	}
+	var req SearchRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		server.WriteError(rw, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	engine, ok := w.requirePlan(rw, req.Plan)
+	if !ok {
+		return
+	}
+	text, node, err := engine.Sources()
+	if err != nil {
+		server.WriteError(rw, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	resp := SearchResponse{Plan: req.Plan}
+	var wg sync.WaitGroup
+	var textErr, nodeErr error
+	if len(req.Text) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp.Text, textErr = orderedTopK(r.Context(), text, req.TextScorer, req.Text, req.K)
+		}()
+	}
+	if len(req.Node) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp.Node, nodeErr = orderedTopK(r.Context(), node, req.NodeScorer, req.Node, req.K)
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(textErr, nodeErr); err != nil {
+		server.WriteError(rw, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	w.writeRPC(rw, &resp)
+}
+
+// orderedTopK runs the globally ordered block-max evaluation over one
+// local index, fanning out across cores on large slices exactly like the
+// engine's own traversal.
+func orderedTopK(ctx context.Context, idx index.Source, params ScorerParams, terms []search.OrderedTerm, k int) ([]WireHit, error) {
+	shards := 1
+	if workers := runtime.GOMAXPROCS(0); workers > 1 && idx.NumDocs() >= shardedMinDocs {
+		shards = workers
+	}
+	hits, _, err := search.TopKBlockMaxOrderedStats(ctx, idx, params.scorer(), terms, k, shards)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WireHit, len(hits))
+	for i, h := range hits {
+		out[i] = WireHit{Pos: int(h.Doc), Score: h.Score}
+	}
+	return out, nil
+}
+
+func (w *Worker) handleDocs(rw http.ResponseWriter, r *http.Request) {
+	if !w.gate(rw) {
+		return
+	}
+	var req DocsRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		server.WriteError(rw, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	engine, ok := w.requirePlan(rw, req.Plan)
+	if !ok {
+		return
+	}
+	resp := DocsResponse{Plan: req.Plan, Docs: make([]WireDoc, len(req.Positions))}
+	for i, pos := range req.Positions {
+		doc, err := engine.DocAt(pos)
+		if err != nil {
+			server.WriteError(rw, http.StatusNotFound, "unknown_document", "%v", err)
+			return
+		}
+		resp.Docs[i] = WireDoc{ID: doc.ID, Title: doc.Title, Snippet: newslink.Snippet(doc.Text, req.Terms)}
+	}
+	w.writeRPC(rw, &resp)
+}
+
+func (w *Worker) handleExplain(rw http.ResponseWriter, r *http.Request) {
+	if !w.gate(rw) {
+		return
+	}
+	var req ExplainRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		server.WriteError(rw, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	engine, ok := w.requirePlan(rw, req.Plan)
+	if !ok {
+		return
+	}
+	exp, err := engine.ExplainContext(r.Context(), req.Query, req.DocID, req.MaxPaths)
+	if err != nil {
+		status, code := http.StatusInternalServerError, "internal"
+		if errors.Is(err, newslink.ErrUnknownDoc) {
+			status, code = http.StatusNotFound, "unknown_document"
+		}
+		server.WriteError(rw, status, code, "%v", err)
+		return
+	}
+	w.writeRPC(rw, &ExplainResponse{Plan: req.Plan, Explanation: exp})
+}
+
+// blobHandler serves content-addressed artifact files from dir. Names
+// are validated against the exact artifact grammar, so the handler can
+// never be steered outside its directory.
+func blobHandler(dir string) http.HandlerFunc {
+	return func(rw http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if !validArtifactName(name) {
+			server.WriteError(rw, http.StatusBadRequest, "bad_request", "invalid artifact name")
+			return
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			server.WriteError(rw, http.StatusNotFound, "not_found", "artifact %s not held here", name)
+			return
+		}
+		defer f.Close()
+		rw.Header().Set("Content-Type", "application/octet-stream")
+		rw.WriteHeader(http.StatusOK)
+		_, _ = io.Copy(rw, f)
+	}
+}

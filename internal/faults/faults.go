@@ -57,6 +57,19 @@ const (
 	IngestApply Point = "engine.ingest-apply"
 )
 
+// ClusterShard returns the injection point fired by shard worker id at
+// the top of every RPC handler. Worker ids are dynamic (assigned by the
+// test or the deployment), so these points are constructed rather than
+// enumerated; the process-global injector still targets exactly one
+// worker even when several run in-process.
+func ClusterShard(id string) Point { return Point("cluster.shard." + id) }
+
+// ClusterShardWrite returns the injection point a shard worker fires on
+// its marshaled response body before writing it, letting FireData rules
+// truncate or corrupt the bytes — a deterministic stand-in for a worker
+// crashing mid-response.
+func ClusterShardWrite(id string) Point { return Point("cluster.shard-write." + id) }
+
 // rule is the configured behaviour of one point.
 type rule struct {
 	delay     time.Duration

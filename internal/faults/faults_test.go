@@ -110,3 +110,78 @@ func TestConcurrentFires(t *testing.T) {
 		t.Fatalf("hits = %d", got)
 	}
 }
+
+func TestFireDataRules(t *testing.T) {
+	data := []byte("hello world")
+
+	// Disarmed: pass-through, same bytes.
+	got, err := FireData(WALAppend, data)
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("disarmed FireData = %q, %v", got, err)
+	}
+
+	// Mutate: every fire sees the transformed payload.
+	inj := New().Mutate(WALAppend, func(b []byte) []byte { return b[:5] })
+	Arm(inj)
+	defer Disarm()
+	got, err = FireData(WALAppend, data)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("mutated FireData = %q, %v", got, err)
+	}
+
+	// A rule-less point passes data through unchanged while armed.
+	got, err = FireData(SaveWrite, data)
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("armed pass-through FireData = %q, %v", got, err)
+	}
+
+	// An error rule suppresses the payload entirely.
+	errBoom := errors.New("boom")
+	Arm(New().Fail(WALSync, errBoom))
+	if got, err := FireData(WALSync, data); err != errBoom || got != nil {
+		t.Fatalf("failing FireData = %q, %v; want nil, boom", got, err)
+	}
+}
+
+func TestMutateNConsumesShots(t *testing.T) {
+	inj := New().MutateN(WALAppend, 2, func(b []byte) []byte { return nil })
+	Arm(inj)
+	defer Disarm()
+	for i := 0; i < 2; i++ {
+		if got, _ := FireData(WALAppend, []byte("x")); got != nil {
+			t.Fatalf("fire %d: mutate did not apply", i)
+		}
+	}
+	if got, _ := FireData(WALAppend, []byte("x")); string(got) != "x" {
+		t.Fatalf("after shots spent: got %q, want pass-through", got)
+	}
+}
+
+func TestClusterPointNames(t *testing.T) {
+	if p := ClusterShard("w1"); p != Point("cluster.shard.w1") {
+		t.Fatalf("ClusterShard = %q", p)
+	}
+	if p := ClusterShardWrite("w1"); p != Point("cluster.shard-write.w1") {
+		t.Fatalf("ClusterShardWrite = %q", p)
+	}
+	// Distinct workers get distinct points: a rule on one never fires on
+	// the other.
+	inj := New().Fail(ClusterShard("a"), errors.New("a down"))
+	Arm(inj)
+	defer Disarm()
+	if err := Fire(ClusterShard("b")); err != nil {
+		t.Fatalf("rule for worker a fired on worker b: %v", err)
+	}
+	if err := Fire(ClusterShard("a")); err == nil {
+		t.Fatal("rule for worker a did not fire")
+	}
+}
+
+func TestFireCtxDelayElapses(t *testing.T) {
+	inj := New().Fail(BONStage, errors.New("slow then fail")).Delay(BONStage, time.Millisecond)
+	Arm(inj)
+	defer Disarm()
+	if err := FireCtx(context.Background(), BONStage); err == nil {
+		t.Fatal("delay elapsed but the error rule did not apply")
+	}
+}

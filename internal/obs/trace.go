@@ -20,7 +20,13 @@ const (
 	StageFuse    = "fuse"             // Equation 3 score fusion
 	StageTopK    = "topk"             // final top-k materialization (titles, snippets)
 	StagePaths   = "path-enumeration" // relationship paths between embeddings
+	StageScatter = "scatter"          // cluster router: fan-out to shard workers
+	StageGather  = "gather"           // cluster router: partial top-k merge + fusion
 )
+
+// StageShard names the span for one shard worker's leg of a scatter:
+// "shard[0]", "shard[1]", … indexed by the shard's slot in the plan.
+func StageShard(i int) string { return "shard[" + strconv.Itoa(i) + "]" }
 
 // Attr is one integer span attribute (candidate counts, shard fan-out,
 // cache hits). Attributes are integer-valued by design: it keeps spans free

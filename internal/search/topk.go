@@ -276,6 +276,16 @@ func selectTop(acc map[index.DocID]float64, k int) []Hit {
 	return out
 }
 
+// drainHeap pops a hitHeap into descending rank order (score descending,
+// ties by ascending DocID).
+func drainHeap(h hitHeap) []Hit {
+	out := make([]Hit, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Hit)
+	}
+	return out
+}
+
 // hitHeap is a min-heap by (score, then descending DocID) so the weakest
 // hit is on top and ties prefer smaller DocIDs in the final ranking.
 type hitHeap []Hit

@@ -5,7 +5,6 @@ import (
 	"context"
 	"math/bits"
 	"sort"
-	"sync"
 
 	"newslink/internal/index"
 )
@@ -60,13 +59,19 @@ func prepareBlockTerms(idx index.Source, s Scorer, q Query) ([]bmTerm, int) {
 	if len(terms) == 0 {
 		return nil, 0
 	}
+	sortBMTerms(terms)
+	return terms, total
+}
+
+// sortBMTerms applies the canonical execution order: decreasing bound,
+// ties by term for determinism.
+func sortBMTerms(terms []bmTerm) {
 	sort.Slice(terms, func(i, j int) bool {
 		if terms[i].bound != terms[j].bound {
 			return terms[i].bound > terms[j].bound
 		}
 		return terms[i].term < terms[j].term
 	})
-	return terms, total
 }
 
 // bmSuffixBounds is suffixBounds over block-max terms.
@@ -128,15 +133,8 @@ func TopKBlockMaxSharded(ctx context.Context, idx index.Source, s Scorer, q Quer
 // TopKBlockMaxShardedStats is TopKBlockMaxSharded reporting retrieval
 // statistics aggregated across shards.
 func TopKBlockMaxShardedStats(ctx context.Context, idx index.Source, s Scorer, q Query, k, shards int) ([]Hit, RetrievalStats, error) {
-	numDocs := idx.NumDocs()
-	if shards > numDocs {
-		shards = numDocs
-	}
-	if shards <= 1 {
-		return TopKBlockMaxStats(ctx, idx, s, q, k)
-	}
 	var st RetrievalStats
-	st.Shards = shards
+	st.Shards = max(shards, 1)
 	if k <= 0 || len(q) == 0 {
 		return nil, st, ctx.Err()
 	}
@@ -147,44 +145,13 @@ func TopKBlockMaxShardedStats(ctx context.Context, idx index.Source, s Scorer, q
 	st.Terms = len(terms)
 	st.Postings = total
 	suffixBound := bmSuffixBounds(terms)
-
-	perShard := make([][]Hit, shards)
-	perShardStats := make([]RetrievalStats, shards)
-	errs := make([]error, shards)
-	var wg sync.WaitGroup
-	for w := 0; w < shards; w++ {
-		lo := index.DocID(w * numDocs / shards)
-		hi := index.DocID((w + 1) * numDocs / shards)
-		wg.Add(1)
-		go func(w int, lo, hi index.DocID) {
-			defer wg.Done()
-			perShard[w], perShardStats[w], errs[w] = blockMaxAccumulate(ctx, idx, s, terms, suffixBound, k, &docRange{Lo: lo, Hi: hi})
-		}(w, lo, hi)
+	hits, fanST, err := blockMaxFanout(ctx, idx, s, terms, suffixBound, k, shards)
+	if err != nil {
+		return nil, st, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, st, err
-		}
-	}
-	for _, shardST := range perShardStats {
-		st.add(shardST)
-	}
-	total = 0
-	for _, hits := range perShard {
-		total += len(hits)
-	}
-	h := make(hitHeap, 0, min(k, total))
-	for _, hits := range perShard {
-		for _, hit := range hits {
-			pushTop(&h, hit, k)
-		}
-	}
-	out := make([]Hit, len(h))
-	for i := len(h) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Hit)
-	}
-	return out, st, nil
+	st.add(fanST)
+	st.Shards = fanST.Shards
+	return hits, st, nil
 }
 
 // bmAcc is a dense score accumulator over one contiguous DocID range

@@ -1,0 +1,23 @@
+package server
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestRetryAfterHintFallback pins the shed-response hint contract: while
+// the engine has no observed queue-drain rate (no armed pipeline, or no
+// batch applied yet), the hint is the fixed "1"; whatever it renders
+// must always parse as a positive whole number of seconds, the only
+// Retry-After form clients are promised.
+func TestRetryAfterHintFallback(t *testing.T) {
+	e := testEngine(t)
+	hint := retryAfterHint(e)
+	if hint != "1" {
+		t.Fatalf("engine without drain estimate: retryAfterHint = %q, want \"1\"", hint)
+	}
+	secs, err := strconv.Atoi(hint)
+	if err != nil || secs < 1 {
+		t.Fatalf("retryAfterHint %q is not a positive whole-second value", hint)
+	}
+}

@@ -194,14 +194,19 @@ func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelF
 // SearchResponse is the /search reply. Trace is present only for trace=1
 // requests: one entry per pipeline stage, ordered by start offset.
 // Degraded is true when the BON stage failed or timed out and the ranking
-// fell back to BOW-only scoring; DegradedReason then carries the cause
-// ("bon_error" or "bon_timeout").
+// fell back to BOW-only scoring ("bon_error" or "bon_timeout"), or — on a
+// cluster router — when a shard worker was unavailable and the ranking
+// covers only the live shards ("shard_unavailable"); DegradedReason then
+// carries the cause. ShardsTotal/ShardsOK report the scatter fan-out on
+// router responses and are absent on single-process servers.
 type SearchResponse struct {
 	Query          string            `json:"query"`
 	K              int               `json:"k"`
 	Results        []newslink.Result `json:"results"`
 	Degraded       bool              `json:"degraded,omitempty"`
 	DegradedReason string            `json:"degraded_reason,omitempty"`
+	ShardsTotal    int               `json:"shards_total,omitempty"`
+	ShardsOK       int               `json:"shards_ok,omitempty"`
 	Trace          []obs.Span        `json:"trace,omitempty"`
 }
 
@@ -263,6 +268,16 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
+// WriteJSON writes v as a JSON response with the given status. It is the
+// same encoder every route here uses, exported so the cluster tier
+// (internal/cluster) serves the identical envelope.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// WriteError writes the uniform error envelope {"error":{"code","message"}}.
+func WriteError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeError(w, status, code, format, args...)
+}
+
 func badRequest(w http.ResponseWriter, format string, args ...any) {
 	writeError(w, http.StatusBadRequest, "bad_request", format, args...)
 }
@@ -270,7 +285,7 @@ func badRequest(w http.ResponseWriter, format string, args ...any) {
 // writeEngineError maps an engine error onto a status and stable error
 // code: sentinel errors map to client-side statuses, context termination to
 // 499/504, anything else to 500.
-func writeEngineError(w http.ResponseWriter, err error) {
+func (s *Server) writeEngineError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.Canceled):
 		writeError(w, StatusClientClosedRequest, "client_closed_request", "request cancelled")
@@ -284,14 +299,25 @@ func writeEngineError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusServiceUnavailable, "not_built", "%v", err)
 	case errors.Is(err, newslink.ErrIngestOverload):
 		// The bounded ingest queue is full: back-pressure, not failure.
-		// Retry-After names a queue-drain interval, not a precise ETA.
-		w.Header().Set("Retry-After", "1")
+		// The hint is the observed queue-drain interval (depth over the
+		// applier's EWMA drain rate), or a fixed second before the rate
+		// is known — an interval to back off, not a precise ETA.
+		w.Header().Set("Retry-After", retryAfterHint(s.engine))
 		writeError(w, http.StatusTooManyRequests, "ingest_overload", "%v", err)
 	case errors.Is(err, newslink.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "shutting_down", "%v", err)
 	default:
 		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 	}
+}
+
+// retryAfterHint renders the engine's queue-drain estimate as a
+// Retry-After value, falling back to "1" while no estimate exists.
+func retryAfterHint(e *newslink.Engine) string {
+	if secs := e.IngestRetryAfter(); secs > 0 {
+		return strconv.Itoa(secs)
+	}
+	return "1"
 }
 
 func intParam(r *http.Request, name string, def int) (int, error) {
@@ -340,7 +366,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	ctx, tr := maybeTrace(ctx, r)
 	resp, err := s.engine.SearchContextFull(ctx, req)
 	if err != nil {
-		writeEngineError(w, err)
+		s.writeEngineError(w, err)
 		return
 	}
 	results := resp.Results
@@ -393,7 +419,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	ctx, tr := maybeTrace(ctx, r)
 	exp, err := s.engine.ExplainContext(ctx, q, id, paths)
 	if err != nil {
-		writeEngineError(w, err)
+		s.writeEngineError(w, err)
 		return
 	}
 	s.logTrace(r, tr)
@@ -417,7 +443,7 @@ func (s *Server) handleDOT(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	dot, err := s.engine.ExplainDOTContext(ctx, q, id, "newslink")
 	if err != nil {
-		writeEngineError(w, err)
+		s.writeEngineError(w, err)
 		return
 	}
 	if dot == "" {
@@ -456,7 +482,7 @@ func (s *Server) handleDocUpsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.engine.Update(newslink.Document{ID: *p.ID, Title: p.Title, Text: p.Text}); err != nil {
-		writeEngineError(w, err)
+		s.writeEngineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, DocResponse{ID: *p.ID, Docs: s.engine.NumDocs(), Op: "upsert"})
@@ -487,7 +513,7 @@ func (s *Server) handleDocIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.engine.Ingest(newslink.Document{ID: *p.ID, Title: p.Title, Text: p.Text}); err != nil {
-		writeEngineError(w, err)
+		s.writeEngineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, DocResponse{ID: *p.ID, Docs: s.engine.NumDocs(), Op: "ingest"})
@@ -503,7 +529,7 @@ func (s *Server) handleDocDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.engine.Delete(id); err != nil {
-		writeEngineError(w, err)
+		s.writeEngineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, DocResponse{ID: id, Docs: s.engine.NumDocs(), Op: "delete"})

@@ -249,9 +249,10 @@ func TestQueryTimeoutMapsTo504(t *testing.T) {
 // TestEngineErrorMapping drives writeEngineError through the statuses the
 // handler contract promises.
 func TestEngineErrorMapping(t *testing.T) {
+	s := New(testEngine(t))
 	rec := func(err error) (int, ErrorBody) {
 		w := httptest.NewRecorder()
-		writeEngineError(w, err)
+		s.writeEngineError(w, err)
 		var e ErrorResponse
 		if derr := json.NewDecoder(w.Body).Decode(&e); derr != nil {
 			t.Fatal(derr)

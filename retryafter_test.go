@@ -1,0 +1,55 @@
+package newslink
+
+import "testing"
+
+// TestRetryAfterSeconds pins the drain-rate-to-hint conversion: no rate
+// means no estimate (callers fall back to a fixed hint), otherwise the
+// hint is depth/rate rounded up and clamped to [1, 60] whole seconds.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		name  string
+		depth int
+		rate  float64
+		want  int
+	}{
+		{"no rate yet", 10, 0, 0},
+		{"negative rate", 10, -1, 0},
+		{"empty queue floors at 1s", 0, 5, 1},
+		{"sub-second drain floors at 1s", 3, 100, 1},
+		{"exact division", 10, 5, 2},
+		{"rounds up", 11, 5, 3},
+		{"fractional rate", 9, 2.5, 4},
+		{"deep queue clamps at 60s", 100000, 7, 60},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.depth, tc.rate); got != tc.want {
+			t.Errorf("%s: retryAfterSeconds(%d, %g) = %d, want %d",
+				tc.name, tc.depth, tc.rate, got, tc.want)
+		}
+	}
+}
+
+// TestIngestRetryAfter covers the engine-level wrapper: 0 without an
+// armed pipeline (the server then falls back to its fixed 1s hint), 0
+// before the applier has observed a drain rate, and a real estimate once
+// the EWMA exists.
+func TestIngestRetryAfter(t *testing.T) {
+	plain := sampleEngine(t, DefaultConfig())
+	defer plain.Close()
+	if got := plain.IngestRetryAfter(); got != 0 {
+		t.Fatalf("unarmed engine: IngestRetryAfter() = %d, want 0", got)
+	}
+
+	e := walEngine(t, t.TempDir(), WithIngestQueue(4))
+	defer e.Close()
+	if got := e.IngestRetryAfter(); got != 0 {
+		t.Fatalf("no drain observed yet: IngestRetryAfter() = %d, want 0", got)
+	}
+	p := e.ingest.Load()
+	p.mu.Lock()
+	p.drainRate = 2.0
+	p.mu.Unlock()
+	if got := e.IngestRetryAfter(); got != 1 {
+		t.Fatalf("empty queue with known rate: IngestRetryAfter() = %d, want 1", got)
+	}
+}
