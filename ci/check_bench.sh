@@ -1,11 +1,12 @@
 #!/bin/sh
 # Benchmark-regression gate: runs ci/bench.sh and compares every variant's
-# ns/op and allocs/op against the committed baseline in
+# ns/op, B/op and allocs/op against the committed baseline in
 # ci/bench_baseline.json, failing when either regresses past the
 # tolerance. The tolerance defaults to 30% (TOLERANCE_PCT overrides it) —
 # wide enough to absorb shared-runner noise on wall-clock numbers, tight
-# enough to catch a real regression; allocs/op is near-deterministic, so a
-# tolerance breach there is almost always a genuine change.
+# enough to catch a real regression; B/op and allocs/op are
+# near-deterministic, so a tolerance breach there is almost always a
+# genuine change.
 #
 #	./ci/check_bench.sh [benchtime]
 #
@@ -40,22 +41,25 @@ trap 'rm -f "$CURRENT"' EXIT
 ./ci/bench.sh "$BENCHTIME" "$CURRENT"
 
 # Both files are emitted by ci/bench.sh's own awk: a JSON array with one
-# record per line, so line-oriented extraction of (name, ns/op, allocs/op)
-# is reliable without a JSON tool.
+# record per line, so line-oriented extraction of (name, ns/op, B/op,
+# allocs/op) is reliable without a JSON tool.
 extract() {
     awk '
     /"name"/ {
-        name = ""; ns = ""; allocs = ""
+        name = ""; ns = ""; allocs = ""; bytes = ""
         if (match($0, /"name": "[^"]*"/)) {
             name = substr($0, RSTART + 9, RLENGTH - 10)
         }
         if (match($0, /"ns\/op": [0-9.e+]*/)) {
             ns = substr($0, RSTART + 9, RLENGTH - 9)
         }
+        if (match($0, /"B\/op": [0-9.e+]*/)) {
+            bytes = substr($0, RSTART + 8, RLENGTH - 8)
+        }
         if (match($0, /"allocs\/op": [0-9.e+]*/)) {
             allocs = substr($0, RSTART + 13, RLENGTH - 13)
         }
-        if (name != "") print name, ns, allocs
+        if (name != "") print name, ns, allocs, bytes
     }' "$1"
 }
 
@@ -67,7 +71,7 @@ extract "$CURRENT" > "$CUR_TSV"
 
 echo ">> comparing against $BASELINE (tolerance ${TOLERANCE_PCT}%)"
 fail=0
-while read -r name base_ns base_allocs; do
+while read -r name base_ns base_allocs base_bytes; do
     cur_line=$(grep -F -- "$name " "$CUR_TSV" | head -n1 || true)
     if [ -z "$cur_line" ]; then
         echo "   [FAIL] $name: in baseline but missing from current run (renamed or deleted?)"
@@ -77,9 +81,13 @@ while read -r name base_ns base_allocs; do
     fi
     cur_ns=$(printf '%s' "$cur_line" | awk '{print $2}')
     cur_allocs=$(printf '%s' "$cur_line" | awk '{print $3}')
-    for metric in ns allocs; do
-        if [ "$metric" = ns ]; then b="$base_ns"; c="$cur_ns"; unit="ns/op"
-        else b="$base_allocs"; c="$cur_allocs"; unit="allocs/op"; fi
+    cur_bytes=$(printf '%s' "$cur_line" | awk '{print $4}')
+    for metric in ns allocs bytes; do
+        case "$metric" in
+        ns)     b="$base_ns";     c="$cur_ns";     unit="ns/op" ;;
+        allocs) b="$base_allocs"; c="$cur_allocs"; unit="allocs/op" ;;
+        bytes)  b="$base_bytes";  c="$cur_bytes";  unit="B/op" ;;
+        esac
         [ -n "$b" ] && [ -n "$c" ] || continue
         if awk -v b="$b" -v c="$c" -v tol="$TOLERANCE_PCT" \
             'BEGIN { exit !(c > b * (1 + tol / 100)) }'; then

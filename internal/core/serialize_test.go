@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"newslink/internal/kg"
+	"newslink/internal/textembed"
 )
 
 func TestEmbeddingsRoundTrip(t *testing.T) {
@@ -81,6 +82,79 @@ func eqArcs(a, b []PathArc) bool {
 		}
 	}
 	return true
+}
+
+// TestEmbeddingsSigsRoundTrip covers the version-2 format: signatures
+// survive the round trip exactly; writing nil signatures stays
+// byte-identical to version 1 (snapshot determinism for non-quantized
+// engines); version-1 data reads back with nil signatures.
+func TestEmbeddingsSigsRoundTrip(t *testing.T) {
+	g := figure1Graph()
+	e := NewEmbedder(g, Options{})
+	embs := []*DocEmbedding{
+		e.EmbedGroups([][]string{{"pakistan", "taliban"}}),
+		nil,
+		e.EmbedGroups([][]string{{"taliban"}}),
+	}
+	sigs := []textembed.Int8Vector{
+		{Scale: 0.0123, Data: []int8{127, -128, 0, 5, -7}},
+		{}, // unembeddable document: no signature
+		{Scale: 1, Data: []int8{1, 2, 3}},
+	}
+	var v2 bytes.Buffer
+	if err := WriteEmbeddingsSigs(&v2, embs, sigs); err != nil {
+		t.Fatal(err)
+	}
+	gotEmbs, gotSigs, err := ReadEmbeddingsSigs(bytes.NewReader(v2.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotEmbs) != len(embs) || gotEmbs[1] != nil {
+		t.Fatalf("embeddings not preserved: %d docs", len(gotEmbs))
+	}
+	if len(gotSigs) != len(sigs) {
+		t.Fatalf("signatures = %d, want %d", len(gotSigs), len(sigs))
+	}
+	for i := range sigs {
+		if gotSigs[i].Scale != sigs[i].Scale {
+			t.Fatalf("doc %d scale = %v, want %v", i, gotSigs[i].Scale, sigs[i].Scale)
+		}
+		if len(gotSigs[i].Data) != len(sigs[i].Data) {
+			t.Fatalf("doc %d dim = %d, want %d", i, len(gotSigs[i].Data), len(sigs[i].Data))
+		}
+		for j := range sigs[i].Data {
+			if gotSigs[i].Data[j] != sigs[i].Data[j] {
+				t.Fatalf("doc %d component %d = %d, want %d", i, j, gotSigs[i].Data[j], sigs[i].Data[j])
+			}
+		}
+	}
+	// Nil signatures → exactly the version-1 bytes.
+	var v1a, v1b bytes.Buffer
+	if err := WriteEmbeddings(&v1a, embs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEmbeddingsSigs(&v1b, embs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1a.Bytes(), v1b.Bytes()) {
+		t.Fatal("nil-signature write diverged from version-1 bytes")
+	}
+	// Version-1 data reads back with nil signatures through either entry.
+	if _, s, err := ReadEmbeddingsSigs(bytes.NewReader(v1a.Bytes()), g); err != nil || s != nil {
+		t.Fatalf("version-1 read: sigs=%v err=%v", s, err)
+	}
+	if _, err := ReadEmbeddings(bytes.NewReader(v2.Bytes()), g); err != nil {
+		t.Fatalf("version-2 via ReadEmbeddings: %v", err)
+	}
+	// Mismatched lengths must be rejected at write time.
+	if err := WriteEmbeddingsSigs(&bytes.Buffer{}, embs, sigs[:2]); err == nil {
+		t.Fatal("mismatched signature count: expected error")
+	}
+	// A truncated signature section must fail, not silently yield fewer.
+	trunc := v2.Bytes()[:v2.Len()-2]
+	if _, _, err := ReadEmbeddingsSigs(bytes.NewReader(trunc), g); err == nil {
+		t.Fatal("truncated signatures: expected error")
+	}
 }
 
 func TestReadEmbeddingsRejectsCorruption(t *testing.T) {

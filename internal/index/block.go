@@ -137,7 +137,10 @@ func decodeBlock(data []byte, dst []Posting, n int, base DocID, firstBlock bool,
 	return dst, nil
 }
 
-// decodeAll materializes a whole termList into a flat postings slice.
+// decodeAll materializes a whole termList into a flat postings slice. Each
+// block decodes directly into the output's spare capacity — dst is the
+// empty tail slice out[len(out):], whose capacity always covers a full
+// block — so the whole list costs exactly one allocation.
 func (tl *termList) decodeAll(numDocs uint32) ([]Posting, error) {
 	if tl.count == 0 {
 		return nil, nil
@@ -145,11 +148,11 @@ func (tl *termList) decodeAll(numDocs uint32) ([]Posting, error) {
 	out := make([]Posting, 0, tl.count)
 	base := DocID(0)
 	for bi, bm := range tl.blocks {
-		pl, err := decodeBlock(tl.data[bm.off:bm.end], nil, tl.blockLen(bi), base, bi == 0, numDocs, bm.last)
+		pl, err := decodeBlock(tl.data[bm.off:bm.end], out[len(out):], tl.blockLen(bi), base, bi == 0, numDocs, bm.last)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, pl...)
+		out = out[:len(out)+len(pl)]
 		base = bm.last
 	}
 	return out, nil

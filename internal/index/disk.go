@@ -112,6 +112,7 @@ func (d *DiskIndex) PostingsErr(term string) ([]Posting, error) {
 	}
 	out := make([]Posting, 0, te.count)
 	c := d.newCursor(te)
+	defer ReleaseCursor(c)
 	for c.NextBlock() {
 		pl, err := c.Block()
 		if err != nil {
@@ -133,7 +134,9 @@ func (d *DiskIndex) TermCursor(term string) Cursor {
 }
 
 func (d *DiskIndex) newCursor(te *termEntry) *diskCursor {
-	return &diskCursor{d: d, te: te, bi: -1}
+	c := diskCursorPool.Get().(*diskCursor)
+	c.d, c.te, c.bi = d, te, -1
+	return c
 }
 
 // diskCursor iterates one on-disk term block by block, fetching each decoded

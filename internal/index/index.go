@@ -268,13 +268,18 @@ func (idx *Index) Postings(term string) []Posting {
 	return pl
 }
 
-// TermCursor implements Source.
+// TermCursor implements Source. Cursors come from a pool (pool.go);
+// callers that finish a traversal may hand them back with ReleaseCursor.
 func (idx *Index) TermCursor(term string) Cursor {
 	id, ok := idx.terms[term]
 	if !ok {
 		return nil
 	}
-	return &memCursor{tl: &idx.lists[id], numDocs: uint32(len(idx.docLen)), bi: -1}
+	c := memCursorPool.Get().(*memCursor)
+	c.tl = &idx.lists[id]
+	c.numDocs = uint32(len(idx.docLen))
+	c.bi = -1
+	return c
 }
 
 // DF returns the document frequency of a term.

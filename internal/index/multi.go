@@ -125,27 +125,32 @@ func (m *Multi) ForEachTerm(fn func(term string) bool) {
 // TermCursor implements Source: a cursor that walks each segment's blocks
 // in order with the segment's DocID base applied. ForEachTerm's sorted
 // union and the ascending bases keep the global block sequence sorted.
+// Cursors come from a pool (pool.go); ReleaseCursor hands them — and their
+// per-segment sub-cursors — back.
 func (m *Multi) TermCursor(term string) Cursor {
-	var parts []Cursor
-	var bases []DocID
-	count := 0
-	maxTF := float32(0)
+	c := multiCursorPool.Get().(*multiCursor)
+	c.pi, c.count, c.maxTF = 0, 0, 0
 	for i, p := range m.parts {
-		c := p.TermCursor(term)
-		if c == nil || c.Count() == 0 {
+		sc := p.TermCursor(term)
+		if sc == nil {
 			continue
 		}
-		parts = append(parts, c)
-		bases = append(bases, m.bases[i])
-		count += c.Count()
-		if c.MaxTF() > maxTF {
-			maxTF = c.MaxTF()
+		if sc.Count() == 0 {
+			ReleaseCursor(sc)
+			continue
+		}
+		c.parts = append(c.parts, sc)
+		c.bases = append(c.bases, m.bases[i])
+		c.count += sc.Count()
+		if sc.MaxTF() > c.maxTF {
+			c.maxTF = sc.MaxTF()
 		}
 	}
-	if len(parts) == 0 {
+	if len(c.parts) == 0 {
+		multiCursorPool.Put(c)
 		return nil
 	}
-	return &multiCursor{parts: parts, bases: bases, count: count, maxTF: maxTF}
+	return c
 }
 
 // multiCursor concatenates per-segment cursors, rebasing doc IDs.

@@ -34,10 +34,15 @@ func TermSummaries(idx index.Source, terms []string) map[string]TermSummary {
 	out := make(map[string]TermSummary, len(terms))
 	for _, term := range terms {
 		c := idx.TermCursor(term)
-		if c == nil || c.Count() == 0 {
+		if c == nil {
 			continue
 		}
-		out[term] = TermSummary{DF: c.Count(), MaxTF: float64(c.MaxTF())}
+		df, maxTF := c.Count(), float64(c.MaxTF())
+		index.ReleaseCursor(c)
+		if df == 0 {
+			continue
+		}
+		out[term] = TermSummary{DF: df, MaxTF: maxTF}
 	}
 	return out
 }

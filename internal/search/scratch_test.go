@@ -1,0 +1,176 @@
+package search
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"math/rand"
+
+	"newslink/internal/index"
+)
+
+// TestScratchReleaseScrubs: an accumulator that has scored documents must
+// come back from the pool with every array entry zero, whatever the next
+// request's range is — the invariant the pooled-reuse safety argument
+// rests on.
+func TestScratchReleaseScrubs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		lo := index.DocID(rng.Intn(100))
+		hi := lo + index.DocID(1+rng.Intn(5000))
+		a := acquireBMAcc(lo, hi)
+		for i := 0; i < 200; i++ {
+			d := lo + index.DocID(rng.Intn(int(hi-lo)))
+			if !a.isSeen(d) {
+				a.admit(d)
+			}
+			a.add(d, rng.Float64())
+		}
+		a.sweep(0, 1e9) // drop some viable bits so viable ⊂ seen
+		a.release()
+
+		// Drain the pool until we get an accumulator back (the pool may
+		// hold several), checking each is fully scrubbed across its whole
+		// capacity, not just the last request's span.
+		b := acquireBMAcc(0, index.DocID(cap(a.score)))
+		for i, s := range b.score {
+			if s != 0 {
+				t.Fatalf("trial %d: pooled score[%d] = %v, want 0", trial, i, s)
+			}
+		}
+		for w := range b.seen {
+			if b.seen[w] != 0 || b.viable[w] != 0 {
+				t.Fatalf("trial %d: pooled bitmap word %d dirty: seen=%x viable=%x",
+					trial, w, b.seen[w], b.viable[w])
+			}
+		}
+		if b.n != 0 {
+			t.Fatalf("trial %d: pooled n = %d, want 0", trial, b.n)
+		}
+		b.release()
+	}
+}
+
+// TestPooledReuseIdentityUnderConcurrency mirrors core/identity_test.go for
+// the retrieval scratch: many goroutines run the pooled block-max paths
+// concurrently over shared immutable indexes, recycling accumulators,
+// heaps and cursors through the pools at high frequency, and every single
+// result must stay bitwise identical to the sequential exact reference
+// computed up front. Run under -race this doubles as the data-race proof
+// for pooled reuse.
+func TestPooledReuseIdentityUnderConcurrency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	type testCase struct {
+		idx  *index.Index
+		s    BM25
+		q    Query
+		k    int
+		want []Hit
+	}
+	cases := make([]testCase, 12)
+	for ci := range cases {
+		nDocs := 200 + rng.Intn(3000)
+		idx := randomCorpus(rng, nDocs, vocab)
+		s := NewBM25(idx)
+		q := Query{}
+		for i, nq := 0, 1+rng.Intn(4); i < nq; i++ {
+			q[vocab[rng.Intn(len(vocab))]] = 0.5 + rng.Float64()
+		}
+		k := 1 + rng.Intn(15)
+		// The block-max paths are bitwise identical to max-score (same term
+		// order, same summation order), so the reference comparison below
+		// can demand exact equality, not tolerance.
+		cases[ci] = testCase{idx, s, q, k, TopKMaxScore(idx, s, q, k)}
+	}
+	ctx := context.Background()
+	const goroutines = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				tc := cases[(g+it)%len(cases)]
+				var got []Hit
+				var err error
+				switch it % 3 {
+				case 0:
+					got, _, err = TopKBlockMaxStats(ctx, tc.idx, tc.s, tc.q, tc.k)
+				case 1:
+					got, _, err = TopKBlockMaxShardedStats(ctx, tc.idx, tc.s, tc.q, tc.k, 2+it%3)
+				case 2:
+					ordered, _ := OrderTerms(tc.s, tc.q, TermSummaries(tc.idx, queryTerms(tc.q)))
+					got, _, err = TopKBlockMaxOrderedStats(ctx, tc.idx, tc.s, ordered, tc.k, 1+it%4)
+				}
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if len(got) != len(tc.want) {
+					errs <- "result length drifted under pooled reuse"
+					return
+				}
+				for i := range got {
+					if got[i] != tc.want[i] {
+						errs <- "result drifted under pooled reuse"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// queryTerms lists a query's terms (helper for the ordered path).
+func queryTerms(q Query) []string {
+	out := make([]string, 0, len(q))
+	for t := range q {
+		out = append(out, t)
+	}
+	return out
+}
+
+// TestPooledHeapAndMapReuse: the exact TAAT and TA-fusion paths share the
+// pooled map accumulators and reusable threshold heaps; interleaving them
+// must not corrupt results.
+func TestPooledHeapAndMapReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	vocab := []string{"x", "y", "z", "w", "v"}
+	for trial := 0; trial < 20; trial++ {
+		idx := randomCorpus(rng, 100+rng.Intn(1500), vocab)
+		s := NewBM25(idx)
+		q := Query{}
+		for i, nq := 0, 1+rng.Intn(3); i < nq; i++ {
+			q[vocab[rng.Intn(len(vocab))]] = 0.5 + rng.Float64()
+		}
+		k := 1 + rng.Intn(10)
+		want := TopKMaxScore(idx, s, q, k)
+		exact := TopK(idx, s, q, k)
+		if len(want) != len(exact) {
+			t.Fatalf("trial %d: maxscore length %d, exact %d", trial, len(want), len(exact))
+		}
+		for rep := 0; rep < 3; rep++ {
+			got := TopKMaxScore(idx, s, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d rep %d: maxscore length %d want %d", trial, rep, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d rep %d rank %d: %v want %v", trial, rep, i, got[i], want[i])
+				}
+			}
+			if got := TopK(idx, s, q, k); len(got) != len(exact) {
+				t.Fatalf("trial %d rep %d: TopK length drifted on reuse", trial, rep)
+			}
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package search
 
 import (
-	"container/heap"
-
 	"newslink/internal/index"
 )
 
@@ -63,7 +61,8 @@ func ThresholdTopK(a, b RankedList, wa, wb float64, k int) ([]Hit, int) {
 	if k <= 0 {
 		return nil, 0
 	}
-	seen := make(map[index.DocID]bool)
+	seen := acquireSeenSet()
+	defer releaseSeenSet(seen)
 	var top hitHeap
 	accesses := 0
 	// Current sorted-access frontier scores; start above any real score so
@@ -110,11 +109,7 @@ func ThresholdTopK(a, b RankedList, wa, wb float64, k int) ([]Hit, int) {
 			}
 		}
 	}
-	out := make([]Hit, len(top))
-	for i := len(top) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&top).(Hit)
-	}
-	return out, accesses
+	return drainHeap(top), accesses
 }
 
 // FuseTA is Equation 3 via the threshold algorithm: it normalizes both

@@ -1,7 +1,6 @@
 package search
 
 import (
-	"container/heap"
 	"context"
 	"sort"
 
@@ -40,7 +39,8 @@ func TopK(idx index.Source, s Scorer, q Query, k int) []Hit {
 		return nil
 	}
 	live := liveMask(idx)
-	acc := make(map[index.DocID]float64)
+	acc := acquireMapAcc()
+	defer releaseMapAcc(acc)
 	for term, qw := range q {
 		df := idx.DF(term)
 		if df == 0 {
@@ -187,7 +187,8 @@ type docRange struct {
 func maxScoreAccumulate(ctx context.Context, idx index.Source, s Scorer, terms []termInfo, suffixBound []float64, k int, rng *docRange) ([]Hit, RetrievalStats, error) {
 	var st RetrievalStats
 	live := liveMask(idx)
-	acc := make(map[index.DocID]float64)
+	acc := acquireMapAcc()
+	defer releaseMapAcc(acc)
 	var th threshold // k-th best score so far
 	th.init(k)
 	sinceCheck := 0
@@ -230,11 +231,14 @@ func maxScoreAccumulate(ctx context.Context, idx index.Source, s Scorer, terms [
 	return selectTop(acc, k), st, nil
 }
 
-// threshold tracks the k-th best accumulated score.
+// threshold tracks the k-th best accumulated score. h is a reusable heap
+// scratch: refresh runs once per term, so reusing its backing array makes
+// the per-term threshold recomputation allocation-free after the first.
 type threshold struct {
 	k int
 	v float64
 	n int
+	h hitHeap
 }
 
 func (t *threshold) init(k int) { t.k = k; t.v = 0; t.n = 0 }
@@ -251,10 +255,11 @@ func (t *threshold) refresh(acc map[index.DocID]float64, k int) {
 		t.v = 0
 		return
 	}
-	h := make(hitHeap, 0, min(k, len(acc)))
+	h := t.h[:0]
 	for d, s := range acc {
 		pushTop(&h, Hit{d, s}, k)
 	}
+	t.h = h
 	t.n = len(acc)
 	if len(h) == k {
 		t.v = h[0].Score
@@ -269,52 +274,87 @@ func selectTop(acc map[index.DocID]float64, k int) []Hit {
 	for d, s := range acc {
 		pushTop(&h, Hit{d, s}, k)
 	}
-	out := make([]Hit, len(h))
-	for i := len(h) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Hit)
-	}
-	return out
+	return drainHeap(h)
 }
 
 // drainHeap pops a hitHeap into descending rank order (score descending,
-// ties by ascending DocID).
+// ties by ascending DocID). The heap is consumed.
 func drainHeap(h hitHeap) []Hit {
 	out := make([]Hit, len(h))
 	for i := len(h) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Hit)
+		out[i] = h.pop()
 	}
 	return out
 }
 
 // hitHeap is a min-heap by (score, then descending DocID) so the weakest
-// hit is on top and ties prefer smaller DocIDs in the final ranking.
+// hit is on top and ties prefer smaller DocIDs in the final ranking. The
+// sift operations are hand-rolled rather than going through container/heap
+// because heap.Push(any)/heap.Pop() any box every Hit — on the hot path
+// that was two allocations per candidate considered, dwarfing everything
+// else once the accumulators were pooled.
 type hitHeap []Hit
 
-func (h hitHeap) Len() int { return len(h) }
-func (h hitHeap) Less(i, j int) bool {
+// less orders the heap: weakest (lowest score, then largest DocID) first.
+func (h hitHeap) less(i, j int) bool {
 	if h[i].Score != h[j].Score {
 		return h[i].Score < h[j].Score
 	}
 	return h[i].Doc > h[j].Doc
 }
-func (h hitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *hitHeap) Push(x any)   { *h = append(*h, x.(Hit)) }
-func (h *hitHeap) Pop() any {
+
+// up restores the heap property after appending at index i.
+func (h hitHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// down restores the heap property after replacing the element at index i.
+func (h hitHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// pop removes and returns the weakest hit.
+func (h *hitHeap) pop() Hit {
 	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	it := old[n]
+	*h = old[:n]
+	(*h).down(0)
 	return it
 }
 
 func pushTop(h *hitHeap, hit Hit, k int) {
 	if len(*h) < k {
-		heap.Push(h, hit)
+		*h = append(*h, hit)
+		h.up(len(*h) - 1)
 		return
 	}
 	worst := (*h)[0]
 	if hit.Score > worst.Score || hit.Score == worst.Score && hit.Doc < worst.Doc {
 		(*h)[0] = hit
-		heap.Fix(h, 0)
+		h.down(0)
 	}
 }

@@ -1,7 +1,6 @@
 package search
 
 import (
-	"container/heap"
 	"context"
 	"math/bits"
 	"sort"
@@ -49,12 +48,17 @@ func prepareBlockTerms(idx index.Source, s Scorer, q Query) ([]bmTerm, int) {
 	total := 0
 	for term, qw := range q {
 		c := idx.TermCursor(term)
-		if c == nil || c.Count() == 0 {
+		if c == nil {
 			continue
 		}
 		df := c.Count()
+		maxTF := float64(c.MaxTF())
+		index.ReleaseCursor(c)
+		if df == 0 {
+			continue
+		}
 		total += df
-		terms = append(terms, bmTerm{term, qw, df, qw * s.MaxWeight(float64(c.MaxTF()), df)})
+		terms = append(terms, bmTerm{term, qw, df, qw * s.MaxWeight(maxTF, df)})
 	}
 	if len(terms) == 0 {
 		return nil, 0
@@ -163,23 +167,18 @@ func TopKBlockMaxShardedStats(ctx context.Context, idx index.Source, s Scorer, q
 // seen marks documents with an accumulator entry; viable marks the subset
 // that can still reach the top k, which is what the per-block skip
 // decision consults.
+//
+// Accumulators are pooled across requests (scratch.go): obtain one with
+// acquireBMAcc and return it with release once the winners are copied out.
+// h is the request-owned top-k heap scratch shared by refresh and
+// selectTop, recycled with the accumulator.
 type bmAcc struct {
 	lo     index.DocID
 	score  []float64
 	seen   []uint64
 	viable []uint64
 	n      int // number of seen documents
-}
-
-func newBMAcc(lo, hi index.DocID) *bmAcc {
-	span := int(hi - lo)
-	words := (span + 63) / 64
-	return &bmAcc{
-		lo:     lo,
-		score:  make([]float64, span),
-		seen:   make([]uint64, words),
-		viable: make([]uint64, words),
-	}
+	h      hitHeap
 }
 
 func (a *bmAcc) isSeen(d index.DocID) bool {
@@ -254,17 +253,20 @@ func (a *bmAcc) sweep(suffix, min float64) {
 	}
 }
 
-// refresh recomputes the k-th best score over all seen documents.
+// refresh recomputes the k-th best score over all seen documents, reusing
+// the accumulator's heap scratch so per-term refreshes allocate nothing
+// once the heap has grown to k.
 func (a *bmAcc) refresh(t *threshold, k int) {
 	t.n = a.n
 	if a.n < k {
 		t.v = 0
 		return
 	}
-	h := make(hitHeap, 0, k)
+	h := a.h[:0]
 	a.forEachSeen(func(d index.DocID, s float64) {
 		pushTop(&h, Hit{d, s}, k)
 	})
+	a.h = h
 	if len(h) == k {
 		t.v = h[0].Score
 	}
@@ -282,16 +284,18 @@ func (a *bmAcc) forEachSeen(fn func(index.DocID, float64)) {
 }
 
 // selectTop extracts the k best hits, identically to selectTop on a map
-// accumulator: same heap, same (score, DocID) tie-break.
+// accumulator: same heap, same (score, DocID) tie-break. Only the returned
+// slice is freshly allocated; the heap reuses the accumulator's scratch.
 func (a *bmAcc) selectTop(k int) []Hit {
-	h := make(hitHeap, 0, min(k, a.n))
+	h := a.h[:0]
 	a.forEachSeen(func(d index.DocID, s float64) {
 		pushTop(&h, Hit{d, s}, k)
 	})
 	out := make([]Hit, len(h))
 	for i := len(h) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Hit)
+		out[i] = h.pop()
 	}
+	a.h = h[:0]
 	return out
 }
 
@@ -312,7 +316,8 @@ func blockMaxAccumulate(ctx context.Context, idx index.Source, s Scorer, terms [
 	if lo >= hi {
 		return nil, st, ctx.Err()
 	}
-	acc := newBMAcc(lo, hi)
+	acc := acquireBMAcc(lo, hi)
+	defer acc.release()
 	var th threshold // k-th best score so far
 	th.init(k)
 	sinceCheck := 0
@@ -367,12 +372,14 @@ func blockMaxAccumulate(ctx context.Context, idx index.Source, s Scorer, terms [
 			from = blockLast + 1
 			pl, err := cur.Block()
 			if err != nil {
+				index.ReleaseCursor(cur)
 				return nil, st, err
 			}
 			st.BlocksDecoded++
 			if sinceCheck += len(pl); sinceCheck >= cancelCheckEvery {
 				sinceCheck = 0
 				if err := ctx.Err(); err != nil {
+					index.ReleaseCursor(cur)
 					return nil, st, err
 				}
 			}
@@ -403,6 +410,7 @@ func blockMaxAccumulate(ctx context.Context, idx index.Source, s Scorer, terms [
 				break
 			}
 		}
+		index.ReleaseCursor(cur)
 		acc.refresh(&th, k)
 	}
 	return acc.selectTop(k), st, nil

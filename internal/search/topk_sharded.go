@@ -1,7 +1,6 @@
 package search
 
 import (
-	"container/heap"
 	"context"
 	"sort"
 	"sync"
@@ -89,11 +88,7 @@ func TopKMaxScoreShardedStats(ctx context.Context, idx index.Source, s Scorer, q
 			pushTop(&h, hit, k)
 		}
 	}
-	out := make([]Hit, len(h))
-	for i := len(h) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Hit)
-	}
-	return out, st, nil
+	return drainHeap(h), st, nil
 }
 
 // shardTopK runs the max-score accumulation restricted to documents in

@@ -1,0 +1,98 @@
+package textembed
+
+// Scalar int8 quantization (the Lucene int8 HNSW scheme): a float vector
+// is stored as one float32 scale plus one int8 per dimension, a 4× byte
+// reduction over float32 (8× over float64). Quantization is symmetric
+// around zero with a per-vector step:
+//
+//	scale = maxAbs(v) / 127      q[i] = round(v[i] / scale)
+//
+// so dequantization is v[i] ≈ scale·q[i] with per-component error at most
+// scale/2. For a dot product of two quantized d-dimensional vectors the
+// absolute error is bounded by
+//
+//	|a·b − Q(a)·Q(b)| ≤ (‖a‖₁·scaleB + ‖b‖₁·scaleA)/2 + d·scaleA·scaleB/4
+//
+// — for the unit-normalized signatures the engine quantizes, the relative
+// ranking error this induces is far below the score gaps between distinct
+// documents, which is what the ≥0.99 overlap@k recall floor in the tests
+// pins down empirically.
+
+// Int8Vector is a scalar-quantized vector: component i represents the
+// value Scale·Data[i]. A zero-length Data or zero Scale represents the
+// zero vector.
+type Int8Vector struct {
+	Scale float32
+	Data  []int8
+}
+
+// Quantize compresses v to int8 with a per-vector scale. The zero vector
+// quantizes to scale 0 (all components zero).
+func Quantize(v Vector) Int8Vector {
+	maxAbs := float32(0)
+	for _, x := range v {
+		if x < 0 {
+			x = -x
+		}
+		if x > maxAbs {
+			maxAbs = x
+		}
+	}
+	q := Int8Vector{Data: make([]int8, len(v))}
+	if maxAbs == 0 {
+		return q
+	}
+	q.Scale = maxAbs / 127
+	inv := 127 / maxAbs
+	for i, x := range v {
+		s := x * inv
+		// Round half away from zero; s is already clamped to [-127, 127]
+		// by construction.
+		if s >= 0 {
+			q.Data[i] = int8(s + 0.5)
+		} else {
+			q.Data[i] = int8(s - 0.5)
+		}
+	}
+	return q
+}
+
+// Dequantize reconstructs the approximate float vector.
+func (q Int8Vector) Dequantize() Vector {
+	v := make(Vector, len(q.Data))
+	for i, x := range q.Data {
+		v[i] = q.Scale * float32(x)
+	}
+	return v
+}
+
+// DotInt8 computes the dot product of two quantized vectors: the integer
+// products accumulate exactly in int64 (127² · dim stays far below
+// overflow), and the two scales are applied once at the end. When lengths
+// differ the shorter governs, matching Dot.
+func DotInt8(a, b Int8Vector) float64 {
+	n := min(len(a.Data), len(b.Data))
+	var acc int64
+	for i := 0; i < n; i++ {
+		acc += int64(a.Data[i]) * int64(b.Data[i])
+	}
+	return float64(a.Scale) * float64(b.Scale) * float64(acc)
+}
+
+// Feature-hash projection parameters for dense signatures built out of
+// sparse (key, weight) sets: each key contributes a sparse ternary index
+// vector, exactly the Random Indexing construction indexVector implements
+// for words, under a dedicated seed so signature space and word space are
+// independent.
+const (
+	featureSeed = 0x5157414e54 // "QUANT"
+	featureNNZ  = 4
+)
+
+// AddFeature folds key into dst with the given weight using the sparse
+// ternary random projection. Accumulating all (key, weight) pairs of a
+// sparse vector yields a dense fixed-dimension signature whose dot
+// products approximate the sparse vectors' similarity.
+func AddFeature(dst Vector, key string, weight float32) {
+	indexVector(dst, key, featureSeed, featureNNZ, weight)
+}

@@ -1,0 +1,96 @@
+package textembed
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDot(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a, b Vector
+		want float64
+	}{
+		{"basic", Vector{1, 2, 3}, Vector{4, -5, 6}, 12},
+		{"orthogonal", Vector{1, 0}, Vector{0, 1}, 0},
+		{"empty", Vector{}, Vector{}, 0},
+		{"nil", nil, Vector{1, 2}, 0},
+		{"zero-vector", Vector{0, 0, 0}, Vector{7, 8, 9}, 0},
+		// Shorter length governs: the tail of the longer vector is ignored.
+		{"mismatched", Vector{1, 2}, Vector{3, 4, 1000}, 11},
+		{"negative", Vector{-1, -2}, Vector{3, 4}, -11},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Dot(tc.a, tc.b); got != tc.want {
+				t.Fatalf("Dot(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+			if rev := Dot(tc.b, tc.a); rev != tc.want {
+				t.Fatalf("Dot not symmetric: %v vs %v", rev, tc.want)
+			}
+		})
+	}
+}
+
+func TestNorm(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		v    Vector
+		want float64
+	}{
+		{"unit", Vector{1, 0, 0}, 1},
+		{"pythagoras", Vector{3, 4}, 5},
+		{"zero", Vector{0, 0}, 0},
+		{"empty", Vector{}, 0},
+		{"nil", nil, 0},
+		{"negative", Vector{-3, -4}, 5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Norm(tc.v); math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("Norm(%v) = %v, want %v", tc.v, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCosineZeroVectors(t *testing.T) {
+	z := Vector{0, 0, 0}
+	v := Vector{1, 2, 3}
+	if got := Cosine(z, v); got != 0 {
+		t.Fatalf("Cosine(zero, v) = %v, want 0", got)
+	}
+	if got := Cosine(v, z); got != 0 {
+		t.Fatalf("Cosine(v, zero) = %v, want 0", got)
+	}
+	if got := Cosine(v, v); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Cosine(v, v) = %v, want 1", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	if got := Normalize(v); math.Abs(Norm(got)-1) > 1e-6 {
+		t.Fatalf("normalized norm = %v, want 1", Norm(got))
+	}
+	// In place: the argument itself is scaled.
+	if v[0] != 0.6 || v[1] != 0.8 {
+		t.Fatalf("Normalize not in place: %v", v)
+	}
+	// The zero vector is returned unchanged, not NaN-filled.
+	z := Vector{0, 0}
+	for i, x := range Normalize(z) {
+		if x != 0 {
+			t.Fatalf("Normalize(zero)[%d] = %v", i, x)
+		}
+	}
+}
+
+func TestAddScaledMismatchedLength(t *testing.T) {
+	dst := Vector{1, 1, 1}
+	AddScaled(dst, Vector{2, 3}, 2)
+	want := Vector{5, 7, 1}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("AddScaled = %v, want %v", dst, want)
+		}
+	}
+}

@@ -61,6 +61,13 @@ func (e *Engine) retrieve(ctx context.Context, snap *segmentSet, qEmb *core.DocE
 		if bonErr = faults.FireCtx(ctx, faults.BONStage); bonErr != nil {
 			return
 		}
+		if e.opts.quantizedEmb {
+			// Quantized BON: int8 signature scan plus exact rescore instead
+			// of traversing node postings (quant.go). Same Hit ordering
+			// contract, so fusion and degradation downstream are oblivious.
+			bon, st, bonErr = quantTopK(ctx, snap, docSignature(qEmb), pool)
+			return
+		}
 		nq := make(search.Query, len(qEmb.Counts))
 		for n, c := range qEmb.Counts {
 			nq[nodeTerm(n)] = float64(c)

@@ -1,0 +1,135 @@
+package newslink
+
+import (
+	"context"
+	"sort"
+
+	"newslink/internal/core"
+	"newslink/internal/index"
+	"newslink/internal/kg"
+	"newslink/internal/search"
+	"newslink/internal/textembed"
+)
+
+// Int8-quantized BON retrieval (DESIGN.md §15). The exact BON stage scores
+// Equation 3's node overlap by traversing node postings with BM25 weights.
+// With WithQuantizedEmbeddings the engine instead keeps, per document, a
+// dense fixed-dimension signature of its subgraph embedding — a
+// feature-hashed random-indexing projection of the node-count vector —
+// scalar-quantized to int8 with a per-vector scale (textembed.Quantize).
+// The BON stage is then two-phase, the classic quantized-ANN shape:
+//
+//	scan:    integer dot product over every live signature (sigDim+4 bytes
+//	         per document, ¼ of a float32 signature) keeps the top
+//	         quantOversample·k candidates;
+//	rescore: only those candidates are re-scored exactly, float query
+//	         signature against the float signature recomputed from the
+//	         document's embedding, and the top k of the exact scores win.
+//
+// Quantization error can therefore only lose a true top-k document by
+// pushing it below rank quantOversample·k in the scan — a ~4× score-error
+// margin — which is what holds the recall floor (≥0.99 overlap@k against
+// all-float scoring, property-tested in quant_test.go and
+// internal/textembed/quant_test.go) with int8 memory economics.
+
+// sigDim is the dense signature dimensionality. 256 keeps a signature at
+// 260 bytes (scale + data) while leaving random-indexing collision noise
+// well below the score gaps the recall-floor tests demand.
+const sigDim = 256
+
+// docSignature projects a subgraph embedding's node-count vector into the
+// dense signature space and normalizes it. Nodes are folded in ascending
+// NodeID order so the float accumulation — and therefore the persisted
+// signature bytes — are deterministic regardless of map iteration order.
+// Returns nil for unembeddable documents.
+func docSignature(emb *core.DocEmbedding) textembed.Vector {
+	if emb == nil || len(emb.Counts) == 0 {
+		return nil
+	}
+	nodes := make([]kg.NodeID, 0, len(emb.Counts))
+	for n := range emb.Counts {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	v := make(textembed.Vector, sigDim)
+	for _, n := range nodes {
+		textembed.AddFeature(v, nodeTerm(n), float32(emb.Counts[n]))
+	}
+	return textembed.Normalize(v)
+}
+
+// quantSignature is the stored form: docSignature scalar-quantized to int8.
+func quantSignature(emb *core.DocEmbedding) textembed.Int8Vector {
+	v := docSignature(emb)
+	if v == nil {
+		return textembed.Int8Vector{}
+	}
+	return textembed.Quantize(v)
+}
+
+// buildSigs computes the signatures for a segment's embeddings, or nil when
+// quantization is off (so non-quantized engines carry no extra state and
+// keep byte-identical snapshots).
+func (e *Engine) buildSigs(embs []*core.DocEmbedding) []textembed.Int8Vector {
+	if !e.opts.quantizedEmb {
+		return nil
+	}
+	sigs := make([]textembed.Int8Vector, len(embs))
+	for i, emb := range embs {
+		sigs[i] = quantSignature(emb)
+	}
+	return sigs
+}
+
+// quantOversample is the scan-phase candidate multiplier: the int8 scan
+// keeps quantOversample·k candidates for exact rescoring, so a true top-k
+// document survives unless quantization error demotes it past that rank.
+const quantOversample = 4
+
+// quantTopK is the two-phase quantized BON ranking against the float query
+// signature q: int8 scan for quantOversample·k candidates, exact float
+// rescore of the candidates, top k positive-scoring hits under the search
+// comparator (score descending, ties by ascending Doc — the same order
+// every other retrieval path uses, so fusion downstream is oblivious to
+// which BON stage ran). Stats report every live scanned document; the scan
+// honours ctx between segments.
+func quantTopK(ctx context.Context, snap *segmentSet, q textembed.Vector, k int) ([]search.Hit, search.RetrievalStats, error) {
+	var st search.RetrievalStats
+	if k <= 0 || len(q) == 0 {
+		return nil, st, ctx.Err()
+	}
+	qq := textembed.Quantize(q)
+	if qq.Scale == 0 {
+		return nil, st, ctx.Err()
+	}
+	st.Terms = 1
+	r := quantOversample * k
+	cands := make([]search.Hit, 0, min(2*r, snap.numLive()))
+	for si, sg := range snap.segs {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
+		base := index.DocID(snap.bases[si])
+		for j, sig := range sg.sigs {
+			if sg.dead.Get(j) {
+				continue
+			}
+			st.Scored++
+			// Candidates are kept by quantized score regardless of sign;
+			// only the exact rescore decides relevance.
+			cands = append(cands, search.Hit{Doc: base + index.DocID(j), Score: textembed.DotInt8(qq, sig)})
+			if len(cands) >= 2*r {
+				cands = search.MergeTopK(r, cands)
+			}
+		}
+	}
+	cands = search.MergeTopK(r, cands)
+	hits := cands[:0]
+	for _, c := range cands {
+		s := textembed.Dot(q, docSignature(snap.embedding(int(c.Doc))))
+		if s > 0 {
+			hits = append(hits, search.Hit{Doc: c.Doc, Score: s})
+		}
+	}
+	return search.MergeTopK(k, hits), st, nil
+}

@@ -1,0 +1,298 @@
+package newslink
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"newslink/internal/corpus"
+	"newslink/internal/index"
+	"newslink/internal/search"
+	"newslink/internal/textembed"
+)
+
+// quantLabels are graph entity names the synthetic corpora draw from (all
+// resolvable in the sample knowledge graph).
+var quantLabels = []string{
+	"Pakistan", "Taliban", "Khyber", "Lahore", "Peshawar", "Upper Dir",
+	"Swat Valley", "Afghanistan", "Kunar", "Waziristan", "Pakistani Army",
+	"Clinton", "Trump", "Sanders", "FBI", "Black Lives Matter",
+	"United States", "Democratic Party",
+}
+
+// quantCorpusEngine builds an engine over nDocs synthetic documents, each
+// naming a random entity subset (the structure real news has: score gaps
+// come from discrete entity overlap).
+func quantCorpusEngine(t *testing.T, rng *rand.Rand, nDocs int, opts ...Option) *Engine {
+	t.Helper()
+	g, _ := corpus.Sample()
+	e := New(g, append([]Option{Config{Beta: 0.5, Model: LCAG, MaxDepth: 6, PoolDepth: 20}}, opts...)...)
+	for i := 0; i < nDocs; i++ {
+		names := make([]string, 2+rng.Intn(3))
+		for j := range names {
+			names[j] = quantLabels[rng.Intn(len(quantLabels))]
+		}
+		text := fmt.Sprintf("Report %d: %s in focus. Officials from %s commented.",
+			i, strings.Join(names, " and "), names[0])
+		if err := e.Add(Document{ID: i, Title: fmt.Sprintf("story %d", i), Text: text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// floatBONRanking is the all-float reference for the quantized BON stage:
+// every live document scored by float signature dot product, ranked under
+// the search comparator, clipped to pool.
+func floatBONRanking(snap *segmentSet, qSig textembed.Vector, pool int) []search.Hit {
+	var hits []search.Hit
+	for si, sg := range snap.segs {
+		base := snap.bases[si]
+		for j := range sg.docs {
+			if sg.dead.Get(j) {
+				continue
+			}
+			s := textembed.Dot(qSig, docSignature(sg.embs[j]))
+			if s > 0 {
+				hits = append(hits, search.Hit{Doc: index.DocID(base + j), Score: s})
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc < hits[j].Doc
+	})
+	if len(hits) > pool {
+		hits = hits[:pool]
+	}
+	return hits
+}
+
+// TestQuantizedSearchRecallFloor is the gate on WithQuantizedEmbeddings:
+// across random corpora, fusion weights β and result depths k, quantized
+// search must overlap the all-float64 signature scoring at ≥ 0.99 mean
+// overlap@k. The reference runs the engine's own pipeline — same analyzed
+// query, same BOW stage, same fusion — with the BON list computed in
+// float64, so the measurement isolates exactly what quantization changed.
+func TestQuantizedSearchRecallFloor(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(52))
+	for _, nDocs := range []int{150, 400} {
+		e := quantCorpusEngine(t, rng, nDocs, WithQuantizedEmbeddings())
+		snap := e.set.Load()
+		for _, beta := range []float64{0, 0.3, 0.7, 1} {
+			for _, k := range []int{3, 5, 10} {
+				const queries = 12
+				sum := 0.0
+				for qi := 0; qi < queries; qi++ {
+					names := make([]string, 2+rng.Intn(2))
+					for j := range names {
+						names[j] = quantLabels[rng.Intn(len(quantLabels))]
+					}
+					text := "News about " + strings.Join(names, " and ")
+					beta := beta
+					got, err := e.SearchContext(ctx, Query{Text: text, K: k, Beta: &beta})
+					if err != nil {
+						t.Fatal(err)
+					}
+					qEmb, qTerms, err := e.analyzeQuery(ctx, text)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pool := e.cfg.PoolDepth
+					if pool > snap.numLive() {
+						pool = snap.numLive()
+					}
+					var bow []search.Hit
+					if beta < 1 {
+						bow, _, err = topKAuto(ctx, snap.text, search.NewBM25(snap.text), search.NewQuery(qTerms), pool)
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+					var bon []search.Hit
+					if beta > 0 && qEmb != nil {
+						bon = floatBONRanking(snap, docSignature(qEmb), pool)
+					}
+					want := search.Fuse(bow, bon, beta, k)
+					wantIDs := make(map[int]bool, len(want))
+					for _, h := range want {
+						wantIDs[snap.doc(int(h.Doc)).ID] = true
+					}
+					if len(want) == 0 {
+						if len(got) != 0 {
+							t.Fatalf("β=%g k=%d: reference empty, quantized returned %d hits", beta, k, len(got))
+						}
+						sum++
+						continue
+					}
+					hit := 0
+					for i, r := range got {
+						if i >= len(want) {
+							break
+						}
+						if wantIDs[r.ID] {
+							hit++
+						}
+					}
+					sum += float64(hit) / float64(len(want))
+				}
+				if mean := sum / queries; mean < 0.99 {
+					t.Errorf("docs=%d β=%g k=%d: mean overlap = %v, want >= 0.99", nDocs, beta, k, mean)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizedFloatPathUntouched: without the option the engine must be
+// bitwise indistinguishable — same results, no signatures built.
+func TestQuantizedFloatPathUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	plain := quantCorpusEngine(t, rand.New(rand.NewSource(9)), 60)
+	again := quantCorpusEngine(t, rng, 60)
+	for _, sg := range plain.set.Load().segs {
+		if sg.sigs != nil {
+			t.Fatal("non-quantized engine built signatures")
+		}
+	}
+	for _, q := range []string{"Taliban and Pakistan", "Clinton and Sanders", "markets"} {
+		a, err := plain.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := again.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("float path drifted between identical builds:\n%v\nvs\n%v", a, b)
+		}
+	}
+}
+
+// TestQuantizedPureBONBridgesVocabulary mirrors the paper's β=1 case study
+// on the quantized path: the query shares entities (not keywords) with the
+// related bombing story, and quantized BON must still surface it while
+// keeping the entity-disjoint business story out.
+func TestQuantizedPureBONBridgesVocabulary(t *testing.T) {
+	g, arts := corpus.Sample()
+	e := New(g, Config{Beta: 1, Model: LCAG, MaxDepth: 6}, WithQuantizedEmbeddings())
+	for _, a := range arts {
+		if err := e.Add(Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Search("Clashes between Taliban and Pakistan forces in Upper Dir and Swat Valley.", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := map[int]bool{}
+	for _, r := range res {
+		ranked[r.ID] = true
+	}
+	if !ranked[1] {
+		t.Fatalf("quantized β=1 failed to retrieve the related bombing story: %+v", res)
+	}
+	if ranked[7] {
+		t.Fatalf("business story leaked into quantized embedding-only results: %+v", res)
+	}
+}
+
+// TestQuantizedSaveLoadRoundTrip: a quantized engine's snapshot (NLEMB2)
+// reloads with identical results; the same snapshot loaded without the
+// option drops the signatures and serves the float path; and a version-1
+// snapshot from a non-quantized engine loaded with the option re-encodes
+// signatures and matches a natively quantized engine exactly.
+func TestQuantizedSaveLoadRoundTrip(t *testing.T) {
+	g, arts := corpus.Sample()
+	addAll := func(e *Engine) {
+		t.Helper()
+		for _, a := range arts {
+			if err := e.Add(Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Build(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := Config{Beta: 1, Model: LCAG, MaxDepth: 6}
+	quantized := New(g, cfg, WithQuantizedEmbeddings())
+	addAll(quantized)
+	plain := New(g, cfg)
+	addAll(plain)
+	const q = "Clashes between Taliban and Pakistan forces in Upper Dir and Swat Valley."
+	want, err := quantized.Search(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qdir := t.TempDir()
+	if err := quantized.Save(qdir); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := Load(qdir, g, WithQuantizedEmbeddings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sg := range reloaded.set.Load().segs {
+		if sg.sigs == nil {
+			t.Fatal("quantized snapshot reloaded without signatures")
+		}
+	}
+	if got, err := reloaded.Search(q, 4); err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("quantized round trip drifted (err=%v):\n%v\nvs\n%v", err, got, want)
+	}
+
+	// The same NLEMB2 snapshot without the option: signatures dropped,
+	// float BON path serves, matching the never-quantized engine.
+	asPlain, err := Load(qdir, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sg := range asPlain.set.Load().segs {
+		if sg.sigs != nil {
+			t.Fatal("signatures kept despite quantization being off")
+		}
+	}
+	wantPlain, err := plain.Search(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := asPlain.Search(q, 4); err != nil || !reflect.DeepEqual(got, wantPlain) {
+		t.Fatalf("quantized snapshot without option drifted from float engine (err=%v):\n%v\nvs\n%v", err, got, wantPlain)
+	}
+
+	// A version-1 snapshot (non-quantized engine) loaded with the option:
+	// signatures re-encoded from the embeddings, results match the
+	// natively quantized engine.
+	pdir := t.TempDir()
+	if err := plain.Save(pdir); err != nil {
+		t.Fatal(err)
+	}
+	upgraded, err := Load(pdir, g, WithQuantizedEmbeddings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sg := range upgraded.set.Load().segs {
+		if sg.sigs == nil {
+			t.Fatal("version-1 snapshot did not re-encode signatures")
+		}
+	}
+	if got, err := upgraded.Search(q, 4); err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("upgraded snapshot drifted from native quantized engine (err=%v):\n%v\nvs\n%v", err, got, want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"newslink/internal/core"
 	"newslink/internal/index"
+	"newslink/internal/textembed"
 )
 
 // The engine's searchable state is a set of immutable segments, the
@@ -32,8 +33,9 @@ import (
 // segment rewrite on disk).
 type segment struct {
 	docs []Document
-	embs []*core.DocEmbedding // aligned with docs; nil if unembeddable
-	text index.Source         // *index.Index, or *index.DiskIndex when loaded on disk
+	embs []*core.DocEmbedding   // aligned with docs; nil if unembeddable
+	sigs []textembed.Int8Vector // int8 BON signatures, aligned with docs; nil unless WithQuantizedEmbeddings
+	text index.Source           // *index.Index, or *index.DiskIndex when loaded on disk
 	node index.Source
 	dead *index.Bitmap // nil = no deletes
 
@@ -229,6 +231,7 @@ func (e *Engine) applyMergePolicyLocked(segs []*segment) []*segment {
 			return segs
 		}
 		merged := mergeRun(segs[lo:hi])
+		merged.sigs = e.buildSigs(merged.embs)
 		e.met.segmentMerges.Inc()
 		out := make([]*segment, 0, len(segs)-(hi-lo)+1)
 		out = append(out, segs[:lo]...)
