@@ -8,7 +8,9 @@
 # write side: search p99 while the streaming pipeline absorbs ~1k docs/sec;
 # BenchmarkClusterScatterGather covers the serving tier: one warm search
 # through the cluster router and three local shard workers (scatter, merge,
-# document gather).
+# document gather); BenchmarkFilteredSearch and BenchmarkRelated cover the
+# DocFilter plane: fused search under time-window and entity-facet filters
+# (with pruning counters) and related-news search on both BON legs.
 # CI uploads the file as an artifact so the performance trajectory has a
 # reproducible, CI-generated source; run locally as
 #
@@ -23,7 +25,7 @@ cd "$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 
 BENCHTIME="${1:-1s}"
 OUT="${2:-BENCH.json}"
-BENCHES='BenchmarkTopKStrategies|BenchmarkParallelFusedSearch|BenchmarkSnapshotServing|BenchmarkSegmentChurn|BenchmarkQueryEmbed|BenchmarkSustainedIngestServe|BenchmarkClusterScatterGather'
+BENCHES='BenchmarkTopKStrategies|BenchmarkParallelFusedSearch|BenchmarkSnapshotServing|BenchmarkSegmentChurn|BenchmarkQueryEmbed|BenchmarkSustainedIngestServe|BenchmarkClusterScatterGather|BenchmarkFilteredSearch|BenchmarkRelated'
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

@@ -165,7 +165,7 @@ func runSearch(args []string) error {
 	}
 	e := newslink.New(g, cfg)
 	for _, a := range arts {
-		if err := e.Add(newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+		if err := e.Add(newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text, Time: a.Time}); err != nil {
 			return err
 		}
 	}

@@ -380,7 +380,7 @@ func buildEngineMode(kgPath, corpusPath string, beta float64, snapshot string, w
 	engine := newslink.New(g, append([]newslink.Option{cfg}, engineOpts...)...)
 	docs := make([]newslink.Document, len(arts))
 	for i, a := range arts {
-		docs[i] = newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text}
+		docs[i] = newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text, Time: a.Time}
 	}
 	t0 := time.Now()
 	if err := engine.AddAll(docs, workers); err != nil {

@@ -58,6 +58,63 @@ func (e *Engine) Sources() (text, node index.Source, err error) {
 	return snap.text, snap.node, nil
 }
 
+// EntityTerms resolves entity-facet labels against the knowledge graph:
+// labels[i] becomes the node-index terms of every node the folded label
+// maps to (empty when the label resolves to nothing — it then matches no
+// document). The router resolves once per request and ships the term sets
+// to workers, so every shard filters by exactly the terms the router's
+// graph resolved, and the composed facet equals a single process's.
+func (e *Engine) EntityTerms(labels []string) [][]string {
+	return entityTerms(e.Graph(), labels)
+}
+
+// FilteredSources is Sources with the request's filter clauses compiled
+// into the returned sources: documents outside the inclusive [after,
+// before] time range (0 = unbounded) or failing the entity must-match
+// facet (term sets from EntityTerms, conjunctive across sets) are masked
+// from retrieval through the same live seam as tombstones. Statistics
+// stay those of the full local corpus — matching the unfiltered global
+// statistics the router aggregates — so filtered shard rankings compose
+// exactly. With no clauses set it returns the raw sources.
+func (e *Engine) FilteredSources(after, before int64, entities [][]string) (text, node index.Source, err error) {
+	snap, err := e.acquire()
+	if err != nil {
+		return nil, nil, err
+	}
+	if after == 0 && before == 0 && len(entities) == 0 {
+		return snap.text, snap.node, nil
+	}
+	f := &queryFilter{times: snap.times, after: after, before: before, exclude: -1}
+	if len(entities) > 0 {
+		f.allow = allowBitmap(snap.node, snap.numDocs, entities)
+	}
+	return index.NewFiltered(snap.text, f), index.NewFiltered(snap.node, f), nil
+}
+
+// DocVisible reports whether the live document with public ID docID
+// survives the given filter clauses — the check a shard worker runs
+// before explaining a document under a filtered request, so a filtered
+// Explain can never produce evidence for a document the same filtered
+// Search would not return. Unknown and tombstoned IDs are not visible.
+func (e *Engine) DocVisible(docID int, after, before int64, entities [][]string) (bool, error) {
+	snap, err := e.acquire()
+	if err != nil {
+		return false, err
+	}
+	pos, err := e.lookup(snap, docID)
+	if err != nil {
+		return false, nil
+	}
+	if after == 0 && before == 0 && len(entities) == 0 {
+		return true, nil
+	}
+	f := &queryFilter{times: snap.times, after: after, before: before, exclude: -1}
+	if len(entities) > 0 {
+		f.allow = allowBitmap(snap.node, snap.numDocs, entities)
+	}
+	return f.Keep(index.DocID(pos)), nil
+}
+
 // DocAt returns the document at a global position within the engine's
 // published set, tombstoned or not. Position is the coordinate the index
 // sources use (search.Hit.Doc), which is what a worker reports to the

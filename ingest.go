@@ -39,7 +39,10 @@ import (
 // searchable state as the original run.
 
 // WAL record ops. A record is [op byte][zigzag-varint doc ID] followed,
-// for document-carrying ops, by two length-prefixed strings (title, text).
+// for document-carrying ops, by two length-prefixed strings (title, text)
+// and a zigzag-varint event timestamp (Document.Time). Records written
+// before the timestamp existed simply end after the text; decode treats
+// the absent field as Time 0, so pre-existing logs replay unchanged.
 const (
 	walOpAdd    byte = 1 // strict add: replay skips duplicates, as Add errors on them
 	walOpUpsert byte = 2 // tombstone any previous version, then add
@@ -50,7 +53,7 @@ const (
 func encodeWALOp(op byte, doc Document) []byte {
 	n := 1 + binary.MaxVarintLen64
 	if op != walOpDelete {
-		n += 2*binary.MaxVarintLen64 + len(doc.Title) + len(doc.Text)
+		n += 3*binary.MaxVarintLen64 + len(doc.Title) + len(doc.Text)
 	}
 	buf := make([]byte, 0, n)
 	buf = append(buf, op)
@@ -60,6 +63,7 @@ func encodeWALOp(op byte, doc Document) []byte {
 		buf = append(buf, doc.Title...)
 		buf = binary.AppendUvarint(buf, uint64(len(doc.Text)))
 		buf = append(buf, doc.Text...)
+		buf = binary.AppendVarint(buf, doc.Time)
 	}
 	return buf
 }
@@ -103,6 +107,16 @@ func decodeWALOp(p []byte) (byte, Document, error) {
 	}
 	if doc.Text, ok = readString(); !ok {
 		return fail("truncated text")
+	}
+	if len(p) > 0 {
+		// The event timestamp; absent in records written before it existed
+		// (those end at the text), so only decode it when bytes remain.
+		t, n := binary.Varint(p)
+		if n <= 0 {
+			return fail("truncated timestamp")
+		}
+		doc.Time = t
+		p = p[n:]
 	}
 	if len(p) != 0 {
 		return fail("trailing bytes after document")

@@ -20,16 +20,18 @@ import (
 	"newslink/internal/server"
 )
 
-// buildSnapshot writes a v4 snapshot with at least three segments and
+// buildSnapshot writes a snapshot with at least three segments and
 // two tombstoned documents (one per distinct segment), the corpus shape
-// the cluster partitions. Returns the snapshot directory and the graph.
+// the cluster partitions. Documents carry the corpus's monotone event
+// timestamps so temporal filters select predictable slices. Returns the
+// snapshot directory and the graph.
 func buildSnapshot(t testing.TB) (string, *kg.Graph) {
 	t.Helper()
 	w := kg.Generate(kg.DefaultConfig(19))
 	arts := corpus.Generate(w, corpus.CNNLike(), 48, 19)
 	e := newslink.New(w.Graph, newslink.DefaultConfig())
 	for i, a := range arts {
-		if err := e.Add(newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text}); err != nil {
+		if err := e.Add(newslink.Document{ID: a.ID, Title: a.Title, Text: a.Text, Time: a.Time}); err != nil {
 			t.Fatal(err)
 		}
 		switch i + 1 {
@@ -197,6 +199,82 @@ func TestRouterMatchesSingleProcess(t *testing.T) {
 			}
 		}
 	}
+}
+
+// fixtureCorpus regenerates the deterministic fixture corpus and world
+// behind buildSnapshot, for tests that need entity labels and timestamps.
+func fixtureCorpus() (*kg.World, []corpus.Article) {
+	w := kg.Generate(kg.DefaultConfig(19))
+	return w, corpus.Generate(w, corpus.CNNLike(), 48, 19)
+}
+
+// filteredParams enumerates filter query-parameter combinations over the
+// fixture corpus: each temporal bound, a closed window, an entity facet
+// (resolved and unresolvable), and a composition.
+func filteredParams() []string {
+	w, arts := fixtureCorpus()
+	label := w.Graph.Label(w.Events[0].Participants[0])
+	mid, late := arts[24].Time, arts[36].Time
+	return []string{
+		fmt.Sprintf("&after=%d", mid),
+		fmt.Sprintf("&before=%d", mid),
+		fmt.Sprintf("&after=%d&before=%d", mid, late),
+		"&entity=" + url.QueryEscape(label),
+		fmt.Sprintf("&entity=%s&before=%d", url.QueryEscape(label), mid),
+		"&entity=" + url.QueryEscape("No Such Entity Anywhere"),
+	}
+}
+
+// TestRouterFilteredMatchesSingleProcess is the merge-identity property
+// under document filters: the router resolves entity labels once, ships
+// term sets and time bounds to every worker, re-uses unfiltered global
+// statistics, and must still produce results DeepEqual to a single
+// process over the same snapshot for every filter combination.
+func TestRouterFilteredMatchesSingleProcess(t *testing.T) {
+	dir, g, _, _, ts := startCluster(t, Config{})
+	ref := referenceServer(t, dir, g)
+
+	for _, q := range identityQueries[:4] {
+		for _, flt := range filteredParams() {
+			for _, extra := range []string{"", "&k=3", "&beta=0", "&beta=1"} {
+				path := "/v1/search?q=" + url.QueryEscape(q) + flt + extra
+				var got, want server.SearchResponse
+				getJSON(t, ts.URL+path, http.StatusOK, &got)
+				getJSON(t, ref.URL+path, http.StatusOK, &want)
+				if got.Degraded {
+					t.Fatalf("%s: degraded response with all shards live: %+v", path, got)
+				}
+				if !reflect.DeepEqual(got.Results, want.Results) {
+					t.Fatalf("%s: filtered cluster and single-process results diverge\ncluster: %+v\nsingle:  %+v",
+						path, got.Results, want.Results)
+				}
+			}
+		}
+	}
+}
+
+// TestRouterFilteredExplain: a filtered explanation is served only for
+// documents the same filtered search could return — in-window documents
+// explain identically to a single process, out-of-window ones are 404 on
+// both tiers.
+func TestRouterFilteredExplain(t *testing.T) {
+	dir, g, _, _, ts := startCluster(t, Config{})
+	ref := referenceServer(t, dir, g)
+	_, arts := fixtureCorpus()
+
+	const id = 10
+	q := url.QueryEscape(identityQueries[0])
+	inWindow := fmt.Sprintf("/v1/explain?q=%s&id=%d&paths=3&before=%d", q, id, arts[20].Time)
+	var got, want server.ExplainResponse
+	getJSON(t, ts.URL+inWindow, http.StatusOK, &got)
+	getJSON(t, ref.URL+inWindow, http.StatusOK, &want)
+	if !reflect.DeepEqual(got.Explanation, want.Explanation) {
+		t.Fatalf("%s: filtered explanations diverge\ncluster: %+v\nsingle:  %+v",
+			inWindow, got.Explanation, want.Explanation)
+	}
+	outOfWindow := fmt.Sprintf("/v1/explain?q=%s&id=%d&paths=3&after=%d", q, id, arts[40].Time)
+	getJSON(t, ts.URL+outOfWindow, http.StatusNotFound, nil)
+	getJSON(t, ref.URL+outOfWindow, http.StatusNotFound, nil)
 }
 
 // TestRouterExplainMatchesSingleProcess routes /v1/explain to the shard

@@ -117,6 +117,36 @@ func TestDegradedOnShardError(t *testing.T) {
 	waitRecovered(t, ts.URL, full.URL, q)
 }
 
+// TestDegradedFilteredMatchesLiveSlots: filters and degradation compose —
+// with one shard down, a filtered search re-aggregates the survivors'
+// unfiltered statistics and must return exactly what a single process
+// over the surviving segments returns for the same filtered request.
+func TestDegradedFilteredMatchesLiveSlots(t *testing.T) {
+	dir, g, workers, rt, ts := startCluster(t, Config{})
+	ref := liveSlotReference(t, dir, g, rt.Plan(), 1)
+	_, arts := fixtureCorpus()
+
+	faults.Arm(faults.New().Fail(faults.ClusterShard(workers[1].ID()), errors.New("injected shard error")))
+	defer faults.Disarm()
+
+	for _, flt := range []string{
+		fmt.Sprintf("&after=%d", arts[12].Time),
+		fmt.Sprintf("&after=%d&before=%d", arts[8].Time, arts[40].Time),
+	} {
+		path := "/v1/search?q=" + url.QueryEscape("clashes near the border") + "&k=10" + flt
+		var got, want server.SearchResponse
+		getJSON(t, ts.URL+path, http.StatusOK, &got)
+		getJSON(t, ref.URL+path, http.StatusOK, &want)
+		if !got.Degraded || got.ShardsOK != 2 {
+			t.Fatalf("%s: want degraded 2/3, got %+v", path, got)
+		}
+		if !reflect.DeepEqual(got.Results, want.Results) {
+			t.Fatalf("%s: degraded filtered results diverge from live-slot merge\ncluster: %+v\noracle:  %+v",
+				path, got.Results, want.Results)
+		}
+	}
+}
+
 // TestDegradedOnShardTimeout delays one worker past the request budget:
 // the router must abandon it and still answer degraded within the
 // original deadline, not 504.

@@ -404,13 +404,18 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		beta = &b
 	}
+	flt, err := rt.filterOf(r)
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
 	defer cancel()
 	var tr *obs.Trace
 	if r.URL.Query().Get("trace") == "1" {
 		ctx, tr = obs.WithTrace(ctx)
 	}
-	resp, err := rt.search(ctx, q, k, pool, beta)
+	resp, err := rt.search(ctx, q, k, pool, beta, flt)
 	if err != nil {
 		rt.writeRouterError(w, err)
 		return
@@ -427,12 +432,43 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 	return strconv.Atoi(raw)
 }
 
+// wireFilter is one request's document-filter clauses in the shape the
+// shard RPC carries: time bounds verbatim, entity labels already resolved
+// to node-term sets against the router's graph. Resolving once here means
+// every shard filters by identical terms and the composed facet equals a
+// single process's over the merged corpus.
+type wireFilter struct {
+	after, before int64
+	entities      [][]string
+}
+
+func (f wireFilter) empty() bool {
+	return f.after == 0 && f.before == 0 && len(f.entities) == 0
+}
+
+// filterOf parses the shared filter query parameters (the single-process
+// server's grammar) and resolves entity labels against the router's
+// knowledge graph. A label that resolves to nothing stays as an empty
+// term set: it must reach the workers so the facet matches no document,
+// exactly as on a single process.
+func (rt *Router) filterOf(r *http.Request) (wireFilter, error) {
+	after, before, labels, err := server.FilterParams(r)
+	if err != nil {
+		return wireFilter{}, err
+	}
+	f := wireFilter{after: after, before: before}
+	if len(labels) > 0 {
+		f.entities = rt.analyzer.EntityTerms(labels)
+	}
+	return f, nil
+}
+
 // search runs the scatter-gather pipeline with graceful degradation:
 // shards that fail mid-request are dropped and the pipeline re-runs
 // over the survivors (global statistics re-aggregated, so the ranking
 // over the remaining corpus stays exact). Only zero live shards fail
 // the request.
-func (rt *Router) search(ctx context.Context, q string, k, pool int, betaOverride *float64) (*server.SearchResponse, error) {
+func (rt *Router) search(ctx context.Context, q string, k, pool int, betaOverride *float64, flt wireFilter) (*server.SearchResponse, error) {
 	beta := rt.plan.Config.Beta
 	if betaOverride != nil {
 		beta = *betaOverride
@@ -467,7 +503,7 @@ func (rt *Router) search(ctx context.Context, q string, k, pool int, betaOverrid
 			return nil, httpErrorf(http.StatusServiceUnavailable, "shard_unavailable",
 				"no live shard can serve the request")
 		}
-		resp, lost := rt.searchOnce(ctx, target, q, k, pool, beta, runBOW, runBON, terms, textQuery, nodeQuery)
+		resp, lost := rt.searchOnce(ctx, target, q, k, pool, beta, runBOW, runBON, terms, textQuery, nodeQuery, flt)
 		if len(lost) > 0 {
 			for _, idx := range lost {
 				failed[idx] = true
@@ -500,8 +536,11 @@ func (rt *Router) liveSlots(failed map[int]bool) []*slot {
 
 // searchOnce runs one pipeline pass over a fixed target set. It returns
 // the response, or the slots lost during the pass (the caller then
-// shrinks the target and re-aggregates).
-func (rt *Router) searchOnce(ctx context.Context, target []*slot, q string, k, pool int, beta float64, runBOW, runBON bool, terms []string, textQuery, nodeQuery search.Query) (*server.SearchResponse, []int) {
+// shrinks the target and re-aggregates). Filter clauses affect only the
+// scatter phase: statistics stay those of the unfiltered target corpus
+// (matching a single process's filtered-statistics semantics), so the
+// stats cache, aggregation and pool clamp are filter-independent.
+func (rt *Router) searchOnce(ctx context.Context, target []*slot, q string, k, pool int, beta float64, runBOW, runBON bool, terms []string, textQuery, nodeQuery search.Query, flt wireFilter) (*server.SearchResponse, []int) {
 	tr := obs.FromContext(ctx)
 
 	// Phase 1 — statistics. Cached (slot, index, term) summaries make
@@ -552,7 +591,7 @@ func (rt *Router) searchOnce(ctx context.Context, target []*slot, q string, k, p
 
 	// Phase 2 — scatter the search.
 	sp := tr.Start(obs.StageScatter)
-	perSlot, lost := rt.scatterSearch(ctx, target, pool, orderedText, orderedNode, agg)
+	perSlot, lost := rt.scatterSearch(ctx, target, pool, orderedText, orderedNode, agg, flt)
 	sp.End(obs.Int("shards", len(target)), obs.Int("lost", len(lost)))
 	if len(lost) > 0 {
 		return nil, lost
@@ -734,7 +773,7 @@ func (rt *Router) scatterStats(ctx context.Context, target []*slot, textTerms, n
 // scatterSearch fans the ordered-term evaluation out to every target
 // slot, one span per shard leg. Results are indexed like target; lost
 // slots are reported instead of partial lists.
-func (rt *Router) scatterSearch(ctx context.Context, target []*slot, pool int, orderedText, orderedNode []search.OrderedTerm, agg aggregated) ([]SearchResponse, []int) {
+func (rt *Router) scatterSearch(ctx context.Context, target []*slot, pool int, orderedText, orderedNode []search.OrderedTerm, agg aggregated, flt wireFilter) ([]SearchResponse, []int) {
 	tr := obs.FromContext(ctx)
 	perSlot := make([]SearchResponse, len(target))
 	errs := make([]error, len(target))
@@ -751,6 +790,9 @@ func (rt *Router) scatterSearch(ctx context.Context, target []*slot, pool int, o
 				Node:       orderedNode,
 				TextScorer: scorerParams(agg.textScorer),
 				NodeScorer: scorerParams(agg.nodeScorer),
+				After:      flt.after,
+				Before:     flt.before,
+				Entities:   flt.entities,
 			}
 			errs[i] = rt.callSlot(ctx, sl, "/v1/shard/search", &req, &perSlot[i])
 			sp.End(obs.Int("text_hits", len(perSlot[i].Text)), obs.Int("node_hits", len(perSlot[i].Node)),
@@ -853,6 +895,11 @@ func (rt *Router) handleExplain(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusBadRequest, "bad_request", "parameter \"paths\" must be in [0,1000]")
 		return
 	}
+	flt, err := rt.filterOf(r)
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
 	idx, ok := rt.plan.ShardOf(id)
 	if !ok {
 		server.WriteError(w, http.StatusNotFound, "unknown_document", "no live document %d", id)
@@ -866,7 +913,8 @@ func (rt *Router) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
 	defer cancel()
-	req := ExplainRequest{Plan: rt.plan.ID, Query: q, DocID: id, MaxPaths: paths}
+	req := ExplainRequest{Plan: rt.plan.ID, Query: q, DocID: id, MaxPaths: paths,
+		After: flt.after, Before: flt.before, Entities: flt.entities}
 	var resp ExplainResponse
 	if err := rt.callSlot(ctx, sl, "/v1/shard/explain", &req, &resp); err != nil {
 		var se *rpcStatusError

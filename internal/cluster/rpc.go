@@ -1,5 +1,5 @@
 // Package cluster distributes a NewsLink engine across processes: a
-// Router partitions a v4 snapshot's segment set over N shard Workers
+// Router partitions a snapshot's segment set over N shard Workers
 // (newslinkd -shard) and serves search/explain by scatter-gather with
 // the exact partial top-k merge semantics of internal/search.
 //
@@ -134,6 +134,16 @@ type SearchRequest struct {
 	Node       []search.OrderedTerm `json:"node,omitempty"`
 	TextScorer ScorerParams         `json:"text_scorer"`
 	NodeScorer ScorerParams         `json:"node_scorer"`
+	// After/Before are the inclusive Document.Time bounds (0 = unbounded)
+	// and Entities the router-resolved entity-facet term sets (one set per
+	// requested label, conjunctive across sets; an empty set matches
+	// nothing). Workers compile them into the same composed document
+	// filter a single process uses, over statistics that stay unfiltered —
+	// which is what keeps filtered cluster rankings DeepEqual to a single
+	// process.
+	After    int64      `json:"after,omitempty"`
+	Before   int64      `json:"before,omitempty"`
+	Entities [][]string `json:"entities,omitempty"`
 }
 
 // WireHit is one scored document in worker-local position coordinates;
@@ -172,11 +182,17 @@ type DocsResponse struct {
 }
 
 // ExplainRequest forwards an explain to the worker holding the document.
+// The filter fields mirror SearchRequest: a document the filtered search
+// would not return must not be explainable either, so the worker checks
+// them before producing evidence.
 type ExplainRequest struct {
-	Plan     string `json:"plan"`
-	Query    string `json:"query"`
-	DocID    int    `json:"doc_id"`
-	MaxPaths int    `json:"max_paths"`
+	Plan     string     `json:"plan"`
+	Query    string     `json:"query"`
+	DocID    int        `json:"doc_id"`
+	MaxPaths int        `json:"max_paths"`
+	After    int64      `json:"after,omitempty"`
+	Before   int64      `json:"before,omitempty"`
+	Entities [][]string `json:"entities,omitempty"`
 }
 
 // ExplainResponse wraps the engine's explanation.
@@ -226,6 +242,28 @@ type Validator interface{ Validate() error }
 func checkTerms(field string, terms []string) error {
 	if len(terms) > maxRPCTerms {
 		return decodeErrf("%s: %d terms exceed %d", field, len(terms), maxRPCTerms)
+	}
+	return nil
+}
+
+// maxEntitySets caps the entity-facet sets per request; each set is
+// additionally bounded like a term list. Empty sets are valid — they are
+// how an unresolvable label's match-nothing semantics reach the workers.
+const maxEntitySets = 64
+
+func checkEntitySets(field string, sets [][]string) error {
+	if len(sets) > maxEntitySets {
+		return decodeErrf("%s: %d entity sets exceed %d", field, len(sets), maxEntitySets)
+	}
+	for _, set := range sets {
+		if len(set) > maxRPCTerms {
+			return decodeErrf("%s: %d terms exceed %d", field, len(set), maxRPCTerms)
+		}
+		for _, t := range set {
+			if t == "" {
+				return decodeErrf("%s: empty entity term", field)
+			}
+		}
 	}
 	return nil
 }
@@ -283,7 +321,10 @@ func (r *SearchRequest) Validate() error {
 	if err := checkOrdered("search.text", r.Text); err != nil {
 		return err
 	}
-	return checkOrdered("search.node", r.Node)
+	if err := checkOrdered("search.node", r.Node); err != nil {
+		return err
+	}
+	return checkEntitySets("search.entities", r.Entities)
 }
 
 func (r *DocsRequest) Validate() error {
@@ -311,7 +352,7 @@ func (r *ExplainRequest) Validate() error {
 	if r.DocID < 0 || r.MaxPaths < 0 || r.MaxPaths > 1000 {
 		return decodeErrf("explain: parameters out of range")
 	}
-	return nil
+	return checkEntitySets("explain.entities", r.Entities)
 }
 
 // Response validators: the router decodes worker responses through the

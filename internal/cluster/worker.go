@@ -358,7 +358,11 @@ func (w *Worker) handleSearch(rw http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	text, node, err := engine.Sources()
+	// Filter clauses mask documents from the local traversal through the
+	// same live seam as tombstones; statistics and scorer parameters stay
+	// the router's unfiltered aggregates, so the filtered shard ranking
+	// composes into exactly a single process's filtered ranking.
+	text, node, err := engine.FilteredSources(req.After, req.Before, req.Entities)
 	if err != nil {
 		server.WriteError(rw, http.StatusInternalServerError, "internal", "%v", err)
 		return
@@ -444,6 +448,18 @@ func (w *Worker) handleExplain(rw http.ResponseWriter, r *http.Request) {
 	engine, ok := w.requirePlan(rw, req.Plan)
 	if !ok {
 		return
+	}
+	if req.After != 0 || req.Before != 0 || len(req.Entities) > 0 {
+		visible, err := engine.DocVisible(req.DocID, req.After, req.Before, req.Entities)
+		if err != nil {
+			server.WriteError(rw, http.StatusInternalServerError, "internal", "%v", err)
+			return
+		}
+		if !visible {
+			server.WriteError(rw, http.StatusNotFound, "unknown_document",
+				"%v: %d (filtered)", newslink.ErrUnknownDoc, req.DocID)
+			return
+		}
 	}
 	exp, err := engine.ExplainContext(r.Context(), req.Query, req.DocID, req.MaxPaths)
 	if err != nil {

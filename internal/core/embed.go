@@ -58,14 +58,6 @@ func NewEmbedder(g *kg.Graph, opts Options) *Embedder {
 	return newEmbedder(NewSearcher(g, opts))
 }
 
-// NewEmbedderFromSearcher wraps an existing Searcher.
-//
-// Deprecated: construct with NewEmbedder(g, opts), which owns its searcher.
-// This shim exists for one release to ease migration; callers that need
-// the searcher for other calls (FindK, ExactGST) can reach it via
-// Embedder.Searcher.
-func NewEmbedderFromSearcher(s *Searcher) *Embedder { return newEmbedder(s) }
-
 func newEmbedder(s *Searcher) *Embedder {
 	e := &Embedder{s: s, workers: s.opts.EmbedWorkers}
 	if n := s.opts.GroupCacheSize; n > 0 {

@@ -72,8 +72,7 @@ func TestFigure1QueryEmbedding(t *testing.T) {
 
 func TestFigure1ResultEmbeddingOverlap(t *testing.T) {
 	g := figure1Graph()
-	s := NewSearcher(g, Options{})
-	e := NewEmbedderFromSearcher(s) // exercises the deprecated shim
+	e := NewEmbedder(g, Options{})
 	q := e.EmbedGroups([][]string{{"upper dir", "swat valley", "pakistan", "taliban"}})
 	r := e.EmbedGroups([][]string{{"lahore", "peshawar", "pakistan", "taliban"}})
 	if q == nil || r == nil {

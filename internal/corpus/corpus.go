@@ -17,6 +17,30 @@ type Article struct {
 	// Event is the KG event node the article narrates (0 for hand-written
 	// sample articles that narrate no generated event).
 	Event kg.NodeID
+	// Time is the article's event timestamp (Unix seconds). Generate and
+	// Stream stamp strictly monotone times in arrival order, so a time
+	// window over a generated corpus selects a contiguous, predictable
+	// fraction of it — which is what makes temporal filters testable and
+	// benchmarkable. Hand-written sample articles carry no timestamp (0).
+	Time int64
+}
+
+// Generated article timestamps: the wire starts at 2020-01-01T00:00:00Z
+// and delivers one article every five minutes. Fixed spacing (rather than
+// jitter from the content RNG) keeps article text byte-identical to
+// earlier corpus versions and makes a window's selectivity proportional
+// to its width.
+const (
+	StreamEpoch     int64 = 1577836800
+	ArticleInterval int64 = 300
+)
+
+// stampTimes assigns strictly monotone arrival timestamps in place.
+func stampTimes(arts []Article) []Article {
+	for i := range arts {
+		arts[i].Time = StreamEpoch + int64(i)*ArticleInterval
+	}
+	return arts
 }
 
 // Split holds the 80/10/10 partition of Section VII-A3.

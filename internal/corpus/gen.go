@@ -46,7 +46,8 @@ func KaggleLike() Profile {
 }
 
 // Generate produces n articles from the world's event catalogue. The same
-// (world, profile, n, seed) always yields identical articles.
+// (world, profile, n, seed) always yields identical articles, each
+// stamped with a strictly monotone event timestamp (see Article.Time).
 func Generate(w *kg.World, p Profile, n int, seed int64) []Article {
 	rng := newRand(seed)
 	g := w.Graph
@@ -62,7 +63,7 @@ func Generate(w *kg.World, p Profile, n int, seed int64) []Article {
 		ev := w.Events[(i/maxInt(p.DocsPerEvent, 1))%len(w.Events)]
 		out = append(out, genArticle(g, ev, p, len(out), rng))
 	}
-	return out
+	return stampTimes(out)
 }
 
 // briefArticle writes a short wire brief that names no KG entity: filler

@@ -18,7 +18,9 @@ import (
 // terms and KG nodes the older segments already posted).
 //
 // The same (world, profile, n, seed) always yields identical articles;
-// IDs are assigned in arrival order starting at 0.
+// IDs are assigned in arrival order starting at 0, and every article is
+// stamped with a strictly monotone event timestamp (StreamEpoch plus
+// ArticleInterval per arrival).
 func Stream(w *kg.World, p Profile, n int, seed int64) []Article {
 	rng := newRand(seed)
 	g := w.Graph
@@ -50,7 +52,7 @@ func Stream(w *kg.World, p Profile, n int, seed int64) []Article {
 		ev := w.Events[pickHot(hot, rng)]
 		out = append(out, genArticle(g, ev, p, len(out), rng))
 	}
-	return out
+	return stampTimes(out)
 }
 
 // pickHot favours the most recently broken stories: fresh news gets the

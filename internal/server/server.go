@@ -3,8 +3,9 @@
 // whole search pipeline). Routes are versioned under /v1/; the unversioned
 // spellings are kept as aliases for old clients:
 //
-//	GET    /v1/search?q=<text>&k=<n>[&beta=<b>][&pool=<d>][&trace=1]  ranked results (Equation 3)
-//	GET    /v1/explain?q=<text>&id=<doc>&paths=<n>[&trace=1]          overlap + relationship paths
+//	GET    /v1/search?q=<text>&k=<n>[&beta=<b>][&pool=<d>][&after=<t>][&before=<t>][&entity=<label>...][&trace=1]  ranked results (Equation 3)
+//	GET    /v1/related/{id}?k=<n>[&pool=<d>][&after=<t>][&before=<t>][&entity=<label>...][&trace=1]                related news by stored BON embedding
+//	GET    /v1/explain?q=<text>&id=<doc>&paths=<n>[&after=<t>][&before=<t>][&entity=<label>...][&trace=1]          overlap + relationship paths
 //	GET    /v1/dot?q=<text>&id=<doc>                                  Graphviz rendering of the pair
 //	POST   /v1/docs                                                   add or replace one document (upsert)
 //	POST   /v1/docs:stream                                            enqueue one document for async ingestion (202)
@@ -14,6 +15,13 @@
 //	GET    /v1/stats                                                  engine and graph statistics
 //	GET    /v1/metrics                                                metric registry as JSON
 //	GET    /v1/metrics/prom                                           Prometheus text exposition
+//
+// The filter parameters compose conjunctively: after= and before= bound
+// Document.Time inclusively (0/absent = unbounded), and entity= may repeat
+// — every named entity must match the document's subgraph embedding.
+// /v1/related ranks the corpus against the stored subgraph embedding of
+// document {id} (pure BON, the doc-as-query scenario) and never returns
+// the source document itself.
 //
 // Errors use a uniform JSON envelope {"error": {"code", "message"}}. A
 // request whose context is cancelled by the client maps to 499, one that
@@ -159,6 +167,7 @@ func (s *Server) Handler() http.Handler {
 		weight  int64 // 0 = exempt from admission control
 	}{
 		{"GET", "search", "search", s.handleSearch, 1},
+		{"GET", "related/{id}", "related", s.handleRelated, 1},
 		{"GET", "explain", "explain", s.handleExplain, 2},
 		{"GET", "dot", "dot", s.handleDOT, 2},
 		{"POST", "docs", "docs_upsert", s.handleDocUpsert, 1},
@@ -210,6 +219,17 @@ type SearchResponse struct {
 	Trace          []obs.Span        `json:"trace,omitempty"`
 }
 
+// RelatedResponse is the /related/{id} reply: the SearchResponse envelope
+// with the source document id in place of the query text. Related runs a
+// single pure-BON leg with nothing to degrade to, so the degradation
+// fields never apply.
+type RelatedResponse struct {
+	DocID   int               `json:"doc_id"`
+	K       int               `json:"k"`
+	Results []newslink.Result `json:"results"`
+	Trace   []obs.Span        `json:"trace,omitempty"`
+}
+
 // ExplainResponse is the /explain reply. Trace is present only for trace=1
 // requests.
 type ExplainResponse struct {
@@ -230,11 +250,13 @@ type StatsResponse struct {
 }
 
 // DocPayload is the POST /docs request body. ID is a pointer so a missing
-// id is distinguishable from document 0.
+// id is distinguishable from document 0. Time is the optional event
+// timestamp (Document.Time) the temporal filters compare against.
 type DocPayload struct {
 	ID    *int   `json:"id"`
 	Title string `json:"title"`
 	Text  string `json:"text"`
+	Time  int64  `json:"time,omitempty"`
 }
 
 // DocResponse acknowledges a document write.
@@ -332,6 +354,45 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 	return v, nil
 }
 
+func int64Param(r *http.Request, name string) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q must be an integer timestamp, got %q", name, raw)
+	}
+	return v, nil
+}
+
+// maxEntityFilters caps the repeatable entity= parameter, like the other
+// caps on unauthenticated request sizing.
+const maxEntityFilters = 16
+
+// FilterParams parses the shared document-filter query parameters:
+// after=/before= (inclusive Document.Time bounds) and entity= (repeatable
+// must-match entity labels). The cluster router parses the same grammar,
+// so single-process and clustered deployments accept identical requests.
+func FilterParams(r *http.Request) (after, before int64, entities []string, err error) {
+	if after, err = int64Param(r, "after"); err != nil {
+		return 0, 0, nil, err
+	}
+	if before, err = int64Param(r, "before"); err != nil {
+		return 0, 0, nil, err
+	}
+	entities = r.URL.Query()["entity"]
+	if len(entities) > maxEntityFilters {
+		return 0, 0, nil, fmt.Errorf("at most %d entity filters per request, got %d", maxEntityFilters, len(entities))
+	}
+	for _, e := range entities {
+		if e == "" {
+			return 0, 0, nil, fmt.Errorf("parameter \"entity\" must not be empty")
+		}
+	}
+	return after, before, entities, nil
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
@@ -352,7 +413,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "parameter \"pool\" must be an integer in [0,%d]", maxPoolDepth)
 		return
 	}
-	req := newslink.Query{Text: q, K: k, PoolDepth: pool}
+	after, before, entities, err := FilterParams(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	req := newslink.Query{Text: q, K: k, PoolDepth: pool, After: after, Before: before, Entities: entities}
 	if raw := r.URL.Query().Get("beta"); raw != "" {
 		beta, err := strconv.ParseFloat(raw, 64)
 		if err != nil || beta < 0 || beta > 1 {
@@ -382,6 +448,54 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		DegradedReason: resp.DegradedReason,
 		Trace:          tr.Spans(),
 	})
+}
+
+// handleRelated serves related-news search: the corpus ranked against the
+// stored subgraph embedding of the path document, optionally filtered by
+// the shared after/before/entity parameters. Unknown or tombstoned ids
+// answer 404; a document that embedded to nothing answers 200 with empty
+// results (it has no graph neighbourhood).
+func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		badRequest(w, "path parameter id must be a non-negative integer")
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	if k <= 0 || k > 1000 {
+		badRequest(w, "k must be in [1,1000], got %d", k)
+		return
+	}
+	pool, err := intParam(r, "pool", 0)
+	if err != nil || pool < 0 || pool > maxPoolDepth {
+		badRequest(w, "parameter \"pool\" must be an integer in [0,%d]", maxPoolDepth)
+		return
+	}
+	after, before, entities, err := FilterParams(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	ctx, tr := maybeTrace(ctx, r)
+	results, err := s.engine.RelatedContext(ctx, newslink.RelatedQuery{
+		DocID: id, K: k, PoolDepth: pool,
+		After: after, Before: before, Entities: entities,
+	})
+	if err != nil {
+		s.writeEngineError(w, err)
+		return
+	}
+	if results == nil {
+		results = []newslink.Result{}
+	}
+	s.logTrace(r, tr)
+	writeJSON(w, http.StatusOK, RelatedResponse{DocID: id, K: k, Results: results, Trace: tr.Spans()})
 }
 
 // maybeTrace attaches a per-request trace to ctx when the request asked for
@@ -414,10 +528,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
+	after, before, entities, err := FilterParams(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
 	ctx, tr := maybeTrace(ctx, r)
-	exp, err := s.engine.ExplainContext(ctx, q, id, paths)
+	exp, err := s.engine.ExplainQueryContext(ctx, newslink.Query{Text: q, After: after, Before: before, Entities: entities}, id, paths)
 	if err != nil {
 		s.writeEngineError(w, err)
 		return
@@ -481,7 +600,7 @@ func (s *Server) handleDocUpsert(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "missing field text")
 		return
 	}
-	if err := s.engine.Update(newslink.Document{ID: *p.ID, Title: p.Title, Text: p.Text}); err != nil {
+	if err := s.engine.Update(newslink.Document{ID: *p.ID, Title: p.Title, Text: p.Text, Time: p.Time}); err != nil {
 		s.writeEngineError(w, err)
 		return
 	}
@@ -512,7 +631,7 @@ func (s *Server) handleDocIngest(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "missing field text")
 		return
 	}
-	if err := s.engine.Ingest(newslink.Document{ID: *p.ID, Title: p.Title, Text: p.Text}); err != nil {
+	if err := s.engine.Ingest(newslink.Document{ID: *p.ID, Title: p.Title, Text: p.Text, Time: p.Time}); err != nil {
 		s.writeEngineError(w, err)
 		return
 	}

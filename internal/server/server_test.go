@@ -162,6 +162,63 @@ func TestExplainEndpoint(t *testing.T) {
 	getErr(t, ts, "/explain?q=x&id=9999", http.StatusNotFound)
 }
 
+func TestRelatedEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var got RelatedResponse
+	get(t, ts, "/v1/related/1?k=3", http.StatusOK, &got)
+	if got.DocID != 1 || got.K != 3 {
+		t.Fatalf("echo fields wrong: %+v", got)
+	}
+	if len(got.Results) == 0 {
+		t.Fatal("no related results for an embedded document")
+	}
+	for _, r := range got.Results {
+		if r.ID == 1 {
+			t.Fatalf("related results include the source document: %+v", got.Results)
+		}
+	}
+	// The sample corpus carries no timestamps (Time 0), so any after>0
+	// window filters every candidate out — still a 200 with empty results.
+	var filtered RelatedResponse
+	get(t, ts, "/v1/related/1?k=3&after=1", http.StatusOK, &filtered)
+	if len(filtered.Results) != 0 {
+		t.Fatalf("after=1 over a Time-0 corpus returned %+v", filtered.Results)
+	}
+	if e := getErr(t, ts, "/v1/related/9999", http.StatusNotFound); e.Code != "unknown_document" {
+		t.Fatalf("error code = %+v", e)
+	}
+	getErr(t, ts, "/v1/related/abc", http.StatusBadRequest)
+	getErr(t, ts, "/v1/related/1?k=0", http.StatusBadRequest)
+	getErr(t, ts, "/v1/related/1?k=5000", http.StatusBadRequest)
+	getErr(t, ts, "/v1/related/1?pool=-1", http.StatusBadRequest)
+}
+
+func TestFilterParamValidation(t *testing.T) {
+	ts := testServer(t)
+	getErr(t, ts, "/v1/search?q=x&after=abc", http.StatusBadRequest)
+	getErr(t, ts, "/v1/search?q=x&before=1.5", http.StatusBadRequest)
+	getErr(t, ts, "/v1/related/1?after=abc", http.StatusBadRequest)
+	getErr(t, ts, "/v1/explain?q=x&id=1&before=abc", http.StatusBadRequest)
+	over := strings.Repeat("&entity=x", maxEntityFilters+1)
+	getErr(t, ts, "/v1/search?q=x"+over, http.StatusBadRequest)
+	// At the cap the request is accepted.
+	var ok SearchResponse
+	get(t, ts, "/v1/search?q=Taliban+bombing&k=3"+strings.Repeat("&entity=Taliban", maxEntityFilters),
+		http.StatusOK, &ok)
+	// An entity facet restricts results to documents whose embedding
+	// contains the entity; an unresolvable label matches nothing.
+	var faceted SearchResponse
+	get(t, ts, "/v1/search?q=Taliban+bombing&k=5&entity=Taliban", http.StatusOK, &faceted)
+	if len(faceted.Results) == 0 {
+		t.Fatal("entity=Taliban returned nothing for a Taliban query")
+	}
+	var none SearchResponse
+	get(t, ts, "/v1/search?q=Taliban+bombing&k=5&entity=no+such+entity+zzz", http.StatusOK, &none)
+	if len(none.Results) != 0 {
+		t.Fatalf("unresolvable entity facet returned %+v", none.Results)
+	}
+}
+
 func TestHealthAndStats(t *testing.T) {
 	ts := testServer(t)
 	for _, path := range []string{"/v1/healthz", "/healthz"} {

@@ -11,7 +11,7 @@ import (
 
 // Manifest access for the cluster tier.
 //
-// A scatter-gather router partitions a v4 snapshot by segment: it reads
+// A scatter-gather router partitions a snapshot by segment: it reads
 // the manifest (meta.json), assigns contiguous segment groups to shard
 // workers, and each worker restores only its slice via LoadSegments.
 // Because segments are content-addressed and immutable, a worker can
@@ -19,9 +19,9 @@ import (
 // them against the manifest checksums before loading — the same
 // guarantees Load gives a whole snapshot, per segment.
 
-// Manifest is the snapshot manifest (meta.json) of a version-4 snapshot:
-// the engine config, the graph fingerprint, the ordered segment list and
-// per-artifact checksums.
+// Manifest is the snapshot manifest (meta.json) of a compatible snapshot
+// (version 4 or 5): the engine config, the graph fingerprint, the ordered
+// segment list and per-artifact checksums.
 type Manifest = snapshotMeta
 
 // ManifestSegment describes one segment of a snapshot: its
@@ -50,8 +50,8 @@ func ReadManifest(dir string) (*Manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("%w: parsing meta.json: %v", ErrSnapshotCorrupt, err)
 	}
-	if m.Version != snapshotVersion {
-		return nil, fmt.Errorf("%w: snapshot version %d, want %d", ErrSnapshotVersion, m.Version, snapshotVersion)
+	if !snapshotCompatible(m.Version) {
+		return nil, fmt.Errorf("%w: snapshot version %d, want %d..%d", ErrSnapshotVersion, m.Version, minSnapshotVersion, snapshotVersion)
 	}
 	return &m, nil
 }

@@ -85,6 +85,13 @@ type Document struct {
 	ID    int
 	Title string
 	Text  string
+	// Time is the document's event timestamp (Unix seconds, or any
+	// monotone int64 the caller chooses; 0 = unknown). It is stored in the
+	// per-segment time column, persisted with snapshots (v5), replayed
+	// through the WAL, and compared against Query.After/Before temporal
+	// filters as a plain value — an untimestamped document (Time 0) is
+	// excluded by any After bound and kept by any Before bound.
+	Time int64 `json:",omitempty"`
 }
 
 // Query is one search request for SearchContext. The zero values of the
@@ -102,6 +109,22 @@ type Query struct {
 	// Beta overrides Config.Beta for this request (nil = engine default).
 	// Use BetaOverride to build the pointer inline.
 	Beta *float64
+	// After and Before bound results to documents whose Time lies in the
+	// inclusive range [After, Before]; 0 leaves the corresponding side
+	// unbounded. Document.Time is compared as a plain value, so
+	// untimestamped documents (Time 0) fail any After bound.
+	After  int64
+	Before int64
+	// Entities restricts results to documents whose subgraph embedding
+	// contains, for every listed entity label, at least one KG node that
+	// label resolves to (must-match facets, conjunctive across labels). A
+	// label that resolves to no KG node matches nothing.
+	Entities []string
+}
+
+// filtered reports whether the request carries any document filter.
+func (q Query) filtered() bool {
+	return q.After != 0 || q.Before != 0 || len(q.Entities) > 0
 }
 
 // BetaOverride returns a per-request β override for Query.Beta.
@@ -461,11 +484,12 @@ func (e *Engine) refreshLocked() {
 // have checked that pending documents exist.
 func (e *Engine) sealPendingLocked() *segment {
 	seg := &segment{
-		docs: e.pendDocs,
-		embs: e.pendEmbs,
-		sigs: e.buildSigs(e.pendEmbs),
-		text: e.textB.Build(),
-		node: e.nodeB.Build(),
+		docs:  e.pendDocs,
+		embs:  e.pendEmbs,
+		sigs:  e.buildSigs(e.pendEmbs),
+		times: timesOf(e.pendDocs),
+		text:  e.textB.Build(),
+		node:  e.nodeB.Build(),
 	}
 	e.pendDocs, e.pendEmbs, e.pendPos = nil, nil, nil
 	e.textB, e.nodeB = nil, nil
@@ -709,7 +733,7 @@ func (e *Engine) deleteAtLocked(s *segmentSet, pos int) {
 		dead = index.NewBitmap(len(old.docs))
 	}
 	dead.Set(local)
-	clone := &segment{docs: old.docs, embs: old.embs, sigs: old.sigs, text: old.text, node: old.node, dead: dead}
+	clone := &segment{docs: old.docs, embs: old.embs, sigs: old.sigs, times: old.times, text: old.text, node: old.node, dead: dead}
 	// Tombstones are not part of the artifact identity (they live in
 	// meta.json), so the clone keeps the memoized snapshot artifacts.
 	clone.shareArtifact(old)
@@ -899,7 +923,11 @@ func (e *Engine) searchContext(ctx context.Context, q Query) (SearchResponse, er
 	if err := ctx.Err(); err != nil {
 		return SearchResponse{}, err
 	}
-	ret, err := e.retrieve(ctx, snap, qEmb, qTerms, beta, pool)
+	// Filter clauses compile once per request into a composed mask the
+	// retrieval tier consults through the live-mask seam; an unfiltered
+	// request compiles to nil and runs the untouched fast path.
+	flt := e.compileFilter(e.Graph(), snap, q.After, q.Before, q.Entities, -1)
+	ret, err := e.retrieve(ctx, snap, qEmb, qTerms, beta, pool, flt)
 	if err != nil {
 		return SearchResponse{}, err
 	}
@@ -970,7 +998,16 @@ func (e *Engine) Explain(query string, docID int, maxPaths int) (Explanation, er
 // path-enumeration stages record spans with pair/path counts, mirroring
 // SearchContext's stage breakdown.
 func (e *Engine) ExplainContext(ctx context.Context, query string, docID int, maxPaths int) (Explanation, error) {
-	exp, err := e.explainContext(ctx, query, docID, maxPaths)
+	return e.ExplainQueryContext(ctx, Query{Text: query}, docID, maxPaths)
+}
+
+// ExplainQueryContext is ExplainContext for a full Query: the explanation
+// honours the request's filters (After/Before/Entities; K/PoolDepth/Beta
+// are ignored — an explanation has no ranking), so a document the
+// filtered Search would never return cannot be explained either — it
+// returns ErrUnknownDoc, exactly like a tombstoned document.
+func (e *Engine) ExplainQueryContext(ctx context.Context, q Query, docID int, maxPaths int) (Explanation, error) {
+	exp, err := e.explainContext(ctx, q, docID, maxPaths)
 	e.met.explains.Inc()
 	if err != nil {
 		e.met.explainErrors.Inc()
@@ -978,7 +1015,7 @@ func (e *Engine) ExplainContext(ctx context.Context, query string, docID int, ma
 	return exp, err
 }
 
-func (e *Engine) explainContext(ctx context.Context, query string, docID int, maxPaths int) (Explanation, error) {
+func (e *Engine) explainContext(ctx context.Context, q Query, docID int, maxPaths int) (Explanation, error) {
 	if err := ctx.Err(); err != nil {
 		return Explanation{}, err
 	}
@@ -990,7 +1027,12 @@ func (e *Engine) explainContext(ctx context.Context, query string, docID int, ma
 	if err != nil {
 		return Explanation{}, err
 	}
-	qEmb, _, err := e.analyzeQuery(ctx, query)
+	if q.filtered() {
+		if flt := e.compileFilter(e.Graph(), snap, q.After, q.Before, q.Entities, -1); flt != nil && !flt.Keep(index.DocID(pos)) {
+			return Explanation{}, fmt.Errorf("%w: %d", ErrUnknownDoc, docID)
+		}
+	}
+	qEmb, _, err := e.analyzeQuery(ctx, q.Text)
 	if err != nil {
 		return Explanation{}, err
 	}

@@ -17,6 +17,8 @@ type engineMetrics struct {
 	searchErrors  *obs.Counter
 	explains      *obs.Counter
 	explainErrors *obs.Counter
+	relateds      *obs.Counter
+	relatedErrors *obs.Counter
 	cacheHits     *obs.Counter
 	cacheMisses   *obs.Counter
 	// embed-path instrumentation: the entity-set cache tier plus the core
@@ -66,6 +68,8 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		searchErrors:  r.Counter("newslink_search_errors_total", "Search requests that returned an error (including cancellations)."),
 		explains:      r.Counter("newslink_explains_total", "Explain requests served (including failed ones)."),
 		explainErrors: r.Counter("newslink_explain_errors_total", "Explain requests that returned an error (including cancellations)."),
+		relateds:      r.Counter("newslink_relateds_total", "Related-news requests served (including failed ones)."),
+		relatedErrors: r.Counter("newslink_related_errors_total", "Related-news requests that returned an error (including cancellations)."),
 		cacheHits:     r.Counter("newslink_query_cache_hits_total", "Query analyses served from the LRU cache."),
 		cacheMisses:   r.Counter("newslink_query_cache_misses_total", "Query analyses that ran the NLP + NE components."),
 		embedCacheHits: r.Counter("newslink_embed_cache_hits_total",

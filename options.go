@@ -83,7 +83,9 @@ func WithConfig(cfg Config) Option {
 }
 
 // WithQueryCache sets the capacity of the text-keyed query-analysis LRU
-// (default 64). n <= 0 disables query memoization.
+// (default 64). n <= 0 disables query memoization. Cached analyses are
+// safely shared across requests with different After/Before/Entities
+// clauses: filters apply at retrieval, after analysis and embedding.
 func WithQueryCache(n int) Option {
 	return optionFunc(func(o *engineOptions) { o.queryCacheSize = n })
 }

@@ -36,16 +36,26 @@ type retrieval struct {
 // degraded reply beats a 5xx. A request whose own context ended still
 // fails with that context's error, and single-sided requests (β = 0 or
 // β = 1) keep strict error semantics: they have nothing to fall back to.
-func (e *Engine) retrieve(ctx context.Context, snap *segmentSet, qEmb *core.DocEmbedding, qTerms []string, beta float64, pool int) (retrieval, error) {
+func (e *Engine) retrieve(ctx context.Context, snap *segmentSet, qEmb *core.DocEmbedding, qTerms []string, beta float64, pool int, flt *queryFilter) (retrieval, error) {
 	tr := obs.FromContext(ctx)
 	runBOW := beta < 1
 	runBON := beta > 0 && qEmb != nil
+	// A filtered request traverses the same indexes behind a composed mask
+	// (index.Filtered): statistics and block bounds are those of the full
+	// corpus, so scoring and pruning are unchanged; only candidate
+	// admission consults the filter. Unfiltered requests keep the raw
+	// sources.
+	text, node := snap.text, snap.node
+	if flt != nil {
+		text = index.NewFiltered(text, flt)
+		node = index.NewFiltered(node, flt)
+	}
 	var bow, bon []search.Hit
 	var bowErr, bonErr error
 	retrieveBOW := func(ctx context.Context) {
 		sp := tr.Start(obs.StageBOW)
 		var st search.RetrievalStats
-		bow, st, bowErr = topKAuto(ctx, snap.text, search.NewBM25(snap.text), search.NewQuery(qTerms), pool)
+		bow, st, bowErr = topKAuto(ctx, text, search.NewBM25(text), search.NewQuery(qTerms), pool)
 		e.met.blocksObserve(st)
 		d := sp.End(retrievalAttrs(len(bow), st)...)
 		e.met.stageObserve(obs.StageBOW, d)
@@ -65,7 +75,7 @@ func (e *Engine) retrieve(ctx context.Context, snap *segmentSet, qEmb *core.DocE
 			// Quantized BON: int8 signature scan plus exact rescore instead
 			// of traversing node postings (quant.go). Same Hit ordering
 			// contract, so fusion and degradation downstream are oblivious.
-			bon, st, bonErr = quantTopK(ctx, snap, docSignature(qEmb), pool)
+			bon, st, bonErr = quantTopK(ctx, snap, docSignature(qEmb), pool, flt)
 			return
 		}
 		nq := make(search.Query, len(qEmb.Counts))
@@ -77,10 +87,10 @@ func (e *Engine) retrieve(ctx context.Context, snap *segmentSet, qEmb *core.DocE
 		// penalty), and node frequencies saturate quickly so BON behaves
 		// as an idf-weighted node-set match. This keeps Equation 3's text
 		// ranking authoritative within clusters of same-event stories.
-		bonScorer := search.NewBM25(snap.node)
+		bonScorer := search.NewBM25(node)
 		bonScorer.B = 0
 		bonScorer.K1 = 0.4
-		bon, st, bonErr = topKAuto(ctx, snap.node, bonScorer, nq, pool)
+		bon, st, bonErr = topKAuto(ctx, node, bonScorer, nq, pool)
 	}
 	switch {
 	case runBOW && runBON:

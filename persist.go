@@ -18,7 +18,7 @@ import (
 	"newslink/internal/kg"
 )
 
-// Snapshot layout (version 4): a directory with
+// Snapshot layout (version 5): a directory with
 //
 //	meta.json             engine config, graph fingerprint, the ordered
 //	                      segment list (documents + tombstone bitmap per
@@ -48,12 +48,26 @@ import (
 // Load verifies version and checksums so silent corruption surfaces as
 // ErrSnapshotCorrupt instead of a half-built engine.
 
-// snapshotVersion 4 switched to per-segment artifacts with tombstone
-// bitmaps in meta.json (content-addressed, enabling incremental saves);
-// version 3 was the block-compressed single-index layout, version 2 added
-// per-artifact checksums. Older snapshots are rejected with
-// ErrSnapshotVersion (re-save to upgrade).
-const snapshotVersion = 4
+// snapshotVersion 5 added the per-segment time column (Document.Time in
+// each segment's meta.json document list; the binary artifacts are
+// byte-identical to version 4, so content-addressed ids — and therefore
+// hard-link reuse across saves — carry over). Version 4 switched to
+// per-segment artifacts with tombstone bitmaps in meta.json
+// (content-addressed, enabling incremental saves); version 3 was the
+// block-compressed single-index layout, version 2 added per-artifact
+// checksums. Snapshots older than minSnapshotVersion are rejected with
+// ErrSnapshotVersion (re-save to upgrade); version-4 snapshots load
+// directly, their documents carrying Time 0.
+const (
+	snapshotVersion    = 5
+	minSnapshotVersion = 4
+)
+
+// snapshotCompatible reports whether a snapshot format version is loadable
+// by this build.
+func snapshotCompatible(v int) bool {
+	return v >= minSnapshotVersion && v <= snapshotVersion
+}
 
 // segmentSuffixes are the binary artifacts every segment owns.
 var segmentSuffixes = [...]string{"text.idx", "node.idx", "emb.bin"}
@@ -156,7 +170,11 @@ func readOldSnapshot(dir string) *oldSnapshot {
 		return nil
 	}
 	var m snapshotMeta
-	if json.Unmarshal(data, &m) != nil || m.Version != snapshotVersion {
+	// Any compatible version may donate artifacts: the binary files are
+	// format-identical across versions 4 and 5, and reuse matches on
+	// content-derived ids plus checksums, so hard links from a v4 snapshot
+	// into a v5 save are exact.
+	if json.Unmarshal(data, &m) != nil || !snapshotCompatible(m.Version) {
 		return nil
 	}
 	old := &oldSnapshot{dir: dir, ids: make(map[string]bool, len(m.Segments)), sums: m.Checksums}
@@ -492,8 +510,8 @@ func load(dir string, g *kg.Graph, onDisk bool, opts []Option) (*Engine, error) 
 	if err := json.Unmarshal(metaBytes, &meta); err != nil {
 		return nil, fmt.Errorf("%w: parsing meta.json: %v", ErrSnapshotCorrupt, err)
 	}
-	if meta.Version != snapshotVersion {
-		return nil, fmt.Errorf("%w: snapshot version %d, want %d", ErrSnapshotVersion, meta.Version, snapshotVersion)
+	if !snapshotCompatible(meta.Version) {
+		return nil, fmt.Errorf("%w: snapshot version %d, want %d..%d", ErrSnapshotVersion, meta.Version, minSnapshotVersion, snapshotVersion)
 	}
 	if got := fingerprint(g); got != meta.Graph {
 		return nil, fmt.Errorf("newslink: knowledge graph mismatch: snapshot %+v, graph %+v", meta.Graph, got)
@@ -570,7 +588,7 @@ func load(dir string, g *kg.Graph, onDisk bool, opts []Option) (*Engine, error) 
 // verified). The artifact identity from meta.json is memoized on the
 // segment so a later Save can reuse the files without rewriting them.
 func loadSegment(dir string, sm segmentMeta, checksums map[string]string, g *kg.Graph, onDisk bool) (*segment, error) {
-	seg := &segment{docs: sm.Docs}
+	seg := &segment{docs: sm.Docs, times: timesOf(sm.Docs)}
 	corrupt := func(name string, err error) (*segment, error) {
 		closeSegments([]*segment{seg})
 		return nil, fmt.Errorf("%w: %s: %v", ErrSnapshotCorrupt, name, err)

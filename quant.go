@@ -91,9 +91,11 @@ const quantOversample = 4
 // rescore of the candidates, top k positive-scoring hits under the search
 // comparator (score descending, ties by ascending Doc — the same order
 // every other retrieval path uses, so fusion downstream is oblivious to
-// which BON stage ran). Stats report every live scanned document; the scan
-// honours ctx between segments.
-func quantTopK(ctx context.Context, snap *segmentSet, q textembed.Vector, k int) ([]search.Hit, search.RetrievalStats, error) {
+// which BON stage ran). A non-nil flt masks documents out of the scan,
+// exactly as the tombstone bitmap does — the quantized leg honours the
+// same composed filter as the postings traversals. Stats report every
+// live scanned document; the scan honours ctx between segments.
+func quantTopK(ctx context.Context, snap *segmentSet, q textembed.Vector, k int, flt *queryFilter) ([]search.Hit, search.RetrievalStats, error) {
 	var st search.RetrievalStats
 	if k <= 0 || len(q) == 0 {
 		return nil, st, ctx.Err()
@@ -112,6 +114,9 @@ func quantTopK(ctx context.Context, snap *segmentSet, q textembed.Vector, k int)
 		base := index.DocID(snap.bases[si])
 		for j, sig := range sg.sigs {
 			if sg.dead.Get(j) {
+				continue
+			}
+			if flt != nil && !flt.Keep(base+index.DocID(j)) {
 				continue
 			}
 			st.Scored++

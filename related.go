@@ -1,0 +1,130 @@
+package newslink
+
+import (
+	"context"
+	"fmt"
+
+	"newslink/internal/index"
+	"newslink/internal/obs"
+	"newslink/internal/search"
+)
+
+// Related-news search: rank the corpus against one indexed document,
+// re-using its stored subgraph embedding as the query vector ("Content
+// based News Recommendation via Shortest Entity Distance over Knowledge
+// Graphs" ranks by entity-graph distance; NewsLink's BON leg is the same
+// signal in Equation 3's fusion frame, so Related is a pure-BON (β = 1)
+// search whose query embedding is read from the segment instead of
+// computed from text). Both BON legs are supported: the float node-postings
+// traversal and, under WithQuantizedEmbeddings, the int8 signature scan.
+
+// RelatedQuery is one related-news request for RelatedContext. DocID and K
+// are required; zero values of the remaining fields select the engine's
+// defaults, exactly as in Query.
+type RelatedQuery struct {
+	// DocID is the document whose related news to find (must be live).
+	DocID int
+	// K is the number of results to return (required, > 0).
+	K int
+	// PoolDepth overrides Config.PoolDepth for this request (0 = engine
+	// default), with the same clamping as Query.PoolDepth.
+	PoolDepth int
+	// After/Before/Entities filter candidates exactly as in Query. The
+	// source document itself is always excluded.
+	After    int64
+	Before   int64
+	Entities []string
+}
+
+// Related returns the k documents most related to docID by subgraph
+// (BON) similarity. It is RelatedContext with a background context and
+// default parameters.
+func (e *Engine) Related(docID, k int) ([]Result, error) {
+	return e.RelatedContext(context.Background(), RelatedQuery{DocID: docID, K: k})
+}
+
+// RelatedContext executes one related-news request. The source document's
+// stored BON embedding is the query vector; results are ranked by the
+// engine's BON scorer (quantized or float, matching the configured leg),
+// max-normalized into (0,1] like every other ranking, and never include
+// the source document. A tombstoned or never-added DocID returns
+// ErrUnknownDoc; a document that embedded to nothing has no graph
+// neighbourhood and returns empty results. Unlike fused search there is
+// no BOW leg to degrade to, so retrieval errors fail the request.
+//
+// When ctx carries a trace (obs.WithTrace), the BON retrieval stage
+// records its span with the usual pruning attributes.
+func (e *Engine) RelatedContext(ctx context.Context, q RelatedQuery) ([]Result, error) {
+	out, err := e.relatedContext(ctx, q)
+	e.met.relateds.Inc()
+	if err != nil {
+		e.met.relatedErrors.Inc()
+	}
+	return out, err
+}
+
+func (e *Engine) relatedContext(ctx context.Context, q RelatedQuery) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if q.K <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrInvalidK, q.K)
+	}
+	snap, err := e.acquire()
+	if err != nil {
+		return nil, err
+	}
+	pos, err := e.lookup(snap, q.DocID)
+	if err != nil {
+		return nil, err
+	}
+	emb := snap.embedding(pos)
+	if emb == nil || len(emb.Counts) == 0 {
+		return nil, nil
+	}
+	pool := q.PoolDepth
+	if pool <= 0 {
+		pool = e.cfg.PoolDepth
+	}
+	if pool < q.K {
+		pool = q.K
+	}
+	if n := snap.numLive(); pool > n {
+		pool = n
+	}
+	// The filter always exists here: self-exclusion is its own clause, so
+	// the source document can never rank against itself even when no
+	// temporal or entity clause was requested.
+	flt := e.compileFilter(e.Graph(), snap, q.After, q.Before, q.Entities, pos)
+	sp := obs.FromContext(ctx).Start(obs.StageBON)
+	var bon []search.Hit
+	var st search.RetrievalStats
+	if e.opts.quantizedEmb {
+		bon, st, err = quantTopK(ctx, snap, docSignature(emb), pool, flt)
+	} else {
+		nq := make(search.Query, len(emb.Counts))
+		for n, c := range emb.Counts {
+			nq[nodeTerm(n)] = float64(c)
+		}
+		node := index.NewFiltered(snap.node, flt)
+		bonScorer := search.NewBM25(node)
+		bonScorer.B = 0
+		bonScorer.K1 = 0.4
+		bon, st, err = topKAuto(ctx, node, bonScorer, nq, pool)
+	}
+	e.met.blocksObserve(st)
+	d := sp.End(retrievalAttrs(len(bon), st)...)
+	e.met.stageObserve(obs.StageBON, d)
+	if err != nil {
+		return nil, err
+	}
+	// β = 1 fusion is exactly the documented normalization of a pure-BON
+	// ranking: clip(normalize(bon), k).
+	fused := search.Fuse(nil, bon, 1, q.K)
+	out := make([]Result, len(fused))
+	for i, h := range fused {
+		doc := snap.doc(int(h.Doc))
+		out[i] = Result{ID: doc.ID, Title: doc.Title, Score: h.Score}
+	}
+	return out, nil
+}

@@ -21,7 +21,7 @@ go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 echo "== benchmark artifact =="
 # Versioned name passed explicitly: ci/bench.sh itself defaults to the
 # unversioned BENCH.json.
-./ci/bench.sh 2s BENCH_pr7.json
+./ci/bench.sh 2s BENCH_pr10.json
 
 echo "== experiments (scale=$SCALE) =="
 go run ./cmd/experiments -all -scale "$SCALE" 2>&1 | tee experiments_output.txt

@@ -32,14 +32,26 @@ import (
 // artifact identity: they live in meta.json, so a delete never forces a
 // segment rewrite on disk).
 type segment struct {
-	docs []Document
-	embs []*core.DocEmbedding   // aligned with docs; nil if unembeddable
-	sigs []textembed.Int8Vector // int8 BON signatures, aligned with docs; nil unless WithQuantizedEmbeddings
-	text index.Source           // *index.Index, or *index.DiskIndex when loaded on disk
-	node index.Source
-	dead *index.Bitmap // nil = no deletes
+	docs  []Document
+	embs  []*core.DocEmbedding   // aligned with docs; nil if unembeddable
+	sigs  []textembed.Int8Vector // int8 BON signatures, aligned with docs; nil unless WithQuantizedEmbeddings
+	times []int64                // columnar Document.Time, aligned with docs
+	text  index.Source           // *index.Index, or *index.DiskIndex when loaded on disk
+	node  index.Source
+	dead  *index.Bitmap // nil = no deletes
 
 	art atomic.Pointer[segmentArtifact]
+}
+
+// timesOf extracts the columnar time store from a document slice: one
+// int64 per document, built once at seal/merge/load so temporal filters
+// read a flat column instead of chasing Document structs per candidate.
+func timesOf(docs []Document) []int64 {
+	times := make([]int64, len(docs))
+	for i, d := range docs {
+		times[i] = d.Time
+	}
+	return times
 }
 
 func (s *segment) numDocs() int { return len(s.docs) }
@@ -72,6 +84,7 @@ type segmentSet struct {
 	numDocs int         // including tombstoned documents
 	deleted int         // tombstoned documents across all segments
 	docPos  map[int]int // Document.ID -> global position, live documents only
+	times   []int64     // concatenated per-segment time columns, indexed by global position
 
 	// text and node are the sources searches traverse: the single
 	// segment's own index when possible, an index.Multi otherwise, and
@@ -96,6 +109,7 @@ func newSegmentSet(segs []*segment) *segmentSet {
 			}
 		}
 		s.numDocs += len(sg.docs)
+		s.times = append(s.times, sg.times...)
 	}
 	var text, node index.Source
 	if len(segs) == 1 {
@@ -215,10 +229,11 @@ func mergeRun(segs []*segment) *segment {
 		}
 	}
 	return &segment{
-		docs: docs,
-		embs: embs,
-		text: index.MergeSegments(texts, deads),
-		node: index.MergeSegments(nodes, deads),
+		docs:  docs,
+		embs:  embs,
+		times: timesOf(docs),
+		text:  index.MergeSegments(texts, deads),
+		node:  index.MergeSegments(nodes, deads),
 	}
 }
 
